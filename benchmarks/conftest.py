@@ -1,0 +1,42 @@
+"""Shared fixtures for the experiment benchmarks (see DESIGN.md §3).
+
+Every experiment Ei from DESIGN.md has one module here that regenerates the
+corresponding result of the paper.  Benchmarks print a paper-shaped summary
+table (visible with ``pytest benchmarks/ --benchmark-only -s``) and assert
+the *shape* of the paper's claim (who wins, by roughly what factor) — not
+absolute numbers, since the substrate is a Python VM, not 1996 hardware.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import CONFIG_NONE, CONFIG_STATIC
+from repro.lang import TycoonSystem
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a measurement exactly once under the benchmark machinery.
+
+    Experiment report/assertion tests are not throughput benchmarks, but
+    they must still execute under ``--benchmark-only``; this wraps them as
+    single-round pedantic benchmarks.
+    """
+
+    def run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return run
+
+
+@pytest.fixture(scope="session")
+def system_none():
+    """A system image compiling without any optimization."""
+    return TycoonSystem(options=CONFIG_NONE)
+
+
+@pytest.fixture(scope="session")
+def system_static():
+    """A system image with the local (static) optimizer enabled."""
+    return TycoonSystem(options=CONFIG_STATIC)

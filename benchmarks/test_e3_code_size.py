@@ -1,0 +1,82 @@
+"""E3 — §6: the persistent TML encoding doubles code size.
+
+"On the down side, due to the space requirements for the additional
+persistent encoding of the TML tree for each function, the code size
+doubles at the same time (1.2MB vs 600kB for the complete Tycoon system)."
+
+Regenerates: total executable-code bytes vs code+PTML bytes over every
+compiled function in the image (the Stanford suite + the standard library),
+and the resulting ratio (paper: 2.0×).
+"""
+
+import pytest
+
+from repro.bench.stanford import PROGRAMS
+from repro.lang import TycoonSystem
+from repro.lang.modules import compile_stdlib
+from repro.machine.isa import flatten_codes
+from repro.store.serialize import Blob, encode_value
+
+
+def _sizes(code) -> tuple[int, int]:
+    """(executable bytes, ptml bytes) for one code object tree."""
+    from repro.machine.binfmt import binary_code_size
+
+    exe = binary_code_size(code)
+    ptml = 0
+    for part in flatten_codes(code):
+        if isinstance(part.ptml_ref, Blob):
+            ptml += len(part.ptml_ref.data)
+    return exe, ptml
+
+
+@pytest.fixture(scope="module")
+def image():
+    """Compile the whole system: stdlib + the Stanford suite."""
+    system = TycoonSystem()
+    for program in PROGRAMS.values():
+        system.compile(program.source)
+    functions = []
+    for module in compile_stdlib().values():
+        functions.extend(module.functions.values())
+    for module in system.compiled.values():
+        functions.extend(module.functions.values())
+    return functions
+
+
+def test_e3_report_and_ratio(once, image):
+    once(lambda: None)
+    exe_total = 0
+    ptml_total = 0
+    for fn in image:
+        exe, ptml = _sizes(fn.code)
+        exe_total += exe
+        ptml_total += ptml
+    ratio = (exe_total + ptml_total) / exe_total
+    print(
+        f"\nE3 — code size: executable {exe_total / 1024:.1f} KiB, "
+        f"PTML {ptml_total / 1024:.1f} KiB, "
+        f"total/executable ratio {ratio:.2f}x  (paper: 2.0x — 1.2MB vs 600kB)"
+    )
+    # the paper's shape: attaching PTML imposes a large constant-factor
+    # space overhead (paper: 2.0x; here ~1.4x — our varint-interned PTML is
+    # more compact relative to TAM code than the original encoding was
+    # relative to native code; see EXPERIMENTS.md E3)
+    assert 1.2 <= ratio <= 3.0, ratio
+
+
+def test_e3_every_function_carries_ptml(once, image):
+    once(lambda: None)
+    for fn in image:
+        assert fn.code.ptml_ref is not None, fn.name
+
+
+def test_e3_encoding_throughput(benchmark):
+    """Encoding cost of PTML for a mid-sized function (bookkeeping metric)."""
+    from repro.lang import compile_module
+    from repro.store.ptml import encode_ptml
+
+    compiled = compile_module(PROGRAMS["queens"].source)
+    term = compiled.functions["place"].term
+    blob = benchmark(lambda: encode_ptml(term))
+    assert len(blob.data) > 100

@@ -1,0 +1,28 @@
+"""Reproduce the paper's section 6 experiment at full scale.
+
+Run:  python examples/stanford_suite.py [scale]
+
+Compiles the Stanford suite three ways — unoptimized, statically (locally)
+optimized, and dynamically (reflectively) optimized — and prints the paper's
+table: per-program times and the geometric-mean speedups.
+
+Expected shape (the paper's claims):
+* static/local optimization: no significant speedup (~1.0-1.2x), because
+  integer and array operations live in dynamically bound libraries;
+* dynamic optimization: more than doubles execution speed (>= 2x geomean).
+"""
+
+import sys
+
+from repro.bench.harness import format_table, run_stanford
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    print(f"running the Stanford suite (scale={scale}) ...\n")
+    rows = run_stanford(scale=scale, repeats=3)
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) fail.  This shim enables the
+legacy path: ``pip install -e . --no-build-isolation --no-use-pep517``.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

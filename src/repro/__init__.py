@@ -1,0 +1,84 @@
+"""TML — a persistent CPS intermediate code representation for open database
+environments.
+
+A from-scratch reproduction of Gawecki & Matthes, *"Exploiting Persistent
+Intermediate Code Representations in Open Database Environments"* (EDBT
+1996): the Tycoon Machine Language, its rewrite rules and two-pass
+optimizer, a TL-style front end with dynamically bound libraries, a
+persistent object store with compact PTML code blobs, reflective runtime
+optimization across abstraction barriers, and integrated program/query
+optimization.
+
+Quickstart::
+
+    from repro import TycoonSystem, reflect
+
+    system = TycoonSystem()
+    system.compile('''
+    module demo export twice
+    let twice(x: Int): Int = x + x
+    end''')
+    print(system.call("demo", "twice", [21]).value)          # 42
+    fast = reflect.optimize_function(system, "demo", "twice")
+    print(system.vm().call(fast, [21]).value)                 # 42, fewer instructions
+"""
+
+from repro import reflect
+from repro.core import (
+    Abs,
+    App,
+    Lit,
+    Name,
+    NameSupply,
+    Oid,
+    PrimApp,
+    TmlBuilder,
+    Var,
+    check,
+    parse_term,
+    pretty,
+    term_size,
+)
+from repro.lang import CompileOptions, TycoonSystem, compile_module
+from repro.machine import VM, Interpreter, compile_function
+from repro.primitives import default_registry
+from repro.query import Relation, integrated_optimize, query_registry
+from repro.rewrite import OptimizerConfig, RuleConfig, optimize, reduce_only
+from repro.store import ObjectHeap, decode_ptml, encode_ptml
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "reflect",
+    "Abs",
+    "App",
+    "Lit",
+    "Name",
+    "NameSupply",
+    "Oid",
+    "PrimApp",
+    "TmlBuilder",
+    "Var",
+    "check",
+    "parse_term",
+    "pretty",
+    "term_size",
+    "CompileOptions",
+    "TycoonSystem",
+    "compile_module",
+    "VM",
+    "Interpreter",
+    "compile_function",
+    "default_registry",
+    "Relation",
+    "integrated_optimize",
+    "query_registry",
+    "OptimizerConfig",
+    "RuleConfig",
+    "optimize",
+    "reduce_only",
+    "ObjectHeap",
+    "decode_ptml",
+    "encode_ptml",
+    "__version__",
+]

@@ -1,0 +1,1 @@
+"""Benchmark workloads and measurement harnesses for the paper's experiments."""

@@ -1,0 +1,5 @@
+"""The Stanford benchmark suite, written in TL (paper section 6 workload)."""
+
+from repro.bench.stanford.programs import PROGRAMS, StanfordProgram
+
+__all__ = ["PROGRAMS", "StanfordProgram"]

@@ -1,0 +1,488 @@
+"""The Stanford benchmark suite in TL.
+
+Paper section 6 evaluates TML's optimizers on "standard benchmarks for
+imperative programs (the Stanford Suite)".  This module provides TL
+implementations of ten Stanford-style programs, each exporting
+``run(n: Int): Int`` that returns a checksum, plus Python reference
+implementations used by the test suite to verify every checksum.
+
+The programs deliberately lean on the operations section 6 calls out as
+dynamically bound — integer arithmetic, comparisons and array accesses all
+go through the library modules — which is why local/static optimization
+cannot speed them up but runtime optimization can (experiments E1/E2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["StanfordProgram", "PROGRAMS"]
+
+
+@dataclass(frozen=True)
+class StanfordProgram:
+    """One benchmark: TL source, scale parameters, Python reference."""
+
+    name: str
+    source: str
+    #: problem size for benchmarking (milliseconds-scale on the TAM)
+    bench_n: int
+    #: problem size for correctness tests (fast)
+    test_n: int
+    #: Python reference computing the expected checksum for any n
+    reference: Callable[[int], int]
+
+
+# ---------------------------------------------------------------------------
+# perm — permutation generation (counts permutations by exchange recursion)
+# ---------------------------------------------------------------------------
+
+_PERM_SRC = """
+module perm export run
+let permute(a, k: Int): Int =
+  if k <= 1 then 1
+  else
+    var count := 0 in
+    begin
+      for i = 0 upto k - 1 do
+        let t = a[i] in
+        begin
+          a[i] := a[k - 1];
+          a[k - 1] := t;
+          count := count + permute(a, k - 1);
+          let t2 = a[i] in
+          begin
+            a[i] := a[k - 1];
+            a[k - 1] := t2
+          end
+        end
+      end;
+      count
+    end
+  end
+let run(n: Int): Int =
+  let a = array(n, 0) in
+  begin
+    for i = 0 upto n - 1 do a[i] := i end;
+    permute(a, n)
+  end
+end
+"""
+
+
+def _perm_ref(n: int) -> int:
+    import math
+
+    return math.factorial(max(n, 1))
+
+
+# ---------------------------------------------------------------------------
+# towers — Towers of Hanoi move count
+# ---------------------------------------------------------------------------
+
+_TOWERS_SRC = """
+module towers export run
+let movedisks(n: Int, f: Int, t: Int, u: Int): Int =
+  if n == 1 then 1
+  else movedisks(n - 1, f, u, t) + 1 + movedisks(n - 1, u, t, f)
+  end
+let run(n: Int): Int = movedisks(n, 1, 2, 3)
+end
+"""
+
+
+def _towers_ref(n: int) -> int:
+    return (1 << n) - 1
+
+
+# ---------------------------------------------------------------------------
+# queens — N-queens solution count
+# ---------------------------------------------------------------------------
+
+_QUEENS_SRC = """
+module queens export run
+let place(row: Int, n: Int, cols, d1, d2): Int =
+  if row == n then 1
+  else
+    var count := 0 in
+    begin
+      for c = 0 upto n - 1 do
+        if cols[c] == 0 and d1[row + c] == 0 and d2[row - c + n - 1] == 0 then
+          begin
+            cols[c] := 1;
+            d1[row + c] := 1;
+            d2[row - c + n - 1] := 1;
+            count := count + place(row + 1, n, cols, d1, d2);
+            cols[c] := 0;
+            d1[row + c] := 0;
+            d2[row - c + n - 1] := 0
+          end
+        end
+      end;
+      count
+    end
+  end
+let run(n: Int): Int =
+  place(0, n, array(n, 0), array(2 * n, 0), array(2 * n, 0))
+end
+"""
+
+
+def _queens_ref(n: int) -> int:
+    def place(row, cols, d1, d2):
+        if row == n:
+            return 1
+        total = 0
+        for c in range(n):
+            if not cols[c] and not d1[row + c] and not d2[row - c + n - 1]:
+                cols[c] = d1[row + c] = d2[row - c + n - 1] = 1
+                total += place(row + 1, cols, d1, d2)
+                cols[c] = d1[row + c] = d2[row - c + n - 1] = 0
+        return total
+
+    return place(0, [0] * n, [0] * (2 * n), [0] * (2 * n))
+
+
+# ---------------------------------------------------------------------------
+# intmm — integer matrix multiply
+# ---------------------------------------------------------------------------
+
+_INTMM_SRC = """
+module intmm export run
+let run(n: Int): Int =
+  let a = array(n * n, 0) in
+  let b = array(n * n, 0) in
+  let c = array(n * n, 0) in
+  begin
+    for i = 0 upto n * n - 1 do
+      begin
+        a[i] := i % 10;
+        b[i] := (i * 3) % 10
+      end
+    end;
+    for i = 0 upto n - 1 do
+      for j = 0 upto n - 1 do
+        var s := 0 in
+        begin
+          for k = 0 upto n - 1 do
+            s := s + a[i * n + k] * b[k * n + j]
+          end;
+          c[i * n + j] := s
+        end
+      end
+    end;
+    var sum := 0 in
+    begin
+      for i = 0 upto n * n - 1 do sum := sum + c[i] * (i % 7) end;
+      sum
+    end
+  end
+end
+"""
+
+
+def _intmm_ref(n: int) -> int:
+    a = [i % 10 for i in range(n * n)]
+    b = [(i * 3) % 10 for i in range(n * n)]
+    c = [0] * (n * n)
+    for i in range(n):
+        for j in range(n):
+            c[i * n + j] = sum(a[i * n + k] * b[k * n + j] for k in range(n))
+    return sum(v * (i % 7) for i, v in enumerate(c))
+
+
+# ---------------------------------------------------------------------------
+# bubble — bubble sort with checksum
+# ---------------------------------------------------------------------------
+
+_BUBBLE_SRC = """
+module bubble export run
+let run(n: Int): Int =
+  let a = array(n, 0) in
+  begin
+    for i = 0 upto n - 1 do a[i] := ((n - i) * 7) % 101 end;
+    for i = 0 upto n - 2 do
+      for j = 0 upto n - 2 - i do
+        if a[j] > a[j + 1] then
+          let t = a[j] in
+          begin
+            a[j] := a[j + 1];
+            a[j + 1] := t
+          end
+        end
+      end
+    end;
+    var check := 0 in
+    begin
+      for i = 0 upto n - 1 do check := check + a[i] * (i + 1) end;
+      check
+    end
+  end
+end
+"""
+
+
+def _bubble_ref(n: int) -> int:
+    a = sorted(((n - i) * 7) % 101 for i in range(n))
+    return sum(v * (i + 1) for i, v in enumerate(a))
+
+
+# ---------------------------------------------------------------------------
+# quick — quicksort with checksum
+# ---------------------------------------------------------------------------
+
+_QUICK_SRC = """
+module quick export run
+let qsort(a, lo: Int, hi: Int): Unit =
+  if lo < hi then
+    let pivot = a[(lo + hi) / 2] in
+    var i := lo in
+    var j := hi in
+    begin
+      while i <= j do
+        begin
+          while a[i] < pivot do i := i + 1 end;
+          while a[j] > pivot do j := j - 1 end;
+          if i <= j then
+            begin
+              let t = a[i] in
+              begin
+                a[i] := a[j];
+                a[j] := t
+              end;
+              i := i + 1;
+              j := j - 1
+            end
+          end
+        end
+      end;
+      qsort(a, lo, j);
+      qsort(a, i, hi)
+    end
+  end
+let run(n: Int): Int =
+  let a = array(n, 0) in
+  begin
+    for i = 0 upto n - 1 do a[i] := (i * 1237 + 11) % 10007 end;
+    qsort(a, 0, n - 1);
+    var check := 0 in
+    begin
+      for i = 0 upto n - 1 do check := check + a[i] * (i % 13) end;
+      check
+    end
+  end
+end
+"""
+
+
+def _quick_ref(n: int) -> int:
+    a = sorted((i * 1237 + 11) % 10007 for i in range(n))
+    return sum(v * (i % 13) for i, v in enumerate(a))
+
+
+# ---------------------------------------------------------------------------
+# sieve — Sieve of Eratosthenes (prime count)
+# ---------------------------------------------------------------------------
+
+_SIEVE_SRC = """
+module sieve export run
+let run(n: Int): Int =
+  let flags = array(n + 1, 1) in
+  var count := 0 in
+  begin
+    for i = 2 upto n do
+      if flags[i] == 1 then
+        begin
+          count := count + 1;
+          var k := i + i in
+          while k <= n do
+            begin
+              flags[k] := 0;
+              k := k + i
+            end
+          end
+        end
+      end
+    end;
+    count
+  end
+end
+"""
+
+
+def _sieve_ref(n: int) -> int:
+    flags = [True] * (n + 1)
+    count = 0
+    for i in range(2, n + 1):
+        if flags[i]:
+            count += 1
+            for k in range(i + i, n + 1, i):
+                flags[k] = False
+    return count
+
+
+# ---------------------------------------------------------------------------
+# fib — naive Fibonacci (call-overhead stress)
+# ---------------------------------------------------------------------------
+
+_FIB_SRC = """
+module fib export run
+let fib(n: Int): Int =
+  if n < 2 then n else fib(n - 1) + fib(n - 2) end
+let run(n: Int): Int = fib(n)
+end
+"""
+
+
+def _fib_ref(n: int) -> int:
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+# ---------------------------------------------------------------------------
+# tak — Takeuchi function (deep mutual recursion)
+# ---------------------------------------------------------------------------
+
+_TAK_SRC = """
+module tak export run
+let tak(x: Int, y: Int, z: Int): Int =
+  if y < x then tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y))
+  else z
+  end
+let run(n: Int): Int = tak(n + 6, n, n / 2)
+end
+"""
+
+
+def _tak_ref(n: int) -> int:
+    import functools
+
+    @functools.lru_cache(maxsize=None)
+    def tak(x, y, z):
+        if y < x:
+            return tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y))
+        return z
+
+    return tak(n + 6, n, n // 2)
+
+
+# ---------------------------------------------------------------------------
+# treesort — binary search tree via records (allocation stress)
+# ---------------------------------------------------------------------------
+
+_TREESORT_SRC = """
+module treesort export run
+type Node = tuple leaf: Bool, left: Node, value: Int, right: Node end
+let nil(): Node = tuple leaf = true, left = 0, value = 0, right = 0 end
+let insert(t: Node, v: Int): Node =
+  if t.leaf then
+    tuple leaf = false, left = nil(), value = v, right = nil() end
+  else
+    if v < t.value then
+      tuple leaf = false, left = insert(t.left, v), value = t.value,
+            right = t.right end
+    else
+      tuple leaf = false, left = t.left, value = t.value,
+            right = insert(t.right, v) end
+    end
+  end
+let total(t: Node, rank: Int): Int =
+  if t.leaf then 0
+  else total(t.left, rank + 1) + t.value * rank + total(t.right, rank + 1)
+  end
+let run(n: Int): Int =
+  var t := nil() in
+  begin
+    for i = 0 upto n - 1 do
+      t := insert(t, (i * 97 + 31) % 1009)
+    end;
+    total(t, 1)
+  end
+end
+"""
+
+
+def _treesort_ref(n: int) -> int:
+    class Node:
+        __slots__ = ("leaf", "left", "value", "right")
+
+        def __init__(self, leaf, left=None, value=0, right=None):
+            self.leaf = leaf
+            self.left = left
+            self.value = value
+            self.right = right
+
+    nil = Node(True)
+
+    def insert(t, v):
+        if t.leaf:
+            return Node(False, nil, v, nil)
+        if v < t.value:
+            return Node(False, insert(t.left, v), t.value, t.right)
+        return Node(False, t.left, t.value, insert(t.right, v))
+
+    def total(t, rank):
+        if t.leaf:
+            return 0
+        return total(t.left, rank + 1) + t.value * rank + total(t.right, rank + 1)
+
+    t = nil
+    for i in range(n):
+        t = insert(t, (i * 97 + 31) % 1009)
+    return total(t, 1)
+
+
+# ---------------------------------------------------------------------------
+# strings — byte/char handling (char conversions, comparisons)
+# ---------------------------------------------------------------------------
+
+_STRINGS_SRC = """
+module strings export run
+let run(n: Int): Int =
+  var acc := 0 in
+  begin
+    for i = 0 upto n - 1 do
+      let c = chr(i % 256) in
+      let back = ord(c) in
+      if back % 3 == 0 then acc := acc + back else acc := acc - 1 end
+    end;
+    acc
+  end
+end
+"""
+
+
+def _strings_ref(n: int) -> int:
+    acc = 0
+    for i in range(n):
+        back = i % 256
+        if back % 3 == 0:
+            acc += back
+        else:
+            acc -= 1
+    return acc
+
+
+PROGRAMS: dict[str, StanfordProgram] = {
+    program.name: program
+    for program in (
+        StanfordProgram("perm", _PERM_SRC, bench_n=6, test_n=4, reference=_perm_ref),
+        StanfordProgram("towers", _TOWERS_SRC, bench_n=12, test_n=5, reference=_towers_ref),
+        StanfordProgram("queens", _QUEENS_SRC, bench_n=7, test_n=5, reference=_queens_ref),
+        StanfordProgram("intmm", _INTMM_SRC, bench_n=12, test_n=4, reference=_intmm_ref),
+        StanfordProgram("bubble", _BUBBLE_SRC, bench_n=60, test_n=12, reference=_bubble_ref),
+        StanfordProgram("quick", _QUICK_SRC, bench_n=180, test_n=25, reference=_quick_ref),
+        StanfordProgram("sieve", _SIEVE_SRC, bench_n=600, test_n=50, reference=_sieve_ref),
+        StanfordProgram("fib", _FIB_SRC, bench_n=15, test_n=10, reference=_fib_ref),
+        StanfordProgram("tak", _TAK_SRC, bench_n=4, test_n=2, reference=_tak_ref),
+        StanfordProgram(
+            "treesort", _TREESORT_SRC, bench_n=120, test_n=20, reference=_treesort_ref
+        ),
+        StanfordProgram(
+            "strings", _STRINGS_SRC, bench_n=500, test_n=40, reference=_strings_ref
+        ),
+    )
+}

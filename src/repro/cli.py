@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run FILE [--entry m.f] [--args ...]`` — compile the TL modules in FILE
+  and call an entry function (default: ``main`` of the last module), with
+  optional static/dynamic optimization;
+* ``tml FILE --function m.f`` — print a function's TML (optionally after
+  runtime optimization);
+* ``disasm FILE --function m.f`` — print the TAM code listing;
+* ``bench [--scale S] [--programs p,q]`` — the §6 Stanford table;
+* ``store ls PATH`` — list the roots of a persistent store image.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.harness import format_table, run_stanford
+from repro.core.pretty import PrettyOptions, pretty
+from repro.lang import CompileOptions, TycoonSystem
+from repro.lang.parser import parse_modules
+from repro.machine.runtime import UncaughtTmlException, show_value
+from repro.reflect import optimize_result, term_of_closure
+from repro.rewrite import OptimizerConfig
+from repro.store.heap import ObjectHeap
+
+__all__ = ["main"]
+
+
+def _options(level: str) -> CompileOptions:
+    if level == "none":
+        return CompileOptions(optimizer=None)
+    return CompileOptions(optimizer=OptimizerConfig())
+
+
+def _load_system(path: str, opt: str, store: str | None) -> TycoonSystem:
+    heap = ObjectHeap(store) if store else None
+    system = TycoonSystem(heap=heap, options=_options(opt))
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    for module in parse_modules(source):
+        system.compile_ast(module)
+    return system
+
+
+def _parse_value(text: str):
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    if text == "unit":
+        from repro.core.syntax import UNIT
+
+        return UNIT
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def _split_entry(entry: str, system: TycoonSystem) -> tuple[str, str]:
+    if "." in entry:
+        module, function = entry.split(".", 1)
+        return module, function
+    # bare function name: search the compiled modules, latest first
+    for name in reversed(list(system.compiled)):
+        if entry in system.compiled[name].functions:
+            return name, entry
+    raise SystemExit(f"error: no compiled module exports {entry!r}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    system = _load_system(args.file, args.opt, args.store)
+    entry = args.entry
+    if entry is None:
+        last = list(system.compiled)[-1]
+        entry = f"{last}.main" if "main" in system.compiled[last].functions else last
+    module, function = _split_entry(entry, system)
+
+    call_args = [_parse_value(a) for a in args.args]
+    if args.opt == "dynamic":
+        closure = optimize_result(system, module, function).closure
+    else:
+        closure = system.closure(module, function)
+    try:
+        result = system.vm().call(closure, call_args)
+    except UncaughtTmlException as exc:
+        print(f"uncaught exception: {show_value(exc.value)}", file=sys.stderr)
+        return 1
+    for line in result.output:
+        print(line)
+    print(f"=> {show_value(result.value)}")
+    if args.verbose:
+        print(f"[{result.instructions} TAM instructions]", file=sys.stderr)
+    return 0
+
+
+def _cmd_tml(args: argparse.Namespace) -> int:
+    system = _load_system(args.file, args.opt, args.store)
+    module, function = _split_entry(args.function, system)
+    closure = system.closure(module, function)
+    if args.dynamic:
+        term = optimize_result(system, module, function).term
+    else:
+        term = term_of_closure(closure, system.heap, allow_decompile=True)
+    print(pretty(term, PrettyOptions(show_uids=not args.plain)))
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    system = _load_system(args.file, args.opt, args.store)
+    module, function = _split_entry(args.function, system)
+    closure = system.closure(module, function)
+    print(closure.code.disassemble())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    names = args.programs.split(",") if args.programs else None
+    rows = run_stanford(names=names, scale=args.scale, repeats=args.repeats)
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    heap = ObjectHeap(args.path)
+    try:
+        if args.action == "ls":
+            names = heap.root_names()
+            if not names:
+                print("(no roots)")
+            for name in names:
+                oid = heap.root(name)
+                size = heap.stored_size(oid)
+                print(f"{name:<30} oid={int(oid):<6} {size} bytes")
+            return 0
+        raise SystemExit(f"unknown store action {args.action!r}")
+    finally:
+        heap.close()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TML / Tycoon-style persistent code environment "
+        "(EDBT 1996 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="compile and run a TL file")
+    run_p.add_argument("file")
+    run_p.add_argument("--entry", help="module.function (default: <last module>.main)")
+    run_p.add_argument("--args", nargs="*", default=[], help="int/bool/string arguments")
+    run_p.add_argument(
+        "--opt", choices=["none", "static", "dynamic"], default="static"
+    )
+    run_p.add_argument("--store", help="persistent store file to attach")
+    run_p.add_argument("-v", "--verbose", action="store_true")
+    run_p.set_defaults(handler=_cmd_run)
+
+    tml_p = sub.add_parser("tml", help="print a function's TML")
+    tml_p.add_argument("file")
+    tml_p.add_argument("--function", required=True, help="module.function")
+    tml_p.add_argument("--dynamic", action="store_true", help="after runtime optimization")
+    tml_p.add_argument("--plain", action="store_true", help="hide name uids")
+    tml_p.add_argument("--opt", choices=["none", "static"], default="static")
+    tml_p.add_argument("--store")
+    tml_p.set_defaults(handler=_cmd_tml)
+
+    dis_p = sub.add_parser("disasm", help="print a function's TAM code")
+    dis_p.add_argument("file")
+    dis_p.add_argument("--function", required=True)
+    dis_p.add_argument("--opt", choices=["none", "static"], default="static")
+    dis_p.add_argument("--store")
+    dis_p.set_defaults(handler=_cmd_disasm)
+
+    bench_p = sub.add_parser("bench", help="run the §6 Stanford experiment")
+    bench_p.add_argument("--scale", type=float, default=1.0)
+    bench_p.add_argument("--repeats", type=int, default=1)
+    bench_p.add_argument("--programs", help="comma-separated subset")
+    bench_p.set_defaults(handler=_cmd_bench)
+
+    store_p = sub.add_parser("store", help="inspect a persistent store image")
+    store_p.add_argument("action", choices=["ls"])
+    store_p.add_argument("path")
+    store_p.set_defaults(handler=_cmd_store)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

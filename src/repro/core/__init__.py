@@ -1,0 +1,69 @@
+"""Core TML intermediate representation (paper section 2).
+
+Abstract syntax, unique-binding names, occurrence counting, capture-free
+substitution, free-variable/binding analysis, well-formedness checking, and
+concrete syntax (parser + pretty-printer).
+"""
+
+from repro.core.builder import TmlBuilder
+from repro.core.names import CONT_SORT, VAL_SORT, Name, NameSupply
+from repro.core.parser import ParseError, parse_term
+from repro.core.pretty import PrettyOptions, pretty, pretty_compact
+from repro.core.syntax import (
+    Abs,
+    App,
+    Application,
+    Char,
+    Lit,
+    Oid,
+    PrimApp,
+    Term,
+    UNIT,
+    Unit,
+    Value,
+    Var,
+    is_application,
+    is_value,
+    iter_abstractions,
+    iter_applications,
+    iter_subterms,
+    max_uid,
+    term_size,
+)
+from repro.core.wellformed import WellFormednessError, check, is_well_formed, violations
+
+__all__ = [
+    "TmlBuilder",
+    "CONT_SORT",
+    "VAL_SORT",
+    "Name",
+    "NameSupply",
+    "ParseError",
+    "parse_term",
+    "PrettyOptions",
+    "pretty",
+    "pretty_compact",
+    "Abs",
+    "App",
+    "Application",
+    "Char",
+    "Lit",
+    "Oid",
+    "PrimApp",
+    "Term",
+    "UNIT",
+    "Unit",
+    "Value",
+    "Var",
+    "is_application",
+    "is_value",
+    "iter_abstractions",
+    "iter_applications",
+    "iter_subterms",
+    "max_uid",
+    "term_size",
+    "WellFormednessError",
+    "check",
+    "is_well_formed",
+    "violations",
+]

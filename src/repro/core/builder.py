@@ -1,0 +1,162 @@
+"""Programmatic construction helpers for TML trees.
+
+Front ends and tests build TML with these combinators instead of spelling
+out ``Abs``/``App`` nodes.  The builder owns a :class:`NameSupply`, so every
+binder it creates is automatically fresh — constructing code through a
+builder can never violate the unique binding rule.
+
+The central idiom is :meth:`TmlBuilder.let`: CPS has no `let` form, a binding
+is the immediate application of a continuation abstraction::
+
+    let v = val in app     ===     (cont(v) app  val)   i.e.  (λ(v) app  val)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.names import Name, NameSupply
+from repro.core.syntax import (
+    Abs,
+    App,
+    Application,
+    Char,
+    Lit,
+    LitValue,
+    Oid,
+    PrimApp,
+    UNIT,
+    Value,
+    Var,
+)
+
+__all__ = ["TmlBuilder", "lit", "int_lit", "char_lit", "oid_lit", "unit_lit"]
+
+
+def lit(value: LitValue) -> Lit:
+    """Wrap a Python value as a TML literal."""
+    return Lit(value)
+
+
+def int_lit(value: int) -> Lit:
+    return Lit(int(value))
+
+
+def char_lit(char: str) -> Lit:
+    return Lit(Char(char))
+
+
+def oid_lit(oid: int | Oid) -> Lit:
+    return Lit(oid if isinstance(oid, Oid) else Oid(oid))
+
+
+def unit_lit() -> Lit:
+    return Lit(UNIT)
+
+
+class TmlBuilder:
+    """Stateful TML constructor bound to a fresh-name supply."""
+
+    def __init__(self, supply: NameSupply | None = None) -> None:
+        self.supply = supply or NameSupply()
+
+    # -- names ---------------------------------------------------------------
+
+    def val_name(self, base: str = "t") -> Name:
+        return self.supply.fresh_val(base)
+
+    def cont_name(self, base: str = "c") -> Name:
+        return self.supply.fresh_cont(base)
+
+    # -- values ---------------------------------------------------------------
+
+    def var(self, name: Name) -> Var:
+        return Var(name)
+
+    def cont(self, params: Sequence[Name], body: Application) -> Abs:
+        """A continuation abstraction ``cont(params) body``."""
+        abs_node = Abs(tuple(params), body)
+        if not abs_node.is_cont_abs:
+            raise ValueError("continuation abstraction may not take cont params")
+        return abs_node
+
+    def cont1(self, base: str, make_body: Callable[[Var], Application]) -> Abs:
+        """One-parameter continuation; the callback receives the parameter."""
+        param = self.val_name(base)
+        return Abs((param,), make_body(Var(param)))
+
+    def cont0(self, body: Application) -> Abs:
+        """A nullary continuation ``cont() body``."""
+        return Abs((), body)
+
+    def proc(
+        self,
+        value_params: Sequence[Name],
+        make_body: Callable[[Name, Name], Application],
+    ) -> Abs:
+        """A user-level procedure ``proc(v1..vn ce cc) body``.
+
+        The callback receives the freshly created exception and normal
+        continuation parameters (in that order).
+        """
+        ce = self.cont_name("ce")
+        cc = self.cont_name("cc")
+        body = make_body(ce, cc)
+        return Abs(tuple(value_params) + (ce, cc), body)
+
+    # -- applications ----------------------------------------------------------
+
+    def app(self, fn: Value, *args: Value) -> App:
+        return App(fn, tuple(args))
+
+    def prim(self, name: str, *args: Value) -> PrimApp:
+        return PrimApp(name, tuple(args))
+
+    def let(
+        self, value: Value, base: str, make_body: Callable[[Var], Application]
+    ) -> App:
+        """Bind ``value`` to a fresh variable visible in the body.
+
+        ``let v = value in body``  ≡  ``(λ(v) body  value)``.
+        """
+        name = self.val_name(base)
+        return App(Abs((name,), make_body(Var(name))), (value,))
+
+    def let_many(
+        self,
+        values: Sequence[Value],
+        bases: Sequence[str],
+        make_body: Callable[[list[Var]], Application],
+    ) -> App:
+        """Bind several values at once with a single abstraction."""
+        if len(values) != len(bases):
+            raise ValueError("values and bases must have equal length")
+        names = [self.val_name(base) for base in bases]
+        body = make_body([Var(n) for n in names])
+        return App(Abs(tuple(names), body), tuple(values))
+
+    def call(self, fn: Value, args: Sequence[Value], ce: Value, cc: Value) -> App:
+        """A user procedure call ``(fn a1..an ce cc)``."""
+        return App(fn, tuple(args) + (ce, cc))
+
+    def fix(
+        self,
+        entry: Abs,
+        bindings: Sequence[tuple[Name, Abs]],
+    ) -> PrimApp:
+        """Apply the Y fixpoint primitive (paper section 2.3).
+
+        ``(Y λ(c0 v1..vn c) (c cont() entry-app  abs1..absn))`` —
+        the n abstractions become mutually recursive under the names
+        ``v1..vn`` and the entry continuation runs once the bindings are
+        established.  ``entry`` must be a nullary continuation.
+        """
+        if entry.params:
+            raise ValueError("Y entry continuation must be nullary")
+        c0 = self.cont_name("c0")
+        c = self.cont_name("c")
+        names = tuple(name for name, _ in bindings)
+        abses = tuple(abs_node for _, abs_node in bindings)
+        body = App(Var(c), (entry,) + abses)
+        fixfun = Abs((c0,) + names + (c,), body)
+        return PrimApp("Y", (fixfun,))

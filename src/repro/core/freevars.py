@@ -1,0 +1,150 @@
+"""Free-variable and binding analysis on TML terms (paper section 1).
+
+The introduction lists the common tool tasks TML unifies:
+
+* *Binding analysis* — which binder does an identifier occurrence refer to,
+  and are there multiple references to the same entity?
+* *Free variable analysis* — does a variable appear in a query predicate,
+  does a procedure depend on globals, are there independent subexpressions?
+
+Thanks to the unique binding rule these analyses are one-pass set
+computations: a variable is free in ``term`` iff it occurs but is not bound
+by any abstraction *inside* ``term``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.names import Name
+from repro.core.syntax import Abs, App, PrimApp, Term, Var, iter_subterms
+
+__all__ = [
+    "free_names",
+    "free_in",
+    "is_closed",
+    "BindingInfo",
+    "binding_analysis",
+    "independent_of",
+    "applications_of",
+    "escaping_uses",
+]
+
+
+def free_names(term: Term) -> set[Name]:
+    """The set of names occurring free in ``term``.
+
+    With unique binding, free = occurring − bound-inside, computed in one
+    traversal.
+    """
+    occurring: set[Name] = set()
+    bound: set[Name] = set()
+    for node in iter_subterms(term):
+        if isinstance(node, Var):
+            occurring.add(node.name)
+        elif isinstance(node, Abs):
+            bound.update(node.params)
+    return occurring - bound
+
+
+def free_in(name: Name, term: Term) -> bool:
+    """True iff ``name`` occurs free in ``term``.
+
+    This is the precondition form used by query rewrite rules such as
+    *trivial-exists* (section 4.2): ``|p|_x = 0`` means the range variable is
+    not free in the predicate.
+    """
+    return name in free_names(term)
+
+
+def is_closed(term: Term) -> bool:
+    """True iff ``term`` has no free variables."""
+    return not free_names(term)
+
+
+@dataclass(slots=True)
+class BindingInfo:
+    """Result of :func:`binding_analysis` over one term.
+
+    Attributes:
+        binder_of: maps each bound name to the abstraction that binds it.
+        occurrences: occurrence count per name (free names included).
+        free: names with no binder inside the analyzed term.
+        multiply_referenced: bound names with more than one occurrence —
+            candidates where substitution of an abstraction is inhibited
+            (the ``subst`` precondition) and inlining must copy.
+    """
+
+    binder_of: dict[Name, Abs] = field(default_factory=dict)
+    occurrences: dict[Name, int] = field(default_factory=dict)
+    free: set[Name] = field(default_factory=set)
+
+    @property
+    def multiply_referenced(self) -> set[Name]:
+        return {name for name, n in self.occurrences.items() if n > 1}
+
+    @property
+    def unreferenced(self) -> set[Name]:
+        """Bound names that never occur — dead bindings (``remove`` targets)."""
+        return {name for name in self.binder_of if self.occurrences.get(name, 0) == 0}
+
+
+def binding_analysis(term: Term) -> BindingInfo:
+    """One-pass binding analysis: binders, occurrence counts, free names."""
+    info = BindingInfo()
+    for node in iter_subterms(term):
+        if isinstance(node, Abs):
+            for param in node.params:
+                info.binder_of[param] = node
+        elif isinstance(node, Var):
+            info.occurrences[node.name] = info.occurrences.get(node.name, 0) + 1
+    info.free = {
+        name for name in info.occurrences if name not in info.binder_of
+    }
+    return info
+
+
+def independent_of(term: Term, names: set[Name]) -> bool:
+    """True iff ``term`` references none of ``names``.
+
+    The "independent subexpressions" question from section 1: e.g. a
+    selection predicate is independent of an outer loop variable, enabling
+    hoisting.
+    """
+    for node in iter_subterms(term):
+        if isinstance(node, Var) and node.name in names:
+            return False
+    return True
+
+
+def applications_of(term: Term, name: Name) -> list[App]:
+    """All value applications whose functional position is ``name``.
+
+    Used by the expansion pass to find the call sites of a bound procedure.
+    """
+    sites: list[App] = []
+    for node in iter_subterms(term):
+        if isinstance(node, App) and isinstance(node.fn, Var) and node.fn.name == name:
+            sites.append(node)
+    return sites
+
+
+def escaping_uses(term: Term, name: Name) -> list[Term]:
+    """Occurrences of ``name`` outside functional position.
+
+    A procedure whose every use is a direct call can be inlined and its
+    binding removed; an *escaping* use (passed as an argument) forces the
+    closure to be materialized.  Returns the application nodes in which the
+    escaping occurrences appear.
+    """
+    sites: list[Term] = []
+    for node in iter_subterms(term):
+        if isinstance(node, App):
+            for arg in node.args:
+                if isinstance(arg, Var) and arg.name == name:
+                    sites.append(node)
+        elif isinstance(node, PrimApp):
+            for arg in node.args:
+                if isinstance(arg, Var) and arg.name == name:
+                    sites.append(node)
+    return sites

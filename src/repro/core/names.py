@@ -1,0 +1,144 @@
+"""Identifiers and fresh-name generation for TML terms.
+
+TML's *unique binding rule* (paper section 2.2, constraint 4) requires that an
+identifier is bound at most once in a whole TML tree.  We enforce this by
+construction: every binder introduces :class:`Name` objects drawn from a
+:class:`NameSupply`, which never hands out the same ``uid`` twice.  The
+pretty-printer renders a name as ``base_uid`` (e.g. ``t_12``), matching the
+paper's alpha-converted listings.
+
+Names carry a *sort* — ``"val"`` for ordinary value variables and ``"cont"``
+for continuation variables.  The sort powers the purely syntactic
+``proc``/``cont`` classification of abstractions (section 2.2, constraint 5)
+and the "continuations may not escape" check (constraint 3).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+VAL_SORT = "val"
+CONT_SORT = "cont"
+_SORTS = (VAL_SORT, CONT_SORT)
+
+
+@dataclass(frozen=True, slots=True)
+class Name:
+    """A unique identifier occurring in a TML tree.
+
+    Two names are the same identifier iff their ``uid`` is equal; ``base`` is
+    only a human-readable hint preserved from the source program.
+    """
+
+    base: str
+    uid: int
+    sort: str = VAL_SORT
+
+    def __post_init__(self) -> None:
+        if self.sort not in _SORTS:
+            raise ValueError(f"unknown name sort {self.sort!r}")
+        if not self.base:
+            raise ValueError("name base must be non-empty")
+
+    @property
+    def is_cont(self) -> bool:
+        """True when this identifier denotes a continuation variable."""
+        return self.sort == CONT_SORT
+
+    def __str__(self) -> str:
+        return f"{self.base}_{self.uid}"
+
+    def __repr__(self) -> str:
+        return f"Name({self.base!r}, {self.uid}, {self.sort!r})"
+
+    # Names are compared/hashes purely by uid so that renaming the base hint
+    # (e.g. during pretty-printing) can never conflate two identifiers.
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self.uid == other.uid
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+
+class NameSupply:
+    """Thread-safe generator of fresh :class:`Name` objects.
+
+    A supply is typically owned by a compiler front end or by the optimizer.
+    Distinct supplies must not be mixed in one tree unless one is a
+    :meth:`fork` of the other; :func:`fresh_supply_above` builds a supply that
+    is guaranteed not to collide with any name in an existing term.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+
+    def fresh(self, base: str = "t", sort: str = VAL_SORT) -> Name:
+        """Return a name that has never been returned by this supply."""
+        with self._lock:
+            uid = next(self._counter)
+        return Name(base, uid, sort)
+
+    def fresh_val(self, base: str = "t") -> Name:
+        """Return a fresh value-sorted name."""
+        return self.fresh(base, VAL_SORT)
+
+    def fresh_cont(self, base: str = "c") -> Name:
+        """Return a fresh continuation-sorted name."""
+        return self.fresh(base, CONT_SORT)
+
+    def fresh_like(self, name: Name) -> Name:
+        """Return a fresh name with the same base and sort as ``name``."""
+        return self.fresh(name.base, name.sort)
+
+    def fresh_many(self, names: Iterable[Name]) -> list[Name]:
+        """Freshen a whole parameter list, preserving bases and sorts."""
+        return [self.fresh_like(n) for n in names]
+
+    def peek(self) -> int:
+        """Return the uid the next :meth:`fresh` call would use (for tests)."""
+        with self._lock:
+            value = next(self._counter)
+            # itertools.count cannot be rewound; rebuild it one past value.
+            self._counter = itertools.count(value)
+        return value
+
+
+@dataclass(slots=True)
+class NameMap:
+    """A finite renaming used during alpha-conversion.
+
+    Maps old names to their fresh replacements; lookups of unmapped names
+    return the name unchanged, so a :class:`NameMap` can be applied to any
+    subterm.
+    """
+
+    mapping: dict[Name, Name] = field(default_factory=dict)
+
+    def bind(self, old: Name, new: Name) -> None:
+        if old.sort != new.sort:
+            raise ValueError(f"renaming changes sort of {old}: {old.sort} -> {new.sort}")
+        self.mapping[old] = new
+
+    def lookup(self, name: Name) -> Name:
+        return self.mapping.get(name, name)
+
+    def __contains__(self, name: Name) -> bool:
+        return name in self.mapping
+
+    def __len__(self) -> int:
+        return len(self.mapping)
+
+    def items(self) -> Iterator[tuple[Name, Name]]:
+        return iter(self.mapping.items())
+
+
+def fresh_supply_above(uids: Iterable[int]) -> NameSupply:
+    """Build a supply whose names cannot collide with the given uids."""
+    top = max(uids, default=-1)
+    return NameSupply(start=top + 1)

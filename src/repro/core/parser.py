@@ -1,0 +1,325 @@
+"""Parser for TML concrete syntax (the notation used throughout the paper).
+
+Grammar (s-expressions)::
+
+    term   ::=  lit | ident | abs | app
+    abs    ::=  ('λ' | 'lambda') '(' ident* ')' app
+             |  'cont' '(' ident* ')' app        ; no continuation params
+             |  'proc' '(' ident* ')' app        ; last two params are conts
+    app    ::=  '(' term term* ')'
+    lit    ::=  integer | 'true' | 'false' | 'unit'
+             |  char ("'a'") | string ("\"..\"")
+             |  '<oid' hex '>' | '#oid:' integer
+    ident  ::=  ['^'] name ['_' number]          ; '^' marks a continuation
+
+Scoping: a plain identifier in a parameter list introduces a binding; the
+same spelling inside the body resolves to it.  Unbound identifiers denote
+free variables and are interned per parse so that repeated occurrences are
+the *same* name.  Identifiers spelled ``base_N`` (as produced by the
+pretty-printer with ``show_uids=True``) reuse uid ``N`` directly, making
+``parse(pretty(t)) == t`` exact.
+
+An application whose head identifier is in the ``prims`` set becomes a
+:class:`~repro.core.syntax.PrimApp`; anything else is a value application.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core.names import CONT_SORT, VAL_SORT, Name, NameSupply
+from repro.core.syntax import (
+    Abs,
+    App,
+    Application,
+    Char,
+    Lit,
+    Oid,
+    PrimApp,
+    Term,
+    UNIT,
+    Var,
+)
+
+__all__ = ["ParseError", "parse_term", "parse_application"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed TML concrete syntax."""
+
+    def __init__(self, message: str, position: int, text: str):
+        line = text.count("\n", 0, position) + 1
+        column = position - (text.rfind("\n", 0, position) + 1) + 1
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.position = position
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|;[^\n]*)                      # whitespace / line comment
+  | (?P<oid><oid\s+0x[0-9a-fA-F]+>|\#oid:\d+)
+  | (?P<char>'(?:\\.|[^'\\])')
+  | (?P<string>"(?:\\.|[^"\\])*")
+  | (?P<int>-?\d+)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<ident>\$\[\]:=|\$\[\]|\[\]:=|\[\]|\$move|\$new
+      |\^?[A-Za-z_λ$][A-Za-z0-9_.!?+*/%<>=&|~^$@-]*
+      |==|<=|>=|[+\-*/%<>])
+    """,
+    re.VERBOSE,
+)
+
+_LAMBDA_KEYWORDS = {"λ", "lambda", "cont", "proc"}
+_IDENT_UID_RE = re.compile(r"^(?P<base>.+)_(?P<uid>\d+)$")
+
+
+@dataclass
+class _Scope:
+    """Lexical environment mapping source spellings to Names."""
+
+    bindings: dict[str, Name] = field(default_factory=dict)
+    parent: "_Scope | None" = None
+
+    def lookup(self, spelling: str) -> Name | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if spelling in scope.bindings:
+                return scope.bindings[spelling]
+            scope = scope.parent
+        return None
+
+
+class _Parser:
+    def __init__(self, text: str, prims: frozenset[str], supply: NameSupply):
+        self.text = text
+        self.prims = prims
+        self.supply = supply
+        self.tokens = self._tokenize(text)
+        self.index = 0
+        self.free: dict[str, Name] = {}
+
+    def _tokenize(self, text: str) -> list[tuple[str, str, int]]:
+        tokens: list[tuple[str, str, int]] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None:
+                raise ParseError(f"unexpected character {text[position]!r}", position, text)
+            position = match.end()
+            kind = match.lastgroup
+            assert kind is not None
+            if kind != "ws":
+                tokens.append((kind, match.group(), match.start()))
+        tokens.append(("eof", "", len(text)))
+        return tokens
+
+    # -- token stream ------------------------------------------------------
+
+    def peek(self) -> tuple[str, str, int]:
+        return self.tokens[self.index]
+
+    def advance(self) -> tuple[str, str, int]:
+        token = self.tokens[self.index]
+        if token[0] != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str) -> tuple[str, str, int]:
+        token = self.advance()
+        if token[0] != kind:
+            raise ParseError(f"expected {kind}, found {token[1]!r}", token[2], self.text)
+        return token
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> Term:
+        term = self.term(_Scope())
+        token = self.peek()
+        if token[0] != "eof":
+            raise ParseError(f"trailing input {token[1]!r}", token[2], self.text)
+        return term
+
+    def term(self, scope: _Scope) -> Term:
+        kind, value, position = self.peek()
+        if kind == "int":
+            self.advance()
+            return Lit(int(value))
+        if kind == "char":
+            self.advance()
+            inner = value[1:-1]
+            if inner.startswith("\\"):
+                inner = {"\\n": "\n", "\\t": "\t", "\\'": "'", "\\\\": "\\"}.get(
+                    inner, inner[1]
+                )
+            return Lit(Char(inner))
+        if kind == "string":
+            self.advance()
+            body = value[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+            return Lit(body)
+        if kind == "oid":
+            self.advance()
+            if value.startswith("#oid:"):
+                return Lit(Oid(int(value[5:])))
+            hex_part = value[value.index("0x") + 2 : -1]
+            return Lit(Oid(int(hex_part, 16)))
+        if kind == "ident":
+            if value in _LAMBDA_KEYWORDS and self._next_is_lparen():
+                return self.abstraction(scope)
+            self.advance()
+            if value == "true":
+                return Lit(True)
+            if value == "false":
+                return Lit(False)
+            if value == "unit":
+                return Lit(UNIT)
+            return Var(self._resolve(value, scope))
+        if kind == "lparen":
+            return self.application(scope)
+        raise ParseError(f"unexpected token {value!r}", position, self.text)
+
+    def _next_is_lparen(self) -> bool:
+        return self.tokens[self.index + 1][0] == "lparen"
+
+    def abstraction(self, scope: _Scope) -> Abs:
+        _, keyword, position = self.expect("ident")
+        self.expect("lparen")
+        spellings: list[str] = []
+        while self.peek()[0] == "ident":
+            spellings.append(self.advance()[1])
+        self.expect("rparen")
+
+        params: list[Name] = []
+        inner = _Scope(parent=scope)
+        for offset, spelling in enumerate(spellings):
+            explicit_cont = spelling.startswith("^")
+            bare = spelling[1:] if explicit_cont else spelling
+            if keyword == "proc" and offset >= len(spellings) - 2:
+                sort = CONT_SORT
+            elif keyword == "cont":
+                sort = VAL_SORT
+                if explicit_cont:
+                    raise ParseError(
+                        "cont(...) parameters cannot be continuations",
+                        position,
+                        self.text,
+                    )
+            else:
+                sort = CONT_SORT if explicit_cont else VAL_SORT
+            name = self._intern_binding(bare, sort)
+            inner.bindings[bare] = name
+            params.append(name)
+
+        if keyword == "proc" and len(spellings) < 2:
+            raise ParseError(
+                "proc(...) requires at least the two continuation parameters",
+                position,
+                self.text,
+            )
+
+        body = self.term(inner)
+        if not isinstance(body, (App, PrimApp)):
+            raise ParseError(
+                "abstraction body must be an application", position, self.text
+            )
+        return Abs(tuple(params), body)
+
+    def application(self, scope: _Scope) -> Application:
+        _, _, position = self.expect("lparen")
+        kind, value, _ = self.peek()
+        prim_name: str | None = None
+        if kind == "ident" and value in self.prims and value not in _LAMBDA_KEYWORDS:
+            # A locally-bound identifier shadows a primitive of the same name.
+            bare = value[1:] if value.startswith("^") else value
+            if scope.lookup(bare) is None:
+                prim_name = value
+                self.advance()
+
+        head: Term | None = None
+        if prim_name is None:
+            head = self.term(scope)
+        args: list[Term] = []
+        while self.peek()[0] not in ("rparen", "eof"):
+            args.append(self.term(scope))
+        self.expect("rparen")
+
+        for arg in args:
+            if isinstance(arg, (App, PrimApp)):
+                raise ParseError(
+                    "nested application in argument position (CPS forbids it)",
+                    position,
+                    self.text,
+                )
+        if prim_name is not None:
+            return PrimApp(prim_name, tuple(args))
+        if isinstance(head, (App, PrimApp)):
+            raise ParseError(
+                "application in functional position (CPS forbids it)",
+                position,
+                self.text,
+            )
+        if isinstance(head, Lit):
+            raise ParseError("literal cannot be applied", position, self.text)
+        assert head is not None
+        return App(head, tuple(args))
+
+    # -- names ---------------------------------------------------------------
+
+    def _intern_binding(self, spelling: str, sort: str) -> Name:
+        match = _IDENT_UID_RE.match(spelling)
+        if match:
+            return Name(match.group("base"), int(match.group("uid")), sort)
+        return self.supply.fresh(spelling, sort)
+
+    def _resolve(self, spelling: str, scope: _Scope) -> Name:
+        explicit_cont = spelling.startswith("^")
+        bare = spelling[1:] if explicit_cont else spelling
+        bound = scope.lookup(bare)
+        if bound is not None:
+            return bound
+        if bare not in self.free:
+            match = _IDENT_UID_RE.match(bare)
+            sort = CONT_SORT if explicit_cont else VAL_SORT
+            if match:
+                self.free[bare] = Name(match.group("base"), int(match.group("uid")), sort)
+            else:
+                self.free[bare] = self.supply.fresh(bare, sort)
+        return self.free[bare]
+
+
+def parse_term(
+    text: str,
+    prims: frozenset[str] | set[str] | None = None,
+    supply: NameSupply | None = None,
+) -> Term:
+    """Parse a TML term from concrete syntax.
+
+    Args:
+        text: the source text.
+        prims: names treated as primitive procedures in head position.
+            Defaults to the standard Fig. 2 primitive set (resolved lazily to
+            avoid a hard import cycle with :mod:`repro.primitives`).
+        supply: name supply for identifiers without explicit uids; a private
+            supply starting above any explicit uid is used by default.
+    """
+    if prims is None:
+        from repro.primitives.registry import default_registry
+
+        prims = default_registry().names()
+    if supply is None:
+        explicit = [int(m.group(1)) for m in re.finditer(r"_(\d+)[\s)(]", text + " ")]
+        supply = NameSupply(start=max(explicit, default=-1) + 1)
+    return _Parser(text, frozenset(prims), supply).parse()
+
+
+def parse_application(
+    text: str,
+    prims: frozenset[str] | set[str] | None = None,
+    supply: NameSupply | None = None,
+) -> Application:
+    """Parse and require an application (the shape of abstraction bodies)."""
+    term = parse_term(text, prims, supply)
+    if not isinstance(term, (App, PrimApp)):
+        raise ParseError("expected an application", 0, text)
+    return term

@@ -1,0 +1,165 @@
+"""Pretty-printer for TML terms in the paper's concrete notation.
+
+Renders abstractions with the ``proc``/``cont`` sugar of section 2.2 (both
+are λ-abstractions internally; the distinction is purely syntactic), literals
+in the paper's style (``<oid 0x005b4780>``, ``'a'``), and applications as
+parenthesized s-expressions with the operator on the first line and long
+argument lists indented beneath — mirroring the TML pretty-printer listing in
+section 4.1.
+
+The output round-trips through :mod:`repro.core.parser` modulo alpha
+conversion (exactly, when ``show_uids=True``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.names import Name
+from repro.core.syntax import (
+    Abs,
+    App,
+    Char,
+    Lit,
+    Oid,
+    PrimApp,
+    Term,
+    Unit,
+    Var,
+)
+
+__all__ = ["PrettyOptions", "pretty", "pretty_compact"]
+
+#: Maximum rendered width before an application is split across lines.
+_DEFAULT_WIDTH = 72
+
+
+@dataclass(frozen=True, slots=True)
+class PrettyOptions:
+    """Rendering options.
+
+    Attributes:
+        show_uids: print names as ``base_uid`` (paper's alpha-converted
+            style).  With ``False``, bases alone are printed — readable but
+            only unambiguous if bases are unique.
+        width: soft line-width limit before switching to multi-line layout.
+        sugar: use ``proc``/``cont`` keywords instead of ``λ``.
+        mark_conts: prefix continuation-sorted names with ``^`` where the
+            proc/cont sugar does not already determine the sort (needed for
+            lossless round-tripping of Y fixpoint functions).
+    """
+
+    show_uids: bool = True
+    width: int = _DEFAULT_WIDTH
+    sugar: bool = True
+    mark_conts: bool = True
+
+
+def pretty(term: Term, options: PrettyOptions | None = None) -> str:
+    """Render ``term`` as indented concrete syntax."""
+    import sys
+
+    opts = options or PrettyOptions()
+    # CPS chains are one application deep per source statement; give the
+    # renderer room for large compiled programs.
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 100_000))
+    try:
+        return _render(term, opts, indent=0)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+
+def pretty_compact(term: Term, show_uids: bool = True) -> str:
+    """Render ``term`` on a single line (used in error messages and logs)."""
+    opts = PrettyOptions(show_uids=show_uids, width=1 << 30)
+    return _render(term, opts, indent=0)
+
+
+# ---------------------------------------------------------------------------
+
+
+def _name(name: Name, opts: PrettyOptions, sort_known: bool) -> str:
+    text = f"{name.base}_{name.uid}" if opts.show_uids else name.base
+    if opts.mark_conts and name.is_cont and not sort_known:
+        return "^" + text
+    return text
+
+
+def _lit(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, Char):
+        return f"'{value.value}'"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(value, Oid):
+        return str(value)
+    if isinstance(value, Unit):
+        return "unit"
+    raise TypeError(f"unprintable literal {value!r}")  # pragma: no cover
+
+
+def _abs_header(node: Abs, opts: PrettyOptions) -> str:
+    if opts.sugar:
+        if node.is_cont_abs:
+            keyword = "cont"
+            # cont sugar implies every parameter is value-sorted
+            params = " ".join(_name(p, opts, sort_known=True) for p in node.params)
+            return f"{keyword}({params})"
+        cont_suffix = node.cont_params
+        is_standard_proc = (
+            len(cont_suffix) == 2
+            and node.params[-2:] == cont_suffix
+        )
+        if is_standard_proc:
+            # proc sugar implies the last two parameters are continuations
+            params = " ".join(_name(p, opts, sort_known=True) for p in node.params)
+            return f"proc({params})"
+    params = " ".join(_name(p, opts, sort_known=False) for p in node.params)
+    return f"λ({params})"
+
+
+def _render(term: Term, opts: PrettyOptions, indent: int) -> str:
+    compact = _render_compact(term, opts)
+    if len(compact) + indent <= opts.width:
+        return compact
+
+    pad = " " * (indent + 2)
+    if isinstance(term, Abs):
+        header = _abs_header(term, opts)
+        body = _render(term.body, opts, indent + 2)
+        return f"{header}\n{pad}{body}"
+    if isinstance(term, (App, PrimApp)):
+        head = (
+            term.prim
+            if isinstance(term, PrimApp)
+            else _render(term.fn, opts, indent + 1)
+        )
+        parts = [f"({head}"]
+        for arg in term.args:
+            parts.append(pad + _render(arg, opts, indent + 2))
+        return "\n".join(parts) + ")"
+    return compact  # Lit / Var never exceed the width on their own
+
+
+def _render_compact(term: Term, opts: PrettyOptions) -> str:
+    if isinstance(term, Lit):
+        return _lit(term.value)
+    if isinstance(term, Var):
+        return _name(term.name, opts, sort_known=False)
+    if isinstance(term, Abs):
+        return f"{_abs_header(term, opts)} {_render_compact(term.body, opts)}"
+    if isinstance(term, App):
+        inner = " ".join(
+            [_render_compact(term.fn, opts)]
+            + [_render_compact(arg, opts) for arg in term.args]
+        )
+        return f"({inner})"
+    if isinstance(term, PrimApp):
+        inner = " ".join([term.prim] + [_render_compact(a, opts) for a in term.args])
+        return f"({inner})"
+    raise TypeError(f"not a TML term: {term!r}")  # pragma: no cover

@@ -1,0 +1,169 @@
+"""Capture-free substitution — the E[val/v] operation of paper section 3.
+
+The paper defines substitution inductively::
+
+    v[val/v]                    = val
+    v'[val/v]                   = v'                      (v != v')
+    lit[val/v]                  = lit
+    prim[val/v]                 = prim
+    (λ(v1..vn) app)[val/v]      = λ(v1..vn) (app[val/v])
+    (val0 val1..valn)[val/v]    = (val0[val/v] .. valn[val/v])
+
+Because of the unique binding rule, no capture can occur and no binder check
+is needed.  The single caveat the paper notes: when the substituted value is
+an *abstraction*, its parameters momentarily occur at two places in the tree;
+the original binding site is removed immediately afterwards by the ``remove``
+rule, restoring the invariant.  The expansion pass, which substitutes an
+abstraction into *several* use sites, must instead alpha-rename each inserted
+copy — :func:`alpha_rename` provides that.
+
+Implementations are iterative (explicit work stack) so that the megabyte-deep
+CPS chains produced for large TL programs do not hit Python's recursion
+limit.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.names import Name, NameMap, NameSupply
+from repro.core.syntax import Abs, App, Lit, PrimApp, Term, Value, Var
+
+__all__ = ["substitute", "substitute_many", "alpha_rename", "rename_free"]
+
+
+def substitute(term: Term, value: Value, name: Name) -> Term:
+    """Return ``term[value/name]``.
+
+    ``value`` must be a TML value (Lit/Var/Abs); substituting an application
+    would violate the CPS argument discipline, so it is rejected.
+    """
+    return substitute_many(term, {name: value})
+
+
+def substitute_many(term: Term, bindings: Mapping[Name, Value]) -> Term:
+    """Simultaneously substitute several variables in one traversal."""
+    if not bindings:
+        return term
+    for value in bindings.values():
+        if not isinstance(value, (Lit, Var, Abs)):
+            raise TypeError(
+                f"cannot substitute a {type(value).__name__}; "
+                "only values may replace variables in CPS"
+            )
+    return _rebuild(term, lambda var: bindings.get(var.name))
+
+
+def alpha_rename(term: Term, supply: NameSupply) -> Term:
+    """Return an alpha-equivalent copy of ``term`` with all-fresh binders.
+
+    Every name bound inside ``term`` is replaced by a fresh name from
+    ``supply``; free variables are left untouched.  This is the operation the
+    expansion pass applies to each inlined copy of a procedure body so the
+    unique binding rule survives multi-site inlining, and the operation the
+    PTML decoder applies when splicing stored terms into a live tree.
+    """
+    renaming = NameMap()
+
+    def fresh_params(params: tuple[Name, ...]) -> tuple[Name, ...]:
+        fresh = tuple(supply.fresh_like(p) for p in params)
+        for old, new in zip(params, fresh):
+            renaming.bind(old, new)
+        return fresh
+
+    # Parameters are freshened on the way down, so by the time a Var is
+    # visited its binder (an ancestor in the preorder walk) is already mapped.
+    return _rebuild(
+        term,
+        lambda var: Var(renaming.lookup(var.name)) if var.name in renaming else None,
+        on_params=fresh_params,
+    )
+
+
+def rename_free(term: Term, renaming: Mapping[Name, Name]) -> Term:
+    """Rename free-variable occurrences according to ``renaming``.
+
+    Used when wrapping a decoded PTML body in a fresh binder list: the stored
+    free names are remapped onto the parameters of the wrapper abstraction.
+    """
+    if not renaming:
+        return term
+    return _rebuild(
+        term,
+        lambda var: Var(renaming[var.name]) if var.name in renaming else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Iterative tree rebuilding
+# ---------------------------------------------------------------------------
+
+# The rebuild engine walks the tree with an explicit stack.  Each frame is
+# (node, phase): phase 0 pushes children, phase 1 pops rebuilt children from
+# the result stack and reassembles the node.  Nodes that are unchanged are
+# reused (pointer equality), keeping rewrites cheap on large trees.
+
+
+def _rebuild(term, var_hook, on_params=None):
+    EXPAND, BUILD = 0, 1
+    work: list[tuple[Term, int]] = [(term, EXPAND)]
+    results: list[Term] = []
+    # Parameter tuples must be freshened on the way *down* (so occurrences
+    # below see the renaming), hence this side table filled during EXPAND.
+    new_params: dict[int, tuple[Name, ...]] = {}
+
+    while work:
+        node, phase = work.pop()
+        if phase == EXPAND:
+            if isinstance(node, Lit):
+                results.append(node)
+            elif isinstance(node, Var):
+                replacement = var_hook(node)
+                results.append(node if replacement is None else replacement)
+            elif isinstance(node, Abs):
+                if on_params is not None:
+                    new_params[id(node)] = on_params(node.params)
+                work.append((node, BUILD))
+                work.append((node.body, EXPAND))
+            elif isinstance(node, App):
+                work.append((node, BUILD))
+                for arg in reversed(node.args):
+                    work.append((arg, EXPAND))
+                work.append((node.fn, EXPAND))
+            elif isinstance(node, PrimApp):
+                work.append((node, BUILD))
+                for arg in reversed(node.args):
+                    work.append((arg, EXPAND))
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"not a TML term: {node!r}")
+        else:  # BUILD
+            if isinstance(node, Abs):
+                body = results.pop()
+                params = new_params.pop(id(node), node.params)
+                if body is node.body and params is node.params:
+                    results.append(node)
+                else:
+                    results.append(Abs(params, body))
+            elif isinstance(node, App):
+                count = 1 + len(node.args)
+                parts = results[-count:]
+                del results[-count:]
+                fn, args = parts[0], tuple(parts[1:])
+                if fn is node.fn and all(a is b for a, b in zip(args, node.args)):
+                    results.append(node)
+                else:
+                    results.append(App(fn, args))
+            else:  # PrimApp
+                count = len(node.args)
+                if count:
+                    args = tuple(results[-count:])
+                    del results[-count:]
+                else:
+                    args = ()
+                if all(a is b for a, b in zip(args, node.args)):
+                    results.append(node)
+                else:
+                    results.append(PrimApp(node.prim, args))
+
+    assert len(results) == 1
+    return results[0]

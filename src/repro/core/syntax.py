@@ -1,0 +1,349 @@
+"""Abstract syntax of TML, the Tycoon Machine Language (paper Fig. 1).
+
+The grammar is deliberately minimal — six node kinds suffice::
+
+    app  ::=  (val0 val1 .. valn)          value application        -> App
+           |  (prim val1 .. valn)          primitive application    -> PrimApp
+    val  ::=  lit                          literal constant         -> Lit
+           |  var                          identifier occurrence    -> Var
+           |  abs                          lambda abstraction       -> Abs
+    lit  ::=  int | char | bool | unit | string | oid
+
+Literal constants include *object identifiers* (:class:`Oid`) denoting
+arbitrarily complex objects in the persistent Tycoon object store (paper
+section 2.2), which is what makes TML a *persistent* intermediate
+representation rather than a plain compiler IR.
+
+All nodes are immutable; rewriting builds new trees.  The body of an
+abstraction must itself be an application — this syntactic restriction is
+what makes the CPS rewrite rules sound in the presence of side effects
+(actual parameters can only be constants, variables or abstractions, never
+nested calls; paper section 2.1).
+
+Abstractions are classified *syntactically* as ``cont`` (no continuation
+parameters) or ``proc`` (value parameters followed by exception and normal
+continuation parameters) per section 2.2, constraint 5.  Both are plain
+lambda abstractions semantically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.core.names import Name
+
+__all__ = [
+    "Oid",
+    "Unit",
+    "UNIT",
+    "Char",
+    "LitValue",
+    "Lit",
+    "Var",
+    "Abs",
+    "App",
+    "PrimApp",
+    "Value",
+    "Application",
+    "Term",
+    "is_value",
+    "is_application",
+    "term_size",
+    "iter_subterms",
+    "iter_applications",
+    "iter_abstractions",
+    "bound_names",
+    "max_uid",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Oid:
+    """An object identifier referencing the persistent object store.
+
+    The integer payload is the store-assigned identity.  The paper prints
+    these as ``<oid 0x005b4780>``; :meth:`__str__` follows that format.
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError("oid must be non-negative")
+
+    def __str__(self) -> str:
+        return f"<oid 0x{self.value:08x}>"
+
+    def __index__(self) -> int:
+        return self.value
+
+
+class Unit:
+    """The unit value (result of statements evaluated for effect)."""
+
+    _instance: "Unit | None" = None
+
+    def __new__(cls) -> "Unit":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "unit"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Unit)
+
+    def __hash__(self) -> int:
+        return hash(Unit)
+
+
+UNIT = Unit()
+
+
+@dataclass(frozen=True, slots=True)
+class Char:
+    """A single byte/character literal, kept distinct from 1-char strings."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if len(self.value) != 1:
+            raise ValueError("Char must hold exactly one character")
+
+    def __str__(self) -> str:
+        return f"'{self.value}'"
+
+    @property
+    def code(self) -> int:
+        return ord(self.value)
+
+
+#: Python types admissible as TML literal payloads.
+LitValue = Union[int, bool, str, Char, Oid, Unit]
+
+_LIT_TYPES = (bool, int, str, Char, Oid, Unit)
+
+
+@dataclass(frozen=True, slots=True)
+class Lit:
+    """A literal constant: simple value or persistent object identifier."""
+
+    value: LitValue
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, _LIT_TYPES):
+            raise TypeError(f"invalid literal payload: {type(self.value).__name__}")
+
+    @property
+    def is_oid(self) -> bool:
+        return isinstance(self.value, Oid)
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """An occurrence of a bound identifier."""
+
+    name: Name
+
+    @property
+    def is_cont(self) -> bool:
+        return self.name.is_cont
+
+
+@dataclass(frozen=True, slots=True)
+class Abs:
+    """A lambda abstraction ``λ(v1 .. vn) app``.
+
+    The body must be an application (App or PrimApp).  Parameter names must
+    be pairwise distinct; the global unique-binding rule across a whole tree
+    is checked by :mod:`repro.core.wellformed`.
+    """
+
+    params: tuple[Name, ...]
+    body: "Application"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.params, tuple):
+            object.__setattr__(self, "params", tuple(self.params))
+        for param in self.params:
+            if not isinstance(param, Name):
+                raise TypeError(f"abstraction parameter must be a Name, got {param!r}")
+        if len(set(self.params)) != len(self.params):
+            raise ValueError("duplicate parameter in abstraction")
+        if not isinstance(self.body, (App, PrimApp)):
+            raise TypeError("abstraction body must be an application")
+
+    @property
+    def cont_params(self) -> tuple[Name, ...]:
+        """The continuation-sorted parameters (suffix for proc abstractions)."""
+        return tuple(p for p in self.params if p.is_cont)
+
+    @property
+    def value_params(self) -> tuple[Name, ...]:
+        return tuple(p for p in self.params if not p.is_cont)
+
+    @property
+    def is_cont_abs(self) -> bool:
+        """A *continuation* abstraction takes no continuation parameters."""
+        return not self.cont_params
+
+    @property
+    def is_proc_abs(self) -> bool:
+        """A *procedure* abstraction takes continuation parameters.
+
+        Well-formed user-level procedures take exactly two (exception and
+        normal continuation, in that order); see constraint 5 of section 2.2.
+        """
+        return bool(self.cont_params)
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+
+@dataclass(frozen=True, slots=True)
+class App:
+    """A value application ``(val0 val1 .. valn)``.
+
+    ``fn`` is the functional position; arguments are values only — by the CPS
+    discipline there are no nested calls, so evaluation order is fully
+    explicit.
+    """
+
+    fn: "Value"
+    args: tuple["Value", ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+        if isinstance(self.fn, Lit):
+            raise TypeError("literal in functional position can never be applied")
+        _check_values(self.args)
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+
+@dataclass(frozen=True, slots=True)
+class PrimApp:
+    """An application of a primitive procedure ``(prim val1 .. valn)``.
+
+    Primitives are referenced by name and resolved against the
+    :class:`repro.primitives.registry.PrimitiveRegistry`; they are *not*
+    values and cannot be bound to variables (paper section 2.3).
+    """
+
+    prim: str
+    args: tuple["Value", ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.prim, str) or not self.prim:
+            raise TypeError("primitive name must be a non-empty string")
+        if not isinstance(self.args, tuple):
+            object.__setattr__(self, "args", tuple(self.args))
+        _check_values(self.args)
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+
+Value = Union[Lit, Var, Abs]
+Application = Union[App, PrimApp]
+Term = Union[Lit, Var, Abs, App, PrimApp]
+
+_VALUE_TYPES = (Lit, Var, Abs)
+
+
+def _check_values(args: tuple["Value", ...]) -> None:
+    for arg in args:
+        if not isinstance(arg, _VALUE_TYPES):
+            raise TypeError(
+                "application argument must be a value (Lit/Var/Abs), "
+                f"got {type(arg).__name__} — CPS forbids nested calls"
+            )
+
+
+def is_value(term: Term) -> bool:
+    """True for literals, variables and abstractions."""
+    return isinstance(term, _VALUE_TYPES)
+
+
+def is_application(term: Term) -> bool:
+    """True for value and primitive applications."""
+    return isinstance(term, (App, PrimApp))
+
+
+def term_size(term: Term) -> int:
+    """Number of abstract-syntax nodes in ``term``.
+
+    The reduction rules of section 3 strictly decrease this measure, which is
+    the paper's termination argument for the reduction pass.
+    """
+    total = 0
+    for _ in iter_subterms(term):
+        total += 1
+    return total
+
+
+def iter_subterms(term: Term) -> Iterator[Term]:
+    """Yield ``term`` and every subterm, preorder, iteratively.
+
+    Deeply nested CPS chains (one application per source statement) would
+    overflow Python's recursion limit, so all core traversals are explicit-
+    stack based.
+    """
+    stack: list[Term] = [term]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, Abs):
+            stack.append(node.body)
+        elif isinstance(node, App):
+            for arg in reversed(node.args):
+                stack.append(arg)
+            stack.append(node.fn)
+        elif isinstance(node, PrimApp):
+            for arg in reversed(node.args):
+                stack.append(arg)
+
+
+def iter_applications(term: Term) -> Iterator[Application]:
+    """Yield every application node in ``term`` (preorder)."""
+    for node in iter_subterms(term):
+        if isinstance(node, (App, PrimApp)):
+            yield node
+
+
+def iter_abstractions(term: Term) -> Iterator[Abs]:
+    """Yield every abstraction node in ``term`` (preorder)."""
+    for node in iter_subterms(term):
+        if isinstance(node, Abs):
+            yield node
+
+
+def bound_names(term: Term) -> list[Name]:
+    """All names bound by abstractions inside ``term`` (with duplicates)."""
+    names: list[Name] = []
+    for abs_node in iter_abstractions(term):
+        names.extend(abs_node.params)
+    return names
+
+
+def max_uid(term: Term) -> int:
+    """Largest name uid occurring in ``term`` (-1 if none).
+
+    Used to build non-colliding fresh-name supplies over existing terms, e.g.
+    when the runtime optimizer decodes a PTML blob from the store.
+    """
+    top = -1
+    for node in iter_subterms(term):
+        if isinstance(node, Var):
+            top = max(top, node.name.uid)
+        elif isinstance(node, Abs):
+            for param in node.params:
+                top = max(top, param.uid)
+    return top

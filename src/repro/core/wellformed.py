@@ -1,0 +1,302 @@
+"""Well-formedness checking for TML trees (paper section 2.2, constraints 1-5).
+
+The paper's constraints:
+
+1. The functional position of an application evaluates to an abstraction of
+   matching arity — statically enforced by the (typed) front end; here we
+   check the cases decidable on the raw tree (direct Abs application).
+2. Primitive applications obey the primitive's calling convention — checked
+   against the primitive registry's signatures when one is supplied.
+3. Continuations may not escape (not first-class): continuation-sorted
+   variables and continuation abstractions may only appear in functional
+   position or in argument positions that expect a continuation.
+4. Unique binding: an identifier is bound by at most one parameter list in
+   the whole tree.
+5. Abstractions used as values take exactly two continuation parameters —
+   exception continuation then normal continuation — as a suffix of the
+   parameter list.  The abstraction handed to the ``Y`` fixpoint primitive is
+   the sanctioned exception: its shape is ``λ(c0 v1..vn c) app``.
+
+The checker is used pervasively in the test suite as a rewrite-soundness
+oracle: section 3 promises the constraints "are never violated by any of the
+TML rewrite rules", and we assert exactly that after every pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.names import Name
+from repro.core.syntax import Abs, App, Lit, PrimApp, Term, Var
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.primitives.registry import PrimitiveRegistry
+
+__all__ = ["Violation", "WellFormednessError", "check", "violations", "is_well_formed"]
+
+Y_PRIM = "Y"
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One well-formedness violation, tagged with the paper's constraint number."""
+
+    constraint: int
+    message: str
+    subject: Term | Name | None = None
+
+    def __str__(self) -> str:
+        return f"[constraint {self.constraint}] {self.message}"
+
+
+class WellFormednessError(ValueError):
+    """Raised by :func:`check` when a tree violates the TML constraints."""
+
+    def __init__(self, found: list[Violation]):
+        self.violations = found
+        lines = "\n  ".join(str(v) for v in found)
+        super().__init__(f"TML tree is not well-formed:\n  {lines}")
+
+
+def check(term: Term, registry: "PrimitiveRegistry | None" = None) -> None:
+    """Raise :class:`WellFormednessError` unless ``term`` is well-formed."""
+    found = violations(term, registry)
+    if found:
+        raise WellFormednessError(found)
+
+
+def is_well_formed(term: Term, registry: "PrimitiveRegistry | None" = None) -> bool:
+    """Boolean form of :func:`check`."""
+    return not violations(term, registry)
+
+
+def violations(
+    term: Term, registry: "PrimitiveRegistry | None" = None
+) -> list[Violation]:
+    """Collect all well-formedness violations in ``term``."""
+    found: list[Violation] = []
+    _check_unique_binding(term, found)
+    _check_structure(term, registry, found)
+    return found
+
+
+# ---------------------------------------------------------------------------
+# Constraint 4 — unique binding
+# ---------------------------------------------------------------------------
+
+
+def _check_unique_binding(term: Term, found: list[Violation]) -> None:
+    seen: set[Name] = set()
+    stack: list[Term] = [term]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Abs):
+            for param in node.params:
+                if param in seen:
+                    found.append(
+                        Violation(4, f"identifier {param} bound more than once", param)
+                    )
+                seen.add(param)
+            stack.append(node.body)
+        elif isinstance(node, App):
+            stack.append(node.fn)
+            stack.extend(node.args)
+        elif isinstance(node, PrimApp):
+            stack.extend(node.args)
+
+
+# ---------------------------------------------------------------------------
+# Constraints 1, 2, 3, 5 — one context-aware walk
+# ---------------------------------------------------------------------------
+
+#: Context flags describing how the node is used by its parent.
+_CTX_ROOT = "root"
+_CTX_FN = "fn"  # functional position of an App
+_CTX_VALUE_ARG = "value-arg"  # argument position expecting a value
+_CTX_CONT_ARG = "cont-arg"  # argument position expecting a continuation
+_CTX_Y_FN = "y-fn"  # the abstraction argument of the Y primitive
+_CTX_BODY = "body"  # body of an abstraction
+
+
+def _is_cont_value(node: Term) -> bool:
+    """Continuation-sorted variable or continuation abstraction."""
+    if isinstance(node, Var):
+        return node.name.is_cont
+    if isinstance(node, Abs):
+        return node.is_cont_abs
+    return False
+
+
+def _check_structure(term, registry, found: list[Violation]) -> None:
+    stack: list[tuple[Term, str]] = [(term, _CTX_ROOT)]
+    while stack:
+        node, ctx = stack.pop()
+
+        if isinstance(node, Var):
+            if node.name.is_cont and ctx == _CTX_VALUE_ARG:
+                found.append(
+                    Violation(
+                        3,
+                        f"continuation variable {node.name} escapes into a "
+                        "value position",
+                        node,
+                    )
+                )
+        elif isinstance(node, Abs):
+            _check_abs_shape(node, ctx, found)
+            stack.append((node.body, _CTX_BODY))
+        elif isinstance(node, App):
+            if isinstance(node.fn, Abs) and node.fn.arity != len(node.args):
+                found.append(
+                    Violation(
+                        1,
+                        f"direct application of a {node.fn.arity}-ary abstraction "
+                        f"to {len(node.args)} arguments",
+                        node,
+                    )
+                )
+            stack.append((node.fn, _CTX_FN))
+            for arg in node.args:
+                # For a user application the callee's signature is unknown at
+                # the IR level (the typed front end guarantees it); we accept
+                # continuation values in any argument position but still
+                # require continuation *suffix* discipline below.
+                ctx_arg = _CTX_CONT_ARG if _is_cont_value(arg) else _CTX_VALUE_ARG
+                stack.append((arg, ctx_arg))
+            _check_cont_suffix(node.args, found)
+        elif isinstance(node, PrimApp):
+            cont_positions = _prim_cont_positions(node, registry, found)
+            for index, arg in enumerate(node.args):
+                if cont_positions is None:
+                    ctx_arg = _CTX_CONT_ARG if _is_cont_value(arg) else _CTX_VALUE_ARG
+                elif index in cont_positions:
+                    ctx_arg = _CTX_CONT_ARG
+                    if not _is_cont_value(arg) and not isinstance(arg, Var):
+                        found.append(
+                            Violation(
+                                2,
+                                f"primitive {node.prim!r} expects a continuation "
+                                f"at argument {index}",
+                                node,
+                            )
+                        )
+                else:
+                    ctx_arg = _CTX_VALUE_ARG
+                if node.prim == Y_PRIM and index == 0:
+                    ctx_arg = _CTX_Y_FN
+                stack.append((arg, ctx_arg))
+        elif isinstance(node, Lit):
+            pass
+        else:  # pragma: no cover - defensive
+            found.append(Violation(1, f"foreign object in tree: {node!r}", node))
+
+
+def _check_abs_shape(node: Abs, ctx: str, found: list[Violation]) -> None:
+    """Constraint 5 (proc shape) and constraint 3 (no cont params stored)."""
+    cont_params = node.cont_params
+    if not cont_params:
+        return  # a continuation abstraction; any value parameters are fine
+
+    if ctx == _CTX_Y_FN:
+        # λ(c0 v1..vn c): leading and trailing continuation params.
+        if not (node.params[0].is_cont and node.params[-1].is_cont):
+            found.append(
+                Violation(
+                    5,
+                    "Y fixpoint function must have shape λ(c0 v1..vn c)",
+                    node,
+                )
+            )
+        # The middle parameters v1..vn name the recursive bindings; the Y
+        # combinator binds "procedures and/or continuations" (section 2.3) —
+        # a while-loop binds a nullary continuation, for example — so any
+        # sort is legal there.
+        return
+
+    # Constraint 5 restricts abstractions *used as values* ("not as
+    # continuations and not in functional position of applications"): those
+    # must take exactly two continuation parameters, exception then normal,
+    # as the parameter-list suffix.  A λ in functional position of a direct
+    # application may bind any mix (e.g. binding a handler continuation).
+    if len(cont_params) != 2 and ctx not in (_CTX_FN, _CTX_BODY, _CTX_ROOT):
+        found.append(
+            Violation(
+                5,
+                f"procedure abstraction takes {len(cont_params)} continuation "
+                "parameters; exactly 2 (exception, normal) are required",
+                node,
+            )
+        )
+    if ctx not in (_CTX_FN, _CTX_BODY, _CTX_ROOT) and any(
+        p.is_cont for p in node.params[: len(node.params) - len(cont_params)]
+    ):
+        found.append(
+            Violation(
+                5,
+                "continuation parameters must form the suffix of a procedure's "
+                "parameter list",
+                node,
+            )
+        )
+
+
+def _check_cont_suffix(args: Iterable[Term], found: list[Violation]) -> None:
+    """Continuation arguments of a user application must be a suffix.
+
+    This is the tree-level shadow of constraint 1: the typed front end
+    arranges calls as ``(f v1..vn ce cc)``.  A value argument following a
+    continuation argument indicates a mangled call.
+    """
+    seen_cont = False
+    for arg in args:
+        if _is_cont_value(arg):
+            seen_cont = True
+        elif seen_cont and not isinstance(arg, Var):
+            # Abs values after a continuation are definitely mangled; plain
+            # value vars after a cont var cannot occur for sorted names, and
+            # literals cannot be continuations.
+            found.append(
+                Violation(
+                    1,
+                    "value argument follows a continuation argument in an "
+                    "application",
+                    arg,
+                )
+            )
+        elif seen_cont and isinstance(arg, Lit):
+            found.append(
+                Violation(
+                    1,
+                    "literal argument follows a continuation argument in an "
+                    "application",
+                    arg,
+                )
+            )
+
+
+def _prim_cont_positions(node: PrimApp, registry, found: list[Violation]):
+    """Return the set of continuation argument indices for this primitive call.
+
+    ``None`` when no registry is supplied (positions unknown).  Also emits
+    constraint-2 arity violations.
+    """
+    if registry is None:
+        return None
+    try:
+        prim = registry.lookup(node.prim)
+    except KeyError:
+        found.append(Violation(2, f"unknown primitive {node.prim!r}", node))
+        return None
+    sig = prim.signature
+    if not sig.accepts_arity(len(node.args)):
+        found.append(
+            Violation(
+                2,
+                f"primitive {node.prim!r} called with {len(node.args)} arguments; "
+                f"signature is {sig.describe()}",
+                node,
+            )
+        )
+        return None
+    return sig.cont_positions(len(node.args))

@@ -1,0 +1,46 @@
+"""TL: the Tycoon-style source language front end.
+
+Lexer → parser → checker → CPS conversion to TML → static optimizer →
+TAM code generation, plus first-class modules with link-time binding and a
+dynamically bound standard library (the abstraction barriers of sections
+4.1 and 6).
+"""
+
+from repro.lang.check import CheckedModule, check_module
+from repro.lang.errors import TLCheckError, TLError, TLSyntaxError
+from repro.lang.modules import (
+    CompileOptions,
+    CompiledFunction,
+    CompiledModule,
+    ModuleValue,
+    compile_module,
+    compile_stdlib,
+    link_module,
+    link_stdlib,
+    load_module,
+    store_module,
+)
+from repro.lang.parser import parse_expression, parse_module, parse_modules
+from repro.lang.system import TycoonSystem
+
+__all__ = [
+    "CheckedModule",
+    "check_module",
+    "TLCheckError",
+    "TLError",
+    "TLSyntaxError",
+    "CompileOptions",
+    "CompiledFunction",
+    "CompiledModule",
+    "ModuleValue",
+    "compile_module",
+    "compile_stdlib",
+    "link_module",
+    "link_stdlib",
+    "load_module",
+    "store_module",
+    "parse_expression",
+    "parse_module",
+    "parse_modules",
+    "TycoonSystem",
+]

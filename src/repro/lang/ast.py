@@ -1,0 +1,401 @@
+"""Abstract syntax of TL.
+
+Declarations build modules; expressions are uniformly value-producing (TL is
+expression-oriented: statements are expressions of type Unit, sequencing is
+``begin e; e end``).  Every node carries a source position for diagnostics.
+
+Type expressions are *annotations*: the checker uses them to resolve record
+field accesses (the paper's ``complex.x`` example relies on the declared
+``Tuple x,y`` type) and to sanity-check arities; they impose no further
+static discipline — the TML level is untyped, as in the paper, where the
+typed front end guarantees well-formedness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Position",
+    "TypeExpr",
+    "NamedType",
+    "ArrayType",
+    "RecordType",
+    "FieldDecl",
+    "Param",
+    "Decl",
+    "ImportDecl",
+    "TypeDecl",
+    "LetFun",
+    "LetVal",
+    "Module",
+    "Expr",
+    "IntLit",
+    "BoolLit",
+    "CharLit",
+    "StrLit",
+    "UnitLit",
+    "Ident",
+    "ModuleRef",
+    "BinOp",
+    "UnOp",
+    "Call",
+    "Index",
+    "FieldAccess",
+    "TupleLit",
+    "If",
+    "Seq",
+    "LetIn",
+    "VarIn",
+    "Assign",
+    "While",
+    "ForLoop",
+    "Lambda",
+    "TryCatch",
+    "Raise",
+    "SelectExpr",
+    "ExistsExpr",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Position:
+    line: int = 0
+    column: int = 0
+
+
+# ---------------------------------------------------------------------------
+# types (annotations)
+# ---------------------------------------------------------------------------
+
+
+class TypeExpr:
+    """Base of type annotations."""
+
+
+@dataclass(frozen=True, slots=True)
+class NamedType(TypeExpr):
+    """``Int``, ``T`` or ``module.T``."""
+
+    module: str | None
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.module}.{self.name}" if self.module else self.name
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayType(TypeExpr):
+    element: TypeExpr
+
+    def __str__(self) -> str:
+        return f"Array({self.element})"
+
+
+@dataclass(frozen=True, slots=True)
+class FieldDecl:
+    name: str
+    type: TypeExpr | None
+
+
+@dataclass(frozen=True, slots=True)
+class RecordType(TypeExpr):
+    """``tuple x: Int, y: Int end`` — a structural record type."""
+
+    fields: tuple[FieldDecl, ...]
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def index_of(self, name: str) -> int | None:
+        for index, field_decl in enumerate(self.fields):
+            if field_decl.name == name:
+                return index
+        return None
+
+    def __str__(self) -> str:
+        inner = ", ".join(f.name for f in self.fields)
+        return f"tuple {inner} end"
+
+
+# ---------------------------------------------------------------------------
+# declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Param:
+    name: str
+    type: TypeExpr | None
+    pos: Position = field(default_factory=Position)
+
+
+class Decl:
+    """Base of module-level declarations."""
+
+
+@dataclass(frozen=True, slots=True)
+class ImportDecl(Decl):
+    modules: tuple[str, ...]
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class TypeDecl(Decl):
+    name: str
+    type: TypeExpr
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class LetFun(Decl):
+    name: str
+    params: tuple[Param, ...]
+    return_type: TypeExpr | None
+    body: "Expr"
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class LetVal(Decl):
+    """A module-level constant: ``let pi = 3``; the value must be a literal."""
+
+    name: str
+    type: TypeExpr | None
+    value: "Expr"
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class Module:
+    name: str
+    exports: tuple[str, ...]
+    decls: tuple[Decl, ...]
+    pos: Position = field(default_factory=Position)
+
+    def functions(self) -> list[LetFun]:
+        return [d for d in self.decls if isinstance(d, LetFun)]
+
+    def imports(self) -> list[str]:
+        out: list[str] = []
+        for decl in self.decls:
+            if isinstance(decl, ImportDecl):
+                out.extend(decl.modules)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base of expressions."""
+
+
+@dataclass(frozen=True, slots=True)
+class IntLit(Expr):
+    value: int
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class BoolLit(Expr):
+    value: bool
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class CharLit(Expr):
+    value: str
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class StrLit(Expr):
+    value: str
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class UnitLit(Expr):
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class Ident(Expr):
+    name: str
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class ModuleRef(Expr):
+    """``module.member`` — resolved against the import list."""
+
+    module: str
+    member: str
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(Expr):
+    op: str  # + - * / % == != < > <= >= and or
+    left: Expr
+    right: Expr
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class UnOp(Expr):
+    op: str  # - not
+    operand: Expr
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class Call(Expr):
+    fn: Expr
+    args: tuple[Expr, ...]
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class Index(Expr):
+    target: Expr
+    index: Expr
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class FieldAccess(Expr):
+    target: Expr
+    field: str
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class TupleLit(Expr):
+    """``tuple x = e, y = e end`` — a record literal (compiled to a vector)."""
+
+    fields: tuple[tuple[str, Expr], ...]
+    pos: Position = field(default_factory=Position)
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.fields)
+
+
+@dataclass(frozen=True, slots=True)
+class If(Expr):
+    condition: Expr
+    then_branch: Expr
+    else_branch: Expr | None
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class Seq(Expr):
+    """``begin e1; e2; ... end`` — value of the last expression."""
+
+    exprs: tuple[Expr, ...]
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class LetIn(Expr):
+    name: str
+    type: TypeExpr | None
+    value: Expr
+    body: Expr
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class VarIn(Expr):
+    """``var x := e in body`` — a mutable local (compiled to a 1-slot box)."""
+
+    name: str
+    value: Expr
+    body: Expr
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class Assign(Expr):
+    """``x := e`` (mutable local) or ``a[i] := e`` (array update)."""
+
+    target: Expr  # Ident or Index
+    value: Expr
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class While(Expr):
+    condition: Expr
+    body: Expr
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class ForLoop(Expr):
+    var: str
+    start: Expr
+    stop: Expr
+    body: Expr
+    downto: bool = False
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class Lambda(Expr):
+    """``fn(x, y) => e`` — a first-class function."""
+
+    params: tuple[Param, ...]
+    body: Expr
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class TryCatch(Expr):
+    """``try e catch(x) h end`` — catches raises and runtime traps."""
+
+    body: Expr
+    exc_name: str
+    handler: Expr
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class Raise(Expr):
+    value: Expr
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class SelectExpr(Expr):
+    """``select target from source as x [: T] [where pred] end``.
+
+    The embedded declarative query of paper section 4.2: programming-language
+    expressions may appear in the target and where clauses, referencing the
+    correlation variable ``x`` (optionally annotated with its record type so
+    field accesses resolve).
+    """
+
+    target: Expr
+    source: Expr
+    var: str
+    var_type: TypeExpr | None
+    where: Expr | None
+    pos: Position = field(default_factory=Position)
+
+
+@dataclass(frozen=True, slots=True)
+class ExistsExpr(Expr):
+    """``exists x [: T] in source : pred`` — existential quantification."""
+
+    var: str
+    var_type: TypeExpr | None
+    source: Expr
+    pred: Expr
+    pos: Position = field(default_factory=Position)

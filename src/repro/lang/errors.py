@@ -1,0 +1,23 @@
+"""Front-end diagnostics for the TL compiler."""
+
+from __future__ import annotations
+
+__all__ = ["TLError", "TLSyntaxError", "TLCheckError"]
+
+
+class TLError(Exception):
+    """Base class of all TL front-end errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class TLSyntaxError(TLError):
+    """Lexical or grammatical error in TL source."""
+
+
+class TLCheckError(TLError):
+    """Binding, arity or record-shape error found by the checker."""

@@ -1,0 +1,27 @@
+"""Default foreign functions for the ``ccall`` primitive.
+
+The original Tycoon system called into C libraries; this reproduction's
+foreign world is a small table of Python callables with the same contract
+(opaque, may fail, unknown effects to the optimizer).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machine.runtime import ForeignTable
+
+__all__ = ["default_foreign"]
+
+
+def _isqrt(value: int) -> int:
+    if value < 0:
+        raise ValueError("isqrt of negative number")
+    return math.isqrt(value)
+
+
+def default_foreign() -> ForeignTable:
+    """The foreign functions TL's standard library relies on."""
+    table = ForeignTable()
+    table.register("isqrt", _isqrt)
+    return table

@@ -1,0 +1,130 @@
+"""Lexer for TL, the Tycoon-style source language of this reproduction.
+
+TL is the high-level language whose compilation exercises TML: an
+expression-oriented, module-structured language with records, arrays,
+first-class functions, loops and exceptions — a faithful miniature of the
+Tycoon language TL of [Matthes and Schmidt 1992] as used in the paper's
+examples (modules with export lists, ``let`` function definitions, record
+types, ``for i = 1 upto 10 do ... end`` loops).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.lang.errors import TLSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    [
+        "module",
+        "export",
+        "import",
+        "type",
+        "let",
+        "var",
+        "in",
+        "fn",
+        "if",
+        "then",
+        "elif",
+        "else",
+        "end",
+        "begin",
+        "while",
+        "do",
+        "for",
+        "upto",
+        "downto",
+        "tuple",
+        "try",
+        "catch",
+        "raise",
+        "and",
+        "or",
+        "not",
+        "true",
+        "false",
+        "unit",
+        "rec",
+        # embedded query syntax (paper section 4.2)
+        "select",
+        "from",
+        "where",
+        "as",
+        "exists",
+    ]
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r]+)
+  | (?P<comment>--[^\n]*|//[^\n]*)
+  | (?P<newline>\n)
+  | (?P<int>\d+)
+  | (?P<char>'(?:\\.|[^'\\])')
+  | (?P<string>"(?:\\.|[^"\\])*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>:=|=>|==|!=|<=|>=|[-+*/%<>=().,:;\[\]])
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPES = {"\\n": "\n", "\\t": "\t", "\\'": "'", '\\"': '"', "\\\\": "\\"}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with source position (1-based)."""
+
+    kind: str  # int | char | string | ident | keyword | op | eof
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize TL source; comments run to end of line (``--`` or ``//``)."""
+    tokens: list[Token] = []
+    position = 0
+    line = 1
+    line_start = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise TLSyntaxError(
+                f"unexpected character {source[position]!r}",
+                line,
+                position - line_start + 1,
+            )
+        kind = match.lastgroup
+        text = match.group()
+        column = match.start() - line_start + 1
+        position = match.end()
+        if kind == "newline":
+            line += 1
+            line_start = position
+            continue
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "ident" and text in KEYWORDS:
+            kind = "keyword"
+        if kind == "char":
+            inner = text[1:-1]
+            if inner.startswith("\\"):
+                inner = _ESCAPES.get(inner, inner[1])
+            text = inner
+        elif kind == "string":
+            body = text[1:-1]
+            for escape, actual in _ESCAPES.items():
+                body = body.replace(escape, actual)
+            text = body
+            # count newlines inside string literals for position tracking
+        tokens.append(Token(kind, text, line, column))
+    tokens.append(Token("eof", "", line, position - line_start + 1))
+    return tokens

@@ -1,0 +1,413 @@
+"""Compilation units, linking and persistence of TL modules.
+
+The lifecycle (paper Fig. 3):
+
+1. :func:`compile_module` — parse/check, CPS-convert each function, run the
+   *static, local* optimizer (per-function; imported bindings stay free —
+   the abstraction barrier), generate TAM code, and attach PTML.
+2. :func:`link_module` — instantiate closures, binding each function's free
+   variables to sibling closures (backpatched for mutual recursion),
+   imported module members and constants.  Linking yields a
+   :class:`ModuleValue`, the runtime first-class module.
+3. :func:`store_module` / :func:`load_module` — persist a compiled module
+   (code objects + PTML blobs + interface) into the object heap and recover
+   it in a later session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.names import Name, NameSupply
+from repro.core.syntax import Abs, Char, UNIT
+from repro.core.wellformed import check as check_wf
+from repro.lang import ast
+from repro.lang.check import CheckedModule, check_module
+from repro.lang.cps import CpsConverter, ExternalRef
+from repro.lang.errors import TLCheckError, TLError
+from repro.lang.parser import parse_module
+from repro.lang.stdlib import build_stdlib
+from repro.lang.types import FunSig, ModuleInterface, UNKNOWN
+from repro.machine.codegen import compile_function
+from repro.machine.isa import CodeObject, VMClosure
+from repro.primitives.registry import PrimitiveRegistry, default_registry
+from repro.rewrite.pipeline import OptimizerConfig, optimize
+from repro.store.heap import ObjectHeap
+from repro.store.ptml import encode_ptml
+from repro.store.serialize import Blob, register_codec
+
+__all__ = [
+    "CompileOptions",
+    "CompiledFunction",
+    "CompiledModule",
+    "ModuleValue",
+    "compile_module",
+    "compile_stdlib",
+    "link_module",
+    "link_stdlib",
+    "store_module",
+    "load_module",
+]
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Knobs of the compilation pipeline.
+
+    ``optimizer``: the static (local) optimizer configuration, or None to
+    skip static optimization entirely (the E1 baseline).
+    ``attach_ptml``: encode each function's TML and attach it to the code —
+    the space cost measured by E3, and the enabler of runtime optimization.
+    ``library_ops``: route operators/builtins through the dynamically bound
+    library (section 6); ``False`` open-codes primitives (ablation).
+    """
+
+    optimizer: OptimizerConfig | None = field(
+        default_factory=OptimizerConfig.reduction_only
+    )
+    attach_ptml: bool = True
+    library_ops: bool = True
+    check_wellformed: bool = True
+    registry: PrimitiveRegistry | None = None
+
+
+@dataclass
+class CompiledFunction:
+    """One compiled TL function: optimized TML + TAM code + metadata."""
+
+    name: str
+    term: Abs
+    code: CodeObject
+    externals: dict[Name, ExternalRef]
+    sig: FunSig
+
+
+@dataclass
+class CompiledModule:
+    """A compiled, not-yet-linked module (the unit the store persists)."""
+
+    name: str
+    interface: ModuleInterface
+    functions: dict[str, CompiledFunction]
+    constants: dict[str, Any]
+    exports: tuple[str, ...]
+
+
+class ModuleValue:
+    """A linked, runtime first-class module: name plus export bindings."""
+
+    def __init__(self, name: str, exports: dict[str, Any]):
+        self.name = name
+        self.exports = exports
+
+    def member(self, name: str) -> Any:
+        try:
+            return self.exports[name]
+        except KeyError:
+            raise TLError(f"module {self.name!r} has no member {name!r}") from None
+
+    def __repr__(self) -> str:
+        return f"<module {self.name}: {sorted(self.exports)}>"
+
+
+# ---------------------------------------------------------------------------
+# compilation
+# ---------------------------------------------------------------------------
+
+
+def _eta_expand(value, original: Abs, supply: NameSupply) -> Abs:
+    """Rebuild ``proc(p1..pk ce cc)(value p1..pk ce cc)`` after root η."""
+    from repro.core.syntax import App, Var, max_uid
+
+    if not isinstance(original, Abs):
+        raise TLCheckError("optimizer produced a non-abstraction for a function")
+    supply = NameSupply(start=max(max_uid(original), max_uid(value)) + 1)
+    params = tuple(supply.fresh_like(p) for p in original.params)
+    return Abs(params, App(value, tuple(Var(p) for p in params)))
+
+
+def _literal_value(expr: ast.Expr) -> Any:
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.BoolLit):
+        return expr.value
+    if isinstance(expr, ast.CharLit):
+        return Char(expr.value)
+    if isinstance(expr, ast.StrLit):
+        return expr.value
+    if isinstance(expr, ast.UnitLit):
+        return UNIT
+    raise TLCheckError(f"not a literal constant: {expr!r}")
+
+
+def compile_module(
+    source: str | ast.Module | CheckedModule,
+    interfaces: dict[str, ModuleInterface] | None = None,
+    options: CompileOptions | None = None,
+) -> CompiledModule:
+    """Compile TL source (or a parsed/checked module) to TAM code + PTML."""
+    options = options or CompileOptions()
+    registry = options.registry or default_registry()
+
+    if isinstance(source, str):
+        checked = check_module(parse_module(source), interfaces)
+    elif isinstance(source, ast.Module):
+        checked = check_module(source, interfaces)
+    else:
+        checked = source
+
+    converter = CpsConverter(checked, NameSupply(), library_ops=options.library_ops)
+    functions: dict[str, CompiledFunction] = {}
+
+    for decl in checked.module.functions():
+        term = converter.convert_function(decl)
+        if options.check_wellformed:
+            check_wf(term, registry)
+        if options.optimizer is not None:
+            original = term
+            term = optimize(term, registry, options.optimizer).term
+            if not isinstance(term, Abs):
+                # the optimizer η-reduced a pure forwarder (run(n) = f(n)) to
+                # the target value itself; re-expand so it stays compilable
+                term = _eta_expand(term, original, NameSupply(start=0))
+            if options.check_wellformed:
+                check_wf(term, registry)
+        code = compile_function(term, registry, name=f"{checked.module.name}.{decl.name}")
+        if options.attach_ptml:
+            code.ptml_ref = encode_ptml(term)
+        sig = checked.interface.functions.get(decl.name) or FunSig(
+            decl.name,
+            tuple(UNKNOWN for _ in decl.params),
+            UNKNOWN,
+        )
+        functions[decl.name] = CompiledFunction(
+            name=decl.name,
+            term=term,
+            code=code,
+            externals={
+                name: ref
+                for name, ref in converter.external_refs.items()
+                if name in code.free_names
+            },
+            sig=sig,
+        )
+
+    constants = {
+        name: _literal_value(expr) for name, expr in checked.constants.items()
+    }
+    return CompiledModule(
+        name=checked.module.name,
+        interface=checked.interface,
+        functions=functions,
+        constants=constants,
+        exports=checked.module.exports,
+    )
+
+
+def compile_stdlib(
+    options: CompileOptions | None = None,
+    registry: PrimitiveRegistry | None = None,
+) -> dict[str, CompiledModule]:
+    """Compile the standard library definitions to code objects + PTML."""
+    options = options or CompileOptions()
+    registry = registry or options.registry or default_registry()
+    compiled: dict[str, CompiledModule] = {}
+    for name, definition in build_stdlib().items():
+        functions: dict[str, CompiledFunction] = {}
+        for std_fn in definition.functions:
+            term = std_fn.term
+            if options.optimizer is not None:
+                term = optimize(term, registry, options.optimizer).term
+                assert isinstance(term, Abs)
+            code = compile_function(term, registry, name=f"{name}.{std_fn.name}")
+            if options.attach_ptml:
+                code.ptml_ref = encode_ptml(term)
+            functions[std_fn.name] = CompiledFunction(
+                name=std_fn.name,
+                term=term,
+                code=code,
+                externals={},
+                sig=std_fn.sig,
+            )
+        compiled[name] = CompiledModule(
+            name=name,
+            interface=definition.interface(),
+            functions=functions,
+            constants={},
+            exports=tuple(functions),
+        )
+    return compiled
+
+
+# ---------------------------------------------------------------------------
+# linking
+# ---------------------------------------------------------------------------
+
+
+def link_module(
+    compiled: CompiledModule,
+    environment: dict[str, ModuleValue],
+) -> ModuleValue:
+    """Instantiate a compiled module against its imported module values.
+
+    Sibling references are backpatched after all closures exist, giving
+    mutual recursion across functions of one module.
+    """
+    closures: dict[str, VMClosure] = {
+        name: VMClosure(fn.code, [None] * len(fn.code.free_names))
+        for name, fn in compiled.functions.items()
+    }
+    for name, fn in compiled.functions.items():
+        closure = closures[name]
+        for slot, free_name in enumerate(fn.code.free_names):
+            ref = fn.externals.get(free_name)
+            if ref is None:
+                raise TLError(
+                    f"{compiled.name}.{name}: free variable {free_name} has no "
+                    "external binding"
+                )
+            if ref.kind == "sibling":
+                target = closures.get(ref.member)
+                if target is None:
+                    raise TLError(
+                        f"{compiled.name}.{name}: unknown sibling {ref.member!r}"
+                    )
+                closure.free[slot] = target
+            else:  # import
+                module_value = environment.get(ref.module)
+                if module_value is None:
+                    raise TLError(
+                        f"{compiled.name}.{name}: import {ref.module!r} not linked"
+                    )
+                closure.free[slot] = module_value.member(ref.member)
+
+    exports: dict[str, Any] = {}
+    for export in compiled.exports:
+        if export in closures:
+            exports[export] = closures[export]
+        elif export in compiled.constants:
+            exports[export] = compiled.constants[export]
+        # exported types have no runtime representation
+    return ModuleValue(compiled.name, exports)
+
+
+def link_stdlib(
+    options: CompileOptions | None = None,
+    heap: ObjectHeap | None = None,
+) -> dict[str, ModuleValue]:
+    """Compile and link the whole standard library.
+
+    With a heap, every library function's PTML blob is stored and the code's
+    ``ptml_ref`` becomes an OID — the persistent system state of section 4.1.
+    """
+    compiled = compile_stdlib(options)
+    if heap is not None:
+        for module in compiled.values():
+            store_module(heap, module)
+    return {name: link_module(module, {}) for name, module in compiled.items()}
+
+
+# ---------------------------------------------------------------------------
+# persistence
+# ---------------------------------------------------------------------------
+
+
+def _encode_module(module: "StoredModule", enc) -> None:
+    enc.value(module.name)
+    enc.value(tuple(module.exports))
+    enc.value(dict(module.constants))
+    enc.uvarint(len(module.functions))
+    for fn_name, code, externals in module.functions:
+        enc.value(fn_name)
+        enc.value(code)
+        enc.uvarint(len(externals))
+        for name, ref in externals.items():
+            enc.value(name)
+            enc.value(ref.kind)
+            enc.value(ref.module)
+            enc.value(ref.member)
+
+
+def _decode_module(dec) -> "StoredModule":
+    name = dec.value()
+    exports = dec.value()
+    constants = dec.value()
+    functions = []
+    for _ in range(dec.uvarint()):
+        fn_name = dec.value()
+        code = dec.value()
+        externals = {}
+        for _ in range(dec.uvarint()):
+            free_name = dec.value()
+            kind = dec.value()
+            module = dec.value()
+            member = dec.value()
+            externals[free_name] = ExternalRef(kind, module, member)
+        functions.append((fn_name, code, externals))
+    return StoredModule(name, exports, constants, functions)
+
+
+@dataclass
+class StoredModule:
+    """The persisted form of a compiled module (codes reference PTML OIDs)."""
+
+    name: str
+    exports: tuple[str, ...]
+    constants: dict[str, Any]
+    functions: list[tuple[str, CodeObject, dict[Name, ExternalRef]]]
+
+
+register_codec("tl-module", StoredModule, _encode_module, _decode_module)
+
+
+def store_module(heap: ObjectHeap, compiled: CompiledModule) -> Any:
+    """Persist a compiled module; PTML blobs become separate store objects.
+
+    Returns the module's OID and registers it under root ``module:<name>``.
+    """
+    for fn in compiled.functions.values():
+        _store_ptml_refs(heap, fn.code)
+    stored = StoredModule(
+        name=compiled.name,
+        exports=tuple(compiled.exports),
+        constants=dict(compiled.constants),
+        functions=[
+            (fn.name, fn.code, dict(fn.externals))
+            for fn in compiled.functions.values()
+        ],
+    )
+    oid = heap.store(stored)
+    heap.set_root(f"module:{compiled.name}", oid)
+    return oid
+
+
+def _store_ptml_refs(heap: ObjectHeap, code: CodeObject) -> None:
+    if isinstance(code.ptml_ref, Blob):
+        code.ptml_ref = heap.store(code.ptml_ref)
+    for nested in code.codes:
+        _store_ptml_refs(heap, nested)
+
+
+def load_module(heap: ObjectHeap, name: str) -> CompiledModule:
+    """Recover a compiled module from the store (interface is signature-less)."""
+    stored = heap.load_root(f"module:{name}")
+    if not isinstance(stored, StoredModule):
+        raise TLError(f"root module:{name} is not a stored module")
+    functions: dict[str, CompiledFunction] = {}
+    for fn_name, code, externals in stored.functions:
+        functions[fn_name] = CompiledFunction(
+            name=fn_name,
+            term=None,  # recoverable from PTML on demand
+            code=code,
+            externals=externals,
+            sig=FunSig(fn_name, tuple(UNKNOWN for _ in code.params[:-2]), UNKNOWN),
+        )
+    interface = ModuleInterface(name=stored.name)
+    return CompiledModule(
+        name=stored.name,
+        interface=interface,
+        functions=functions,
+        constants=dict(stored.constants),
+        exports=tuple(stored.exports),
+    )

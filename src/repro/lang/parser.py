@@ -1,0 +1,571 @@
+"""Recursive-descent parser for TL.
+
+Produces :mod:`repro.lang.ast` trees.  ``module.member`` is parsed as a
+:class:`FieldAccess` and disambiguated by the checker (the parser does not
+know the import list).
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.lang.errors import TLSyntaxError
+from repro.lang.lexer import Token, tokenize
+
+__all__ = ["parse_module", "parse_modules", "parse_expression"]
+
+_CMP_OPS = frozenset(["==", "!=", "<", ">", "<=", ">="])
+_ADD_OPS = frozenset(["+", "-"])
+_MUL_OPS = frozenset(["*", "/", "%"])
+
+#: keywords that terminate an export-name list / begin a declaration
+_DECL_STARTERS = frozenset(["import", "type", "let", "var", "end"])
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    # ------------------------------------------------------------- stream
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def at_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        return token.kind == "keyword" and token.text in words
+
+    def at_op(self, *ops: str) -> bool:
+        token = self.peek()
+        return token.kind == "op" and token.text in ops
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.advance()
+        if token.kind != "keyword" or token.text != word:
+            raise TLSyntaxError(
+                f"expected {word!r}, found {token.text!r}", token.line, token.column
+            )
+        return token
+
+    def expect_op(self, op: str) -> Token:
+        token = self.advance()
+        if token.kind != "op" or token.text != op:
+            raise TLSyntaxError(
+                f"expected {op!r}, found {token.text!r}", token.line, token.column
+            )
+        return token
+
+    def expect_ident(self) -> Token:
+        token = self.advance()
+        if token.kind != "ident":
+            raise TLSyntaxError(
+                f"expected identifier, found {token.text!r}", token.line, token.column
+            )
+        return token
+
+    def pos(self) -> ast.Position:
+        token = self.peek()
+        return ast.Position(token.line, token.column)
+
+    # ------------------------------------------------------------- modules
+
+    def module(self) -> ast.Module:
+        pos = self.pos()
+        self.expect_keyword("module")
+        name = self.expect_ident().text
+        self.expect_keyword("export")
+        exports: list[str] = []
+        while self.peek().kind == "ident":
+            exports.append(self.advance().text)
+            if self.at_op(","):
+                self.advance()
+        decls: list[ast.Decl] = []
+        while not self.at_keyword("end"):
+            decls.append(self.declaration())
+        self.expect_keyword("end")
+        return ast.Module(name, tuple(exports), tuple(decls), pos)
+
+    def declaration(self) -> ast.Decl:
+        pos = self.pos()
+        if self.at_keyword("import"):
+            self.advance()
+            modules = [self.expect_ident().text]
+            while self.at_op(","):
+                self.advance()
+                modules.append(self.expect_ident().text)
+            return ast.ImportDecl(tuple(modules), pos)
+        if self.at_keyword("type"):
+            self.advance()
+            name = self.expect_ident().text
+            self.expect_op("=")
+            return ast.TypeDecl(name, self.type_expr(), pos)
+        if self.at_keyword("let"):
+            self.advance()
+            if self.at_keyword("rec"):
+                self.advance()  # all module functions are mutually recursive
+            name = self.expect_ident().text
+            if self.at_op("("):
+                params = self.param_list()
+                return_type = None
+                if self.at_op(":"):
+                    self.advance()
+                    return_type = self.type_expr()
+                self.expect_op("=")
+                return ast.LetFun(name, params, return_type, self.expression(), pos)
+            annotation = None
+            if self.at_op(":"):
+                self.advance()
+                annotation = self.type_expr()
+            self.expect_op("=")
+            return ast.LetVal(name, annotation, self.expression(), pos)
+        token = self.peek()
+        raise TLSyntaxError(
+            f"expected declaration, found {token.text!r}", token.line, token.column
+        )
+
+    def param_list(self) -> tuple[ast.Param, ...]:
+        self.expect_op("(")
+        params: list[ast.Param] = []
+        while not self.at_op(")"):
+            pos = self.pos()
+            name = self.expect_ident().text
+            annotation = None
+            if self.at_op(":"):
+                self.advance()
+                annotation = self.type_expr()
+            params.append(ast.Param(name, annotation, pos))
+            if self.at_op(","):
+                self.advance()
+        self.expect_op(")")
+        return tuple(params)
+
+    # ----------------------------------------------------------------- types
+
+    def type_expr(self) -> ast.TypeExpr:
+        if self.at_keyword("tuple"):
+            self.advance()
+            fields: list[ast.FieldDecl] = []
+            while not self.at_keyword("end"):
+                name = self.expect_ident().text
+                annotation = None
+                if self.at_op(":"):
+                    self.advance()
+                    annotation = self.type_expr()
+                fields.append(ast.FieldDecl(name, annotation))
+                if self.at_op(","):
+                    self.advance()
+            self.expect_keyword("end")
+            return ast.RecordType(tuple(fields))
+        token = self.expect_ident()
+        if token.text == "Array" and self.at_op("("):
+            self.advance()
+            element = self.type_expr()
+            self.expect_op(")")
+            return ast.ArrayType(element)
+        if self.at_op(".") and self.peek(1).kind == "ident":
+            self.advance()
+            member = self.expect_ident().text
+            return ast.NamedType(token.text, member)
+        return ast.NamedType(None, token.text)
+
+    # ------------------------------------------------------------ expressions
+
+    def expression(self) -> ast.Expr:
+        pos = self.pos()
+        left = self.or_level()
+        if self.at_op(":="):
+            self.advance()
+            if not isinstance(left, (ast.Ident, ast.Index)):
+                raise TLSyntaxError(
+                    "assignment target must be a variable or an array element",
+                    pos.line,
+                    pos.column,
+                )
+            return ast.Assign(left, self.expression(), pos)
+        return left
+
+    def or_level(self) -> ast.Expr:
+        left = self.and_level()
+        while self.at_keyword("or"):
+            pos = self.pos()
+            self.advance()
+            left = ast.BinOp("or", left, self.and_level(), pos)
+        return left
+
+    def and_level(self) -> ast.Expr:
+        left = self.not_level()
+        while self.at_keyword("and"):
+            pos = self.pos()
+            self.advance()
+            left = ast.BinOp("and", left, self.not_level(), pos)
+        return left
+
+    def not_level(self) -> ast.Expr:
+        if self.at_keyword("not"):
+            pos = self.pos()
+            self.advance()
+            return ast.UnOp("not", self.not_level(), pos)
+        return self.compare_level()
+
+    def compare_level(self) -> ast.Expr:
+        left = self.add_level()
+        if self.peek().kind == "op" and self.peek().text in _CMP_OPS:
+            pos = self.pos()
+            op = self.advance().text
+            return ast.BinOp(op, left, self.add_level(), pos)
+        return left
+
+    def add_level(self) -> ast.Expr:
+        left = self.mul_level()
+        while self.peek().kind == "op" and self.peek().text in _ADD_OPS:
+            pos = self.pos()
+            op = self.advance().text
+            left = ast.BinOp(op, left, self.mul_level(), pos)
+        return left
+
+    def mul_level(self) -> ast.Expr:
+        left = self.unary_level()
+        while self.peek().kind == "op" and self.peek().text in _MUL_OPS:
+            pos = self.pos()
+            op = self.advance().text
+            left = ast.BinOp(op, left, self.unary_level(), pos)
+        return left
+
+    def unary_level(self) -> ast.Expr:
+        if self.at_op("-"):
+            pos = self.pos()
+            self.advance()
+            return ast.UnOp("-", self.unary_level(), pos)
+        return self.postfix_level()
+
+    def postfix_level(self) -> ast.Expr:
+        expr = self.primary()
+        while True:
+            if self.at_op("("):
+                pos = self.pos()
+                self.advance()
+                args: list[ast.Expr] = []
+                while not self.at_op(")"):
+                    args.append(self.expression())
+                    if self.at_op(","):
+                        self.advance()
+                self.expect_op(")")
+                expr = ast.Call(expr, tuple(args), pos)
+            elif self.at_op("["):
+                pos = self.pos()
+                self.advance()
+                index = self.expression()
+                self.expect_op("]")
+                expr = ast.Index(expr, index, pos)
+            elif self.at_op(".") and self.peek(1).kind == "ident":
+                pos = self.pos()
+                self.advance()
+                member = self.expect_ident().text
+                expr = ast.FieldAccess(expr, member, pos)
+            else:
+                return expr
+
+    def primary(self) -> ast.Expr:
+        token = self.peek()
+        pos = ast.Position(token.line, token.column)
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLit(int(token.text), pos)
+        if token.kind == "char":
+            self.advance()
+            return ast.CharLit(token.text, pos)
+        if token.kind == "string":
+            self.advance()
+            return ast.StrLit(token.text, pos)
+        if token.kind == "ident":
+            self.advance()
+            return ast.Ident(token.text, pos)
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            inner = self.expression()
+            self.expect_op(")")
+            return inner
+        if token.kind == "keyword":
+            return self.keyword_expr(token, pos)
+        raise TLSyntaxError(
+            f"unexpected token {token.text!r}", token.line, token.column
+        )
+
+    def keyword_expr(self, token: Token, pos: ast.Position) -> ast.Expr:
+        word = token.text
+        if word == "true":
+            self.advance()
+            return ast.BoolLit(True, pos)
+        if word == "false":
+            self.advance()
+            return ast.BoolLit(False, pos)
+        if word == "unit":
+            self.advance()
+            return ast.UnitLit(pos)
+        if word == "if":
+            return self.if_expr(pos)
+        if word == "begin":
+            self.advance()
+            body = self.sequence(("end",))
+            self.expect_keyword("end")
+            return body
+        if word == "while":
+            self.advance()
+            condition = self.expression()
+            self.expect_keyword("do")
+            body = self.sequence(("end",))
+            self.expect_keyword("end")
+            return ast.While(condition, body, pos)
+        if word == "for":
+            self.advance()
+            var = self.expect_ident().text
+            self.expect_op("=")
+            start = self.expression()
+            if self.at_keyword("upto"):
+                self.advance()
+                downto = False
+            elif self.at_keyword("downto"):
+                self.advance()
+                downto = True
+            else:
+                bad = self.peek()
+                raise TLSyntaxError(
+                    f"expected 'upto' or 'downto', found {bad.text!r}",
+                    bad.line,
+                    bad.column,
+                )
+            stop = self.expression()
+            self.expect_keyword("do")
+            body = self.sequence(("end",))
+            self.expect_keyword("end")
+            return ast.ForLoop(var, start, stop, body, downto, pos)
+        if word == "let":
+            self.advance()
+            name = self.expect_ident().text
+            annotation = None
+            if self.at_op(":"):
+                self.advance()
+                annotation = self.type_expr()
+            self.expect_op("=")
+            value = self.expression()
+            self.expect_keyword("in")
+            return ast.LetIn(name, annotation, value, self.expression(), pos)
+        if word == "var":
+            self.advance()
+            name = self.expect_ident().text
+            self.expect_op(":=")
+            value = self.expression()
+            self.expect_keyword("in")
+            return ast.VarIn(name, value, self.expression(), pos)
+        if word == "fn":
+            self.advance()
+            params = self.param_list()
+            self.expect_op("=>")
+            return ast.Lambda(params, self.expression(), pos)
+        if word == "tuple":
+            self.advance()
+            fields: list[tuple[str, ast.Expr]] = []
+            while not self.at_keyword("end"):
+                field_name = self.expect_ident().text
+                self.expect_op("=")
+                fields.append((field_name, self.expression()))
+                if self.at_op(","):
+                    self.advance()
+            self.expect_keyword("end")
+            return ast.TupleLit(tuple(fields), pos)
+        if word == "try":
+            self.advance()
+            body = self.sequence(("catch",))
+            self.expect_keyword("catch")
+            self.expect_op("(")
+            exc_name = self.expect_ident().text
+            self.expect_op(")")
+            handler = self.sequence(("end",))
+            self.expect_keyword("end")
+            return ast.TryCatch(body, exc_name, handler, pos)
+        if word == "raise":
+            self.advance()
+            return ast.Raise(self.or_level(), pos)
+        if word == "select":
+            self.advance()
+            target = self.expression()
+            self.expect_keyword("from")
+            source = self.expression()
+            self.expect_keyword("as")
+            var = self.expect_ident().text
+            var_type = None
+            if self.at_op(":"):
+                self.advance()
+                var_type = self.type_expr()
+            where = None
+            if self.at_keyword("where"):
+                self.advance()
+                where = self.expression()
+            self.expect_keyword("end")
+            return ast.SelectExpr(target, source, var, var_type, where, pos)
+        if word == "exists":
+            self.advance()
+            var = self.expect_ident().text
+            var_type = None
+            if self.at_op(":"):
+                self.advance()
+                var_type = self.type_expr()
+            self.expect_keyword("in")
+            source = self.expression()
+            self.expect_op(":")
+            return ast.ExistsExpr(var, var_type, source, self.or_level(), pos)
+        raise TLSyntaxError(f"unexpected keyword {word!r}", token.line, token.column)
+
+    def if_expr(self, pos: ast.Position) -> ast.Expr:
+        self.expect_keyword("if")
+        condition = self.expression()
+        self.expect_keyword("then")
+        then_branch = self.sequence(("elif", "else", "end"))
+        if self.at_keyword("elif"):
+            elif_pos = self.pos()
+            else_branch: ast.Expr | None = self.if_expr_tail(elif_pos)
+            return ast.If(condition, then_branch, else_branch, pos)
+        if self.at_keyword("else"):
+            self.advance()
+            else_branch = self.sequence(("end",))
+            self.expect_keyword("end")
+            return ast.If(condition, then_branch, else_branch, pos)
+        self.expect_keyword("end")
+        return ast.If(condition, then_branch, None, pos)
+
+    def if_expr_tail(self, pos: ast.Position) -> ast.Expr:
+        """An ``elif`` chain parsed as a nested If sharing the final ``end``."""
+        self.expect_keyword("elif")
+        condition = self.expression()
+        self.expect_keyword("then")
+        then_branch = self.sequence(("elif", "else", "end"))
+        if self.at_keyword("elif"):
+            return ast.If(condition, then_branch, self.if_expr_tail(self.pos()), pos)
+        if self.at_keyword("else"):
+            self.advance()
+            else_branch = self.sequence(("end",))
+            self.expect_keyword("end")
+            return ast.If(condition, then_branch, else_branch, pos)
+        self.expect_keyword("end")
+        return ast.If(condition, then_branch, None, pos)
+
+    def sequence(self, terminators: tuple[str, ...]) -> ast.Expr:
+        """``e1; e2; ...`` — with ``let``/``var`` binding the rest of the block."""
+        pos = self.pos()
+        if self.at_keyword("let") and not self._let_is_expression():
+            self.advance()
+            name = self.expect_ident().text
+            annotation = None
+            if self.at_op(":"):
+                self.advance()
+                annotation = self.type_expr()
+            self.expect_op("=")
+            value = self.expression()
+            self.expect_op(";")
+            body = self.sequence(terminators)
+            return ast.LetIn(name, annotation, value, body, pos)
+        if self.at_keyword("var") and not self._var_is_expression():
+            self.advance()
+            name = self.expect_ident().text
+            self.expect_op(":=")
+            value = self.expression()
+            self.expect_op(";")
+            body = self.sequence(terminators)
+            return ast.VarIn(name, value, body, pos)
+
+        exprs = [self.expression()]
+        while self.at_op(";"):
+            self.advance()
+            if self.at_keyword(*terminators):
+                break  # tolerate a trailing semicolon
+            exprs.append(self._sequence_step(terminators))
+        if len(exprs) == 1:
+            return exprs[0]
+        return ast.Seq(tuple(exprs), pos)
+
+    def _sequence_step(self, terminators: tuple[str, ...]) -> ast.Expr:
+        # a let/var after a ';' scopes over the remainder of the block
+        if (self.at_keyword("let") and not self._let_is_expression()) or (
+            self.at_keyword("var") and not self._var_is_expression()
+        ):
+            return self.sequence(terminators)
+        return self.expression()
+
+    def _binding_has_in(self) -> bool:
+        """Scan ahead: does this let/var use the ``... in body`` form?"""
+        depth = 0
+        offset = 1
+        while True:
+            token = self.peek(offset)
+            if token.kind == "eof":
+                return False
+            if token.kind == "op" and token.text in "([":
+                depth += 1
+            elif token.kind == "op" and token.text in ")]":
+                depth -= 1
+            elif depth == 0 and token.kind == "op" and token.text == ";":
+                return False
+            elif depth == 0 and token.kind == "keyword" and token.text == "in":
+                return True
+            elif depth == 0 and token.kind == "keyword" and token.text in (
+                "end",
+                "catch",
+                "elif",
+                "else",
+            ):
+                return False
+            offset += 1
+
+    def _let_is_expression(self) -> bool:
+        return self._binding_has_in()
+
+    def _var_is_expression(self) -> bool:
+        return self._binding_has_in()
+
+    # -------------------------------------------------------------- entries
+
+    def parse_single_module(self) -> ast.Module:
+        result = self.module()
+        self._expect_eof()
+        return result
+
+    def parse_many_modules(self) -> list[ast.Module]:
+        modules = [self.module()]
+        while self.at_keyword("module"):
+            modules.append(self.module())
+        self._expect_eof()
+        return modules
+
+    def parse_expression_entry(self) -> ast.Expr:
+        result = self.sequence(())
+        self._expect_eof()
+        return result
+
+    def _expect_eof(self) -> None:
+        token = self.peek()
+        if token.kind != "eof":
+            raise TLSyntaxError(
+                f"trailing input {token.text!r}", token.line, token.column
+            )
+
+
+def parse_module(source: str) -> ast.Module:
+    """Parse one ``module ... end``."""
+    return _Parser(source).parse_single_module()
+
+
+def parse_modules(source: str) -> list[ast.Module]:
+    """Parse a file containing several modules."""
+    return _Parser(source).parse_many_modules()
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a bare expression (used by tests and the quick-eval helper)."""
+    return _Parser(source).parse_expression_entry()

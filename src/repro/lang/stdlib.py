@@ -1,0 +1,274 @@
+"""The dynamically bound standard library.
+
+Paper section 6: "even operations on integers and arrays are factored out
+into dynamically bound libraries and therefore not amenable to local
+optimization.  However, a move to dynamic (link-time or runtime)
+optimization more than doubles the execution speed."
+
+This module is that design decision: TL's arithmetic, comparison, array and
+I/O operations compile to *calls* of the library procedures defined here —
+tiny TML wrappers around the corresponding primitives.  At static compile
+time the wrappers are free variables (the module binding is an abstraction
+barrier); only the reflective runtime optimizer can inline them, which is
+exactly the E1/E2 experiment.
+
+Library procedures are built directly as TML terms, compiled like any other
+code, and carry PTML so the runtime optimizer can splice their bodies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.builder import TmlBuilder
+from repro.core.names import NameSupply
+from repro.core.syntax import Abs, App, Lit, PrimApp, Var
+from repro.lang.types import BOOL, CHAR, FunSig, INT, ModuleInterface, UNIT, UNKNOWN
+
+__all__ = [
+    "StdFunction",
+    "StdModuleDef",
+    "build_stdlib",
+    "stdlib_interfaces",
+    "OP_FUNS",
+    "BUILTIN_FUNS",
+    "STDLIB_MODULE_NAMES",
+]
+
+#: TL operator → (stdlib module, function).  Every user-visible operator is a
+#: dynamically bound library call (section 6).
+OP_FUNS: dict[str, tuple[str, str]] = {
+    "+": ("int", "add"),
+    "-": ("int", "sub"),
+    "*": ("int", "mul"),
+    "/": ("int", "div"),
+    "%": ("int", "mod"),
+    "<": ("int", "lt"),
+    ">": ("int", "gt"),
+    "<=": ("int", "le"),
+    ">=": ("int", "ge"),
+    "==": ("int", "eq"),
+    "!=": ("int", "ne"),
+}
+
+#: TL builtin identifier → (stdlib module, function, arity).
+BUILTIN_FUNS: dict[str, tuple[str, str, int]] = {
+    "array": ("arraylib", "new", 2),
+    "size": ("arraylib", "size", 1),
+    "copy": ("arraylib", "copy", 5),
+    "print": ("io", "print", 1),
+    "sqrt": ("math", "sqrt", 1),
+    "ord": ("charlib", "ord", 1),
+    "chr": ("charlib", "chr", 1),
+    "neg": ("int", "neg", 1),
+    "min": ("int", "min", 2),
+    "max": ("int", "max", 2),
+}
+
+STDLIB_MODULE_NAMES = ("int", "arraylib", "io", "math", "charlib", "bits")
+
+
+@dataclass(frozen=True)
+class StdFunction:
+    """One library procedure: its TML definition and interface signature."""
+
+    name: str
+    term: Abs
+    sig: FunSig
+
+
+@dataclass(frozen=True)
+class StdModuleDef:
+    name: str
+    functions: tuple[StdFunction, ...]
+
+    def interface(self) -> ModuleInterface:
+        return ModuleInterface(
+            name=self.name,
+            functions={f.name: f.sig for f in self.functions},
+        )
+
+
+def _binop_prim(b: TmlBuilder, prim: str) -> Abs:
+    """proc(a b ce cc)(prim a b ce cc) — arithmetic with exception cont."""
+    a, v = b.val_name("a"), b.val_name("b")
+    ce, cc = b.cont_name("ce"), b.cont_name("cc")
+    return Abs((a, v, ce, cc), PrimApp(prim, (Var(a), Var(v), Var(ce), Var(cc))))
+
+
+def _cmp_prim(b: TmlBuilder, prim: str) -> Abs:
+    """proc(a b ce cc) — branch primitive reified into a boolean result."""
+    a, v = b.val_name("a"), b.val_name("b")
+    ce, cc = b.cont_name("ce"), b.cont_name("cc")
+    then_c = Abs((), App(Var(cc), (Lit(True),)))
+    else_c = Abs((), App(Var(cc), (Lit(False),)))
+    return Abs((a, v, ce, cc), PrimApp(prim, (Var(a), Var(v), then_c, else_c)))
+
+
+def _eq_fn(b: TmlBuilder, negate: bool) -> Abs:
+    a, v = b.val_name("a"), b.val_name("b")
+    ce, cc = b.cont_name("ce"), b.cont_name("cc")
+    hit = Abs((), App(Var(cc), (Lit(not negate),)))
+    miss = Abs((), App(Var(cc), (Lit(negate),)))
+    return Abs((a, v, ce, cc), PrimApp("==", (Var(a), Var(v), hit, miss)))
+
+
+def _neg_fn(b: TmlBuilder) -> Abs:
+    a = b.val_name("a")
+    ce, cc = b.cont_name("ce"), b.cont_name("cc")
+    return Abs((a, ce, cc), PrimApp("-", (Lit(0), Var(a), Var(ce), Var(cc))))
+
+
+def _minmax_fn(b: TmlBuilder, want_min: bool) -> Abs:
+    a, v = b.val_name("a"), b.val_name("b")
+    ce, cc = b.cont_name("ce"), b.cont_name("cc")
+    first = Abs((), App(Var(cc), (Var(a),)))
+    second = Abs((), App(Var(cc), (Var(v),)))
+    prim = "<=" if want_min else ">="
+    return Abs((a, v, ce, cc), PrimApp(prim, (Var(a), Var(v), first, second)))
+
+
+def _wrap_simple(b: TmlBuilder, prim: str, nargs: int) -> Abs:
+    """proc(v1..vn ce cc)(prim v1..vn cc) — single-continuation primitives."""
+    values = [b.val_name(f"v{i}") for i in range(nargs)]
+    ce, cc = b.cont_name("ce"), b.cont_name("cc")
+    args = tuple(Var(v) for v in values) + (Var(cc),)
+    return Abs(tuple(values) + (ce, cc), PrimApp(prim, args))
+
+
+def _sqrt_fn(b: TmlBuilder) -> Abs:
+    """Integer square root through the foreign world (``ccall "isqrt"``).
+
+    The paper's abs example uses sqrt; Fig. 2 has no such primitive, so the
+    library routes it through ``ccall`` like the original system routed
+    libm.
+    """
+    a = b.val_name("a")
+    ce, cc = b.cont_name("ce"), b.cont_name("cc")
+    vec = b.val_name("vec")
+    inner = PrimApp("ccall", (Lit("isqrt"), Var(vec), Var(ce), Var(cc)))
+    return Abs((a, ce, cc), PrimApp("vector", (Var(a), Abs((vec,), inner))))
+
+
+def build_stdlib(supply: NameSupply | None = None) -> dict[str, StdModuleDef]:
+    """Construct fresh TML definitions for every stdlib module.
+
+    A fresh supply per call keeps name uids disjoint from any user module
+    compiled with its own supply in the same image? No — disjointness across
+    compilation units is *not* required (each function term is a separate
+    tree); the reflective optimizer alpha-renames on splice.
+    """
+    b = TmlBuilder(supply or NameSupply())
+    int_t = (INT, INT)
+
+    int_mod = StdModuleDef(
+        "int",
+        (
+            StdFunction("add", _binop_prim(b, "+"), FunSig("add", int_t, INT)),
+            StdFunction("sub", _binop_prim(b, "-"), FunSig("sub", int_t, INT)),
+            StdFunction("mul", _binop_prim(b, "*"), FunSig("mul", int_t, INT)),
+            StdFunction("div", _binop_prim(b, "/"), FunSig("div", int_t, INT)),
+            StdFunction("mod", _binop_prim(b, "%"), FunSig("mod", int_t, INT)),
+            StdFunction("lt", _cmp_prim(b, "<"), FunSig("lt", int_t, BOOL)),
+            StdFunction("gt", _cmp_prim(b, ">"), FunSig("gt", int_t, BOOL)),
+            StdFunction("le", _cmp_prim(b, "<="), FunSig("le", int_t, BOOL)),
+            StdFunction("ge", _cmp_prim(b, ">="), FunSig("ge", int_t, BOOL)),
+            StdFunction("eq", _eq_fn(b, False), FunSig("eq", (UNKNOWN, UNKNOWN), BOOL)),
+            StdFunction("ne", _eq_fn(b, True), FunSig("ne", (UNKNOWN, UNKNOWN), BOOL)),
+            StdFunction("neg", _neg_fn(b), FunSig("neg", (INT,), INT)),
+            StdFunction("min", _minmax_fn(b, True), FunSig("min", int_t, INT)),
+            StdFunction("max", _minmax_fn(b, False), FunSig("max", int_t, INT)),
+        ),
+    )
+
+    array_mod = StdModuleDef(
+        "arraylib",
+        (
+            StdFunction(
+                "new", _wrap_simple(b, "new", 2), FunSig("new", (INT, UNKNOWN), UNKNOWN)
+            ),
+            StdFunction(
+                "get",
+                _wrap_simple(b, "[]", 2),
+                FunSig("get", (UNKNOWN, INT), UNKNOWN),
+            ),
+            StdFunction(
+                "set",
+                _wrap_simple(b, "[]:=", 3),
+                FunSig("set", (UNKNOWN, INT, UNKNOWN), UNIT),
+            ),
+            StdFunction(
+                "size", _wrap_simple(b, "size", 1), FunSig("size", (UNKNOWN,), INT)
+            ),
+            StdFunction(
+                "copy",
+                _wrap_simple(b, "move", 5),
+                FunSig("copy", (UNKNOWN, INT, UNKNOWN, INT, INT), UNIT),
+            ),
+        ),
+    )
+
+    io_mod = StdModuleDef(
+        "io",
+        (
+            StdFunction(
+                "print", _wrap_simple(b, "print", 1), FunSig("print", (UNKNOWN,), UNIT)
+            ),
+        ),
+    )
+
+    math_mod = StdModuleDef(
+        "math",
+        (StdFunction("sqrt", _sqrt_fn(b), FunSig("sqrt", (INT,), INT)),),
+    )
+
+    char_mod = StdModuleDef(
+        "charlib",
+        (
+            StdFunction(
+                "ord", _wrap_simple(b, "char2int", 1), FunSig("ord", (CHAR,), INT)
+            ),
+            StdFunction(
+                "chr", _wrap_simple(b, "int2char", 1), FunSig("chr", (INT,), CHAR)
+            ),
+        ),
+    )
+
+    bits_mod = StdModuleDef(
+        "bits",
+        tuple(
+            StdFunction(
+                name, _wrap_simple(b, prim, 2), FunSig(name, int_t, INT)
+            )
+            for name, prim in (
+                ("band", "band"),
+                ("bor", "bor"),
+                ("bxor", "bxor"),
+                ("shl", "shl"),
+                ("shr", "shr"),
+            )
+        )
+        + (
+            StdFunction(
+                "bnot", _wrap_simple(b, "bnot", 1), FunSig("bnot", (INT,), INT)
+            ),
+        ),
+    )
+
+    return {
+        m.name: m for m in (int_mod, array_mod, io_mod, math_mod, char_mod, bits_mod)
+    }
+
+
+_interfaces_cache: dict[str, ModuleInterface] | None = None
+
+
+def stdlib_interfaces() -> dict[str, ModuleInterface]:
+    """Compile-time interfaces of the standard library (cached)."""
+    global _interfaces_cache
+    if _interfaces_cache is None:
+        _interfaces_cache = {
+            name: definition.interface()
+            for name, definition in build_stdlib().items()
+        }
+    return _interfaces_cache

@@ -1,0 +1,167 @@
+"""The running Tycoon-style system image: compiler + store + VM in one place.
+
+The paper's architecture (Fig. 3) keeps the compiler, optimizer and
+evaluator inside one persistent programming environment, so code can be
+compiled, persisted, re-optimized and executed without leaving the system.
+:class:`TycoonSystem` is that environment:
+
+>>> system = TycoonSystem()
+>>> _ = system.compile('''
+... module demo export double
+... let double(x: Int): Int = x + x
+... end
+... ''')
+>>> system.call("demo", "double", [21]).value
+42
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lang.errors import TLError
+from repro.lang.foreign import default_foreign
+from repro.lang.modules import (
+    CompileOptions,
+    CompiledModule,
+    ModuleValue,
+    compile_module,
+    link_module,
+    link_stdlib,
+    load_module,
+    store_module,
+)
+from repro.lang.stdlib import STDLIB_MODULE_NAMES, stdlib_interfaces
+from repro.lang.types import ModuleInterface, UNKNOWN as _UNKNOWN_TYPE
+from repro.machine.isa import VMClosure
+from repro.machine.vm import VM, VMResult
+from repro.primitives.registry import PrimitiveRegistry
+from repro.store.heap import ObjectHeap
+
+__all__ = ["TycoonSystem"]
+
+
+class TycoonSystem:
+    """One system image: compiled modules, linked values, store, VM factory."""
+
+    def __init__(
+        self,
+        heap: ObjectHeap | None = None,
+        options: CompileOptions | None = None,
+        registry: PrimitiveRegistry | None = None,
+    ):
+        self.options = options or CompileOptions()
+        if registry is None:
+            registry = self.options.registry
+        if registry is None:
+            # the full system registry: Fig. 2 primitives plus the relational
+            # algebra extensions (embedded queries are part of TL)
+            from repro.query.algebra import query_registry
+
+            registry = query_registry()
+        self.registry = registry
+        if self.options.registry is not self.registry:
+            from dataclasses import replace
+
+            self.options = replace(self.options, registry=self.registry)
+        self.heap = heap if heap is not None else ObjectHeap()
+        self.foreign = default_foreign()
+        self.interfaces: dict[str, ModuleInterface] = dict(stdlib_interfaces())
+        self.compiled: dict[str, CompiledModule] = {}
+        self.linked: dict[str, ModuleValue] = link_stdlib(
+            self.options, heap=self.heap if heap is not None else None
+        )
+
+    # ----------------------------------------------------------- data modules
+
+    def register_data_module(self, name: str, values: dict[str, Any]) -> ModuleValue:
+        """Expose store objects (relations, constants) as a linked module.
+
+        TL code may then ``import name`` and reference ``name.member``.  The
+        members become link-time R-value bindings; when a member is a stored
+        heap object the reflective optimizer sees it as an OID literal —
+        enabling runtime query optimization against actual indexes (§4.2).
+        """
+        interface = ModuleInterface(name=name)
+        for member in values:
+            interface.values[member] = _UNKNOWN_TYPE
+        self.interfaces[name] = interface
+        module_value = ModuleValue(name, dict(values))
+        self.linked[name] = module_value
+        return module_value
+
+    # ------------------------------------------------------------- compile
+
+    def compile(self, source) -> CompiledModule:
+        """Compile a TL module (source text or parsed AST) and register its
+        interface for later imports."""
+        module = compile_module(source, self.interfaces, self.options)
+        self.compiled[module.name] = module
+        self.interfaces[module.name] = module.interface
+        self.linked.pop(module.name, None)  # invalidate stale link
+        return module
+
+    def compile_ast(self, module_ast) -> CompiledModule:
+        """Compile an already-parsed :class:`repro.lang.ast.Module`."""
+        return self.compile(module_ast)
+
+    def persist(self, name: str) -> Any:
+        """Store a compiled module (and its PTML blobs) in the heap."""
+        return store_module(self.heap, self._compiled(name))
+
+    def load(self, name: str) -> CompiledModule:
+        """Load a previously persisted module from the heap."""
+        module = load_module(self.heap, name)
+        self.compiled[name] = module
+        return module
+
+    # --------------------------------------------------------------- link
+
+    def link(self, name: str) -> ModuleValue:
+        """Link a module, recursively linking its imports first."""
+        linked = self.linked.get(name)
+        if linked is not None:
+            return linked
+        compiled = self._compiled(name)
+        environment: dict[str, ModuleValue] = {}
+        for fn in compiled.functions.values():
+            for ref in fn.externals.values():
+                if ref.kind == "import" and ref.module not in environment:
+                    environment[ref.module] = self.link(ref.module)
+        linked = link_module(compiled, environment)
+        self.linked[name] = linked
+        return linked
+
+    def _compiled(self, name: str) -> CompiledModule:
+        module = self.compiled.get(name)
+        if module is None:
+            if name in STDLIB_MODULE_NAMES:
+                raise TLError(f"{name!r} is a library module; it is always linked")
+            raise TLError(f"module {name!r} has not been compiled")
+        return module
+
+    # ---------------------------------------------------------------- run
+
+    def vm(self, step_limit: int | None = None) -> VM:
+        return VM(store=self.heap, foreign=self.foreign, step_limit=step_limit)
+
+    def closure(self, module: str, function: str) -> VMClosure:
+        linked = self.link(module)
+        value = linked.member(function)
+        if not isinstance(value, VMClosure):
+            raise TLError(f"{module}.{function} is not a function")
+        return value
+
+    def call(
+        self,
+        module: str,
+        function: str,
+        args: list[Any] | None = None,
+        step_limit: int | None = None,
+    ) -> VMResult:
+        """Link (if needed) and call an exported function on a fresh VM."""
+        closure = self.closure(module, function)
+        return self.vm(step_limit).call(closure, list(args or []))
+
+    def commit(self) -> None:
+        self.heap.commit()

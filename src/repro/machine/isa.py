@@ -1,0 +1,151 @@
+"""Instruction set of the Tycoon Abstract Machine (TAM).
+
+The back-end target substituting for the paper's native code generator: a
+register-based bytecode machine with CPS-faithful control (there is no call
+stack — every transfer is a tail call, matching "a generalized goto with
+parameter passing", section 2.1).
+
+A :class:`CodeObject` is the compiled form of one TML abstraction that is
+*materialized* as a closure (user procedures, escaping continuations,
+recursive Y-group members).  Abstractions that are only ever entered
+directly — continuation arguments of primitives, branch continuations,
+directly-applied λs — are compiled inline into their parent's instruction
+stream, so straight-line TL code becomes straight-line bytecode.
+
+Instructions are tuples ``(op, operand...)``.  Operand kinds: ``r`` register
+index, ``c`` constant-pool index, ``k`` nested-code index, ``pc`` jump
+target, ``plan`` closure-capture plan.
+
+====================  =====================================================
+instruction            meaning
+====================  =====================================================
+(const d c)            regs[d] = consts[c]
+(move d s)             regs[d] = regs[s]
+(free d f)             regs[d] = closure.free[f]
+(closure d k plan)     regs[d] = new closure of codes[k], captured per plan
+(fix group)            create mutually recursive closures, then patch
+(jump pc)              transfer within this code object
+(add d a b epc ed)     regs[d]=a+b; overflow: regs[ed]=err, jump epc
+(sub/mul/div/rem ...)  likewise (div/rem also trap zeroDivide via epc)
+(lt/gt/le/ge a b pc)   fallthrough when true, jump pc when false
+(band/bor/bxor/shl/shr d a b)   bit operations
+(bnot d a)             bitwise complement
+(c2i d a) (i2c d a)    char/int conversions
+(arr d regs)           regs[d] = mutable array of operand registers
+(vec d regs)           regs[d] = immutable vector
+(anew d n i)           array of size regs[n] filled with regs[i]
+(bnew d n i)           byte array
+(aget d a i)           indexed load   (traps boundsError)
+(aset a i v)           indexed store
+(bget d a i) (bset a i v)   byte array access
+(asize d a)            size in slots
+(amove d di s si n)    block move         (traps boundsError)
+(bmove d di s si n)    byte block move
+(case s tagregs pcs epc)  identity dispatch; epc may be None (trap)
+(tailcall f args)      enter closure regs[f] with operand registers
+(pushh h) (poph)       handler stack
+(raise v)              raise regs[v] to the dynamic handler stack
+(ccall d f a epc ed)   foreign call; result in d or error in ed + jump
+(print v)              emit regs[v] to the output channel
+(halt v)               stop, delivering regs[v]
+(trapc c)              raise consts[c] (compiled trap, e.g. caseError)
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.names import Name
+
+__all__ = ["Label", "CodeObject", "VMClosure", "code_size", "flatten_codes"]
+
+
+class Label:
+    """A forward-reference jump target, resolved to a pc at assembly time."""
+
+    __slots__ = ("pc",)
+
+    def __init__(self) -> None:
+        self.pc: int | None = None
+
+    def __repr__(self) -> str:
+        return f"<label pc={self.pc}>"
+
+
+@dataclass(slots=True)
+class CodeObject:
+    """Compiled form of one materialized TML abstraction."""
+
+    name: str
+    params: tuple[Name, ...]
+    nregs: int = 0
+    instrs: list[tuple] = field(default_factory=list)
+    consts: list[Any] = field(default_factory=list)
+    codes: list["CodeObject"] = field(default_factory=list)
+    #: the free variables this closure captures, in slot order
+    free_names: tuple[Name, ...] = ()
+    is_proc: bool = False
+    #: OID of the persistent TML (PTML) blob for this function, when the
+    #: compiler attached one (paper section 4.1: "the compiler back end
+    #: augments the generated code ... with a reference to a compact
+    #: persistent representation of the TML tree").
+    ptml_ref: Any = None
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+    def disassemble(self, indent: str = "") -> str:
+        """Human-readable listing (nested code objects included)."""
+        lines = [
+            f"{indent}code {self.name} params={len(self.params)} "
+            f"regs={self.nregs} free={[str(n) for n in self.free_names]}"
+        ]
+        for pc, instr in enumerate(self.instrs):
+            lines.append(f"{indent}  {pc:4d}  {instr}")
+        for index, nested in enumerate(self.codes):
+            lines.append(f"{indent}  .code[{index}]:")
+            lines.append(nested.disassemble(indent + "    "))
+        return "\n".join(lines)
+
+
+class VMClosure:
+    """A runtime closure: code plus captured free-variable cells.
+
+    ``free`` is a list (not tuple) because the ``fix`` instruction patches
+    the cells of mutually recursive closures after creating the whole group.
+    """
+
+    __slots__ = ("code", "free")
+
+    def __init__(self, code: CodeObject, free: list):
+        self.code = code
+        self.free = free
+
+    @property
+    def arity(self) -> int:
+        return len(self.code.params)
+
+    def __repr__(self) -> str:
+        return f"<vmclosure {self.code.name}/{self.arity}>"
+
+
+def flatten_codes(root: CodeObject) -> list[CodeObject]:
+    """The code object and all nested ones, preorder."""
+    out: list[CodeObject] = []
+    stack = [root]
+    while stack:
+        code = stack.pop()
+        out.append(code)
+        stack.extend(reversed(code.codes))
+    return out
+
+
+def code_size(root: CodeObject) -> int:
+    """Total instruction count across a code object tree.
+
+    The unit of the E3 code-size experiment's "executable code" side.
+    """
+    return sum(len(code.instrs) for code in flatten_codes(root))

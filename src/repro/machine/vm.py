@@ -1,0 +1,458 @@
+"""The Tycoon Abstract Machine: executes TAM code objects.
+
+A register machine with CPS control: no call stack, every transfer is a
+``tailcall`` that replaces the current register file.  Runtime state is
+(code, pc, registers) plus the dynamic handler stack, the output channel and
+the foreign-function table.
+
+The VM agrees observably with the reference interpreter
+(:mod:`repro.machine.cps_interp`); differential tests enforce this.  It also
+counts executed instructions, the concrete realization of the paper's
+"idealized abstract machine" cost measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.syntax import Char, Oid, UNIT
+from repro.machine.isa import CodeObject, VMClosure
+from repro.machine.runtime import (
+    ARITY_ERROR,
+    BOUNDS_ERROR,
+    ExtRaise,
+    ForeignTable,
+    MachineError,
+    TYPE_ERROR,
+    TmlArray,
+    TmlByteArray,
+    TmlVector,
+    UncaughtTmlException,
+    identical,
+    show_value,
+)
+
+#: Handlers for registry-extension primitives compiled to ``extcall``.
+#: name -> handler(vm, [arg values]) -> result value.  Populated by the
+#: subsystems that register extension primitives (e.g. the query algebra).
+EXT_OPS: dict = {}
+from repro.primitives.arith import OVERFLOW, ZERO_DIVIDE, int_div, int_rem
+from repro.primitives._util import INT_MAX, INT_MIN, wrap_int
+
+__all__ = ["VM", "VMResult", "instantiate", "StepLimitExceeded"]
+
+
+class StepLimitExceeded(Exception):
+    """The configured instruction budget ran out."""
+
+
+class _VMTrap(Exception):
+    """Internal: a trap to be routed to the dynamic handler stack."""
+
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class _VMHalt(Exception):
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class _TopCont:
+    """Sentinel closures terminating a top-level VM run."""
+
+    __slots__ = ("kind",)
+
+    def __init__(self, kind: str):
+        self.kind = kind
+
+
+@dataclass(slots=True)
+class VMResult:
+    """Observable outcome of a VM execution."""
+
+    value: Any
+    instructions: int
+    output: list[str] = field(default_factory=list)
+
+
+def instantiate(code: CodeObject, bindings: dict | None = None) -> VMClosure:
+    """Create a closure of a top-level code object.
+
+    ``bindings`` maps the code's free :class:`~repro.core.names.Name`s to
+    runtime values (the linker supplies module/store bindings this way).
+    """
+    bindings = bindings or {}
+    free = []
+    for name in code.free_names:
+        if name not in bindings:
+            raise MachineError(f"no binding supplied for free variable {name}")
+        free.append(bindings[name])
+    return VMClosure(code, free)
+
+
+class VM:
+    """One virtual machine instance (handler stack, output, store, foreign)."""
+
+    def __init__(
+        self,
+        store=None,
+        foreign: ForeignTable | None = None,
+        step_limit: int | None = None,
+    ):
+        self.store = store
+        self.foreign = foreign or ForeignTable()
+        self.step_limit = step_limit
+        self.handlers: list[Any] = []
+        self.output: list[str] = []
+        self.instructions = 0
+
+    # ------------------------------------------------------------------ API
+
+    def call(self, closure: VMClosure, args: list[Any]) -> VMResult:
+        """Call a procedure closure with top-level ce/cc continuations."""
+        full_args = list(args) + [_TopCont("exception"), _TopCont("normal")]
+        if closure.arity != len(full_args):
+            raise MachineError(
+                f"procedure {closure.code.name} expects {closure.arity} args "
+                f"(incl. continuations), got {len(full_args)}"
+            )
+        return self._run(closure, full_args)
+
+    def run_code(self, code: CodeObject, bindings: dict | None = None) -> VMResult:
+        """Instantiate and run a nullary-value procedure ``proc(ce cc)``."""
+        closure = instantiate(code, bindings)
+        return self.call(closure, [])
+
+    # ------------------------------------------------------------ main loop
+
+    def _run(self, closure: VMClosure, args: list[Any]) -> VMResult:
+        start_instr = self.instructions
+        start_output = len(self.output)
+        pending: tuple[Any, list[Any]] | None = (closure, args)
+        try:
+            while True:
+                try:
+                    target, values = pending
+                    if isinstance(target, _TopCont):
+                        if target.kind == "normal":
+                            raise _VMHalt(values[0])
+                        raise UncaughtTmlException(values[0])
+                    if not isinstance(target, VMClosure):
+                        raise _VMTrap(TYPE_ERROR)
+                    if target.arity != len(values):
+                        raise _VMTrap(ARITY_ERROR)
+                    pending = self._execute(target, values)
+                except _VMTrap as trap:
+                    if not self.handlers:
+                        raise UncaughtTmlException(trap.value) from None
+                    handler = self.handlers.pop()
+                    pending = (handler, [trap.value])
+        except _VMHalt as halted:
+            return VMResult(
+                value=halted.value,
+                instructions=self.instructions - start_instr,
+                output=self.output[start_output:],
+            )
+
+    def _execute(self, closure: VMClosure, args: list[Any]) -> tuple[Any, list[Any]]:
+        """Run one code object until it tail-calls out (or halts/raises)."""
+        code = closure.code
+        regs: list[Any] = [None] * code.nregs
+        regs[: len(args)] = args
+        free = closure.free
+        consts = code.consts
+        instrs = code.instrs
+        codes = code.codes
+        pc = 0
+        counted = self.instructions
+        limit = self.step_limit
+
+        while True:
+            instr = instrs[pc]
+            counted += 1
+            if limit is not None and counted > limit:
+                self.instructions = counted
+                raise StepLimitExceeded(f"exceeded {limit} instructions")
+            op = instr[0]
+
+            if op == "const":
+                value = consts[instr[2]]
+                if type(value) is Oid and self.store is not None:
+                    value = self.store.load(value)
+                regs[instr[1]] = value
+            elif op == "move":
+                regs[instr[1]] = regs[instr[2]]
+            elif op == "free":
+                regs[instr[1]] = free[instr[2]]
+            elif op == "closure":
+                _, dst, code_index, plan = instr
+                regs[dst] = VMClosure(
+                    codes[code_index],
+                    [regs[i] if kind == "r" else free[i] for kind, i in plan],
+                )
+            elif op == "fix":
+                group = instr[1]
+                created = []
+                for dst, code_index, plan in group:
+                    vmclosure = VMClosure(codes[code_index], [None] * len(plan))
+                    regs[dst] = vmclosure
+                    created.append((vmclosure, plan))
+                for vmclosure, plan in created:
+                    for slot, (kind, i) in enumerate(plan):
+                        vmclosure.free[slot] = regs[i] if kind == "r" else free[i]
+            elif op == "jump":
+                self.instructions = counted
+                pc = instr[1]
+                continue
+            elif op in ("add", "sub", "mul"):
+                _, dst, ra, rb, epc, ed = instr
+                a, b = regs[ra], regs[rb]
+                if type(a) is not int or type(b) is not int:
+                    self.instructions = counted
+                    raise _VMTrap(TYPE_ERROR)
+                result = a + b if op == "add" else a - b if op == "sub" else a * b
+                if result < INT_MIN or result > INT_MAX:
+                    regs[ed] = OVERFLOW
+                    pc = epc
+                    continue
+                regs[dst] = result
+            elif op in ("div", "rem"):
+                _, dst, ra, rb, epc, ed = instr
+                a, b = regs[ra], regs[rb]
+                if type(a) is not int or type(b) is not int:
+                    self.instructions = counted
+                    raise _VMTrap(TYPE_ERROR)
+                if b == 0:
+                    regs[ed] = ZERO_DIVIDE
+                    pc = epc
+                    continue
+                result = int_div(a, b) if op == "div" else int_rem(a, b)
+                if result < INT_MIN or result > INT_MAX:
+                    regs[ed] = OVERFLOW
+                    pc = epc
+                    continue
+                regs[dst] = result
+            elif op in ("lt", "gt", "le", "ge"):
+                _, ra, rb, else_pc = instr
+                a, b = regs[ra], regs[rb]
+                if type(a) is not int or type(b) is not int:
+                    self.instructions = counted
+                    raise _VMTrap(TYPE_ERROR)
+                taken = (
+                    a < b if op == "lt" else a > b if op == "gt" else a <= b if op == "le" else a >= b
+                )
+                if not taken:
+                    pc = else_pc
+                    continue
+            elif op in ("band", "bor", "bxor", "shl", "shr"):
+                _, dst, ra, rb = instr
+                a, b = regs[ra], regs[rb]
+                if type(a) is not int or type(b) is not int:
+                    self.instructions = counted
+                    raise _VMTrap(TYPE_ERROR)
+                if op == "band":
+                    regs[dst] = wrap_int(a & b)
+                elif op == "bor":
+                    regs[dst] = wrap_int(a | b)
+                elif op == "bxor":
+                    regs[dst] = wrap_int(a ^ b)
+                elif op == "shl":
+                    regs[dst] = wrap_int(a << (b % 64))
+                else:
+                    regs[dst] = wrap_int(a >> (b % 64))
+            elif op == "bnot":
+                a = regs[instr[2]]
+                if type(a) is not int:
+                    self.instructions = counted
+                    raise _VMTrap(TYPE_ERROR)
+                regs[instr[1]] = wrap_int(~a)
+            elif op == "c2i":
+                a = regs[instr[2]]
+                if not isinstance(a, Char):
+                    self.instructions = counted
+                    raise _VMTrap(TYPE_ERROR)
+                regs[instr[1]] = a.code & 0xFF
+            elif op == "i2c":
+                a = regs[instr[2]]
+                if type(a) is not int:
+                    self.instructions = counted
+                    raise _VMTrap(TYPE_ERROR)
+                regs[instr[1]] = Char(chr(a & 0xFF))
+            elif op == "arr":
+                regs[instr[1]] = TmlArray([regs[i] for i in instr[2]])
+            elif op == "vec":
+                regs[instr[1]] = TmlVector([regs[i] for i in instr[2]])
+            elif op == "anew":
+                n, init = regs[instr[2]], regs[instr[3]]
+                if type(n) is not int:
+                    self.instructions = counted
+                    raise _VMTrap(TYPE_ERROR)
+                if n < 0:
+                    self.instructions = counted
+                    raise _VMTrap(BOUNDS_ERROR)
+                regs[instr[1]] = TmlArray([init] * n)
+            elif op == "bnew":
+                n, init = regs[instr[2]], regs[instr[3]]
+                if type(n) is not int or type(init) is not int:
+                    self.instructions = counted
+                    raise _VMTrap(TYPE_ERROR)
+                if n < 0:
+                    self.instructions = counted
+                    raise _VMTrap(BOUNDS_ERROR)
+                regs[instr[1]] = TmlByteArray(bytes([init & 0xFF]) * n)
+            elif op == "aget":
+                target, i = regs[instr[2]], regs[instr[3]]
+                self.instructions = counted
+                if isinstance(target, TmlArray):
+                    slots = target.slots
+                elif isinstance(target, TmlVector):
+                    slots = target.slots
+                else:
+                    raise _VMTrap(TYPE_ERROR)
+                if type(i) is not int or not 0 <= i < len(slots):
+                    raise _VMTrap(BOUNDS_ERROR)
+                regs[instr[1]] = slots[i]
+            elif op == "aset":
+                target, i, value = regs[instr[1]], regs[instr[2]], regs[instr[3]]
+                self.instructions = counted
+                if not isinstance(target, TmlArray):
+                    raise _VMTrap(TYPE_ERROR)
+                if type(i) is not int or not 0 <= i < len(target.slots):
+                    raise _VMTrap(BOUNDS_ERROR)
+                target.slots[i] = value
+            elif op == "bget":
+                target, i = regs[instr[2]], regs[instr[3]]
+                self.instructions = counted
+                if not isinstance(target, TmlByteArray):
+                    raise _VMTrap(TYPE_ERROR)
+                if type(i) is not int or not 0 <= i < len(target.data):
+                    raise _VMTrap(BOUNDS_ERROR)
+                regs[instr[1]] = target.data[i]
+            elif op == "bset":
+                target, i, value = regs[instr[1]], regs[instr[2]], regs[instr[3]]
+                self.instructions = counted
+                if not isinstance(target, TmlByteArray):
+                    raise _VMTrap(TYPE_ERROR)
+                if type(i) is not int or not 0 <= i < len(target.data):
+                    raise _VMTrap(BOUNDS_ERROR)
+                if type(value) is not int:
+                    raise _VMTrap(TYPE_ERROR)
+                target.data[i] = value & 0xFF
+            elif op == "asize":
+                target = regs[instr[2]]
+                self.instructions = counted
+                if isinstance(target, (TmlArray, TmlVector, TmlByteArray)):
+                    regs[instr[1]] = len(target)
+                else:
+                    raise _VMTrap(TYPE_ERROR)
+            elif op == "amove":
+                self.instructions = counted
+                self._move(regs, instr, bytes_mode=False)
+            elif op == "bmove":
+                self.instructions = counted
+                self._move(regs, instr, bytes_mode=True)
+            elif op == "case":
+                _, rs, tag_regs, pcs, else_pc = instr
+                scrutinee = regs[rs]
+                target_pc = else_pc
+                for tag_reg, branch_pc in zip(tag_regs, pcs):
+                    if identical(scrutinee, regs[tag_reg]):
+                        target_pc = branch_pc
+                        break
+                if target_pc is None:
+                    self.instructions = counted
+                    raise _VMTrap("caseError")
+                pc = target_pc
+                continue
+            elif op == "tailcall":
+                self.instructions = counted
+                return regs[instr[1]], [regs[i] for i in instr[2]]
+            elif op == "pushh":
+                self.handlers.append(regs[instr[1]])
+            elif op == "poph":
+                if not self.handlers:
+                    raise MachineError("popHandler on empty handler stack")
+                self.handlers.pop()
+            elif op == "raise":
+                self.instructions = counted
+                raise _VMTrap(regs[instr[1]])
+            elif op == "ccall":
+                _, dst, rf, rv, epc, ed = instr
+                fn_name = regs[rf]
+                argvec = regs[rv]
+                self.instructions = counted
+                if isinstance(fn_name, Char):
+                    fn_name = fn_name.value
+                if not isinstance(fn_name, str) or not isinstance(
+                    argvec, (TmlArray, TmlVector)
+                ):
+                    raise _VMTrap(TYPE_ERROR)
+                function = self.foreign.lookup(fn_name)
+                try:
+                    result = function(*argvec.slots)
+                except Exception as error:
+                    regs[ed] = f"foreignError: {error}"
+                    pc = epc
+                    continue
+                regs[dst] = UNIT if result is None else result
+            elif op == "extcall":
+                _, name, dst, arg_regs, epc, ed = instr
+                handler = EXT_OPS.get(name)
+                self.instructions = counted
+                if handler is None:
+                    raise MachineError(f"no VM handler for extension primitive {name!r}")
+                try:
+                    regs[dst] = handler(self, [regs[i] for i in arg_regs])
+                except ExtRaise as ext:
+                    counted = self.instructions  # nested calls were counted
+                    if epc is None:
+                        raise _VMTrap(ext.value) from None
+                    regs[ed] = ext.value
+                    pc = epc
+                    continue
+                # an extension handler may re-enter the VM (e.g. a query
+                # predicate); pick up the instructions it executed
+                counted = self.instructions
+            elif op == "print":
+                self.output.append(show_value(regs[instr[1]]))
+            elif op == "halt":
+                self.instructions = counted
+                raise _VMHalt(regs[instr[1]])
+            elif op == "trapc":
+                self.instructions = counted
+                raise _VMTrap(consts[instr[1]])
+            else:  # pragma: no cover - defensive
+                raise MachineError(f"unknown opcode {op!r}")
+
+            pc += 1
+
+    @staticmethod
+    def _move(regs: list[Any], instr: tuple, bytes_mode: bool) -> None:
+        dst, di, src, si, n = (regs[i] for i in instr[1:6])
+        for index in (di, si, n):
+            if type(index) is not int:
+                raise _VMTrap(TYPE_ERROR)
+        if bytes_mode:
+            if not isinstance(dst, TmlByteArray) or not isinstance(src, TmlByteArray):
+                raise _VMTrap(TYPE_ERROR)
+            dst_len, src_len = len(dst.data), len(src.data)
+        else:
+            if not isinstance(dst, TmlArray):
+                raise _VMTrap(TYPE_ERROR)
+            if isinstance(src, TmlArray):
+                source = src.slots
+            elif isinstance(src, TmlVector):
+                source = list(src.slots)
+            else:
+                raise _VMTrap(TYPE_ERROR)
+            dst_len, src_len = len(dst.slots), len(source)
+        if n < 0 or di < 0 or si < 0 or di + n > dst_len or si + n > src_len:
+            raise _VMTrap(BOUNDS_ERROR)
+        if bytes_mode:
+            chunk = bytes(src.data[si : si + n])
+            dst.data[di : di + n] = chunk
+        else:
+            chunk = list(source[si : si + n])
+            dst.slots[di : di + n] = chunk

@@ -1,0 +1,28 @@
+"""Primitive procedures for TML (paper section 2.3, Fig. 2).
+
+The intermediate language itself knows nothing about arithmetic, arrays or
+queries; all of it is factored into primitives described by a
+:class:`~repro.primitives.registry.PrimitiveRegistry`.  The default registry
+covers the full Fig. 2 set for compiling an imperative, algorithmically
+complete language; the query subsystem extends it with relational primitives
+at registration time — the paper's adaptability story.
+"""
+
+from repro.primitives.effects import EffectClass, may_commute
+from repro.primitives.registry import (
+    Attributes,
+    Primitive,
+    PrimitiveRegistry,
+    Signature,
+    default_registry,
+)
+
+__all__ = [
+    "EffectClass",
+    "may_commute",
+    "Attributes",
+    "Primitive",
+    "PrimitiveRegistry",
+    "Signature",
+    "default_registry",
+]

@@ -1,0 +1,62 @@
+"""Shared helpers for primitive meta-evaluation (fold) functions."""
+
+from __future__ import annotations
+
+from repro.core.syntax import App, Application, Lit, Term, Value, Var
+
+__all__ = [
+    "INT_MIN",
+    "INT_MAX",
+    "as_int",
+    "fits_int",
+    "wrap_int",
+    "invoke",
+    "same_var",
+]
+
+#: TML integers are 64-bit signed machine integers; arithmetic primitives
+#: invoke their exception continuation on overflow (paper section 2.3).
+INT_BITS = 64
+INT_MIN = -(1 << (INT_BITS - 1))
+INT_MAX = (1 << (INT_BITS - 1)) - 1
+
+
+def as_int(value: Value) -> int | None:
+    """The payload of an integer literal, else None (bools are not ints)."""
+    if isinstance(value, Lit) and isinstance(value.value, int) and not isinstance(
+        value.value, bool
+    ):
+        return value.value
+    return None
+
+
+def fits_int(value: int) -> bool:
+    return INT_MIN <= value <= INT_MAX
+
+
+def wrap_int(value: int) -> int:
+    """Two's-complement wrap to the 64-bit signed range (for bit primitives)."""
+    masked = value & ((1 << INT_BITS) - 1)
+    if masked > INT_MAX:
+        masked -= 1 << INT_BITS
+    return masked
+
+
+def invoke(cont: Value, *results: Value) -> Application | None:
+    """Build the application of a continuation to fold results.
+
+    Returns None when the continuation position holds a literal (ill-formed
+    input) so the fold harmlessly declines instead of crashing the optimizer.
+    """
+    if isinstance(cont, Lit):
+        return None
+    return App(cont, tuple(results))
+
+
+def same_var(left: Term, right: Term) -> bool:
+    """True when both are occurrences of the same variable.
+
+    With unique binding this implies both denote the same runtime value,
+    enabling folds such as ``x <= x  →  then-branch``.
+    """
+    return isinstance(left, Var) and isinstance(right, Var) and left.name == right.name

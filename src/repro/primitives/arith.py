@@ -1,0 +1,199 @@
+"""Integer arithmetic and comparison primitives (paper Fig. 2).
+
+Calling conventions::
+
+    (p a b ce cc)      p in {+ - * / %}   — cc receives the result;
+                                            ce fires on overflow / zeroDivide
+    (p a b c1 c2)      p in {< > <= >=}   — c1 taken when true, c2 when false
+
+Integers are 64-bit signed.  Division truncates toward zero (C semantics);
+``%`` is the matching remainder, so ``a == (a/b)*b + a%b`` always holds.
+
+Each primitive carries the meta-evaluation function the ``fold`` rewrite rule
+dispatches to (section 2.3 item 2): literal operands reduce the call to an
+application of the appropriate continuation —
+``(+ 1 2 ce cc) → (cc 3)`` is the paper's own example — and algebraic
+identities (``x+0``, ``x*1``, ``x*0``, ``x-x``, comparisons of a variable
+with itself) reduce even with non-literal operands.
+"""
+
+from __future__ import annotations
+
+from repro.core.syntax import Application, Lit, PrimApp
+from repro.primitives._util import as_int, fits_int, invoke, same_var
+from repro.primitives.effects import EffectClass
+from repro.primitives.registry import Attributes, Primitive, Signature
+
+__all__ = ["PRIMITIVES", "int_div", "int_rem"]
+
+_ARITH_SIG = Signature(value_args=2, cont_args=2)
+_CMP_SIG = Signature(value_args=2, cont_args=2)
+
+#: Exception values passed to the exception continuation.
+OVERFLOW = "overflow"
+ZERO_DIVIDE = "zeroDivide"
+
+
+def int_div(a: int, b: int) -> int:
+    """C-style truncating division."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def int_rem(a: int, b: int) -> int:
+    """Remainder matching :func:`int_div`: ``a - int_div(a, b) * b``."""
+    return a - int_div(a, b) * b
+
+
+def _fold_add(call: PrimApp) -> Application | None:
+    a, b, ce, cc = call.args
+    left, right = as_int(a), as_int(b)
+    if left is not None and right is not None:
+        total = left + right
+        if fits_int(total):
+            return invoke(cc, Lit(total))
+        return invoke(ce, Lit(OVERFLOW))
+    if left == 0:
+        return invoke(cc, b)
+    if right == 0:
+        return invoke(cc, a)
+    return None
+
+
+def _fold_sub(call: PrimApp) -> Application | None:
+    a, b, ce, cc = call.args
+    left, right = as_int(a), as_int(b)
+    if left is not None and right is not None:
+        total = left - right
+        if fits_int(total):
+            return invoke(cc, Lit(total))
+        return invoke(ce, Lit(OVERFLOW))
+    if right == 0:
+        return invoke(cc, a)
+    if same_var(a, b):
+        return invoke(cc, Lit(0))
+    return None
+
+
+def _fold_mul(call: PrimApp) -> Application | None:
+    a, b, ce, cc = call.args
+    left, right = as_int(a), as_int(b)
+    if left is not None and right is not None:
+        total = left * right
+        if fits_int(total):
+            return invoke(cc, Lit(total))
+        return invoke(ce, Lit(OVERFLOW))
+    if left == 1:
+        return invoke(cc, b)
+    if right == 1:
+        return invoke(cc, a)
+    if left == 0 or right == 0:
+        return invoke(cc, Lit(0))
+    return None
+
+
+def _fold_div(call: PrimApp) -> Application | None:
+    a, b, ce, cc = call.args
+    left, right = as_int(a), as_int(b)
+    if right == 0:
+        return invoke(ce, Lit(ZERO_DIVIDE))
+    if left is not None and right is not None:
+        total = int_div(left, right)
+        if fits_int(total):  # INT_MIN / -1 overflows
+            return invoke(cc, Lit(total))
+        return invoke(ce, Lit(OVERFLOW))
+    if right == 1:
+        return invoke(cc, a)
+    return None
+
+
+def _fold_rem(call: PrimApp) -> Application | None:
+    a, b, ce, cc = call.args
+    left, right = as_int(a), as_int(b)
+    if right == 0:
+        return invoke(ce, Lit(ZERO_DIVIDE))
+    if left is not None and right is not None:
+        return invoke(cc, Lit(int_rem(left, right)))
+    if right == 1:
+        return invoke(cc, Lit(0))
+    return None
+
+
+def _make_cmp_fold(op, when_same: bool):
+    def fold(call: PrimApp) -> Application | None:
+        a, b, c_then, c_else = call.args
+        left, right = as_int(a), as_int(b)
+        if left is not None and right is not None:
+            return invoke(c_then if op(left, right) else c_else)
+        if same_var(a, b):
+            return invoke(c_then if when_same else c_else)
+        return None
+
+    return fold
+
+
+PRIMITIVES = [
+    Primitive(
+        "+",
+        _ARITH_SIG,
+        Attributes(effect=EffectClass.PURE, commutative=True),
+        fold=_fold_add,
+        cost=1,
+    ),
+    Primitive(
+        "-",
+        _ARITH_SIG,
+        Attributes(effect=EffectClass.PURE),
+        fold=_fold_sub,
+        cost=1,
+    ),
+    Primitive(
+        "*",
+        _ARITH_SIG,
+        Attributes(effect=EffectClass.PURE, commutative=True),
+        fold=_fold_mul,
+        cost=2,
+    ),
+    Primitive(
+        "/",
+        _ARITH_SIG,
+        Attributes(effect=EffectClass.PURE),
+        fold=_fold_div,
+        cost=4,
+    ),
+    Primitive(
+        "%",
+        _ARITH_SIG,
+        Attributes(effect=EffectClass.PURE),
+        fold=_fold_rem,
+        cost=4,
+    ),
+    Primitive(
+        "<",
+        _CMP_SIG,
+        Attributes(effect=EffectClass.PURE),
+        fold=_make_cmp_fold(lambda a, b: a < b, when_same=False),
+        cost=1,
+    ),
+    Primitive(
+        ">",
+        _CMP_SIG,
+        Attributes(effect=EffectClass.PURE),
+        fold=_make_cmp_fold(lambda a, b: a > b, when_same=False),
+        cost=1,
+    ),
+    Primitive(
+        "<=",
+        _CMP_SIG,
+        Attributes(effect=EffectClass.PURE),
+        fold=_make_cmp_fold(lambda a, b: a <= b, when_same=True),
+        cost=1,
+    ),
+    Primitive(
+        ">=",
+        _CMP_SIG,
+        Attributes(effect=EffectClass.PURE),
+        fold=_make_cmp_fold(lambda a, b: a >= b, when_same=True),
+        cost=1,
+    ),
+]

@@ -1,0 +1,103 @@
+"""Array, vector and byte-array primitives (paper Fig. 2).
+
+Conventions::
+
+    (array v1..vn c)        create a mutable array of the n values
+    (vector v1..vn c)       create an immutable array
+    (new n init c)          create a mutable array of n slots, all = init
+    ($new n byte c)         create a byte array of n slots, all = byte
+    ([] a i c)              indexed load          (trap on bounds error)
+    ([]:= a i v c)          indexed store         (trap on bounds error)
+    ($[] a i c)             byte array load
+    ($[]:= a i v c)         byte array store
+    (size a c)              number of slots
+    (move dst di src si n c)    block move between arrays
+    ($move dst di src si n c)   block move between byte arrays
+
+Bounds violations *trap*: they transfer control to the current exception
+handler installed via ``pushHandler`` (see :mod:`repro.primitives.control`),
+they do not consume an explicit exception continuation — matching the
+single-continuation signatures in Fig. 2.
+
+Allocation primitives are ``ALLOC``-classified; two textually identical
+``array`` calls yield distinct objects, so they are never folded or merged.
+The only meta-evaluation here is ``size`` applied to a binding whose value is
+a known allocation — the optimizer handles that case structurally via the
+``subst`` rule instead, so these primitives define no fold functions.
+"""
+
+from __future__ import annotations
+
+from repro.primitives.effects import EffectClass
+from repro.primitives.registry import Attributes, Primitive, Signature
+
+__all__ = ["PRIMITIVES"]
+
+PRIMITIVES = [
+    Primitive(
+        "array",
+        Signature(value_args=0, cont_args=1, variadic=True),
+        Attributes(effect=EffectClass.ALLOC),
+        cost=4,
+    ),
+    Primitive(
+        "vector",
+        Signature(value_args=0, cont_args=1, variadic=True),
+        Attributes(effect=EffectClass.ALLOC),
+        cost=4,
+    ),
+    Primitive(
+        "new",
+        Signature(value_args=2, cont_args=1),
+        Attributes(effect=EffectClass.ALLOC),
+        cost=6,
+    ),
+    Primitive(
+        "$new",
+        Signature(value_args=2, cont_args=1),
+        Attributes(effect=EffectClass.ALLOC),
+        cost=6,
+    ),
+    Primitive(
+        "[]",
+        Signature(value_args=2, cont_args=1),
+        Attributes(effect=EffectClass.READ),
+        cost=2,
+    ),
+    Primitive(
+        "[]:=",
+        Signature(value_args=3, cont_args=1),
+        Attributes(effect=EffectClass.WRITE),
+        cost=2,
+    ),
+    Primitive(
+        "$[]",
+        Signature(value_args=2, cont_args=1),
+        Attributes(effect=EffectClass.READ),
+        cost=2,
+    ),
+    Primitive(
+        "$[]:=",
+        Signature(value_args=3, cont_args=1),
+        Attributes(effect=EffectClass.WRITE),
+        cost=2,
+    ),
+    Primitive(
+        "size",
+        Signature(value_args=1, cont_args=1),
+        Attributes(effect=EffectClass.READ),
+        cost=1,
+    ),
+    Primitive(
+        "move",
+        Signature(value_args=5, cont_args=1),
+        Attributes(effect=EffectClass.WRITE),
+        cost=8,
+    ),
+    Primitive(
+        "$move",
+        Signature(value_args=5, cont_args=1),
+        Attributes(effect=EffectClass.WRITE),
+        cost=8,
+    ),
+]

@@ -1,0 +1,119 @@
+"""Bit-manipulation primitives on integers (paper Fig. 2).
+
+Convention: ``(p a b c)`` with a single continuation — bit operations cannot
+fail.  Results wrap two's-complement into the 64-bit signed range.  ``shr``
+is an arithmetic (sign-propagating) right shift; shift counts are taken
+modulo 64, mirroring stock hardware.
+"""
+
+from __future__ import annotations
+
+from repro.core.syntax import Application, Lit, PrimApp
+from repro.primitives._util import as_int, invoke, same_var, wrap_int
+from repro.primitives.effects import EffectClass
+from repro.primitives.registry import Attributes, Primitive, Signature
+
+__all__ = ["PRIMITIVES"]
+
+_BIN_SIG = Signature(value_args=2, cont_args=1)
+_UN_SIG = Signature(value_args=1, cont_args=1)
+
+
+def _make_bin_fold(op):
+    def fold(call: PrimApp) -> Application | None:
+        a, b, cont = call.args
+        left, right = as_int(a), as_int(b)
+        if left is not None and right is not None:
+            return invoke(cont, Lit(wrap_int(op(left, right))))
+        return None
+
+    return fold
+
+
+def _fold_band(call: PrimApp) -> Application | None:
+    a, b, cont = call.args
+    if same_var(a, b):
+        return invoke(cont, a)
+    if as_int(a) == 0 or as_int(b) == 0:
+        return invoke(cont, Lit(0))
+    return _make_bin_fold(lambda x, y: x & y)(call)
+
+
+def _fold_bor(call: PrimApp) -> Application | None:
+    a, b, cont = call.args
+    if same_var(a, b):
+        return invoke(cont, a)
+    if as_int(a) == 0:
+        return invoke(cont, b)
+    if as_int(b) == 0:
+        return invoke(cont, a)
+    return _make_bin_fold(lambda x, y: x | y)(call)
+
+
+def _fold_bxor(call: PrimApp) -> Application | None:
+    a, b, cont = call.args
+    if same_var(a, b):
+        return invoke(cont, Lit(0))
+    return _make_bin_fold(lambda x, y: x ^ y)(call)
+
+
+def _shl(a: int, b: int) -> int:
+    return a << (b % 64)
+
+
+def _shr(a: int, b: int) -> int:
+    return a >> (b % 64)
+
+
+def _fold_bnot(call: PrimApp) -> Application | None:
+    a, cont = call.args
+    value = as_int(a)
+    if value is not None:
+        return invoke(cont, Lit(wrap_int(~value)))
+    return None
+
+
+PRIMITIVES = [
+    Primitive(
+        "band",
+        _BIN_SIG,
+        Attributes(effect=EffectClass.PURE, commutative=True),
+        fold=_fold_band,
+        cost=1,
+    ),
+    Primitive(
+        "bor",
+        _BIN_SIG,
+        Attributes(effect=EffectClass.PURE, commutative=True),
+        fold=_fold_bor,
+        cost=1,
+    ),
+    Primitive(
+        "bxor",
+        _BIN_SIG,
+        Attributes(effect=EffectClass.PURE, commutative=True),
+        fold=_fold_bxor,
+        cost=1,
+    ),
+    Primitive(
+        "shl",
+        _BIN_SIG,
+        Attributes(effect=EffectClass.PURE),
+        fold=_make_bin_fold(_shl),
+        cost=1,
+    ),
+    Primitive(
+        "shr",
+        _BIN_SIG,
+        Attributes(effect=EffectClass.PURE),
+        fold=_make_bin_fold(_shr),
+        cost=1,
+    ),
+    Primitive(
+        "bnot",
+        _UN_SIG,
+        Attributes(effect=EffectClass.PURE),
+        fold=_fold_bnot,
+        cost=1,
+    ),
+]

@@ -1,0 +1,28 @@
+"""Foreign function call primitive (paper Fig. 2).
+
+``(ccall fn argvec ce cc)`` invokes a foreign routine.  In the original
+Tycoon system this called into C; here the foreign world is a table of
+registered Python callables (see :class:`repro.machine.runtime.ForeignTable`)
+— the substitution preserves the IR-level contract: an opaque call with
+*unknown* effects that the optimizer must neither fold, remove, nor reorder.
+
+``fn`` is a literal (string name or OID) identifying the routine; ``argvec``
+is a vector of arguments; the routine's result arrives at ``cc``, a raised
+foreign error at ``ce``.
+"""
+
+from __future__ import annotations
+
+from repro.primitives.effects import EffectClass
+from repro.primitives.registry import Attributes, Primitive, Signature
+
+__all__ = ["PRIMITIVES"]
+
+PRIMITIVES = [
+    Primitive(
+        "ccall",
+        Signature(value_args=2, cont_args=2),
+        Attributes(effect=EffectClass.UNKNOWN),
+        cost=20,
+    ),
+]

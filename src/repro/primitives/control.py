@@ -1,0 +1,115 @@
+"""Control primitives: identity case analysis, the Y combinator, and the
+exception-handler machinery (paper Fig. 2 and section 2.3).
+
+``==`` — case analysis based on object identity::
+
+    (== v tag1..tagn c1..cn)          n branches
+    (== v tag1..tagn c1..cn celse)    n branches plus an else branch
+
+The branch continuations are nullary.  Identity on simple literals is value
+equality; identity on store objects is OID equality.  Meta-evaluation picks
+the branch when the scrutinee and tags are literals — the paper's example is
+``(== 2 1 2 3 c1 c2 c3) → (c2)`` — and falls through to the else branch when
+the scrutinee provably matches no tag.
+
+``Y`` — the multiple-value-return CPS fixpoint combinator::
+
+    (Y λ(c0 v1..vn c) (c entry abs1..absn))
+
+binds ``entry``/``abs_i`` to ``c0``/``v_i`` recursively and then invokes the
+entry continuation (section 2.3).  Its two rewrite rules (Y-remove, Y-reduce)
+live in :mod:`repro.rewrite.rules`.
+
+Exception handling::
+
+    (pushHandler h c)    install continuation h as new handler, continue at c
+    (popHandler c)       remove the topmost handler, continue at c
+    (raise v)            transfer control to the topmost handler with v
+
+This makes control flow explicit even for exceptions: inlined functions that
+manipulate handlers are optimized by the ordinary rules, no special cases
+(section 2.3).
+"""
+
+from __future__ import annotations
+
+from repro.core.syntax import App, Application, Lit, PrimApp
+from repro.primitives.effects import EffectClass
+from repro.primitives.registry import Attributes, Primitive, Signature
+
+__all__ = ["PRIMITIVES", "case_parts"]
+
+
+def case_parts(call: PrimApp) -> tuple:
+    """Split a ``==`` application into (scrutinee, tags, branches, else).
+
+    ``else`` is None when absent.  Arity validity is the caller's concern
+    (checked against the signature by wellformed / the optimizer).
+    """
+    args = call.args
+    total = len(args)
+    has_else = (total % 2) == 0
+    n = (total - 2) // 2 if has_else else (total - 1) // 2
+    scrutinee = args[0]
+    tags = args[1 : 1 + n]
+    branches = args[1 + n : 1 + 2 * n]
+    else_branch = args[-1] if has_else else None
+    return scrutinee, tags, branches, else_branch
+
+
+def _fold_case(call: PrimApp) -> Application | None:
+    scrutinee, tags, branches, else_branch = case_parts(call)
+    if not isinstance(scrutinee, Lit):
+        return None
+    matched_unknown = False
+    for tag, branch in zip(tags, branches):
+        if not isinstance(tag, Lit):
+            matched_unknown = True
+            continue
+        if tag.value == scrutinee.value and type(tag.value) is type(scrutinee.value):
+            if matched_unknown:
+                # an earlier non-literal tag might match first at runtime
+                return None
+            if isinstance(branch, Lit):
+                return None
+            return App(branch, ())
+    if matched_unknown:
+        return None
+    if else_branch is not None and not isinstance(else_branch, Lit):
+        return App(else_branch, ())
+    return None
+
+
+PRIMITIVES = [
+    Primitive(
+        "==",
+        Signature(layout="case"),
+        Attributes(effect=EffectClass.PURE),
+        fold=_fold_case,
+        cost=2,
+    ),
+    Primitive(
+        "Y",
+        Signature(layout="fixpoint"),
+        Attributes(effect=EffectClass.PURE),
+        cost=4,
+    ),
+    Primitive(
+        "pushHandler",
+        Signature(value_args=0, cont_args=2),
+        Attributes(effect=EffectClass.CONTROL),
+        cost=3,
+    ),
+    Primitive(
+        "popHandler",
+        Signature(value_args=0, cont_args=1),
+        Attributes(effect=EffectClass.CONTROL),
+        cost=2,
+    ),
+    Primitive(
+        "raise",
+        Signature(value_args=1, cont_args=0),
+        Attributes(effect=EffectClass.CONTROL),
+        cost=4,
+    ),
+]

@@ -1,0 +1,50 @@
+"""Byte/integer conversion primitives (paper Fig. 2).
+
+``(char2int v c)`` and ``(int2char v c)`` each take a single continuation.
+``int2char`` truncates to the low byte, matching the paper's "convert an
+integer to a byte value".
+"""
+
+from __future__ import annotations
+
+from repro.core.syntax import Application, Char, Lit, PrimApp
+from repro.primitives._util import as_int, invoke
+from repro.primitives.effects import EffectClass
+from repro.primitives.registry import Attributes, Primitive, Signature
+
+__all__ = ["PRIMITIVES"]
+
+_SIG = Signature(value_args=1, cont_args=1)
+
+
+def _fold_char2int(call: PrimApp) -> Application | None:
+    value, cont = call.args
+    if isinstance(value, Lit) and isinstance(value.value, Char):
+        return invoke(cont, Lit(value.value.code & 0xFF))
+    return None
+
+
+def _fold_int2char(call: PrimApp) -> Application | None:
+    value, cont = call.args
+    payload = as_int(value)
+    if payload is not None:
+        return invoke(cont, Lit(Char(chr(payload & 0xFF))))
+    return None
+
+
+PRIMITIVES = [
+    Primitive(
+        "char2int",
+        _SIG,
+        Attributes(effect=EffectClass.PURE),
+        fold=_fold_char2int,
+        cost=1,
+    ),
+    Primitive(
+        "int2char",
+        _SIG,
+        Attributes(effect=EffectClass.PURE),
+        fold=_fold_int2char,
+        cost=1,
+    ),
+]

@@ -1,0 +1,89 @@
+"""Side-effect classes for primitive procedures.
+
+Paper section 2.3, item 4: each primitive carries "a collection of attributes
+useful for the optimizer, for example commutativity, side effect classes
+[Gifford and Lucassen 1986], and flags to enable or disable certain
+optimization rules.  There is a default value for any of these attributes,
+representing the worst possible case."
+
+We adopt a small Gifford/Lucassen-style lattice.  The classes drive:
+
+* *fold legality* — only ``PURE`` calls may be meta-evaluated away;
+* *reordering/commuting* — the query optimizer may swap two calls iff
+  :func:`may_commute` holds;
+* *worst-case defaults* — an unregistered attribute means ``UNKNOWN``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["EffectClass", "may_commute", "observes", "mutates"]
+
+
+class EffectClass(enum.Enum):
+    """Side-effect classification of a primitive procedure."""
+
+    #: No observable effect; result depends only on the arguments.
+    PURE = "pure"
+    #: Reads the mutable store (arrays, relations) but writes nothing.
+    READ = "read"
+    #: Allocates fresh store objects; observable only through identity.
+    ALLOC = "alloc"
+    #: Writes the mutable store.
+    WRITE = "write"
+    #: Performs input/output (never removable or reorderable).
+    IO = "io"
+    #: Transfers control non-locally (raise, handler manipulation).
+    CONTROL = "control"
+    #: Unknown effects — the worst-case default (e.g. ``ccall``).
+    UNKNOWN = "unknown"
+
+
+#: Effects that may be discarded if the result is provably unused.
+_DISCARDABLE = {EffectClass.PURE, EffectClass.READ, EffectClass.ALLOC}
+
+#: Effects that observe store state.
+_OBSERVERS = {EffectClass.READ, EffectClass.WRITE, EffectClass.IO, EffectClass.UNKNOWN}
+
+#: Effects that change store state (or might).
+_MUTATORS = {
+    EffectClass.WRITE,
+    EffectClass.ALLOC,
+    EffectClass.IO,
+    EffectClass.CONTROL,
+    EffectClass.UNKNOWN,
+}
+
+
+def observes(effect: EffectClass) -> bool:
+    """True when the primitive's result can depend on store state."""
+    return effect in _OBSERVERS
+
+
+def mutates(effect: EffectClass) -> bool:
+    """True when the primitive can change observable state."""
+    return effect in _MUTATORS
+
+
+def is_discardable(effect: EffectClass) -> bool:
+    """True when an unused call of this class may be deleted."""
+    return effect in _DISCARDABLE
+
+
+def may_commute(first: EffectClass, second: EffectClass) -> bool:
+    """May two adjacent calls with these effect classes be reordered?
+
+    Sound, conservative rule: two calls commute unless one mutates state the
+    other observes or mutates.  CONTROL and UNKNOWN never commute with
+    anything that observes or mutates.
+    """
+    if first == EffectClass.PURE or second == EffectClass.PURE:
+        return True
+    if EffectClass.UNKNOWN in (first, second) or EffectClass.CONTROL in (first, second):
+        return False
+    if mutates(first) and (observes(second) or mutates(second)):
+        return False
+    if mutates(second) and (observes(first) or mutates(first)):
+        return False
+    return True

@@ -1,0 +1,33 @@
+"""Input/output and program-termination primitives.
+
+Not part of the paper's Fig. 2 (which targets a language whose I/O goes
+through ``ccall``), but required by the Stanford benchmark programs and the
+examples.  ``print`` appends to the machine's output channel; ``halt`` stops
+execution delivering the final program result — the continuation a whole
+compiled program is run with.
+
+    (print v c)    write v, continue at c
+    (halt v)       terminate with result v
+"""
+
+from __future__ import annotations
+
+from repro.primitives.effects import EffectClass
+from repro.primitives.registry import Attributes, Primitive, Signature
+
+__all__ = ["PRIMITIVES"]
+
+PRIMITIVES = [
+    Primitive(
+        "print",
+        Signature(value_args=1, cont_args=1),
+        Attributes(effect=EffectClass.IO),
+        cost=10,
+    ),
+    Primitive(
+        "halt",
+        Signature(value_args=1, cont_args=0),
+        Attributes(effect=EffectClass.CONTROL),
+        cost=1,
+    ),
+]

@@ -1,0 +1,53 @@
+"""Integrated query processing on TML (paper section 4.2).
+
+Relations and indexes in the persistent store, relational-algebra extension
+primitives, embedded ``select``/``exists`` in TL, algebraic rewrite rules in
+CPS notation, and the integrated program/query optimizer of Fig. 4.
+"""
+
+from repro.query.algebra import QUERY_PRIMITIVES, query_registry, register_query_primitives
+from repro.query.index import HashIndex, OrderedIndex
+from repro.query.optimizer import IntegratedResult, integrated_optimize
+from repro.query.relation import QueryError, Relation
+from repro.query.rules import QueryRewriteStats, QueryRewriter, is_effect_safe
+
+__all__ = [
+    "QUERY_PRIMITIVES",
+    "query_registry",
+    "register_query_primitives",
+    "HashIndex",
+    "OrderedIndex",
+    "IntegratedResult",
+    "integrated_optimize",
+    "QueryError",
+    "Relation",
+    "QueryRewriteStats",
+    "QueryRewriter",
+    "is_effect_safe",
+    "optimize_query_function",
+]
+
+
+def optimize_query_function(system, module: str, function: str, config=None):
+    """Reflectively optimize a TL function *including* its embedded queries.
+
+    The runtime counterpart of Fig. 4: the reflective optimizer collects the
+    contributing declarations, and the integrated program/query optimizer
+    rewrites the combined scope with access to the running store's bindings
+    (e.g. indexes).  Returns a :class:`repro.reflect.ReflectResult`.
+    """
+    from repro.reflect.optimize import optimize_closure
+
+    closure = system.closure(module, function)
+
+    def pipeline(term, registry, cfg):
+        return integrated_optimize(term, registry, heap=system.heap, config=cfg)
+
+    return optimize_closure(
+        closure,
+        heap=system.heap,
+        registry=system.registry,
+        config=config,
+        name=f"{module}.{function}'",
+        pipeline=pipeline,
+    )

@@ -1,0 +1,94 @@
+"""Index structures for relations.
+
+Two access paths:
+
+* :class:`HashIndex` — point lookups, O(1);
+* :class:`OrderedIndex` — point and range lookups over a sorted key list.
+
+Whether a relation has an index on a field is a *runtime binding*: it is
+precisely the information the paper says forces query optimization to be
+delayed until runtime (section 4.2), and what experiment E9 varies.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable
+
+__all__ = ["HashIndex", "OrderedIndex", "index_key"]
+
+
+def index_key(value: Any):
+    """Normalize a runtime value into a hashable, comparable index key."""
+    from repro.core.syntax import Char, Oid, Unit
+
+    if isinstance(value, Char):
+        return ("char", value.value)
+    if isinstance(value, Oid):
+        return ("oid", value.value)
+    if isinstance(value, Unit):
+        return ("unit",)
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, int):
+        return ("int", value)
+    if isinstance(value, str):
+        return ("str", value)
+    raise TypeError(f"value {value!r} cannot be an index key")
+
+
+class HashIndex:
+    """Hash index: key -> rows (duplicates kept, bag semantics)."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[Any, list] = {}
+        self.lookups = 0
+
+    def add(self, key: Any, row) -> None:
+        self._buckets.setdefault(index_key(key), []).append(row)
+
+    def lookup(self, key: Any) -> list:
+        self.lookups += 1
+        return list(self._buckets.get(index_key(key), ()))
+
+    def __len__(self) -> int:
+        return sum(len(rows) for rows in self._buckets.values())
+
+    def keys(self) -> Iterable:
+        return self._buckets.keys()
+
+
+class OrderedIndex:
+    """Sorted index supporting point and closed-range lookups.
+
+    Keys must be mutually comparable (TL relations index ints, strings or
+    chars — one type per field in practice).
+    """
+
+    def __init__(self) -> None:
+        self._keys: list = []
+        self._rows: list = []
+        self.lookups = 0
+
+    def add(self, key: Any, row) -> None:
+        normalized = index_key(key)
+        position = bisect.bisect_right(self._keys, normalized)
+        self._keys.insert(position, normalized)
+        self._rows.insert(position, row)
+
+    def lookup(self, key: Any) -> list:
+        self.lookups += 1
+        normalized = index_key(key)
+        left = bisect.bisect_left(self._keys, normalized)
+        right = bisect.bisect_right(self._keys, normalized)
+        return self._rows[left:right]
+
+    def range(self, low: Any, high: Any) -> list:
+        """All rows with low <= key <= high."""
+        self.lookups += 1
+        left = bisect.bisect_left(self._keys, index_key(low))
+        right = bisect.bisect_right(self._keys, index_key(high))
+        return self._rows[left:right]
+
+    def __len__(self) -> int:
+        return len(self._rows)

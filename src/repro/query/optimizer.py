@@ -1,0 +1,86 @@
+"""Integrated program and query optimization (paper section 4.2, Fig. 4).
+
+"Whenever the program optimizer encounters an embedded query construct ...
+it invokes the query optimizer on the respective TML subtree ...  Similarly,
+the query optimizer invokes the program optimizer to analyze and optimize
+nested programming language expressions which appear in query constructs."
+
+Because both optimizers work on the *same* representation, the interaction
+is simply an alternation to a fixpoint: the program optimizer (reduction +
+expansion) simplifies predicates and dissolves abstraction barriers, which
+exposes algebraic patterns to the query rewriter (e.g. an inlined library
+``int.eq`` call becomes the bare equality shape the index-select rule
+matches); query rewrites in turn create new β-redexes for the program
+optimizer.
+
+With a heap attached, the runtime-binding rules (index access paths) fire —
+the reason the paper delays query optimization until runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.syntax import Term, term_size
+from repro.primitives.registry import PrimitiveRegistry
+from repro.query.algebra import query_registry
+from repro.query.rules import QueryRewriter, QueryRewriteStats
+from repro.rewrite.pipeline import OptimizerConfig, optimize
+from repro.rewrite.stats import RewriteStats
+
+__all__ = ["IntegratedResult", "integrated_optimize"]
+
+_MAX_ROUNDS = 6
+
+
+@dataclass
+class IntegratedResult:
+    """Outcome of the alternating program/query optimization."""
+
+    term: Term
+    program_stats: RewriteStats
+    query_stats: QueryRewriteStats
+    rounds: int
+
+    @property
+    def size(self) -> int:
+        return term_size(self.term)
+
+    @property
+    def stats(self) -> RewriteStats:
+        """Alias so this result is interchangeable with OptimizeResult."""
+        return self.program_stats
+
+
+def integrated_optimize(
+    term: Term,
+    registry: PrimitiveRegistry | None = None,
+    heap=None,
+    config: OptimizerConfig | None = None,
+    query_rules: frozenset[str] | None = None,
+) -> IntegratedResult:
+    """Alternate the program optimizer and the query rewriter to a fixpoint."""
+    registry = registry or query_registry()
+    config = config or OptimizerConfig()
+    program_stats = RewriteStats()
+    query_stats = QueryRewriteStats()
+    rounds = 0
+
+    for rounds in range(1, _MAX_ROUNDS + 1):
+        program_result = optimize(term, registry, config)
+        program_stats.merge(program_result.stats)
+        term = program_result.term
+
+        rewriter = QueryRewriter(registry, heap=heap, enabled=query_rules)
+        term = rewriter.rewrite(term)
+        query_stats.counts.update(rewriter.stats.counts)
+        if rewriter.stats.total == 0:
+            break
+
+    program_stats.size_after = term_size(term)
+    return IntegratedResult(
+        term=term,
+        program_stats=program_stats,
+        query_stats=query_stats,
+        rounds=rounds,
+    )

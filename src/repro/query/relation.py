@@ -1,0 +1,167 @@
+"""Relations: the bulk data objects of the persistent store.
+
+A relation is a named collection of *record rows* (TML vectors, the same
+representation TL record values use, so query predicates written in TL work
+on rows unchanged).  Relations live in the object heap and are referenced
+from TML terms as OID literals — "references (object identifiers, OIDs) to
+complex objects in the persistent object store ... (tables, indices, ADT
+values)" (section 2.2).
+
+Indexes (hash for point lookups, ordered for ranges) hang off the relation
+and are maintained on insert; whether an index exists is exactly the
+*runtime binding* that makes delaying query optimization worthwhile
+(section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.machine.runtime import TmlVector
+from repro.query.index import HashIndex, OrderedIndex
+from repro.store.serialize import register_codec
+
+__all__ = ["QueryError", "Relation"]
+
+
+class QueryError(Exception):
+    """Schema violation or invalid query-engine operation."""
+
+
+class Relation:
+    """A named, optionally indexed bag of record rows."""
+
+    def __init__(self, name: str, fields: Iterable[str], rows: Iterable = ()):
+        self.name = name
+        self.fields: tuple[str, ...] = tuple(fields)
+        if len(set(self.fields)) != len(self.fields):
+            raise QueryError(f"duplicate field names in relation {name!r}")
+        self._field_index = {field: i for i, field in enumerate(self.fields)}
+        self.rows: list[TmlVector] = []
+        self.indexes: dict[str, HashIndex | OrderedIndex] = {}
+        #: number of full scans started (the E5 access-cost metric)
+        self.scans = 0
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------- schema
+
+    @property
+    def arity(self) -> int:
+        return len(self.fields)
+
+    def field_position(self, field: str) -> int:
+        try:
+            return self._field_index[field]
+        except KeyError:
+            raise QueryError(
+                f"relation {self.name!r} has no field {field!r}"
+            ) from None
+
+    def field_at(self, position: int) -> str | None:
+        if 0 <= position < len(self.fields):
+            return self.fields[position]
+        return None
+
+    # --------------------------------------------------------------- rows
+
+    def insert(self, row) -> TmlVector:
+        """Insert a row (a TmlVector or any sequence of field values)."""
+        if isinstance(row, TmlVector):
+            vector = row
+        else:
+            vector = TmlVector(row)
+        if len(vector.slots) != self.arity:
+            raise QueryError(
+                f"row arity {len(vector.slots)} != relation arity {self.arity}"
+            )
+        self.rows.append(vector)
+        for field, index in self.indexes.items():
+            index.add(vector.slots[self.field_position(field)], vector)
+        return vector
+
+    def insert_many(self, rows: Iterable) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[TmlVector]:
+        return iter(self.rows)
+
+    def scan(self) -> Iterator[TmlVector]:
+        """Full scan (counts as one pass for the E5 scan-count metric)."""
+        self.scans += 1
+        return iter(self.rows)
+
+    # ------------------------------------------------------------- indexes
+
+    def create_index(self, field: str, ordered: bool = False) -> None:
+        """Build (or rebuild) an index on a field."""
+        position = self.field_position(field)
+        index: HashIndex | OrderedIndex = OrderedIndex() if ordered else HashIndex()
+        for row in self.rows:
+            index.add(row.slots[position], row)
+        self.indexes[field] = index
+
+    def has_index(self, field: str) -> bool:
+        return field in self.indexes
+
+    def index_lookup(self, field: str, value: Any) -> list[TmlVector]:
+        index = self.indexes.get(field)
+        if index is None:
+            raise QueryError(f"no index on {self.name}.{field}")
+        return index.lookup(value)
+
+    def index_range(self, field: str, low: Any, high: Any) -> list[TmlVector]:
+        index = self.indexes.get(field)
+        if not isinstance(index, OrderedIndex):
+            raise QueryError(f"no ordered index on {self.name}.{field}")
+        return index.range(low, high)
+
+    # ---------------------------------------------------------- conversion
+
+    def project_fields(self, wanted: Iterable[str]) -> "Relation":
+        """Schema-level projection helper (python-side, used by tools)."""
+        wanted = tuple(wanted)
+        positions = [self.field_position(f) for f in wanted]
+        out = Relation(f"{self.name}_proj", wanted)
+        for row in self.rows:
+            out.insert(TmlVector([row.slots[p] for p in positions]))
+        return out
+
+    def to_tuples(self) -> list[tuple]:
+        return [tuple(row.slots) for row in self.rows]
+
+    def __repr__(self) -> str:
+        return f"<relation {self.name}({', '.join(self.fields)}) rows={len(self.rows)}>"
+
+
+# ---------------------------------------------------------------------------
+# store codec
+# ---------------------------------------------------------------------------
+
+
+def _encode_relation(rel: Relation, enc) -> None:
+    enc.value(rel.name)
+    enc.value(tuple(rel.fields))
+    enc.uvarint(len(rel.rows))
+    for row in rel.rows:
+        enc.value(row)
+    enc.value(tuple((f, isinstance(ix, OrderedIndex)) for f, ix in rel.indexes.items()))
+
+
+def _decode_relation(dec) -> Relation:
+    name = dec.value()
+    fields = dec.value()
+    count = dec.uvarint()
+    rel = Relation(name, fields)
+    for _ in range(count):
+        rel.insert(dec.value())
+    for field, ordered in dec.value():
+        rel.create_index(field, ordered=ordered)
+    return rel
+
+
+register_codec("relation", Relation, _encode_relation, _decode_relation)

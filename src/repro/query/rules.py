@@ -1,0 +1,488 @@
+"""Algebraic query rewrite rules on CPS terms (paper section 4.2).
+
+The rules are expressed directly on TML — "for a given set of primitive
+procedures, algebraic and implementation-oriented query optimization rules
+can be expressed quite naturally in CPS":
+
+* **merge-select** — the paper's worked example σp(σq(R)) ≡ σp∧q(R)::
+
+      (select q R ce cont(tempRel)               (select proc(x ce' cc')
+         (select p tempRel ce cc))        →           (q x ce' cont(b)
+                                                        (== b true
+                                                           cont()(p x ce' cc')
+                                                           cont()(cc' false)))
+                                                    R ce cc)
+
+  One scan instead of two and no temporary relation; the merged predicate
+  evaluates p only on q-passing rows, preserving σ semantics exactly.
+
+* **merge-project** — π_f(π_g(R)) ≡ π_{f∘g}(R), same shape.
+
+* **trivial-exists** — the paper's scoping-restricted rule: when the
+  correlation variable does not occur in the predicate (``|p|_x = 0``) and
+  the predicate is effect-safe, ``∃x∈R: p`` reduces to evaluating ``p`` once
+  guarded by non-emptiness.  We generate the short-circuit form
+  ``(empty R ...)`` first so the predicate runs at most once, which the
+  paper's ``p ∧ ¬empty(R)`` form reduces to after boolean folding.
+
+* **index-select** — access-path selection: a selection whose predicate is
+  an equality on a field of a relation *that has an index at runtime*
+  becomes an ``indexscan``.  This rule needs the object store (the relation
+  behind the OID literal), which is exactly why the paper delays query
+  optimization until runtime (section 4.2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.names import Name, NameSupply, fresh_supply_above
+from repro.core.occurrences import count as count_occurrences
+from repro.core.syntax import (
+    Abs,
+    App,
+    Application,
+    Lit,
+    Oid,
+    PrimApp,
+    Term,
+    Value,
+    Var,
+    max_uid,
+)
+from repro.primitives.effects import EffectClass
+from repro.primitives.registry import PrimitiveRegistry
+from repro.query.relation import Relation
+
+__all__ = ["QueryRewriteStats", "QueryRewriter", "is_effect_safe"]
+
+_SAFE_EFFECTS = {EffectClass.PURE, EffectClass.READ}
+
+
+def is_effect_safe(term: Term, registry: PrimitiveRegistry) -> bool:
+    """May this term be evaluated a different number of times than written?
+
+    True when every primitive is PURE/READ and every call target is a
+    continuation (unknown user procedures are conservatively unsafe) —
+    the worst-case-assumption discipline of section 2.3.
+    """
+    stack: list[Term] = [term]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, PrimApp):
+            prim = registry.get(node.prim)
+            if prim is None or prim.attrs.effect not in _SAFE_EFFECTS:
+                return False
+            stack.extend(node.args)
+        elif isinstance(node, App):
+            if isinstance(node.fn, Var) and not node.fn.name.is_cont:
+                return False
+            stack.append(node.fn)
+            stack.extend(node.args)
+        elif isinstance(node, Abs):
+            stack.append(node.body)
+    return True
+
+
+@dataclass
+class QueryRewriteStats:
+    """Per-rule application counts for one query-rewrite run."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    def fired(self, rule: str) -> None:
+        self.counts[rule] += 1
+
+    def count(self, rule: str) -> int:
+        return self.counts.get(rule, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+class QueryRewriter:
+    """Applies the query rules bottom-up to a fixpoint.
+
+    ``heap`` enables the runtime-binding rules (index-select); without it
+    only the purely algebraic rules fire — the static/dynamic split of
+    section 4.2.
+    """
+
+    def __init__(
+        self,
+        registry: PrimitiveRegistry,
+        heap=None,
+        supply: NameSupply | None = None,
+        enabled: frozenset[str] | None = None,
+    ):
+        self.registry = registry
+        self.heap = heap
+        self.supply = supply
+        self.enabled = enabled  # None = all
+        self.stats = QueryRewriteStats()
+
+    def allows(self, rule: str) -> bool:
+        return self.enabled is None or rule in self.enabled
+
+    # ------------------------------------------------------------- driver
+
+    def rewrite(self, term: Term) -> Term:
+        if self.supply is None:
+            self.supply = fresh_supply_above([max_uid(term)])
+        for _ in range(64):  # fixpoint bound; each pass strictly simplifies
+            new_term, changed = self._pass(term)
+            term = new_term
+            if not changed:
+                break
+        return term
+
+    def _pass(self, term: Term) -> tuple[Term, bool]:
+        EXPAND, BUILD = 0, 1
+        work: list[tuple[Term, int]] = [(term, EXPAND)]
+        results: list[Term] = []
+        changed = False
+
+        while work:
+            node, phase = work.pop()
+            if phase == EXPAND:
+                if isinstance(node, (Lit, Var)):
+                    results.append(node)
+                elif isinstance(node, Abs):
+                    work.append((node, BUILD))
+                    work.append((node.body, EXPAND))
+                elif isinstance(node, App):
+                    work.append((node, BUILD))
+                    for arg in reversed(node.args):
+                        work.append((arg, EXPAND))
+                    work.append((node.fn, EXPAND))
+                else:
+                    work.append((node, BUILD))
+                    for arg in reversed(node.args):
+                        work.append((arg, EXPAND))
+            else:
+                if isinstance(node, Abs):
+                    body = results.pop()
+                    results.append(node if body is node.body else Abs(node.params, body))
+                elif isinstance(node, App):
+                    count = 1 + len(node.args)
+                    parts = results[-count:]
+                    del results[-count:]
+                    fn, args = parts[0], tuple(parts[1:])
+                    rebuilt = (
+                        node
+                        if fn is node.fn and all(a is b for a, b in zip(args, node.args))
+                        else App(fn, args)
+                    )
+                    results.append(rebuilt)
+                else:
+                    count = len(node.args)
+                    args = tuple(results[-count:]) if count else ()
+                    if count:
+                        del results[-count:]
+                    rebuilt = (
+                        node
+                        if all(a is b for a, b in zip(args, node.args))
+                        else PrimApp(node.prim, args)
+                    )
+                    rewritten = self._rewrite_prim(rebuilt)
+                    if rewritten is not rebuilt:
+                        changed = True
+                    results.append(rewritten)
+
+        assert len(results) == 1
+        return results[0], changed
+
+    # -------------------------------------------------------------- rules
+
+    def _rewrite_prim(self, node: PrimApp) -> Application:
+        if node.prim == "select":
+            out = self._merge_select(node)
+            if out is not node:
+                return out
+            return self._index_select(node)
+        if node.prim == "project":
+            return self._merge_project(node)
+        if node.prim == "exists":
+            return self._trivial_exists(node)
+        if node.prim == "join":
+            return self._push_select_left(node)
+        return node
+
+    def _merge_select(self, node: PrimApp) -> Application:
+        """σp(σq(R)) → σ(q∧p)(R) — the paper's merge-select."""
+        if not self.allows("merge-select") or len(node.args) != 4:
+            return node
+        q, rel, ce, k = node.args
+        if not isinstance(k, Abs) or len(k.params) != 1:
+            return node
+        temp = k.params[0]
+        inner = k.body
+        if not (isinstance(inner, PrimApp) and inner.prim == "select"):
+            return node
+        if len(inner.args) != 4:
+            return node
+        p, inner_rel, ce2, cc2 = inner.args
+        if not (isinstance(inner_rel, Var) and inner_rel.name == temp):
+            return node
+        # the temporary relation must not be referenced anywhere else
+        if count_occurrences(inner, temp) != 1:
+            return node
+        # both selections must share the exception continuation
+        if not (
+            isinstance(ce, Var) and isinstance(ce2, Var) and ce.name == ce2.name
+        ):
+            return node
+
+        merged = self._conjoin(q, p)
+        self.stats.fired("merge-select")
+        return PrimApp("select", (merged, rel, ce2, cc2))
+
+    def _conjoin(self, q: Value, p: Value) -> Abs:
+        """proc(x ce cc): q(x) and then p(x), short-circuiting on false."""
+        x = self.supply.fresh_val("x")
+        ce = self.supply.fresh_cont("ce")
+        cc = self.supply.fresh_cont("cc")
+        b = self.supply.fresh_val("b")
+        miss = Abs((), App(Var(cc), (Lit(False),)))
+        hit = Abs((), App(p, (Var(x), Var(ce), Var(cc))))
+        test = PrimApp("==", (Var(b), Lit(True), hit, miss))
+        body = App(q, (Var(x), Var(ce), Abs((b,), test)))
+        return Abs((x, ce, cc), body)
+
+    def _merge_project(self, node: PrimApp) -> Application:
+        """π_f(π_g(R)) → π_{f∘g}(R)."""
+        if not self.allows("merge-project") or len(node.args) != 4:
+            return node
+        g, rel, ce, k = node.args
+        if not isinstance(k, Abs) or len(k.params) != 1:
+            return node
+        temp = k.params[0]
+        inner = k.body
+        if not (isinstance(inner, PrimApp) and inner.prim == "project"):
+            return node
+        if len(inner.args) != 4:
+            return node
+        f, inner_rel, ce2, cc2 = inner.args
+        if not (isinstance(inner_rel, Var) and inner_rel.name == temp):
+            return node
+        if count_occurrences(inner, temp) != 1:
+            return node
+        if not (
+            isinstance(ce, Var) and isinstance(ce2, Var) and ce.name == ce2.name
+        ):
+            return node
+
+        x = self.supply.fresh_val("x")
+        ce_n = self.supply.fresh_cont("ce")
+        cc_n = self.supply.fresh_cont("cc")
+        t = self.supply.fresh_val("t")
+        inner_call = App(f, (Var(t), Var(ce_n), Var(cc_n)))
+        body = App(g, (Var(x), Var(ce_n), Abs((t,), inner_call)))
+        composed = Abs((x, ce_n, cc_n), body)
+        self.stats.fired("merge-project")
+        return PrimApp("project", (composed, rel, ce2, cc2))
+
+    def _trivial_exists(self, node: PrimApp) -> Application:
+        """(|p|_x = 0): ∃x∈R: p  →  ¬empty(R) ∧ p (paper's trivial-exists)."""
+        if not self.allows("trivial-exists") or len(node.args) != 4:
+            return node
+        pred, rel, ce, cc = node.args
+        if not isinstance(pred, Abs) or len(pred.params) != 3:
+            return node
+        x = pred.params[0]
+        if count_occurrences(pred.body, x) != 0:
+            return node
+        if not is_effect_safe(pred.body, self.registry):
+            return node
+
+        e = self.supply.fresh_val("e")
+        on_empty = Abs((), self._apply_cont(cc, Lit(False)))
+        on_nonempty = Abs((), App(pred, (Lit(0), ce, cc)))
+        # cc may be an abstraction; it is placed twice, so λ-bind it first
+        if isinstance(cc, Abs):
+            j = self.supply.fresh_cont("j")
+            test = PrimApp("==", (Var(e), Lit(True),
+                                  Abs((), App(Var(j), (Lit(False),))),
+                                  Abs((), App(pred, (Lit(0), ce, Var(j))))))
+            body = PrimApp("empty", (rel, Abs((e,), test)))
+            self.stats.fired("trivial-exists")
+            return App(Abs((j,), body), (cc,))
+        test = PrimApp("==", (Var(e), Lit(True), on_empty, on_nonempty))
+        self.stats.fired("trivial-exists")
+        return PrimApp("empty", (rel, Abs((e,), test)))
+
+    @staticmethod
+    def _apply_cont(cc: Value, value: Value) -> Application:
+        return App(cc, (value,))
+
+    def _push_select_left(self, node: PrimApp) -> Application:
+        """σp(R ⋈ S) → σp(R) ⋈ S when p touches only R's columns.
+
+        CPS pattern::
+
+            (join jp R S ce cont(t) (select p t ce cc))
+              →
+            (select p' R ce cont(t2) (join jp t2 S ce cc))
+
+        Join rows are the left row's fields followed by the right row's, so
+        a predicate whose every access of its row variable is a direct
+        indexed load below ``arity(R)`` applies unchanged to bare R rows.
+        ``arity(R)`` is a *runtime binding* (the relation behind the OID
+        literal), which is why this, too, only fires in the runtime
+        optimizer (section 4.2).
+        """
+        if not self.allows("push-select-join") or self.heap is None:
+            return node
+        if len(node.args) != 5:
+            return node
+        jp, left_rel, right_rel, ce, k = node.args
+        if not isinstance(k, Abs) or len(k.params) != 1:
+            return node
+        temp = k.params[0]
+        inner = k.body
+        if not (isinstance(inner, PrimApp) and inner.prim == "select"):
+            return node
+        if len(inner.args) != 4:
+            return node
+        p, inner_rel, ce2, cc2 = inner.args
+        if not (isinstance(inner_rel, Var) and inner_rel.name == temp):
+            return node
+        if count_occurrences(inner, temp) != 1:
+            return node
+        if not (
+            isinstance(ce, Var) and isinstance(ce2, Var) and ce.name == ce2.name
+        ):
+            return node
+        if not (isinstance(left_rel, Lit) and isinstance(left_rel.value, Oid)):
+            return node
+        try:
+            relation = self.heap.load(left_rel.value)
+        except Exception:
+            return node
+        if not isinstance(relation, Relation):
+            return node
+        if not isinstance(p, Abs) or len(p.params) != 3:
+            return node
+        if not _accesses_only_below(p, relation.arity):
+            return node
+        if not is_effect_safe(p.body, self.registry):
+            return node
+
+        temp2 = self.supply.fresh_val("tempRel")
+        new_join = PrimApp("join", (jp, Var(temp2), right_rel, ce2, cc2))
+        self.stats.fired("push-select-join")
+        return PrimApp("select", (p, left_rel, ce, Abs((temp2,), new_join)))
+
+    def _index_select(self, node: PrimApp) -> Application:
+        """Equality selection on an indexed field → indexscan (runtime rule)."""
+        if not self.allows("index-select") or self.heap is None:
+            return node
+        if len(node.args) != 4:
+            return node
+        pred, rel, ce, cc = node.args
+        if not (isinstance(rel, Lit) and isinstance(rel.value, Oid)):
+            return node
+        match = _match_equality_pred(pred)
+        if match is None:
+            return node
+        field_position, key_value = match
+        try:
+            relation = self.heap.load(rel.value)
+        except Exception:
+            return node
+        if not isinstance(relation, Relation):
+            return node
+        field_name = relation.field_at(field_position)
+        if field_name is None or not relation.has_index(field_name):
+            return node
+        self.stats.fired("index-select")
+        return PrimApp("indexscan", (rel, Lit(field_name), key_value, ce, cc))
+
+
+def _accesses_only_below(pred: Abs, limit: int) -> bool:
+    """Every use of the predicate's row variable is ``([] x i)`` with i < limit."""
+    x = pred.params[0]
+    stack: list = [pred.body]
+    found_access = False
+    while stack:
+        node = stack.pop()
+        if isinstance(node, PrimApp):
+            if node.prim == "[]" and len(node.args) == 3:
+                target, index, k = node.args
+                if isinstance(target, Var) and target.name == x:
+                    if not (
+                        isinstance(index, Lit)
+                        and isinstance(index.value, int)
+                        and not isinstance(index.value, bool)
+                        and 0 <= index.value < limit
+                    ):
+                        return False
+                    found_access = True
+                    stack.append(k)
+                    stack.append(index)
+                    continue
+            for arg in node.args:
+                if isinstance(arg, Var) and arg.name == x:
+                    return False  # x escapes into an unknown position
+                stack.append(arg)
+        elif isinstance(node, App):
+            for part in (node.fn,) + node.args:
+                if isinstance(part, Var) and part.name == x:
+                    return False
+                stack.append(part)
+        elif isinstance(node, Abs):
+            stack.append(node.body)
+    return True
+
+
+def _match_equality_pred(pred: Value):
+    """Match ``proc(x ce cc)(([] x IDX) == V ? true : false)``.
+
+    Returns (field position, key value) or None.  ``V`` may be a literal or
+    a variable bound outside the predicate.
+    """
+    if not isinstance(pred, Abs) or len(pred.params) != 3:
+        return None
+    x, ce, cc = pred.params
+    body = pred.body
+    if not (isinstance(body, PrimApp) and body.prim == "[]" and len(body.args) == 3):
+        return None
+    target, index, k = body.args
+    if not (isinstance(target, Var) and target.name == x):
+        return None
+    if not (isinstance(index, Lit) and isinstance(index.value, int)):
+        return None
+    if not (isinstance(k, Abs) and len(k.params) == 1):
+        return None
+    t = k.params[0]
+    cmp = k.body
+    if not (isinstance(cmp, PrimApp) and cmp.prim == "==" and len(cmp.args) == 4):
+        return None
+    a, b, hit, miss = cmp.args
+    if isinstance(a, Var) and a.name == t:
+        key = b
+    elif isinstance(b, Var) and b.name == t:
+        key = a
+    else:
+        return None
+    if isinstance(key, Var) and key.name in (x, t):
+        return None
+    if isinstance(key, Abs):
+        return None
+    if not _is_bool_return(hit, cc, True) or not _is_bool_return(miss, cc, False):
+        return None
+    return index.value, key
+
+
+def _is_bool_return(branch: Value, cc: Name, expected: bool) -> bool:
+    return (
+        isinstance(branch, Abs)
+        and not branch.params
+        and isinstance(branch.body, App)
+        and isinstance(branch.body.fn, Var)
+        and branch.body.fn.name == cc
+        and len(branch.body.args) == 1
+        and branch.body.args[0] == Lit(expected)
+    )

@@ -1,0 +1,72 @@
+"""Reflective runtime optimization across abstraction barriers (paper §4.1).
+
+The public entry point is :func:`optimize_function`, mirroring the paper's
+
+    let optimizedAbs = reflect.optimize(abs)
+
+>>> from repro.lang import TycoonSystem
+>>> from repro import reflect
+>>> system = TycoonSystem()
+>>> _ = system.compile('''
+... module m export f
+... let f(x: Int): Int = x * 2 + 1
+... end''')
+>>> fast = reflect.optimize_function(system, "m", "f")
+>>> system.vm().call(fast, [20]).value
+41
+"""
+
+from repro.reflect.attributes import (
+    DerivedAttributes,
+    cached_optimize,
+    load_attributes,
+    record_attributes,
+)
+from repro.reflect.decompile import decompile_code
+from repro.reflect.optimize import DYNAMIC_CONFIG, ReflectResult, optimize_closure
+from repro.reflect.reach import (
+    Entity,
+    EntityGraph,
+    ReflectError,
+    collect_entities,
+    term_of_closure,
+)
+
+__all__ = [
+    "DerivedAttributes",
+    "cached_optimize",
+    "load_attributes",
+    "record_attributes",
+    "DYNAMIC_CONFIG",
+    "ReflectResult",
+    "optimize_closure",
+    "Entity",
+    "EntityGraph",
+    "ReflectError",
+    "collect_entities",
+    "term_of_closure",
+    "decompile_code",
+    "optimize_function",
+    "optimize_result",
+]
+
+
+def optimize_function(system, module: str, function: str, config=None):
+    """Reflectively optimize ``module.function`` in a running system image.
+
+    Returns the new, faster closure (the paper's ``optimizedAbs``).  Use
+    :func:`optimize_result` for the full diagnostics.
+    """
+    return optimize_result(system, module, function, config).closure
+
+
+def optimize_result(system, module: str, function: str, config=None) -> ReflectResult:
+    """Like :func:`optimize_function` but returns the full ReflectResult."""
+    closure = system.closure(module, function)
+    return optimize_closure(
+        closure,
+        heap=system.heap,
+        registry=system.registry,
+        config=config or DYNAMIC_CONFIG,
+        name=f"{module}.{function}'",
+    )

@@ -1,0 +1,197 @@
+"""The reflective runtime optimizer (paper section 4.1).
+
+``reflect.optimize(f)``: take a *running* procedure, map its persistent TML
+back from PTML, re-establish the R-value bindings of its global variables
+from the closure record, collect every contributing declaration into one
+scope, re-run the TML optimizer across the now-dissolved abstraction
+barriers, regenerate code and link it back into the running image.
+
+The combined scope is built exactly the way the paper prescribes: non-
+recursive declarations become λ-bindings, recursive groups become
+applications of the ``Y`` fixpoint combinator ("recursive declarations of
+functions, values, or queries are represented uniformly through applications
+of the fixpoint combinator Y and do not lead to repeated traversals").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.core.names import Name
+from repro.core.substitution import alpha_rename, substitute_many
+from repro.core.syntax import Abs, App, Lit, PrimApp, Term, Value, Var
+from repro.machine.codegen import compile_function
+from repro.machine.isa import VMClosure, code_size
+from repro.machine.vm import instantiate
+from repro.primitives.registry import PrimitiveRegistry, default_registry
+from repro.rewrite.cost import term_cost
+from repro.rewrite.pipeline import OptimizerConfig, optimize
+from repro.rewrite.stats import RewriteStats
+from repro.reflect.reach import EntityGraph, ReflectError, collect_entities
+from repro.store.ptml import encode_ptml
+
+__all__ = ["ReflectResult", "optimize_closure", "DYNAMIC_CONFIG"]
+
+#: Default optimizer configuration for runtime optimization: same rules as
+#: the static optimizer, expansion enabled with a budget generous enough to
+#: swallow library leaf functions.
+DYNAMIC_CONFIG = OptimizerConfig()
+
+
+@dataclass
+class ReflectResult:
+    """Outcome of one reflective optimization."""
+
+    closure: VMClosure
+    term: Term
+    stats: RewriteStats
+    entities: int
+    holes: int
+    cost_before: int
+    cost_after: int
+    code_size: int
+    #: per-rule counts from the query rewriter, when the integrated
+    #: program/query pipeline was used (Fig. 4)
+    query_stats: object | None = None
+
+    @property
+    def estimated_speedup(self) -> float:
+        if self.cost_after <= 0:
+            return float("inf")
+        return self.cost_before / self.cost_after
+
+
+def optimize_closure(
+    closure: VMClosure,
+    heap=None,
+    registry: PrimitiveRegistry | None = None,
+    config: OptimizerConfig | None = None,
+    name: str | None = None,
+    pipeline=None,
+) -> ReflectResult:
+    """Reflectively optimize a running procedure across abstraction barriers.
+
+    ``pipeline`` overrides the optimizer invoked on the combined scope; the
+    query subsystem passes its integrated program/query optimizer here
+    (Fig. 4) so embedded queries are rewritten against runtime bindings.
+    The callable receives ``(term, registry, config)`` and returns an object
+    with ``.term`` and ``.stats``.
+    """
+    registry = registry or default_registry()
+    config = config or DYNAMIC_CONFIG
+    graph = collect_entities(closure, heap)
+    combined, _ = _combine(graph)
+
+    cost_before = _combined_cost(graph, registry)
+    run = pipeline if pipeline is not None else optimize
+    result = run(combined, registry, config)
+    optimized = result.term
+    if not isinstance(optimized, Abs):
+        # the optimizer η-reduced the wrapper to an existing procedure value;
+        # re-wrap so we can still generate code for it
+        raise ReflectError("combined term did not optimize to an abstraction")
+
+    new_name = name or f"{closure.code.name}'"
+    code = compile_function(optimized, registry, name=new_name)
+    blob = encode_ptml(optimized)
+    if heap is not None:
+        code.ptml_ref = heap.store(blob)
+    else:
+        code.ptml_ref = blob
+
+    bindings = {hole: value for hole, value in graph.holes.items()}
+    new_closure = instantiate(code, bindings)
+    return ReflectResult(
+        closure=new_closure,
+        term=optimized,
+        stats=result.stats,
+        entities=len(graph.entities),
+        holes=len(graph.holes),
+        cost_before=cost_before,
+        cost_after=term_cost(optimized, registry),
+        code_size=code_size(code),
+        query_stats=getattr(result, "query_stats", None),
+    )
+
+
+# ---------------------------------------------------------------------------
+# scope combination
+# ---------------------------------------------------------------------------
+
+
+def _processed_term(graph: EntityGraph, key: int) -> Term:
+    """Alpha-rename an entity's term and re-establish its R-value bindings."""
+    entity = graph.entities[key]
+    renamed = alpha_rename(entity.term, graph.supply)
+    substitution: dict[Name, Value] = {}
+    for free_name, binding in entity.bindings.items():
+        if binding.kind == "lit":
+            substitution[free_name] = Lit(binding.value)
+        else:  # entity or hole
+            substitution[free_name] = Var(binding.name)
+    return substitute_many(renamed, substitution)
+
+
+def _combine(graph: EntityGraph) -> tuple[Abs, tuple[Name, ...]]:
+    """Build one TML term binding every entity around a call to the target.
+
+    Shape::
+
+        proc(p1..pk ce cc)
+          <outermost binding group>
+            ...
+              (target p1..pk ce cc)
+
+    Binding groups follow the SCC condensation of the dependency graph,
+    dependencies outermost; each non-trivial SCC becomes a Y application.
+    """
+    target = graph.entities[graph.target_key]
+    target_term = target.term
+    if not isinstance(target_term, Abs):
+        raise ReflectError("target procedure's PTML is not an abstraction")
+
+    # wrapper parameters mirror the target's parameter sorts
+    params = tuple(graph.supply.fresh_like(p) for p in target_term.params)
+    inner: App = App(Var(target.name), tuple(Var(p) for p in params))
+
+    dep_graph = graph.dependency_graph()
+    condensation = nx.condensation(dep_graph)
+    # topological order lists dependents before dependencies (edges point
+    # from user to used); dependencies must be bound OUTSIDE, so the
+    # outermost-first binding order is the reverse topological order.
+    scc_order = list(nx.topological_sort(condensation))
+    groups_outer_first = [
+        condensation.nodes[scc]["members"] for scc in reversed(scc_order)
+    ]
+
+    body: Term = inner
+    for group in reversed(groups_outer_first):
+        body = _bind_group(graph, dep_graph, sorted(group), body)
+    assert isinstance(body, (App, PrimApp))
+    return Abs(params, body), params
+
+
+def _bind_group(graph: EntityGraph, dep_graph, keys: list[int], inner) -> Term:
+    """Bind one SCC: a λ-binding when trivial, a Y group when recursive."""
+    if len(keys) == 1 and not dep_graph.has_edge(keys[0], keys[0]):
+        entity = graph.entities[keys[0]]
+        return App(
+            Abs((entity.name,), inner),
+            (_processed_term(graph, keys[0]),),
+        )
+    names = tuple(graph.entities[key].name for key in keys)
+    terms = tuple(_processed_term(graph, key) for key in keys)
+    c0 = graph.supply.fresh_cont("c0")
+    c = graph.supply.fresh_cont("c")
+    entry = Abs((), inner)
+    fixfun = Abs((c0,) + names + (c,), App(Var(c), (entry,) + terms))
+    return PrimApp("Y", (fixfun,))
+
+
+def _combined_cost(graph: EntityGraph, registry: PrimitiveRegistry) -> int:
+    """Cost estimate of the unoptimized configuration: sum of entity costs."""
+    return sum(
+        term_cost(entity.term, registry) for entity in graph.entities.values()
+    )

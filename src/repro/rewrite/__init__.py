@@ -1,0 +1,25 @@
+"""Analysis and rewriting of TML intermediate representations (paper §3).
+
+The reduction pass applies the eight core rewrite rules to a fixpoint; the
+expansion pass performs cost-model-guided procedure inlining; the pipeline
+alternates the two under an accumulated-penalty bound.
+"""
+
+from repro.rewrite.expansion import ExpansionConfig, expand_pass
+from repro.rewrite.pipeline import OptimizeResult, OptimizerConfig, optimize, reduce_only
+from repro.rewrite.reduction import reduce_to_fixpoint
+from repro.rewrite.rules import ALL_RULES, RuleConfig
+from repro.rewrite.stats import RewriteStats
+
+__all__ = [
+    "ExpansionConfig",
+    "expand_pass",
+    "OptimizeResult",
+    "OptimizerConfig",
+    "optimize",
+    "reduce_only",
+    "reduce_to_fixpoint",
+    "ALL_RULES",
+    "RuleConfig",
+    "RewriteStats",
+]

@@ -1,0 +1,109 @@
+"""The two-pass TML optimizer (paper section 3).
+
+"We have organized the TML optimizer into two separate passes, namely a
+reduction pass and the expansion pass. ... each expansion pass is followed
+by a reduction pass.  Likewise, the reduction pass may reveal new
+opportunities to perform expansions, so the two passes are applied
+repeatedly until no more changes are made to the TML tree.  To guarantee the
+termination of this process even in obscure cases, a penalty is accumulated
+at each round of the reduction/expansion phases.  The optimization process
+stops when this penalty reaches a certain limit."
+
+Penalty here is the number of inlined sites per round; when the accumulated
+penalty crosses ``penalty_limit`` the growth budget collapses to zero and
+the alternation necessarily stops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.syntax import Term, term_size
+from repro.primitives.registry import PrimitiveRegistry, default_registry
+from repro.rewrite.expansion import ExpansionConfig, expand_pass
+from repro.rewrite.reduction import reduce_to_fixpoint
+from repro.rewrite.rules import RuleConfig
+from repro.rewrite.stats import RewriteStats
+
+__all__ = ["OptimizerConfig", "OptimizeResult", "optimize", "reduce_only"]
+
+
+@dataclass(frozen=True, slots=True)
+class OptimizerConfig:
+    """Configuration of the full reduce/expand alternation."""
+
+    rules: RuleConfig = field(default_factory=RuleConfig)
+    expansion: ExpansionConfig = field(default_factory=ExpansionConfig)
+    #: accumulated-penalty limit that bounds the alternation (section 3)
+    penalty_limit: int = 500
+    #: hard bound on reduce/expand rounds
+    max_rounds: int = 10
+    #: skip the expansion pass entirely (reduction-only optimizer)
+    expansion_enabled: bool = True
+
+    @classmethod
+    def reduction_only(cls) -> "OptimizerConfig":
+        return cls(expansion_enabled=False)
+
+    @classmethod
+    def with_rules(cls, rules: RuleConfig) -> "OptimizerConfig":
+        return cls(rules=rules)
+
+
+@dataclass(frozen=True, slots=True)
+class OptimizeResult:
+    """An optimized term plus the statistics explaining what happened."""
+
+    term: Term
+    stats: RewriteStats
+
+
+def optimize(
+    term: Term,
+    registry: PrimitiveRegistry | None = None,
+    config: OptimizerConfig | None = None,
+) -> OptimizeResult:
+    """Run the alternating reduction/expansion optimizer to quiescence."""
+    registry = registry or default_registry()
+    config = config or OptimizerConfig()
+    stats = RewriteStats()
+    stats.size_before = term_size(term)
+
+    penalty = 0
+    expansion_config = config.expansion
+    for round_index in range(config.max_rounds):
+        stats.rounds = round_index + 1
+        term = reduce_to_fixpoint(term, registry, config.rules, stats)
+        if not config.expansion_enabled:
+            break
+
+        if penalty >= config.penalty_limit:
+            break
+        inlined_before = stats.inlined_sites
+        term = expand_pass(term, registry, expansion_config, stats)
+        new_sites = stats.inlined_sites - inlined_before
+        if new_sites == 0:
+            break
+        penalty += new_sites
+        stats.penalty = penalty
+        if penalty >= config.penalty_limit:
+            # collapse the growth budget so a final reduction settles things
+            expansion_config = replace(expansion_config, growth_budget=0)
+
+    term = reduce_to_fixpoint(term, registry, config.rules, stats)
+    stats.size_after = term_size(term)
+    return OptimizeResult(term, stats)
+
+
+def reduce_only(
+    term: Term,
+    registry: PrimitiveRegistry | None = None,
+    rules: RuleConfig | None = None,
+) -> OptimizeResult:
+    """Run just the reduction pass to fixpoint (no inlining)."""
+    registry = registry or default_registry()
+    stats = RewriteStats()
+    stats.size_before = term_size(term)
+    term = reduce_to_fixpoint(term, registry, rules or RuleConfig(), stats)
+    stats.size_after = term_size(term)
+    return OptimizeResult(term, stats)

@@ -1,0 +1,52 @@
+"""Rewrite statistics: how often each rule fired, sizes before/after.
+
+The per-rule counters power the E7 rule-ablation experiment and give tests a
+way to assert that a specific optimization (e.g. ``fold`` of ``+``) actually
+happened rather than merely that output looks plausible.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["RewriteStats"]
+
+
+@dataclass(slots=True)
+class RewriteStats:
+    """Counters accumulated across reduction and expansion passes."""
+
+    rule_counts: Counter = field(default_factory=Counter)
+    reduction_passes: int = 0
+    expansion_passes: int = 0
+    rounds: int = 0
+    inlined_sites: int = 0
+    penalty: int = 0
+    size_before: int = 0
+    size_after: int = 0
+
+    def fired(self, rule: str, times: int = 1) -> None:
+        self.rule_counts[rule] += times
+
+    def count(self, rule: str) -> int:
+        return self.rule_counts.get(rule, 0)
+
+    @property
+    def total_rewrites(self) -> int:
+        return sum(self.rule_counts.values())
+
+    def merge(self, other: "RewriteStats") -> None:
+        self.rule_counts.update(other.rule_counts)
+        self.reduction_passes += other.reduction_passes
+        self.expansion_passes += other.expansion_passes
+        self.rounds += other.rounds
+        self.inlined_sites += other.inlined_sites
+        self.penalty += other.penalty
+
+    def summary(self) -> str:
+        rules = ", ".join(f"{name}={n}" for name, n in sorted(self.rule_counts.items()))
+        return (
+            f"size {self.size_before} -> {self.size_after} in {self.rounds} round(s); "
+            f"{self.inlined_sites} site(s) inlined; rules: {rules or 'none'}"
+        )

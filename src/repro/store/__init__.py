@@ -1,0 +1,40 @@
+"""The persistent object store (paper sections 2.2 and 4.1).
+
+Layers: :mod:`repro.store.pager` (page file) → :mod:`repro.store.heap`
+(OID → object, roots, atomic commit) → :mod:`repro.store.serialize`
+(value codec with domain extensions) and :mod:`repro.store.ptml` (the
+compact persistent TML encoding attached to compiled functions).
+"""
+
+from repro.store.heap import HeapError, ObjectHeap, Transaction
+from repro.store.pager import PageError, Pager
+from repro.store.ptml import DecodedPtml, PtmlError, decode_ptml, encode_ptml, ptml_size
+from repro.store.serialize import (
+    Blob,
+    Decoder,
+    Encoder,
+    SerializeError,
+    decode_value,
+    encode_value,
+    register_codec,
+)
+
+__all__ = [
+    "HeapError",
+    "ObjectHeap",
+    "Transaction",
+    "PageError",
+    "Pager",
+    "DecodedPtml",
+    "PtmlError",
+    "decode_ptml",
+    "encode_ptml",
+    "ptml_size",
+    "Blob",
+    "Decoder",
+    "Encoder",
+    "SerializeError",
+    "decode_value",
+    "encode_value",
+    "register_codec",
+]

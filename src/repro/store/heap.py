@@ -1,0 +1,264 @@
+"""The persistent object heap: OID → object, over the page file.
+
+The heap is the "persistent Tycoon object store" of the paper: TML literals
+may reference arbitrarily complex objects (tables, indices, ADT values,
+compiled functions, PTML blobs) by OID.  Both execution engines resolve
+literal OIDs through :meth:`ObjectHeap.load`.
+
+Model:
+
+* every stored object has an :class:`~repro.core.syntax.Oid`;
+* ``store(obj)`` assigns a fresh OID; ``update(oid)`` marks it dirty;
+* ``commit()`` serializes dirty objects to page chains, writes a fresh
+  object table, and publishes everything with a single header write
+  (shadow-paging-lite: a crash mid-commit leaves the old state reachable);
+* ``abort()`` drops uncommitted changes;
+* named *roots* (a str → OID directory) make objects reachable across runs.
+
+A heap can also be purely in-memory (``path=None``) — handy for tests and
+for scratch images in the code-shipping example.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.core.syntax import Oid
+from repro.store.pager import Pager
+from repro.store.serialize import Decoder, Encoder, decode_value, encode_value
+
+__all__ = ["HeapError", "ObjectHeap", "Transaction"]
+
+
+class HeapError(Exception):
+    """Invalid heap operation (unknown OID, closed heap, ...)."""
+
+
+class ObjectHeap:
+    """An object store with OID identity, caching and atomic commit."""
+
+    def __init__(self, path: str | None = None, page_size: int = 4096):
+        self._pager: Pager | None = Pager(path, page_size) if path else None
+        #: oid -> (head_page, length); the durable object table
+        self._table: dict[int, tuple[int, int]] = {}
+        #: committed root directory
+        self._roots: dict[str, int] = {}
+        self._cache: dict[int, Any] = {}
+        self._oid_by_identity: dict[int, int] = {}
+        self._dirty: set[int] = set()
+        self._next_oid = 1
+        self._closed = False
+        if self._pager is not None:
+            self._recover()
+
+    # ----------------------------------------------------------- recovery
+
+    def _recover(self) -> None:
+        header = self._pager.header
+        self._next_oid = max(1, header.oid_counter)
+        if header.table_page:
+            raw = self._pager.read_chain(header.table_page, header.table_len)
+            decoder = Decoder(raw)
+            count = decoder.uvarint()
+            for _ in range(count):
+                oid = decoder.uvarint()
+                head = decoder.uvarint()
+                length = decoder.uvarint()
+                self._table[oid] = (head, length)
+            nroots = decoder.uvarint()
+            for _ in range(nroots):
+                name = decoder.text()
+                self._roots[name] = decoder.uvarint()
+
+    # ------------------------------------------------------------- object API
+
+    def store(self, obj: Any) -> Oid:
+        """Enter a new object into the heap, returning its fresh OID."""
+        self._check_open()
+        existing = self._oid_by_identity.get(id(obj))
+        if existing is not None:
+            return Oid(existing)
+        oid = self._next_oid
+        self._next_oid += 1
+        self._cache[oid] = obj
+        self._oid_by_identity[id(obj)] = oid
+        self._dirty.add(oid)
+        return Oid(oid)
+
+    def load(self, oid: Oid | int) -> Any:
+        """Resolve an OID to its object (cached; nested refs swizzled)."""
+        self._check_open()
+        key = int(oid)
+        if key in self._cache:
+            return self._cache[key]
+        entry = self._table.get(key)
+        if entry is None or self._pager is None:
+            raise HeapError(f"unknown oid {key}")
+        head, length = entry
+        raw = self._pager.read_chain(head, length)
+        obj = decode_value(raw, resolver=self.load)
+        self._cache[key] = obj
+        self._oid_by_identity[id(obj)] = key
+        return obj
+
+    def update(self, oid: Oid | int, obj: Any = None) -> None:
+        """Mark an object dirty; optionally replace its value."""
+        self._check_open()
+        key = int(oid)
+        if obj is not None:
+            old = self._cache.get(key)
+            if old is not None and old is not obj:
+                self._oid_by_identity.pop(id(old), None)
+            self._cache[key] = obj
+            self._oid_by_identity[id(obj)] = key
+        elif key not in self._cache and key not in self._table:
+            raise HeapError(f"unknown oid {key}")
+        self._dirty.add(key)
+
+    def oid_of(self, obj: Any) -> Oid | None:
+        """The OID under which ``obj`` is stored, if any."""
+        oid = self._oid_by_identity.get(id(obj))
+        return Oid(oid) if oid is not None else None
+
+    def contains(self, oid: Oid | int) -> bool:
+        key = int(oid)
+        return key in self._cache or key in self._table
+
+    def oids(self) -> Iterator[Oid]:
+        """All live OIDs (committed and uncommitted)."""
+        seen = set(self._table) | set(self._cache)
+        return (Oid(key) for key in sorted(seen))
+
+    # --------------------------------------------------------------- roots
+
+    def set_root(self, name: str, oid: Oid | int) -> None:
+        self._check_open()
+        self._roots[name] = int(oid)
+
+    def root(self, name: str) -> Oid | None:
+        value = self._roots.get(name)
+        return Oid(value) if value is not None else None
+
+    def load_root(self, name: str) -> Any:
+        oid = self.root(name)
+        if oid is None:
+            raise HeapError(f"no root named {name!r}")
+        return self.load(oid)
+
+    def root_names(self) -> list[str]:
+        return sorted(self._roots)
+
+    # --------------------------------------------------------- transactions
+
+    def commit(self) -> None:
+        """Serialize dirty objects, then publish atomically."""
+        self._check_open()
+        if self._pager is None:
+            self._dirty.clear()
+            return
+        released: list[tuple[int, int]] = []
+        for key in sorted(self._dirty):
+            obj = self._cache.get(key)
+            if obj is None:
+                continue
+            payload = encode_value(obj)
+            old = self._table.get(key)
+            if old is not None:
+                released.append(old)
+            head = self._pager.write_chain(payload)
+            self._table[key] = (head, len(payload))
+        self._dirty.clear()
+
+        table = Encoder()
+        table.uvarint(len(self._table))
+        for oid_key, (head, length) in self._table.items():
+            table.uvarint(oid_key)
+            table.uvarint(head)
+            table.uvarint(length)
+        table.uvarint(len(self._roots))
+        for name, oid_key in self._roots.items():
+            table.text(name)
+            table.uvarint(oid_key)
+        raw = table.getvalue()
+
+        header = self._pager.header
+        old_table = (header.table_page, header.table_len)
+        header.table_page = self._pager.write_chain(raw)
+        header.table_len = len(raw)
+        header.oid_counter = self._next_oid
+        self._pager.sync_header()  # the commit point
+
+        # space released by superseded versions is reclaimed only after the
+        # new state is durable
+        if old_table[0]:
+            self._pager.release_chain(*old_table)
+        for head, length in released:
+            self._pager.release_chain(head, length)
+        self._pager.sync_header()
+
+    def abort(self) -> None:
+        """Discard uncommitted objects and modifications."""
+        self._check_open()
+        for key in self._dirty:
+            obj = self._cache.pop(key, None)
+            if obj is not None:
+                self._oid_by_identity.pop(id(obj), None)
+        self._dirty.clear()
+        # recompute next oid from durable state
+        self._next_oid = (
+            self._pager.header.oid_counter if self._pager is not None else self._next_oid
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._pager is not None:
+            self._pager.close()
+        self._closed = True
+
+    def __enter__(self) -> "ObjectHeap":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- metrics
+
+    @property
+    def file_size(self) -> int:
+        return self._pager.file_size if self._pager is not None else 0
+
+    def stored_size(self, oid: Oid | int) -> int:
+        """Serialized byte size of a committed object (E3 measurements)."""
+        entry = self._table.get(int(oid))
+        if entry is None:
+            obj = self._cache.get(int(oid))
+            if obj is None:
+                raise HeapError(f"unknown oid {int(oid)}")
+            return len(encode_value(obj))
+        return entry[1]
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise HeapError("heap is closed")
+
+
+class Transaction:
+    """Context-managed unit of work: commit on success, abort on exception.
+
+    >>> with Transaction(heap):
+    ...     heap.store(obj)        # doctest: +SKIP
+    """
+
+    def __init__(self, heap: ObjectHeap):
+        self.heap = heap
+
+    def __enter__(self) -> ObjectHeap:
+        return self.heap
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.heap.commit()
+        else:
+            self.heap.abort()
+        return False

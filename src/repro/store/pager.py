@@ -1,0 +1,216 @@
+"""Fixed-size page file — the lowest storage layer.
+
+A single file of ``page_size``-byte pages.  Page 0 is the header (magic,
+geometry, free-list head, object-table location, root directory, OID
+counter); pages are allocated from the free list or by extending the file.
+
+Records larger than one page are chained: each data page reserves its first
+8 bytes for the next page id (0 = end of chain) — see
+:meth:`Pager.write_chain` / :meth:`Pager.read_chain`.
+
+Durability model (shadow-paging-lite): all data pages are written first,
+then the header is rewritten last and the file synced; a crash before the
+header write leaves the previous consistent state reachable.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+
+__all__ = ["PageError", "Header", "Pager", "DEFAULT_PAGE_SIZE"]
+
+MAGIC = b"TYC1"
+DEFAULT_PAGE_SIZE = 4096
+_HEADER_FMT = "<4sIQQQQQ"  # magic, page_size, npages, free_head, table_page, table_len, oid_counter
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+_CHAIN_LINK = 8  # bytes reserved per data page for the next-page pointer
+
+
+class PageError(Exception):
+    """Corrupt page file or invalid page operation."""
+
+
+@dataclass(slots=True)
+class Header:
+    """The mutable header state of a page file."""
+
+    page_size: int
+    npages: int
+    free_head: int
+    table_page: int
+    table_len: int
+    oid_counter: int
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            _HEADER_FMT,
+            MAGIC,
+            self.page_size,
+            self.npages,
+            self.free_head,
+            self.table_page,
+            self.table_len,
+            self.oid_counter,
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "Header":
+        magic, page_size, npages, free_head, table_page, table_len, oid_counter = (
+            struct.unpack(_HEADER_FMT, raw[:_HEADER_SIZE])
+        )
+        if magic != MAGIC:
+            raise PageError("bad magic: not a Tycoon store file")
+        return cls(page_size, npages, free_head, table_page, table_len, oid_counter)
+
+
+class Pager:
+    """Page allocation and chained-record I/O over a single file."""
+
+    def __init__(self, path: str | os.PathLike, page_size: int = DEFAULT_PAGE_SIZE):
+        if page_size < _HEADER_SIZE or page_size < _CHAIN_LINK + 16:
+            raise PageError(f"page size {page_size} too small")
+        self.path = os.fspath(path)
+        existed = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        self._file = open(self.path, "r+b" if existed else "w+b")
+        if existed:
+            self._file.seek(0)
+            raw = self._file.read(_HEADER_SIZE)
+            if len(raw) < _HEADER_SIZE:
+                raise PageError("truncated header page")
+            self.header = Header.unpack(raw)
+            if self.header.page_size != page_size and page_size != DEFAULT_PAGE_SIZE:
+                raise PageError(
+                    f"file has page size {self.header.page_size}, asked {page_size}"
+                )
+        else:
+            self.header = Header(
+                page_size=page_size,
+                npages=1,
+                free_head=0,
+                table_page=0,
+                table_len=0,
+                oid_counter=1,
+            )
+            self._write_raw(0, self.header.pack())
+            self.sync_header()
+
+    # ------------------------------------------------------------- raw I/O
+
+    @property
+    def page_size(self) -> int:
+        return self.header.page_size
+
+    def _read_raw(self, page_id: int) -> bytes:
+        self._file.seek(page_id * self.header.page_size if page_id else 0)
+        raw = self._file.read(self.header.page_size)
+        if len(raw) < self.header.page_size:
+            raw = raw + b"\x00" * (self.header.page_size - len(raw))
+        return raw
+
+    def _write_raw(self, page_id: int, data: bytes) -> None:
+        if len(data) > self.header.page_size:
+            raise PageError("page overflow")
+        padded = data + b"\x00" * (self.header.page_size - len(data))
+        self._file.seek(page_id * self.header.page_size)
+        self._file.write(padded)
+
+    def read(self, page_id: int) -> bytes:
+        if not 1 <= page_id < self.header.npages:
+            raise PageError(f"page {page_id} out of range")
+        return self._read_raw(page_id)
+
+    def write(self, page_id: int, data: bytes) -> None:
+        if not 1 <= page_id < self.header.npages:
+            raise PageError(f"page {page_id} out of range")
+        self._write_raw(page_id, data)
+
+    # --------------------------------------------------------- allocation
+
+    def allocate(self) -> int:
+        """Take a page from the free list, or grow the file."""
+        if self.header.free_head:
+            page_id = self.header.free_head
+            raw = self.read(page_id)
+            (next_free,) = struct.unpack("<Q", raw[:8])
+            self.header.free_head = next_free
+            return page_id
+        page_id = self.header.npages
+        self.header.npages += 1
+        self._write_raw(page_id, b"")
+        return page_id
+
+    def release(self, page_id: int) -> None:
+        """Return a page to the free list."""
+        if not 1 <= page_id < self.header.npages:
+            raise PageError(f"cannot release page {page_id}")
+        self._write_raw(page_id, struct.pack("<Q", self.header.free_head))
+        self.header.free_head = page_id
+
+    # ------------------------------------------------------------- chains
+
+    def write_chain(self, payload: bytes) -> int:
+        """Store a record across chained pages; returns the head page id."""
+        capacity = self.header.page_size - _CHAIN_LINK
+        chunks = [payload[i : i + capacity] for i in range(0, len(payload), capacity)]
+        if not chunks:
+            chunks = [b""]
+        pages = [self.allocate() for _ in chunks]
+        for index, (page_id, chunk) in enumerate(zip(pages, chunks)):
+            next_id = pages[index + 1] if index + 1 < len(pages) else 0
+            self._write_raw(page_id, struct.pack("<Q", next_id) + chunk)
+        return pages[0]
+
+    def read_chain(self, head: int, length: int) -> bytes:
+        """Read ``length`` payload bytes from a page chain."""
+        capacity = self.header.page_size - _CHAIN_LINK
+        out = bytearray()
+        page_id = head
+        remaining = length
+        while remaining > 0:
+            if page_id == 0:
+                raise PageError("record chain truncated")
+            raw = self.read(page_id)
+            (next_id,) = struct.unpack("<Q", raw[:8])
+            take = min(remaining, capacity)
+            out += raw[_CHAIN_LINK : _CHAIN_LINK + take]
+            remaining -= take
+            page_id = next_id
+        return bytes(out)
+
+    def release_chain(self, head: int, length: int) -> None:
+        """Free every page of a record chain."""
+        capacity = self.header.page_size - _CHAIN_LINK
+        page_id = head
+        remaining = length
+        while remaining > 0 and page_id:
+            raw = self.read(page_id)
+            (next_id,) = struct.unpack("<Q", raw[:8])
+            self.release(page_id)
+            remaining -= capacity
+            page_id = next_id
+
+    # ------------------------------------------------------------ durability
+
+    def sync_header(self) -> None:
+        """Write the header page and flush — the commit point."""
+        self._file.flush()
+        self._write_raw(0, self.header.pack())
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def file_size(self) -> int:
+        return self.header.npages * self.header.page_size

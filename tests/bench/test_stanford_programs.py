@@ -1,0 +1,77 @@
+"""Correctness tests for the Stanford suite TL programs (the §6 workload)."""
+
+import pytest
+
+from repro.bench.stanford import PROGRAMS
+from repro.bench.harness import CONFIG_NONE, CONFIG_STATIC, geometric_mean, run_stanford
+from repro.lang import TycoonSystem
+from repro.reflect import optimize_function
+
+
+@pytest.fixture(scope="module")
+def systems():
+    none = TycoonSystem(options=CONFIG_NONE)
+    static = TycoonSystem(options=CONFIG_STATIC)
+    for program in PROGRAMS.values():
+        none.compile(program.source)
+        static.compile(program.source)
+    return none, static
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_checksum_unoptimized(systems, name):
+    none, _ = systems
+    program = PROGRAMS[name]
+    got = none.call(name, "run", [program.test_n]).value
+    assert got == program.reference(program.test_n)
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_checksum_static(systems, name):
+    _, static = systems
+    program = PROGRAMS[name]
+    got = static.call(name, "run", [program.test_n]).value
+    assert got == program.reference(program.test_n)
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_checksum_dynamic(systems, name):
+    _, static = systems
+    program = PROGRAMS[name]
+    fast = optimize_function(static, name, "run")
+    got = static.vm().call(fast, [program.test_n]).value
+    assert got == program.reference(program.test_n)
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_dynamic_optimization_reduces_instructions(systems, name):
+    """E2's noise-free core: dynamic optimization cuts executed instructions."""
+    _, static = systems
+    program = PROGRAMS[name]
+    baseline = static.call(name, "run", [program.test_n])
+    fast = optimize_function(static, name, "run")
+    optimized = static.vm().call(fast, [program.test_n])
+    assert optimized.value == baseline.value
+    assert optimized.instructions < baseline.instructions, name
+
+
+def test_suite_covers_ten_programs():
+    assert len(PROGRAMS) >= 10
+
+
+def test_references_scale():
+    for program in PROGRAMS.values():
+        assert isinstance(program.reference(program.test_n), int)
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([]) != geometric_mean([])  # NaN
+
+
+@pytest.mark.slow
+def test_harness_smoke():
+    rows = run_stanford(names=["fib", "towers"], scale=0.3)
+    assert len(rows) == 2
+    for row in rows:
+        assert row.instr_ratio >= 1.0

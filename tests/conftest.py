@@ -1,0 +1,206 @@
+"""Shared fixtures and hypothesis strategies for the TML test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.builder import TmlBuilder
+from repro.core.names import NameSupply
+from repro.core.parser import parse_term
+from repro.primitives.arith import int_div, int_rem
+from repro.primitives.registry import default_registry
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+@pytest.fixture
+def builder():
+    return TmlBuilder(NameSupply())
+
+
+@pytest.fixture
+def parse(registry):
+    def _parse(text: str):
+        return parse_term(text, prims=registry.names())
+
+    return _parse
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: random TL integer expressions with a Python oracle
+# ---------------------------------------------------------------------------
+
+
+class TLZeroDivide(Exception):
+    """Oracle marker: the expression divides by zero (TL raises)."""
+
+
+class TLOverflow(Exception):
+    """Oracle marker: the expression overflows 64-bit integers (TL raises)."""
+
+
+_INT_MIN = -(1 << 63)
+_INT_MAX = (1 << 63) - 1
+
+
+def _checked(value: int) -> int:
+    if value < _INT_MIN or value > _INT_MAX:
+        raise TLOverflow()
+    return value
+
+
+def _eval_node(node) -> int | bool:
+    kind = node[0]
+    if kind == "int":
+        return node[1]
+    if kind == "bin":
+        _, op, left, right = node
+        a, b = _eval_node(left), _eval_node(right)
+        if op == "+":
+            return _checked(a + b)
+        if op == "-":
+            return _checked(a - b)
+        if op == "*":
+            return _checked(a * b)
+        if op == "/":
+            if b == 0:
+                raise TLZeroDivide()
+            return _checked(int_div(a, b))
+        if op == "%":
+            if b == 0:
+                raise TLZeroDivide()
+            return int_rem(a, b)
+        raise AssertionError(op)
+    if kind == "cmp":
+        _, op, left, right = node
+        a, b = _eval_node(left), _eval_node(right)
+        return {"<": a < b, ">": a > b, "<=": a <= b, ">=": a >= b, "==": a == b, "!=": a != b}[op]
+    if kind == "if":
+        _, cond, then, other = node
+        return _eval_node(then) if _eval_node(cond) else _eval_node(other)
+    if kind == "let":
+        _, name, value, body = node
+        return _eval_node(_substitute(body, name, _eval_node(value)))
+    if kind == "var":
+        raise AssertionError(f"unbound oracle variable {node[1]}")
+    raise AssertionError(kind)
+
+
+def _substitute(node, name, value):
+    kind = node[0]
+    if kind == "var":
+        return ("int", value) if node[1] == name else node
+    if kind == "int":
+        return node
+    if kind in ("bin", "cmp"):
+        return (kind, node[1], _substitute(node[2], name, value), _substitute(node[3], name, value))
+    if kind == "if":
+        return ("if",) + tuple(_substitute(child, name, value) for child in node[1:])
+    if kind == "let":
+        _, inner_name, val, body = node
+        new_val = _substitute(val, name, value)
+        if inner_name == name:  # shadowed
+            return ("let", inner_name, new_val, body)
+        return ("let", inner_name, new_val, _substitute(body, name, value))
+    raise AssertionError(kind)
+
+
+def _render(node) -> str:
+    kind = node[0]
+    if kind == "int":
+        value = node[1]
+        return f"(0 - {-value})" if value < 0 else str(value)
+    if kind == "var":
+        return node[1]
+    if kind in ("bin", "cmp"):
+        return f"({_render(node[2])} {node[1]} {_render(node[3])})"
+    if kind == "if":
+        return f"(if {_render(node[1])} then {_render(node[2])} else {_render(node[3])} end)"
+    if kind == "let":
+        return f"(let {node[1]} = {_render(node[2])} in {_render(node[3])})"
+    raise AssertionError(kind)
+
+
+def _int_expr_nodes(variables: tuple[str, ...], depth: int):
+    """Strategy producing oracle AST nodes for integer-valued expressions."""
+    leaves = [st.builds(lambda v: ("int", v), st.integers(-50, 50))]
+    if variables:
+        leaves.append(st.builds(lambda n: ("var", n), st.sampled_from(variables)))
+    base = st.one_of(*leaves)
+    if depth <= 0:
+        return base
+
+    sub = _int_expr_nodes(variables, depth - 1)
+
+    def bin_node(op, a, b):
+        return ("bin", op, a, b)
+
+    def cmp_node(op, a, b):
+        return ("cmp", op, a, b)
+
+    composite = st.one_of(
+        base,
+        st.builds(bin_node, st.sampled_from("+-*/%"), sub, sub),
+        st.builds(
+            lambda c, t, e: ("if", c, t, e),
+            st.builds(cmp_node, st.sampled_from(["<", ">", "<=", ">=", "==", "!="]), sub, sub),
+            sub,
+            sub,
+        ),
+        st.builds(
+            lambda value, body: ("let", "v0", value, body),
+            sub,
+            _int_expr_nodes(variables + ("v0",), depth - 1),
+        ),
+    )
+    return composite
+
+
+@st.composite
+def tl_int_expression(draw, max_depth: int = 3):
+    """A TL integer expression with its Python-oracle outcome.
+
+    Returns (source text, expected) where expected is an int or the string
+    ``"zeroDivide"`` when the oracle hits a division by zero.
+    """
+    node = draw(_int_expr_nodes((), draw(st.integers(1, max_depth))))
+    try:
+        expected: int | str = _eval_node(node)
+    except TLZeroDivide:
+        expected = "zeroDivide"
+    except TLOverflow:
+        expected = "overflow"
+    return _render(node), expected
+
+
+# random runtime values for serializer round-trips -------------------------
+
+
+def runtime_values(max_leaves: int = 20):
+    from repro.core.syntax import Char, Oid, UNIT
+    from repro.machine.runtime import TmlArray, TmlByteArray, TmlVector
+
+    scalars = st.one_of(
+        st.integers(-(2**63), 2**63 - 1),
+        st.booleans(),
+        st.text(max_size=12),
+        st.builds(Char, st.characters(min_codepoint=32, max_codepoint=0x2FF)),
+        st.builds(Oid, st.integers(0, 2**32)),
+        st.just(UNIT),
+        st.none(),
+    )
+    return st.recursive(
+        scalars,
+        lambda children: st.one_of(
+            st.builds(TmlArray, st.lists(children, max_size=4)),
+            st.builds(TmlVector, st.lists(children, max_size=4)),
+            st.builds(TmlByteArray, st.binary(max_size=8)),
+            st.tuples(children, children),
+            st.dictionaries(st.text(max_size=5), children, max_size=3),
+        ),
+        max_leaves=max_leaves,
+    )

@@ -1,0 +1,86 @@
+"""Tests for the TML construction helpers (repro.core.builder)."""
+
+import pytest
+
+from repro.core.builder import TmlBuilder, char_lit, int_lit, lit, oid_lit, unit_lit
+from repro.core.syntax import Abs, App, Char, Lit, Oid, PrimApp, UNIT, Var
+from repro.core.wellformed import is_well_formed
+from repro.machine.cps_interp import Interpreter
+
+
+def test_literal_helpers():
+    assert int_lit(5) == Lit(5)
+    assert char_lit("x") == Lit(Char("x"))
+    assert oid_lit(9) == Lit(Oid(9))
+    assert unit_lit() == Lit(UNIT)
+    assert lit(True) == Lit(True)
+
+
+def test_let_builds_binding_redex():
+    b = TmlBuilder()
+    term = b.let(Lit(5), "x", lambda x: PrimApp("halt", (x,)))
+    assert isinstance(term, App)
+    assert isinstance(term.fn, Abs)
+    assert Interpreter().run(term).value == 5
+
+
+def test_let_many():
+    b = TmlBuilder()
+    term = b.let_many(
+        [Lit(2), Lit(3)],
+        ["a", "b"],
+        lambda vs: PrimApp(
+            "+", (vs[0], vs[1], b.cont1("e", lambda e: PrimApp("halt", (Lit(-1),))),
+                  b.cont1("t", lambda t: PrimApp("halt", (t,))))
+        ),
+    )
+    assert Interpreter().run(term).value == 5
+
+
+def test_let_many_length_mismatch():
+    b = TmlBuilder()
+    with pytest.raises(ValueError):
+        b.let_many([Lit(1)], ["a", "b"], lambda vs: PrimApp("halt", (vs[0],)))
+
+
+def test_proc_builds_two_continuations():
+    b = TmlBuilder()
+    x = b.val_name("x")
+    proc = b.proc([x], lambda ce, cc: App(Var(cc), (Var(x),)))
+    assert proc.is_proc_abs
+    assert len(proc.cont_params) == 2
+    assert is_well_formed(proc)
+
+
+def test_cont_rejects_cont_params():
+    b = TmlBuilder()
+    k = b.cont_name("k")
+    with pytest.raises(ValueError):
+        b.cont([k], App(Var(k), ()))
+
+
+def test_fix_builds_paper_shape():
+    b = TmlBuilder()
+    loop = b.cont_name("loop")
+    head = Abs((b.val_name("i"),), PrimApp("halt", (Lit(1),)))
+    entry = b.cont0(App(Var(loop), (Lit(0),)))
+    term = b.fix(entry, [(loop, head)])
+    assert isinstance(term, PrimApp) and term.prim == "Y"
+    fixfun = term.args[0]
+    assert fixfun.params[0].is_cont and fixfun.params[-1].is_cont
+    assert Interpreter().run(term).value == 1
+
+
+def test_fix_rejects_nonnullary_entry():
+    b = TmlBuilder()
+    bad_entry = Abs((b.val_name("x"),), PrimApp("halt", (Lit(0),)))
+    with pytest.raises(ValueError):
+        b.fix(bad_entry, [])
+
+
+def test_call_appends_continuations():
+    b = TmlBuilder()
+    f = b.val_name("f")
+    ce, cc = b.cont_name("ce"), b.cont_name("cc")
+    call = b.call(Var(f), [Lit(1)], Var(ce), Var(cc))
+    assert call.arity == 3

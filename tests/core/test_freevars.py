@@ -1,0 +1,66 @@
+"""Tests for free-variable and binding analysis (repro.core.freevars)."""
+
+from repro.core.freevars import (
+    applications_of,
+    binding_analysis,
+    escaping_uses,
+    free_in,
+    free_names,
+    independent_of,
+    is_closed,
+)
+from repro.core.parser import parse_term
+
+
+def test_free_names_basic():
+    term = parse_term("(λ(x) (f x g))")
+    names = {n.base for n in free_names(term)}
+    assert names == {"f", "g"}
+
+
+def test_bound_names_are_not_free():
+    term = parse_term("(λ(x) (λ(y) (x y) x))")
+    assert not free_names(term)
+    assert is_closed(term)
+
+
+def test_free_in_matches_trivial_exists_precondition():
+    # |p|_x = 0 : the predicate does not mention the range variable
+    pred = parse_term("proc(x ce cc) (> limit 100 cont()(cc true) cont()(cc false))")
+    x = pred.params[0]
+    assert not free_in(x, pred.body)
+    assert free_in([n for n in free_names(pred) if n.base == "limit"][0], pred)
+
+
+def test_binding_analysis():
+    term = parse_term("(λ(x y) (f x x))")
+    info = binding_analysis(term)
+    x, y = term.fn.params
+    assert info.binder_of[x] is term.fn
+    assert info.occurrences[x] == 2
+    assert y in info.unreferenced
+    assert x in info.multiply_referenced
+    assert {n.base for n in info.free} == {"f"}
+
+
+def test_independent_of():
+    term = parse_term("(f a b)")
+    a = [n for n in free_names(term) if n.base == "a"][0]
+    c_other = [n for n in free_names(term) if n.base == "f"][0]
+    assert not independent_of(term, {a})
+    assert independent_of(term, set())
+
+
+def test_applications_of_finds_call_sites():
+    term = parse_term("(λ(g) (g 1 ^ce cont(t) (g t ^ce2 ^cc2)))")
+    g = term.fn.params[0]
+    sites = applications_of(term, g)
+    assert len(sites) == 2
+
+
+def test_escaping_uses():
+    # g used once as a call and once passed as an argument (escapes)
+    term = parse_term("(λ(g) (g 1 ^ce cont(t) (h g t)))")
+    g = term.fn.params[0]
+    escapes = escaping_uses(term, g)
+    assert len(escapes) == 1

@@ -1,0 +1,106 @@
+"""Tests for the unique-name machinery (repro.core.names)."""
+
+import pytest
+
+from repro.core.names import CONT_SORT, VAL_SORT, Name, NameMap, NameSupply, fresh_supply_above
+
+
+class TestName:
+    def test_equality_is_by_uid(self):
+        assert Name("x", 1) == Name("y", 1)
+        assert Name("x", 1) != Name("x", 2)
+
+    def test_hash_follows_equality(self):
+        assert hash(Name("x", 7)) == hash(Name("z", 7))
+
+    def test_str_matches_paper_style(self):
+        assert str(Name("t", 12)) == "t_12"
+
+    def test_cont_sort_flag(self):
+        assert Name("cc", 0, CONT_SORT).is_cont
+        assert not Name("x", 0, VAL_SORT).is_cont
+
+    def test_invalid_sort_rejected(self):
+        with pytest.raises(ValueError):
+            Name("x", 0, "weird")
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(ValueError):
+            Name("", 0)
+
+
+class TestNameSupply:
+    def test_fresh_names_never_repeat(self):
+        supply = NameSupply()
+        seen = {supply.fresh("t").uid for _ in range(100)}
+        assert len(seen) == 100
+
+    def test_fresh_val_and_cont_sorts(self):
+        supply = NameSupply()
+        assert not supply.fresh_val("x").is_cont
+        assert supply.fresh_cont("k").is_cont
+
+    def test_fresh_like_preserves_base_and_sort(self):
+        supply = NameSupply()
+        original = Name("loop", 3, CONT_SORT)
+        fresh = supply.fresh_like(original)
+        assert fresh.base == "loop"
+        assert fresh.is_cont
+        assert fresh != original
+
+    def test_fresh_many_is_positionally_consistent(self):
+        supply = NameSupply()
+        originals = [Name("a", 0), Name("b", 1, CONT_SORT)]
+        fresh = supply.fresh_many(originals)
+        assert [n.base for n in fresh] == ["a", "b"]
+        assert [n.is_cont for n in fresh] == [False, True]
+
+    def test_start_offset(self):
+        supply = NameSupply(start=50)
+        assert supply.fresh().uid == 50
+
+    def test_fresh_supply_above(self):
+        supply = fresh_supply_above([3, 17, 5])
+        assert supply.fresh().uid == 18
+
+    def test_fresh_supply_above_empty(self):
+        assert fresh_supply_above([]).fresh().uid == 0
+
+    def test_thread_safety(self):
+        import threading
+
+        supply = NameSupply()
+        out: list[int] = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [supply.fresh().uid for _ in range(200)]
+            with lock:
+                out.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(out)) == 800
+
+
+class TestNameMap:
+    def test_lookup_falls_through(self):
+        mapping = NameMap()
+        name = Name("x", 1)
+        assert mapping.lookup(name) == name
+
+    def test_bind_and_lookup(self):
+        mapping = NameMap()
+        old, new = Name("x", 1), Name("x", 9)
+        mapping.bind(old, new)
+        assert mapping.lookup(old) == new
+        assert old in mapping
+        assert len(mapping) == 1
+
+    def test_bind_rejects_sort_change(self):
+        mapping = NameMap()
+        with pytest.raises(ValueError):
+            mapping.bind(Name("x", 1, VAL_SORT), Name("x", 2, CONT_SORT))

@@ -1,0 +1,73 @@
+"""Tests for occurrence counting |E|_v (repro.core.occurrences)."""
+
+from repro.core.names import Name, NameSupply
+from repro.core.occurrences import OccurrenceCensus, count, count_all, count_many
+from repro.core.parser import parse_term
+
+
+def test_paper_base_cases():
+    x = Name("x", 0)
+    y = Name("y", 1)
+    from repro.core.syntax import Lit, Var
+
+    assert count(Var(x), x) == 1  # |v|_v = 1
+    assert count(Lit(5), x) == 0  # |lit|_v = 0
+    assert count(Var(y), x) == 0  # |v'|_v = 0
+
+
+def test_counts_through_abstractions():
+    term = parse_term("(λ(x) (f x x ^ce x))")
+    x = term.fn.params[0]
+    assert count(term, x) == 3
+
+
+def test_count_many_single_pass():
+    term = parse_term("(λ(x y) (f x y x))")
+    x, y = term.fn.params
+    counts = count_many(term, [x, y])
+    assert counts[x] == 2
+    assert counts[y] == 1
+
+
+def test_count_all_census():
+    term = parse_term("(λ(x y) (f x y x))")
+    census = count_all(term)
+    x, y = term.fn.params
+    assert census[x] == 2
+    assert census[y] == 1
+    # f is free but still counted
+    f = [n for n in census if n.base == "f"][0]
+    assert census[f] == 1
+
+
+class TestOccurrenceCensus:
+    def test_incremental_forget_and_add(self):
+        term = parse_term("(λ(x) (f x x))")
+        x = term.fn.params[0]
+        census = OccurrenceCensus(term)
+        assert census.occurrences(x) == 2
+
+        census.forget_subtree(term.fn.body)
+        assert census.occurrences(x) == 0
+
+        census.add_subtree(term.fn.body)
+        assert census.occurrences(x) == 2
+
+    def test_zero_and_add(self):
+        term = parse_term("(λ(x) (f x x))")
+        x = term.fn.params[0]
+        census = OccurrenceCensus(term)
+        census.add(x, 5)
+        assert census.occurrences(x) == 7
+        census.add(x, -10)
+        assert census.occurrences(x) == 0
+        census.zero(x)
+        assert census.occurrences(x) == 0
+
+    def test_snapshot_is_independent(self):
+        term = parse_term("(λ(x) (f x))")
+        x = term.fn.params[0]
+        census = OccurrenceCensus(term)
+        snap = census.snapshot()
+        census.zero(x)
+        assert snap[x] == 1

@@ -1,0 +1,148 @@
+"""Tests for TML concrete syntax parsing (repro.core.parser)."""
+
+import pytest
+
+from repro.core.names import NameSupply
+from repro.core.parser import ParseError, parse_application, parse_term
+from repro.core.syntax import Abs, App, Char, Lit, Oid, PrimApp, UNIT, Var
+
+
+class TestLiterals:
+    def test_integers(self):
+        assert parse_term("42") == Lit(42)
+        assert parse_term("-7") == Lit(-7)
+
+    def test_booleans_and_unit(self):
+        assert parse_term("true") == Lit(True)
+        assert parse_term("false") == Lit(False)
+        assert parse_term("unit") == Lit(UNIT)
+
+    def test_chars(self):
+        assert parse_term("'a'") == Lit(Char("a"))
+        assert parse_term(r"'\n'") == Lit(Char("\n"))
+
+    def test_strings(self):
+        assert parse_term('"hello"') == Lit("hello")
+        assert parse_term(r'"with \"quote\""') == Lit('with "quote"')
+
+    def test_oids(self):
+        assert parse_term("<oid 0x005b4780>") == Lit(Oid(0x5B4780))
+        assert parse_term("#oid:99") == Lit(Oid(99))
+
+
+class TestAbstractions:
+    def test_lambda_and_sugar_equivalence(self):
+        lam = parse_term("λ(t1 t2) (f t1 t2)")
+        cont = parse_term("cont(t1 t2) (f t1 t2)")
+        assert isinstance(lam, Abs) and isinstance(cont, Abs)
+        assert lam.is_cont_abs and cont.is_cont_abs
+
+    def test_proc_sugar_marks_continuations(self):
+        proc = parse_term("proc(x ce cc) (cc x)")
+        assert proc.is_proc_abs
+        assert [p.is_cont for p in proc.params] == [False, True, True]
+
+    def test_caret_marks_continuations_in_lambda(self):
+        lam = parse_term("λ(x ^k) (k x)")
+        assert [p.is_cont for p in lam.params] == [False, True]
+
+    def test_proc_requires_two_params(self):
+        with pytest.raises(ParseError):
+            parse_term("proc(x) (f x)")
+
+    def test_cont_params_cannot_be_conts(self):
+        with pytest.raises(ParseError):
+            parse_term("cont(^k) (k)")
+
+    def test_scoping_resolves_to_binder(self):
+        term = parse_term("λ(x) (f x λ(y) (g x y))")
+        outer_x = term.params[0]
+        inner = term.body.args[1]
+        x_use = inner.body.args[0]
+        assert x_use.name == outer_x
+
+
+class TestApplications:
+    def test_prim_vs_value_application(self):
+        prim = parse_term("(+ 1 2 ^ce ^cc)")
+        assert isinstance(prim, PrimApp) and prim.prim == "+"
+        call = parse_term("(f 1 2)")
+        assert isinstance(call, App)
+
+    def test_local_binding_shadows_primitive(self):
+        term = parse_term("λ(size) (size 1)")
+        assert isinstance(term.body, App)  # not a PrimApp
+
+    def test_nested_application_argument_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("(f (g 1) 2)")
+
+    def test_literal_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("(42 x)")
+
+    def test_parse_application_requires_application(self):
+        with pytest.raises(ParseError):
+            parse_application("42")
+        assert isinstance(parse_application("(f x)"), App)
+
+
+class TestUidHandling:
+    def test_explicit_uids_preserved(self):
+        term = parse_term("λ(x_7) (f_9 x_7)")
+        assert term.params[0].uid == 7
+        assert term.body.fn.name.uid == 9
+
+    def test_fresh_supply_avoids_explicit_uids(self):
+        term = parse_term("λ(x_7) (f x_7)")
+        f = term.body.fn.name
+        assert f.uid > 7
+
+    def test_free_identifiers_interned_per_parse(self):
+        term = parse_term("(f g g)")
+        a, b = term.args
+        assert a.name == b.name
+
+    def test_explicit_supply(self):
+        supply = NameSupply(start=1000)
+        term = parse_term("λ(x) (f x)", supply=supply)
+        assert term.params[0].uid >= 1000
+
+
+class TestErrors:
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse_term("(f x")
+
+    def test_trailing_input(self):
+        with pytest.raises(ParseError):
+            parse_term("(f x) (g y)")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_term("(f \x01)")
+        assert "line 1" in str(excinfo.value)
+
+    def test_comments_skipped(self):
+        term = parse_term("(f x) ; trailing comment")
+        assert isinstance(term, App)
+
+    def test_abstraction_body_must_be_application(self):
+        with pytest.raises(ParseError):
+            parse_term("λ(x) x")
+
+
+def test_paper_example_loop_shape():
+    """The for-loop example of section 2.3 parses into a Y fixpoint."""
+    src = """
+    (Y λ(^c0 for ^c)
+       (c cont() (for 1)
+          cont(i)
+            (> i 10 cont() (halt 0)
+                    cont() (+ i 1 ^ce cont(t2) (for t2)))))
+    """
+    term = parse_term(src)
+    assert isinstance(term, PrimApp) and term.prim == "Y"
+    fixfun = term.args[0]
+    assert isinstance(fixfun, Abs)
+    assert fixfun.params[0].is_cont and fixfun.params[-1].is_cont

@@ -1,0 +1,74 @@
+"""Tests for the pretty-printer and its round-trip with the parser."""
+
+import pytest
+
+from repro.core.parser import parse_term
+from repro.core.pretty import PrettyOptions, pretty, pretty_compact
+from repro.core.syntax import Char, Lit, Oid, UNIT
+
+
+SOURCES = [
+    "42",
+    "'a'",
+    '"str"',
+    "true",
+    "unit",
+    "<oid 0x005b4780>",
+    "(f x y)",
+    "(+ 1 2 ^ce ^cc)",
+    "proc(x ce cc) (+ x 1 ce cc)",
+    "cont(t) (halt t)",
+    "λ(x ^k) (k x)",
+    "(== x 1 2 3 ^c1 ^c2 ^c3 ^celse)",
+    "(Y λ(^c0 loop ^c) (c cont() (loop 1) cont(i) (halt i)))",
+    "(λ(v) (f v)  proc(a b ce cc) (cc a))",
+]
+
+
+@pytest.mark.parametrize("source", SOURCES)
+def test_roundtrip(source):
+    term = parse_term(source)
+    assert parse_term(pretty(term)) == term
+
+
+@pytest.mark.parametrize("source", SOURCES)
+def test_roundtrip_compact(source):
+    term = parse_term(source)
+    assert parse_term(pretty_compact(term)) == term
+
+
+def test_literal_styles():
+    assert pretty_compact(Lit(Char("z"))) == "'z'"
+    assert pretty_compact(Lit(Oid(0x5B4780))) == "<oid 0x005b4780>"
+    assert pretty_compact(Lit(UNIT)) == "unit"
+    assert pretty_compact(Lit(True)) == "true"
+    assert pretty_compact(Lit("a\\b")) == '"a\\\\b"'
+
+
+def test_sugar_keywords_used():
+    term = parse_term("proc(x ce cc) (cc x)")
+    assert pretty(term).startswith("proc(")
+    cont = parse_term("cont(t) (halt t)")
+    assert pretty(cont).startswith("cont(")
+
+
+def test_no_sugar_option():
+    term = parse_term("proc(x ce cc) (cc x)")
+    text = pretty(term, PrettyOptions(sugar=False))
+    assert text.startswith("λ(")
+    assert parse_term(text) == term
+
+
+def test_long_terms_wrap():
+    source = "(f {})".format(" ".join(f"x{i}" for i in range(40)))
+    term = parse_term(source)
+    text = pretty(term, PrettyOptions(width=40))
+    assert "\n" in text
+    assert parse_term(text) == term
+
+
+def test_hide_uids_is_readable():
+    term = parse_term("proc(value ce cc) (+ value 1 ce cc)")
+    text = pretty(term, PrettyOptions(show_uids=False))
+    assert "value_" not in text
+    assert "value" in text

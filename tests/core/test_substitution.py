@@ -1,0 +1,108 @@
+"""Tests for substitution E[val/v] and alpha renaming (repro.core.substitution)."""
+
+import pytest
+
+from repro.core.freevars import free_names
+from repro.core.names import NameSupply
+from repro.core.occurrences import count
+from repro.core.parser import parse_term
+from repro.core.substitution import alpha_rename, rename_free, substitute, substitute_many
+from repro.core.syntax import Abs, App, Lit, Var, bound_names, term_size
+from repro.core.wellformed import is_well_formed
+
+
+def test_substitute_literal():
+    term = parse_term("(λ(x) (+ x 1 ^ce ^cc))")
+    x = term.fn.params[0]
+    out = substitute(term.fn.body, Lit(41), x)
+    assert count(out, x) == 0
+    assert Lit(41) in list(out.args)
+
+
+def test_substitute_variable():
+    term = parse_term("(λ(x) (f x x))")
+    x = term.fn.params[0]
+    free_y = Var(NameSupply(start=100).fresh_val("y"))
+    out = substitute(term.fn.body, free_y, x)
+    assert count(out, x) == 0
+    assert count(out, free_y.name) == 2
+
+
+def test_substitution_rejects_applications():
+    term = parse_term("(f x)")
+    x = [n for n in free_names(term) if n.base == "x"][0]
+    with pytest.raises(TypeError):
+        substitute_many(term, {x: term})
+
+
+def test_substitute_many_is_simultaneous():
+    term = parse_term("(λ(a b) (f a b))")
+    a, b = term.fn.params
+    # a := b, b := 1 must not chain into b := 1 for the first substitution
+    out = substitute_many(term.fn.body, {a: Var(b), b: Lit(1)})
+    assert count(out, b) == 1
+    assert Lit(1) in out.args
+
+
+def test_substitute_shares_unchanged_subtrees():
+    term = parse_term("(λ(x) (f λ(y) (g y) 1))")
+    x = term.fn.params[0]
+    out = substitute(term.fn.body, Lit(9), x)
+    # x does not occur; the result must be the very same object
+    assert out is term.fn.body
+
+
+def test_empty_substitution_is_identity():
+    term = parse_term("(f x)")
+    assert substitute_many(term, {}) is term
+
+
+class TestAlphaRename:
+    def test_renames_all_binders(self):
+        term = parse_term("(λ(x) (f x λ(y) (g y x)))")
+        supply = NameSupply(start=1000)
+        renamed = alpha_rename(term, supply)
+        old = {n.uid for n in bound_names(term)}
+        new = {n.uid for n in bound_names(renamed)}
+        assert old.isdisjoint(new)
+        assert all(uid >= 1000 for uid in new)
+
+    def test_preserves_free_names(self):
+        term = parse_term("(λ(x) (f x g))")
+        renamed = alpha_rename(term, NameSupply(start=500))
+        assert free_names(renamed) == free_names(term)
+
+    def test_preserves_structure_and_size(self):
+        term = parse_term("(λ(x) (+ x 1 ^ce cont(t) (halt t)))").fn
+        renamed = alpha_rename(term, NameSupply(start=99))
+        assert term_size(renamed) == term_size(term)
+        assert is_well_formed(renamed)
+
+    def test_two_copies_do_not_collide(self):
+        """The expansion pass relies on alpha-renamed copies being disjoint."""
+        term = parse_term("(λ(x) (f x))").fn
+        supply = NameSupply(start=100)
+        copy1 = alpha_rename(term, supply)
+        copy2 = alpha_rename(term, supply)
+        names1 = {n.uid for n in bound_names(copy1)}
+        names2 = {n.uid for n in bound_names(copy2)}
+        assert names1.isdisjoint(names2)
+
+    def test_sorts_preserved(self):
+        term = parse_term("proc(x ce cc) (cc x)")
+        renamed = alpha_rename(term, NameSupply(start=10))
+        assert [p.is_cont for p in renamed.params] == [False, True, True]
+
+
+def test_rename_free():
+    term = parse_term("(f x x)")
+    old = [n for n in free_names(term) if n.base == "x"][0]
+    new = NameSupply(start=77).fresh_val("z")
+    out = rename_free(term, {old: new})
+    assert count(out, old) == 0
+    assert count(out, new) == 2
+
+
+def test_rename_free_empty_identity():
+    term = parse_term("(f x)")
+    assert rename_free(term, {}) is term

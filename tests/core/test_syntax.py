@@ -1,0 +1,147 @@
+"""Tests for TML abstract syntax (repro.core.syntax)."""
+
+import pytest
+
+from repro.core.names import Name, NameSupply
+from repro.core.syntax import (
+    Abs,
+    App,
+    Char,
+    Lit,
+    Oid,
+    PrimApp,
+    UNIT,
+    Unit,
+    Var,
+    bound_names,
+    is_application,
+    is_value,
+    iter_abstractions,
+    iter_applications,
+    iter_subterms,
+    max_uid,
+    term_size,
+)
+
+
+def _simple_abs():
+    x = Name("x", 0)
+    cc = Name("cc", 1, "cont")
+    return Abs((x, cc), App(Var(cc), (Var(x),)))
+
+
+class TestLiterals:
+    def test_int_bool_char_str_unit_oid(self):
+        for payload in (3, True, Char("a"), "text", UNIT, Oid(5)):
+            assert Lit(payload).value == payload
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(TypeError):
+            Lit(3.14)
+        with pytest.raises(TypeError):
+            Lit([1, 2])
+
+    def test_oid_rendering(self):
+        assert str(Oid(0x5B4780)) == "<oid 0x005b4780>"
+
+    def test_oid_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Oid(-1)
+
+    def test_char_must_be_single(self):
+        with pytest.raises(ValueError):
+            Char("ab")
+
+    def test_unit_is_singleton(self):
+        assert Unit() is UNIT
+        assert Unit() == UNIT
+
+    def test_is_oid(self):
+        assert Lit(Oid(1)).is_oid
+        assert not Lit(1).is_oid
+
+
+class TestAbs:
+    def test_duplicate_params_rejected(self):
+        x = Name("x", 0)
+        with pytest.raises(ValueError):
+            Abs((x, x), App(Var(x), ()))
+
+    def test_body_must_be_application(self):
+        x = Name("x", 0)
+        with pytest.raises(TypeError):
+            Abs((x,), Var(x))
+
+    def test_cont_vs_proc_classification(self):
+        cont_abs = Abs((Name("t", 0),), App(Var(Name("k", 1, "cont")), ()))
+        assert cont_abs.is_cont_abs and not cont_abs.is_proc_abs
+
+        proc = _simple_abs()
+        assert proc.is_proc_abs and not proc.is_cont_abs
+
+    def test_value_and_cont_params(self):
+        proc = _simple_abs()
+        assert [n.base for n in proc.value_params] == ["x"]
+        assert [n.base for n in proc.cont_params] == ["cc"]
+
+
+class TestApp:
+    def test_literal_fn_rejected(self):
+        with pytest.raises(TypeError):
+            App(Lit(1), ())
+
+    def test_nested_application_argument_rejected(self):
+        k = Var(Name("k", 0, "cont"))
+        inner = App(k, ())
+        with pytest.raises(TypeError):
+            App(k, (inner,))
+
+    def test_primapp_requires_name(self):
+        with pytest.raises(TypeError):
+            PrimApp("", ())
+
+    def test_arity(self):
+        app = App(Var(Name("f", 0)), (Lit(1), Lit(2)))
+        assert app.arity == 2
+        assert PrimApp("+", (Lit(1), Lit(2))).arity == 2
+
+
+class TestTraversal:
+    def test_term_size(self):
+        term = _simple_abs()
+        # Abs + App + Var(cc) + Var(x) = 4
+        assert term_size(term) == 4
+
+    def test_iter_subterms_preorder(self):
+        term = _simple_abs()
+        kinds = [type(t).__name__ for t in iter_subterms(term)]
+        assert kinds == ["Abs", "App", "Var", "Var"]
+
+    def test_iter_applications_and_abstractions(self):
+        term = _simple_abs()
+        assert len(list(iter_applications(term))) == 1
+        assert len(list(iter_abstractions(term))) == 1
+
+    def test_deep_chain_does_not_recurse(self):
+        # 50_000-deep CPS chain must traverse without RecursionError
+        supply = NameSupply()
+        k = supply.fresh_cont("k")
+        app = App(Var(k), (Lit(0),))
+        for _ in range(50_000):
+            t = supply.fresh_val("t")
+            app = App(Abs((t,), app), (Lit(1),))
+        assert term_size(app) > 100_000
+
+    def test_bound_names_and_max_uid(self):
+        term = _simple_abs()
+        assert {n.base for n in bound_names(term)} == {"x", "cc"}
+        assert max_uid(term) == 1
+        assert max_uid(Lit(1)) == -1
+
+    def test_is_value_is_application(self):
+        assert is_value(Lit(1))
+        assert is_value(Var(Name("x", 0)))
+        assert is_value(_simple_abs())
+        assert is_application(PrimApp("+", ()))
+        assert not is_value(PrimApp("+", ()))
+        assert not is_application(Lit(1))

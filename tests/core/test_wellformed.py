@@ -1,0 +1,102 @@
+"""Tests for the well-formedness checker (paper section 2.2, constraints 1-5)."""
+
+import pytest
+
+from repro.core.names import Name, NameSupply
+from repro.core.parser import parse_term
+from repro.core.syntax import Abs, App, Lit, PrimApp, Var
+from repro.core.wellformed import WellFormednessError, check, is_well_formed, violations
+from repro.primitives.registry import default_registry
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+def test_good_proc_passes(registry):
+    term = parse_term("proc(x ce cc) (+ x 1 ce cc)")
+    check(term, registry)
+
+
+def test_constraint4_unique_binding():
+    x = Name("x", 0)
+    inner = Abs((x,), App(Var(x), ()))
+    # binding x again in an enclosing abstraction violates unique binding
+    outer = Abs((x,), App(inner, (Lit(1),)))
+    found = violations(outer)
+    assert any(v.constraint == 4 for v in found)
+
+
+def test_constraint1_direct_arity():
+    term = parse_term("(λ(x y) (f x) 1)")  # 2-ary abstraction, 1 argument
+    found = violations(term)
+    assert any(v.constraint == 1 for v in found)
+
+
+def test_constraint2_unknown_primitive(registry):
+    term = PrimApp("no-such-prim", ())
+    found = violations(term, registry)
+    assert any(v.constraint == 2 for v in found)
+
+
+def test_constraint2_bad_arity(registry):
+    term = parse_term("(+ 1 2 ^cc)")  # + needs 2 values + 2 continuations
+    found = violations(term, registry)
+    assert any(v.constraint == 2 for v in found)
+
+
+def test_constraint3_escaping_continuation(registry):
+    # a continuation variable in a value position of a primitive
+    term = parse_term("proc(x ce cc) ([]:= arr 0 ce cc)")
+    found = violations(term, registry)
+    assert any(v.constraint == 3 for v in found)
+
+
+def test_constraint5_proc_needs_two_conts():
+    # an abstraction with one continuation parameter used as a value argument
+    supply = NameSupply()
+    x, k = supply.fresh_val("x"), supply.fresh_cont("k")
+    one_cont = Abs((x, k), App(Var(k), (Var(x),)))
+    f = supply.fresh_val("f")
+    term = Abs((f,), App(Var(f), (one_cont,)))
+    found = violations(term)
+    assert any(v.constraint == 5 for v in found)
+
+
+def test_constraint5_fn_position_exempt():
+    # binding a handler continuation via a direct application is legal
+    term = parse_term("(λ(^h) (pushHandler h cont() (halt 0))  cont(x) (halt x))")
+    assert is_well_formed(term, default_registry())
+
+
+def test_y_fixpoint_shape_ok(registry):
+    term = parse_term(
+        "(Y λ(^c0 ^loop ^c) (c cont() (loop) cont() (halt 0)))"
+    )
+    assert is_well_formed(term, registry)
+
+
+def test_y_fixpoint_bad_shape():
+    # first parameter of the fixpoint function must be a continuation
+    supply = NameSupply()
+    a = supply.fresh_val("a")
+    c = supply.fresh_cont("c")
+    bad = PrimApp("Y", (Abs((a, c), App(Var(c), (Lit(1),))),))
+    found = violations(bad)
+    assert any(v.constraint == 5 for v in found)
+
+
+def test_check_raises_with_message():
+    x = Name("x", 0)
+    bad = Abs((x,), App(Var(x), ()))
+    nested = Abs((x,), App(bad, ()))
+    with pytest.raises(WellFormednessError) as excinfo:
+        check(nested)
+    assert "constraint 4" in str(excinfo.value)
+
+
+def test_literal_after_continuation_argument():
+    term = parse_term("(f ^cc 3)")
+    found = violations(term)
+    assert any(v.constraint == 1 for v in found)

@@ -1,0 +1,228 @@
+"""Structural tests for TL → TML CPS conversion (repro.lang.cps)."""
+
+import pytest
+
+from repro.core.syntax import Abs, App, PrimApp, Var, iter_subterms
+from repro.core.wellformed import check
+from repro.lang.check import check_module
+from repro.lang.cps import CpsConverter
+from repro.lang.parser import parse_module
+from repro.query.algebra import query_registry
+
+
+def convert(source, function=None, library_ops=True):
+    checked = check_module(parse_module(source))
+    converter = CpsConverter(checked, library_ops=library_ops)
+    decls = checked.module.functions()
+    target = decls[-1] if function is None else next(
+        d for d in decls if d.name == function
+    )
+    term = converter.convert_function(target)
+    check(term, query_registry())
+    return term, converter
+
+
+def _prims(term):
+    return [n.prim for n in iter_subterms(term) if isinstance(n, PrimApp)]
+
+
+class TestShape:
+    def test_function_is_proc(self):
+        term, _ = convert("module m export let f(x: Int): Int = x end")
+        assert isinstance(term, Abs)
+        assert term.is_proc_abs
+        assert [p.is_cont for p in term.params] == [False, True, True]
+
+    def test_operators_are_library_calls(self):
+        term, converter = convert("module m export let f(x: Int): Int = x + x end")
+        # no arithmetic primitive in the tree: an App to a free variable
+        assert "+" not in _prims(term)
+        refs = {ref.member for ref in converter.external_refs.values()}
+        assert "add" in refs
+
+    def test_open_coding_uses_primitives(self):
+        term, _ = convert(
+            "module m export let f(x: Int): Int = x + x end", library_ops=False
+        )
+        assert "+" in _prims(term)
+
+    def test_loops_use_y(self):
+        term, _ = convert(
+            """
+            module m export
+            let f(n: Int): Int =
+              begin for i = 1 upto n do 0 end; 1 end
+            end
+            """
+        )
+        assert "Y" in _prims(term)
+
+    def test_while_uses_y(self):
+        term, _ = convert(
+            """
+            module m export
+            let f(): Int = begin while false do 0 end; 1 end
+            end
+            """
+        )
+        assert "Y" in _prims(term)
+
+    def test_mutable_locals_are_boxes(self):
+        term, _ = convert(
+            """
+            module m export
+            let f(): Int = var x := 1 in begin x := 2; x end
+            end
+            """
+        )
+        prims = _prims(term)
+        assert "new" in prims  # box allocation
+        assert "[]:=" in prims and "[]" in prims  # write / read
+
+    def test_records_are_vectors(self):
+        term, _ = convert(
+            """
+            module m export
+            type P = tuple a: Int end
+            let f(x: Int) = tuple a = x end
+            end
+            """,
+            function="f",
+        )
+        assert "vector" in _prims(term)
+
+    def test_field_access_is_direct_load(self):
+        term, _ = convert(
+            """
+            module m export
+            type P = tuple a: Int, b: Int end
+            let f(p: P): Int = p.b
+            end
+            """,
+            function="f",
+        )
+        assert "[]" in _prims(term)
+
+    def test_try_uses_handler_primitives(self):
+        term, _ = convert(
+            """
+            module m export
+            let f(x: Int): Int = try x catch(e) 0 end
+            end
+            """
+        )
+        prims = _prims(term)
+        assert "pushHandler" in prims and "popHandler" in prims
+
+    def test_raise_calls_exception_continuation(self):
+        term, _ = convert("module m export let f(x: Int): Int = raise x end")
+        ce = term.params[1]
+        calls = [
+            n
+            for n in iter_subterms(term)
+            if isinstance(n, App) and isinstance(n.fn, Var) and n.fn.name == ce
+        ]
+        assert calls  # (ce x)
+
+
+class TestQueryTemplate:
+    SRC = """
+    module m export
+    type P = tuple id: Int end
+    let f(people) =
+      select p.id from people as p : P where p.id > 0 end
+    end
+    """
+
+    def test_paper_select_project_shape(self):
+        """§4.2: (select pred Rel ce cont(tempRel) (project tgt tempRel ce cc))."""
+        term, _ = convert(self.SRC)
+        selects = [
+            n for n in iter_subterms(term)
+            if isinstance(n, PrimApp) and n.prim == "select"
+        ]
+        assert len(selects) == 1
+        select = selects[0]
+        pred, rel, ce, k = select.args
+        assert isinstance(pred, Abs) and len(pred.params) == 3
+        assert isinstance(ce, Var) and ce.name.is_cont
+        assert isinstance(k, Abs) and len(k.params) == 1  # cont(tempRel)
+        inner = k.body
+        assert isinstance(inner, PrimApp) and inner.prim == "project"
+        assert isinstance(inner.args[1], Var)
+        assert inner.args[1].name == k.params[0]
+
+    def test_identity_target_skips_projection(self):
+        term, _ = convert(
+            """
+            module m export
+            type P = tuple id: Int end
+            let f(people) = select p from people as p : P where p.id > 0 end
+            end
+            """
+        )
+        assert "project" not in _prims(term)
+        assert "select" in _prims(term)
+
+    def test_projection_only_without_where(self):
+        term, _ = convert(
+            """
+            module m export
+            type P = tuple id: Int end
+            let f(people) = select p.id from people as p : P end
+            end
+            """
+        )
+        assert "select" not in _prims(term)
+        assert "project" in _prims(term)
+
+    def test_exists_primitive(self):
+        term, _ = convert(
+            """
+            module m export
+            type P = tuple id: Int end
+            let f(people): Bool = exists p : P in people : p.id > 0
+            end
+            """
+        )
+        assert "exists" in _prims(term)
+
+    def test_correlation_variable_scoped_in_pred(self):
+        term, _ = convert(self.SRC)
+        select = next(
+            n for n in iter_subterms(term)
+            if isinstance(n, PrimApp) and n.prim == "select"
+        )
+        pred = select.args[0]
+        x = pred.params[0]
+        # x occurs in the predicate body (p.id > 0)
+        occurrences = [
+            n for n in iter_subterms(pred.body)
+            if isinstance(n, Var) and n.name == x
+        ]
+        assert occurrences
+
+
+class TestSharedExternals:
+    def test_one_name_per_entity(self):
+        _, converter = convert(
+            "module m export let f(x: Int): Int = x + x + x end"
+        )
+        add_names = [
+            name for name, ref in converter.external_refs.items()
+            if ref.member == "add"
+        ]
+        assert len(add_names) == 1  # shared across all uses
+
+    def test_sibling_and_import_kinds(self):
+        _, converter = convert(
+            """
+            module m export
+            let g(x: Int): Int = x
+            let f(x: Int): Int = g(x) + 1
+            end
+            """,
+            function="f",
+        )
+        kinds = {ref.kind for ref in converter.external_refs.values()}
+        assert kinds == {"sibling", "import"}

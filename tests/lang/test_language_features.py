@@ -1,0 +1,398 @@
+"""End-to-end tests of every TL language feature: compile, link, run.
+
+Each test compiles a small module through the full pipeline (checker, CPS
+conversion, static optimizer, TAM codegen) and executes it on the VM.
+"""
+
+import pytest
+
+from repro.lang import CompileOptions, TLError, TycoonSystem
+from repro.machine.runtime import TmlVector, UncaughtTmlException
+from repro.core.syntax import Char, UNIT
+
+
+@pytest.fixture
+def system():
+    return TycoonSystem()
+
+
+def run(system, source, fn, args, module="t"):
+    system.compile(source)
+    return system.call(module, fn, args)
+
+
+class TestArithmeticAndLogic:
+    def test_operator_precedence(self, system):
+        src = "module t export f let f(): Int = 2 + 3 * 4 - 6 / 2 end"
+        assert run(system, src, "f", []).value == 11
+
+    def test_division_truncates_toward_zero(self, system):
+        src = "module t export f let f(a: Int, b: Int): Int = a / b end"
+        system.compile(src)
+        assert system.call("t", "f", [-7, 2]).value == -3
+        assert system.call("t", "f", [7, -2]).value == -3
+
+    def test_mod_sign(self, system):
+        src = "module t export f let f(a: Int, b: Int): Int = a % b end"
+        system.compile(src)
+        assert system.call("t", "f", [-7, 2]).value == -1
+
+    def test_unary_minus(self, system):
+        src = "module t export f let f(x: Int): Int = -x + 1 end"
+        assert run(system, src, "f", [5]).value == -4
+
+    def test_comparisons_and_equality(self, system):
+        src = """
+        module t export f
+        let f(a: Int, b: Int): Int =
+          if a < b and not (a == b) then 1 else 0 end
+        end
+        """
+        system.compile(src)
+        assert system.call("t", "f", [1, 2]).value == 1
+        assert system.call("t", "f", [2, 2]).value == 0
+
+    def test_short_circuit_and(self, system):
+        # right operand would divide by zero; short-circuit must avoid it
+        src = """
+        module t export f
+        let f(x: Int): Bool = x > 0 and (10 / x) > 1
+        end
+        """
+        system.compile(src)
+        assert system.call("t", "f", [0]).value is False
+
+    def test_short_circuit_or(self, system):
+        src = """
+        module t export f
+        let f(x: Int): Bool = x == 0 or (10 / x) > 1
+        end
+        """
+        system.compile(src)
+        assert system.call("t", "f", [0]).value is True
+
+    def test_zero_divide_raises(self, system):
+        src = "module t export f let f(x: Int): Int = 1 / x end"
+        system.compile(src)
+        with pytest.raises(UncaughtTmlException):
+            system.call("t", "f", [0])
+
+
+class TestControlFlow:
+    def test_if_without_else_is_unit(self, system):
+        src = "module t export f let f(x: Int) = if x > 0 then print(x) end end"
+        assert run(system, src, "f", [0]).value == UNIT
+
+    def test_elif_chain(self, system):
+        src = """
+        module t export f
+        let f(x: Int): Int =
+          if x < 0 then -1 elif x == 0 then 0 elif x < 10 then 1 else 2 end
+        end
+        """
+        system.compile(src)
+        assert [system.call("t", "f", [v]).value for v in (-5, 0, 5, 50)] == [-1, 0, 1, 2]
+
+    def test_while_loop(self, system):
+        src = """
+        module t export f
+        let f(n: Int): Int =
+          var i := 0 in
+          var total := 0 in
+          begin
+            while i < n do
+              begin total := total + i; i := i + 1 end
+            end;
+            total
+          end
+        end
+        """
+        assert run(system, src, "f", [10]).value == 45
+
+    def test_for_downto(self, system):
+        src = """
+        module t export f
+        let f(n: Int): Int =
+          var acc := 0 in
+          begin
+            for i = n downto 1 do acc := acc * 10 + i end;
+            acc
+          end
+        end
+        """
+        assert run(system, src, "f", [3]).value == 321
+
+    def test_nested_loops(self, system):
+        src = """
+        module t export f
+        let f(n: Int): Int =
+          var count := 0 in
+          begin
+            for i = 1 upto n do
+              for j = 1 upto i do count := count + 1 end
+            end;
+            count
+          end
+        end
+        """
+        assert run(system, src, "f", [4]).value == 10
+
+    def test_loop_body_sees_fresh_counter(self, system):
+        src = """
+        module t export f
+        let f(n: Int): Int =
+          var last := 0 in
+          begin
+            for i = 1 upto n do last := i end;
+            last
+          end
+        end
+        """
+        assert run(system, src, "f", [7]).value == 7
+
+
+class TestFunctions:
+    def test_mutual_recursion(self, system):
+        src = """
+        module t export iseven
+        let iseven(n: Int): Bool = if n == 0 then true else isodd(n - 1) end
+        let isodd(n: Int): Bool = if n == 0 then false else iseven(n - 1) end
+        end
+        """
+        system.compile(src)
+        assert system.call("t", "iseven", [10]).value is True
+        assert system.call("t", "iseven", [11]).value is False
+
+    def test_first_class_lambda(self, system):
+        src = """
+        module t export f
+        let apply(g, x: Int): Int = g(x)
+        let f(n: Int): Int = apply(fn(v) => v * v, n)
+        end
+        """
+        assert run(system, src, "f", [9]).value == 81
+
+    def test_closure_captures_environment(self, system):
+        src = """
+        module t export f
+        let apply(g, x: Int): Int = g(x)
+        let f(n: Int): Int = let k = 100 in apply(fn(v) => v + k + n, 1)
+        end
+        """
+        assert run(system, src, "f", [10]).value == 111
+
+    def test_deep_recursion_is_stack_safe(self, system):
+        """CPS tail calls: 100k-deep recursion must not blow the stack."""
+        src = """
+        module t export f
+        let count(n: Int, acc: Int): Int =
+          if n == 0 then acc else count(n - 1, acc + 1) end
+        let f(n: Int): Int = count(n, 0)
+        end
+        """
+        assert run(system, src, "f", [100_000]).value == 100_000
+
+    def test_module_constant(self, system):
+        src = """
+        module t export f seven
+        let seven = 7
+        let f(): Int = seven * 2
+        end
+        """
+        assert run(system, src, "f", []).value == 14
+
+
+class TestDataStructures:
+    def test_arrays(self, system):
+        src = """
+        module t export f
+        let f(n: Int): Int =
+          let a = array(n, 1) in
+          begin
+            a[0] := 10;
+            a[n - 1] := 5;
+            a[0] + a[n - 1] + size(a)
+          end
+        end
+        """
+        assert run(system, src, "f", [4]).value == 19
+
+    def test_array_bounds_trap(self, system):
+        src = "module t export f let f(i: Int): Int = array(2, 0)[i] end"
+        system.compile(src)
+        with pytest.raises(UncaughtTmlException):
+            system.call("t", "f", [5])
+
+    def test_records(self, system):
+        src = """
+        module t export f
+        type Pair = tuple fst: Int, snd: Int end
+        let mk(a: Int, b: Int): Pair = tuple fst = a, snd = b end
+        let f(x: Int): Int =
+          let p = mk(x, x * 2) in p.fst + p.snd
+        end
+        """
+        assert run(system, src, "f", [5]).value == 15
+
+    def test_records_are_immutable_vectors(self, system):
+        src = """
+        module t export f
+        type P = tuple v: Int end
+        let f(x: Int): P = tuple v = x end
+        end
+        """
+        result = run(system, src, "f", [3])
+        assert isinstance(result.value, TmlVector)
+
+    def test_chars_and_strings(self, system):
+        src = """
+        module t export f g
+        let f(c: Char): Int = ord(c) + 1
+        let g(): Char = chr(66)
+        end
+        """
+        system.compile(src)
+        assert system.call("t", "f", [Char("a")]).value == 98
+        assert system.call("t", "g", []).value == Char("B")
+
+    def test_string_equality(self, system):
+        src = 'module t export f let f(s: String): Bool = s == "yes" end'
+        system.compile(src)
+        assert system.call("t", "f", ["yes"]).value is True
+        assert system.call("t", "f", ["no"]).value is False
+
+    def test_min_max_builtins(self, system):
+        src = "module t export f let f(a: Int, b: Int): Int = min(a, b) * 100 + max(a, b) end"
+        assert run(system, src, "f", [7, 3]).value == 307
+
+
+class TestExceptions:
+    def test_raise_and_catch(self, system):
+        src = """
+        module t export f
+        let f(x: Int): Int =
+          try
+            if x > 10 then raise x end;
+            0
+          catch(e) e + 1000 end
+        end
+        """
+        system.compile(src)
+        assert system.call("t", "f", [5]).value == 0
+        assert system.call("t", "f", [50]).value == 1050
+
+    def test_catch_runtime_trap(self, system):
+        src = """
+        module t export f
+        let f(i: Int): Int =
+          try array(2, 7)[i] catch(e) -1 end
+        end
+        """
+        system.compile(src)
+        assert system.call("t", "f", [1]).value == 7
+        assert system.call("t", "f", [99]).value == -1
+
+    def test_catch_zero_divide(self, system):
+        src = """
+        module t export f
+        let f(d: Int): Int = try 100 / d catch(e) 0 end
+        end
+        """
+        system.compile(src)
+        assert system.call("t", "f", [4]).value == 25
+        assert system.call("t", "f", [0]).value == 0
+
+    def test_nested_try(self, system):
+        src = """
+        module t export f
+        let f(x: Int): Int =
+          try
+            try raise 1 catch(a) raise a + 1 end
+          catch(b) b + 10 end
+        end
+        """
+        assert run(system, src, "f", [0]).value == 12
+
+    def test_uncaught_raise_propagates_across_calls(self, system):
+        src = """
+        module t export f
+        let boom(): Int = raise 99
+        let f(): Int = boom() + 1
+        end
+        """
+        system.compile(src)
+        with pytest.raises(UncaughtTmlException) as excinfo:
+            system.call("t", "f", [])
+        assert excinfo.value.value == 99
+
+    def test_handler_stack_balanced_after_try(self, system):
+        src = """
+        module t export f
+        let f(n: Int): Int =
+          var acc := 0 in
+          begin
+            for i = 1 upto n do
+              acc := acc + (try 10 / (i % 3) catch(e) 0 end)
+            end;
+            acc
+          end
+        end
+        """
+        # i%3 cycles 1,2,0,...: 10/1=10, 10/2=5, caught 0
+        assert run(system, src, "f", [6]).value == 30
+
+
+class TestIO:
+    def test_print_output(self, system):
+        src = """
+        module t export f
+        let f(n: Int) =
+          begin print(n); print("done"); unit end
+        end
+        """
+        result = run(system, src, "f", [7])
+        assert result.output == ["7", "done"]
+
+    def test_sqrt_foreign(self, system):
+        src = "module t export f let f(n: Int): Int = sqrt(n) end"
+        assert run(system, src, "f", [144]).value == 12
+
+
+class TestModuleSystem:
+    def test_cross_module_calls(self, system):
+        system.compile(
+            """
+            module mathx export square
+            let square(x: Int): Int = x * x
+            end
+            """
+        )
+        system.compile(
+            """
+            module user export f
+            import mathx
+            let f(n: Int): Int = mathx.square(n) + 1
+            end
+            """
+        )
+        assert system.call("user", "f", [6]).value == 37
+
+    def test_uncompiled_module_rejected(self, system):
+        with pytest.raises(TLError, match="has not been compiled"):
+            system.call("ghost", "f", [])
+
+    def test_recompilation_invalidates_link(self, system):
+        system.compile("module t export f let f(): Int = 1 end")
+        assert system.call("t", "f", []).value == 1
+        system.compile("module t export f let f(): Int = 2 end")
+        assert system.call("t", "f", []).value == 2
+
+    def test_unoptimized_options(self):
+        system = TycoonSystem(options=CompileOptions(optimizer=None))
+        system.compile("module t export f let f(x: Int): Int = x * 2 + 1 end")
+        assert system.call("t", "f", [20]).value == 41
+
+    def test_open_coded_ablation(self):
+        system = TycoonSystem(options=CompileOptions(library_ops=False))
+        system.compile("module t export f let f(x: Int): Int = x * 2 + 1 end")
+        assert system.call("t", "f", [20]).value == 41

@@ -1,0 +1,62 @@
+"""Tests for the TL lexer."""
+
+import pytest
+
+from repro.lang.errors import TLSyntaxError
+from repro.lang.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind != "eof"]
+
+
+def test_keywords_vs_identifiers():
+    tokens = tokenize("let letx = 1")
+    assert tokens[0].kind == "keyword"
+    assert tokens[1].kind == "ident"
+
+
+def test_numbers():
+    assert texts("0 42 12345") == ["0", "42", "12345"]
+
+
+def test_operators_longest_match():
+    assert texts("a := b == c <= d => e") == ["a", ":=", "b", "==", "c", "<=", "d", "=>", "e"]
+
+
+def test_char_escapes():
+    tokens = tokenize(r"'a' '\n' '\\'")
+    assert [t.text for t in tokens[:-1]] == ["a", "\n", "\\"]
+
+
+def test_string_escapes():
+    tokens = tokenize(r'"tab\there"')
+    assert tokens[0].text == "tab\there"
+
+
+def test_comments_skipped():
+    assert texts("a -- comment\nb // another\nc") == ["a", "b", "c"]
+
+
+def test_positions():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_unexpected_character():
+    with pytest.raises(TLSyntaxError) as excinfo:
+        tokenize("a ?? b")
+    assert "line 1" in str(excinfo.value)
+
+
+def test_eof_token_always_present():
+    assert tokenize("")[-1].kind == "eof"
+
+
+def test_query_keywords():
+    assert kinds("select from where as exists")[:5] == ["keyword"] * 5

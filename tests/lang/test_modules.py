@@ -1,0 +1,155 @@
+"""Tests for module compilation, linking and persistence (Fig. 3 lifecycle)."""
+
+import pytest
+
+from repro.core.syntax import Abs, Oid
+from repro.lang import (
+    CompileOptions,
+    TLError,
+    TycoonSystem,
+    compile_module,
+    link_module,
+    load_module,
+    store_module,
+)
+from repro.lang.modules import link_stdlib
+from repro.machine.isa import VMClosure
+from repro.machine.vm import VM
+from repro.store.heap import ObjectHeap
+from repro.store.serialize import Blob
+
+SRC = """
+module calc export inc fact
+let inc(x: Int): Int = x + 1
+let fact(n: Int): Int = if n <= 1 then 1 else n * fact(n - 1) end
+end
+"""
+
+
+class TestCompilation:
+    def test_compile_produces_terms_and_code(self):
+        compiled = compile_module(SRC)
+        assert set(compiled.functions) == {"inc", "fact"}
+        fn = compiled.functions["inc"]
+        assert isinstance(fn.term, Abs)
+        assert fn.code.is_proc
+
+    def test_ptml_attached_by_default(self):
+        compiled = compile_module(SRC)
+        assert isinstance(compiled.functions["inc"].code.ptml_ref, Blob)
+
+    def test_ptml_can_be_disabled(self):
+        compiled = compile_module(SRC, options=CompileOptions(attach_ptml=False))
+        assert compiled.functions["inc"].code.ptml_ref is None
+
+    def test_externals_cover_free_names(self):
+        compiled = compile_module(SRC)
+        fn = compiled.functions["fact"]
+        assert set(fn.externals) == set(fn.code.free_names)
+
+    def test_sibling_reference_recorded(self):
+        compiled = compile_module(SRC)
+        kinds = {ref.kind for ref in compiled.functions["fact"].externals.values()}
+        assert "sibling" in kinds  # the recursive fact call
+        assert "import" in kinds  # the int library ops
+
+    def test_static_optimization_shrinks_local_redexes(self):
+        from repro.core.syntax import term_size
+        from repro.rewrite import OptimizerConfig
+
+        # a locally bound lambda is a static redex the optimizer removes
+        src = """
+        module t export f
+        let f(x: Int): Int = let g = fn(v) => v + 1 in g(x)
+        end
+        """
+        plain = compile_module(src, options=CompileOptions(optimizer=None))
+        optimized = compile_module(
+            src, options=CompileOptions(optimizer=OptimizerConfig())
+        )
+        assert term_size(optimized.functions["f"].term) < term_size(
+            plain.functions["f"].term
+        )
+
+    def test_static_optimization_cannot_shrink_library_code(self):
+        """Section 6: library-call-only functions offer the static optimizer
+        nothing to do — the abstraction barrier in action."""
+        from repro.core.syntax import term_size
+        from repro.rewrite import OptimizerConfig
+
+        plain = compile_module(SRC, options=CompileOptions(optimizer=None))
+        optimized = compile_module(
+            SRC, options=CompileOptions(optimizer=OptimizerConfig())
+        )
+        assert term_size(optimized.functions["fact"].term) == term_size(
+            plain.functions["fact"].term
+        )
+
+
+class TestLinking:
+    def test_mutual_recursion_backpatched(self):
+        compiled = compile_module(SRC)
+        linked = link_module(compiled, link_stdlib())
+        vm = VM()
+        assert vm.call(linked.member("fact"), [6]).value == 720
+
+    def test_missing_import_rejected(self):
+        compiled = compile_module(SRC)
+        with pytest.raises(TLError, match="not linked"):
+            link_module(compiled, {})
+
+    def test_member_access_errors(self):
+        compiled = compile_module(SRC)
+        linked = link_module(compiled, link_stdlib())
+        with pytest.raises(TLError, match="no member"):
+            linked.member("missing")
+
+    def test_exported_closures_are_vm_closures(self):
+        linked = link_module(compile_module(SRC), link_stdlib())
+        assert isinstance(linked.member("inc"), VMClosure)
+
+
+class TestPersistence:
+    def test_store_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "mods.tyc")
+        heap = ObjectHeap(path)
+        compiled = compile_module(SRC)
+        store_module(heap, compiled)
+        heap.commit()
+        heap.close()
+
+        heap2 = ObjectHeap(path)
+        loaded = load_module(heap2, "calc")
+        linked = link_module(loaded, link_stdlib())
+        assert VM(store=heap2).call(linked.member("fact"), [5]).value == 120
+        heap2.close()
+
+    def test_ptml_blobs_become_oids(self, tmp_path):
+        heap = ObjectHeap(str(tmp_path / "p.tyc"))
+        compiled = compile_module(SRC)
+        store_module(heap, compiled)
+        for fn in compiled.functions.values():
+            assert isinstance(fn.code.ptml_ref, Oid)
+            assert isinstance(heap.load(fn.code.ptml_ref), Blob)
+        heap.close()
+
+    def test_module_registered_as_root(self, tmp_path):
+        heap = ObjectHeap(str(tmp_path / "r.tyc"))
+        store_module(heap, compile_module(SRC))
+        assert "module:calc" in heap.root_names()
+        heap.close()
+
+    def test_system_persist_and_reload(self, tmp_path):
+        path = str(tmp_path / "sys.tyc")
+        heap = ObjectHeap(path)
+        system = TycoonSystem(heap=heap)
+        system.compile(SRC)
+        system.persist("calc")
+        system.commit()
+        heap.close()
+
+        heap2 = ObjectHeap(path)
+        system2 = TycoonSystem(heap=heap2)
+        system2.load("calc")
+        assert system2.call("calc", "fact", [5]).value == 120
+        heap2.close()

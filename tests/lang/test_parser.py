@@ -1,0 +1,169 @@
+"""Tests for the TL parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import TLSyntaxError
+from repro.lang.parser import parse_expression, parse_module, parse_modules
+
+
+class TestModules:
+    def test_minimal_module(self):
+        module = parse_module("module m export end")
+        assert module.name == "m"
+        assert module.exports == ()
+
+    def test_exports_and_decls(self):
+        module = parse_module(
+            """
+            module m export f g
+            import other
+            type T = tuple x: Int end
+            let f(a: Int): Int = a
+            let g() = 1
+            let k = 5
+            end
+            """
+        )
+        assert module.exports == ("f", "g")
+        assert module.imports() == ["other"]
+        assert len(module.functions()) == 2
+
+    def test_multiple_modules(self):
+        modules = parse_modules("module a export end module b export end")
+        assert [m.name for m in modules] == ["a", "b"]
+
+    def test_missing_end(self):
+        with pytest.raises(TLSyntaxError):
+            parse_module("module m export let f() = 1")
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.BinOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinOp) and expr.right.op == "*"
+
+    def test_comparison_non_associative(self):
+        expr = parse_expression("a + 1 < b * 2")
+        assert expr.op == "<"
+
+    def test_and_or_levels(self):
+        expr = parse_expression("a or b and c")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_unary(self):
+        neg = parse_expression("-x")
+        assert isinstance(neg, ast.UnOp) and neg.op == "-"
+        noty = parse_expression("not x")
+        assert noty.op == "not"
+
+    def test_postfix_chain(self):
+        expr = parse_expression("a.b[1](2)")
+        assert isinstance(expr, ast.Call)
+        assert isinstance(expr.fn, ast.Index)
+        assert isinstance(expr.fn.target, ast.FieldAccess)
+
+    def test_assignment_targets(self):
+        assign = parse_expression("x := 1")
+        assert isinstance(assign.target, ast.Ident)
+        indexed = parse_expression("a[0] := 1")
+        assert isinstance(indexed.target, ast.Index)
+        with pytest.raises(TLSyntaxError):
+            parse_expression("f(x) := 1")
+
+    def test_if_elif_else(self):
+        expr = parse_expression("if a then 1 elif b then 2 else 3 end")
+        assert isinstance(expr, ast.If)
+        assert isinstance(expr.else_branch, ast.If)
+        assert isinstance(expr.else_branch.else_branch, ast.IntLit)
+
+    def test_if_without_else(self):
+        expr = parse_expression("if a then 1 end")
+        assert expr.else_branch is None
+
+    def test_begin_sequence(self):
+        expr = parse_expression("begin 1; 2; 3 end")
+        assert isinstance(expr, ast.Seq)
+        assert len(expr.exprs) == 3
+
+    def test_trailing_semicolon_tolerated(self):
+        expr = parse_expression("begin 1; 2; end")
+        assert len(expr.exprs) == 2
+
+    def test_let_in_expression(self):
+        expr = parse_expression("let x = 1 in x + 1")
+        assert isinstance(expr, ast.LetIn)
+
+    def test_let_statement_in_block(self):
+        expr = parse_expression("begin let x = 1; x + 1 end")
+        assert isinstance(expr, ast.LetIn)
+        assert isinstance(expr.body, ast.BinOp)
+
+    def test_var_forms(self):
+        assert isinstance(parse_expression("var x := 1 in x"), ast.VarIn)
+        block = parse_expression("begin var x := 1; x end")
+        assert isinstance(block, ast.VarIn)
+
+    def test_loops(self):
+        loop = parse_expression("while x < 10 do x := x + 1 end")
+        assert isinstance(loop, ast.While)
+        forloop = parse_expression("for i = 1 upto 10 do print(i) end")
+        assert isinstance(forloop, ast.ForLoop) and not forloop.downto
+        down = parse_expression("for i = 10 downto 1 do print(i) end")
+        assert down.downto
+
+    def test_lambda(self):
+        fn = parse_expression("fn(x, y) => x + y")
+        assert isinstance(fn, ast.Lambda)
+        assert len(fn.params) == 2
+
+    def test_tuple_literal(self):
+        record = parse_expression("tuple x = 1, y = 2 end")
+        assert isinstance(record, ast.TupleLit)
+        assert record.field_names == ("x", "y")
+
+    def test_try_catch(self):
+        expr = parse_expression("try risky() catch(e) 0 end")
+        assert isinstance(expr, ast.TryCatch)
+        assert expr.exc_name == "e"
+
+    def test_raise(self):
+        assert isinstance(parse_expression("raise 42"), ast.Raise)
+
+    def test_select(self):
+        expr = parse_expression(
+            "select p.name from people as p : Person where p.age > 18 end"
+        )
+        assert isinstance(expr, ast.SelectExpr)
+        assert expr.var == "p"
+        assert expr.where is not None
+        assert isinstance(expr.var_type, ast.NamedType)
+
+    def test_select_without_where(self):
+        expr = parse_expression("select p from people as p end")
+        assert expr.where is None and expr.var_type is None
+
+    def test_exists(self):
+        expr = parse_expression("exists p : Person in people : p.age > 65")
+        assert isinstance(expr, ast.ExistsExpr)
+        assert isinstance(expr.pred, ast.BinOp)
+
+
+class TestTypes:
+    def test_record_type(self):
+        module = parse_module(
+            "module m export type T = tuple a: Int, b: Array(Int) end end"
+        )
+        decl = module.decls[0]
+        assert isinstance(decl.type, ast.RecordType)
+        assert decl.type.field_names == ("a", "b")
+        assert isinstance(decl.type.fields[1].type, ast.ArrayType)
+
+    def test_module_qualified_type(self):
+        module = parse_module(
+            "module m export let f(c: other.T): Int = 1 end"
+        )
+        annotation = module.functions()[0].params[0].type
+        assert annotation.module == "other" and annotation.name == "T"

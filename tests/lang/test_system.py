@@ -1,0 +1,100 @@
+"""Tests for the TycoonSystem image (repro.lang.system)."""
+
+import pytest
+
+from repro.lang import CompileOptions, TLError, TycoonSystem
+from repro.machine.vm import StepLimitExceeded
+from repro.query.relation import Relation
+
+
+@pytest.fixture
+def system():
+    return TycoonSystem()
+
+
+def test_stdlib_prelinked(system):
+    for name in ("int", "arraylib", "io", "math", "charlib", "bits"):
+        assert name in system.linked
+
+
+def test_stdlib_modules_cannot_be_user_called_without_compile(system):
+    with pytest.raises(TLError, match="library module"):
+        system._compiled("int")
+
+
+def test_closure_rejects_non_functions(system):
+    system.compile("module m export k let k = 5 end")
+    with pytest.raises(TLError, match="not a function"):
+        system.closure("m", "k")
+
+
+def test_constant_export_value(system):
+    system.compile("module m export k let k = 5 end")
+    assert system.link("m").member("k") == 5
+
+
+def test_step_limit_applies(system):
+    system.compile(
+        """
+        module spin export f
+        let f(): Int = begin while true do 0 end; 1 end
+        end
+        """
+    )
+    with pytest.raises(StepLimitExceeded):
+        system.call("spin", "f", [], step_limit=1000)
+
+
+def test_transitive_import_linking(system):
+    system.compile("module a export one let one(): Int = 1 end")
+    system.compile(
+        "module b export two import a let two(): Int = a.one() + 1 end"
+    )
+    system.compile(
+        "module c export three import b let three(): Int = b.two() + 1 end"
+    )
+    # linking c must recursively link b and a
+    assert system.call("c", "three", []).value == 3
+
+
+def test_data_module_members(system):
+    rel = Relation("r", ["v"])
+    system.register_data_module("db", {"r": rel, "limit": 10})
+    system.compile(
+        """
+        module m export f
+        import db
+        let f(): Int = db.limit * 2
+        end
+        """
+    )
+    assert system.call("m", "f", []).value == 20
+
+
+def test_registry_threads_into_options(system):
+    # the system's registry (with query prims) is what compile uses
+    assert "select" in system.registry
+    assert system.options.registry is system.registry
+
+
+def test_vm_attached_to_heap(system):
+    vm = system.vm()
+    assert vm.store is system.heap
+
+
+def test_doctest_example():
+    import doctest
+
+    import repro.lang.system as module
+
+    results = doctest.testmod(module)
+    assert results.failed == 0
+
+
+def test_reflect_doctest():
+    import doctest
+
+    import repro.reflect as module
+
+    results = doctest.testmod(module)
+    assert results.failed == 0

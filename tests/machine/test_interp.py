@@ -1,0 +1,161 @@
+"""Tests for the reference CPS interpreter (repro.machine.cps_interp)."""
+
+import pytest
+
+from repro.core.parser import parse_term
+from repro.core.syntax import Char, UNIT
+from repro.machine.cps_interp import FuelExhausted, Interpreter
+from repro.machine.runtime import (
+    Closure,
+    ForeignTable,
+    TmlArray,
+    TmlVector,
+    UncaughtTmlException,
+)
+
+
+def run(source, **kwargs):
+    return Interpreter(**kwargs).run(parse_term(source))
+
+
+class TestBasics:
+    def test_halt_literal(self):
+        assert run("(halt 42)").value == 42
+
+    def test_binding_and_arith(self):
+        assert run("(λ(x) (+ x 1 cont(e) (halt -1) cont(t) (halt t))  41)").value == 42
+
+    def test_paper_loop_sums(self):
+        """The for-loop shape of section 2.3 executes correctly."""
+        src = """
+        (Y λ(^c0 for ^c)
+           (c cont() (for 1 0)
+              cont(i acc)
+                (> i 10 cont() (halt acc)
+                        cont() (+ acc i cont(e) (halt -1)
+                                   cont(a) (+ i 1 cont(e2) (halt -2)
+                                              cont(j) (for j a))))))
+        """
+        assert run(src).value == 55
+
+    def test_higher_order_argument(self):
+        src = """
+        (λ(apply f) (apply f 10 cont(e) (halt -1) cont(r) (halt r))
+         proc(g v ce cc) (g v ce cc)
+         proc(x ce2 cc2) (* x x ce2 cc2))
+        """
+        assert run(src).value == 100
+
+    def test_case_dispatch(self):
+        src = "(== 2 1 2 3 cont() (halt 10) cont() (halt 20) cont() (halt 30))"
+        assert run(src).value == 20
+
+    def test_case_else(self):
+        src = "(== 9 1 cont() (halt 10) cont() (halt 99))"
+        assert run(src).value == 99
+
+    def test_case_no_match_traps(self):
+        with pytest.raises(UncaughtTmlException):
+            run("(== 9 1 cont() (halt 10))")
+
+
+class TestCosts:
+    def test_proc_call_costs_more_than_cont_call(self):
+        cont_run = run("(λ(x) (halt x)  1)")
+        proc_run = run("(λ(f) (f 1 cont(e) (halt -1) cont(r) (halt r))"
+                       " proc(x ce cc) (cc x))")
+        # at least one proc call (6) vs one cont call (2)
+        assert proc_run.cost > cont_run.cost
+
+    def test_steps_counted(self):
+        result = run("(halt 1)")
+        assert result.steps == 1
+
+    def test_fuel_exhaustion(self):
+        src = "(Y λ(^c0 ^loop ^c) (c cont() (loop) cont() (loop)))"
+        with pytest.raises(FuelExhausted):
+            run(src, fuel=100)
+
+
+class TestArithmeticRuntime:
+    def test_division_truncates(self):
+        assert run("(/ -7 2 cont(e) (halt -99) cont(t) (halt t))").value == -3
+
+    def test_zero_divide_goes_to_ce(self):
+        assert run("(/ 1 0 cont(e) (halt 111) cont(t) (halt t))").value == 111
+
+    def test_overflow_goes_to_ce(self):
+        big = (1 << 63) - 1
+        assert run(f"(+ {big} 1 cont(e) (halt 7) cont(t) (halt t))").value == 7
+
+    def test_comparison_branches(self):
+        assert run("(< 1 2 cont() (halt 1) cont() (halt 0))").value == 1
+        assert run("(>= 1 2 cont() (halt 1) cont() (halt 0))").value == 0
+
+    def test_type_error_traps(self):
+        with pytest.raises(UncaughtTmlException):
+            run("(+ 'a' 1 cont(e) (halt -1) cont(t) (halt t))")
+
+
+class TestConversions:
+    def test_char_roundtrip(self):
+        assert run("(char2int 'A' cont(i) (halt i))").value == 65
+        result = run("(int2char 97 cont(c) (halt c))")
+        assert result.value == Char("a")
+
+
+class TestOutput:
+    def test_print_collects_output(self):
+        result = run('(print "hello" cont(u) (print 42 cont(u2) (halt u2)))')
+        assert result.output == ["hello", "42"]
+        assert result.value == UNIT
+
+
+class TestYSemantics:
+    def test_mutual_recursion(self):
+        src = """
+        (Y λ(^c0 even odd ^c)
+           (c cont() (even 10 cont(e) (halt -1) cont(r) (halt r))
+              proc(n ce cc)
+                (== n 0 cont() (cc true)
+                        cont() (- n 1 ce cont(m) (odd m ce cc)))
+              proc(n2 ce2 cc2)
+                (== n2 0 cont() (cc2 false)
+                         cont() (- n2 1 ce2 cont(m2) (even m2 ce2 cc2)))))
+        """
+        assert run(src).value is True
+
+    def test_binding_visible_inside_entry(self):
+        src = "(Y λ(^c0 ^again ^c) (c cont() (again 1) cont(n) (halt n)))"
+        assert run(src).value == 1
+
+
+class TestCall:
+    def test_call_supplies_top_continuations(self):
+        interp = Interpreter()
+        proc = parse_term("proc(x ce cc) (* x 2 ce cc)")
+        closure = interp.make_closure(proc)
+        assert interp.call(closure, [21]).value == 42
+
+    def test_call_propagates_exception(self):
+        interp = Interpreter()
+        proc = parse_term("proc(x ce cc) (ce x)")
+        closure = interp.make_closure(proc)
+        with pytest.raises(UncaughtTmlException):
+            interp.call(closure, [1])
+
+
+class TestForeign:
+    def test_ccall_success(self):
+        foreign = ForeignTable({"double": lambda x: x * 2})
+        src = '(vector 21 cont(v) (ccall "double" v cont(e) (halt -1) cont(r) (halt r)))'
+        assert Interpreter(foreign=foreign).run(parse_term(src)).value == 42
+
+    def test_ccall_error_goes_to_ce(self):
+        def boom(x):
+            raise RuntimeError("nope")
+
+        foreign = ForeignTable({"boom": boom})
+        src = '(vector 1 cont(v) (ccall "boom" v cont(e) (halt e) cont(r) (halt r)))'
+        result = Interpreter(foreign=foreign).run(parse_term(src))
+        assert "nope" in result.value

@@ -1,0 +1,117 @@
+"""Tests for runtime value utilities (repro.machine.runtime)."""
+
+import pytest
+
+from repro.core.names import Name
+from repro.core.syntax import Char, Oid, UNIT
+from repro.machine.runtime import (
+    Env,
+    ForeignTable,
+    MachineError,
+    TmlArray,
+    TmlByteArray,
+    TmlVector,
+    identical,
+    show_value,
+)
+
+
+class TestIdentical:
+    """Object identity as the ``==`` primitive sees it."""
+
+    def test_simple_values_by_value(self):
+        assert identical(3, 3)
+        assert not identical(3, 4)
+        assert identical("a", "a")
+        assert identical(Char("x"), Char("x"))
+        assert identical(UNIT, UNIT)
+        assert identical(True, True)
+
+    def test_bool_int_not_conflated(self):
+        assert not identical(True, 1)
+        assert not identical(0, False)
+
+    def test_char_string_not_conflated(self):
+        assert not identical(Char("a"), "a")
+
+    def test_store_objects_by_identity(self):
+        a = TmlArray([1])
+        b = TmlArray([1])
+        assert identical(a, a)
+        assert not identical(a, b)
+
+    def test_vectors_by_identity_despite_eq(self):
+        # python-level __eq__ is structural, TML identity is not
+        a, b = TmlVector([1]), TmlVector([1])
+        assert a == b
+        assert not identical(a, b)
+
+    def test_oids_by_value(self):
+        assert identical(Oid(5), Oid(5))
+        assert not identical(Oid(5), Oid(6))
+
+
+class TestShowValue:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (42, "42"),
+            (True, "true"),
+            (False, "false"),
+            (Char("x"), "x"),
+            ("text", "text"),
+            (UNIT, "unit"),
+            (TmlArray([1, 2]), "[1 2]"),
+            (TmlVector([True, UNIT]), "#[true unit]"),
+            (TmlByteArray(b"\x01\x02"), "$[1 2]"),
+            (Oid(0x10), "<oid 0x00000010>"),
+        ],
+    )
+    def test_rendering(self, value, expected):
+        assert show_value(value) == expected
+
+    def test_nested(self):
+        assert show_value(TmlArray([TmlVector([1])])) == "[#[1]]"
+
+
+class TestEnv:
+    def test_lookup_walks_chain(self):
+        a, b = Name("a", 0), Name("b", 1)
+        outer = Env({a: 1})
+        inner = Env({b: 2}, outer)
+        assert inner.lookup(a) == 1
+        assert inner.lookup(b) == 2
+
+    def test_shadowing(self):
+        a = Name("a", 0)
+        outer = Env({a: "outer"})
+        inner = Env({a: "inner"}, outer)
+        assert inner.lookup(a) == "inner"
+
+    def test_unbound_raises(self):
+        with pytest.raises(MachineError, match="unbound"):
+            Env().lookup(Name("ghost", 9))
+
+    def test_extend(self):
+        a, b = Name("a", 0), Name("b", 1)
+        env = Env({a: 1}).extend([b], [2])
+        assert env.lookup(a) == 1 and env.lookup(b) == 2
+
+    def test_flatten_inner_wins(self):
+        a, b = Name("a", 0), Name("b", 1)
+        outer = Env({a: "outer", b: "only"})
+        inner = Env({a: "inner"}, outer)
+        flat = inner.flatten()
+        assert flat[a] == "inner" and flat[b] == "only"
+
+
+class TestForeignTable:
+    def test_register_and_lookup(self):
+        table = ForeignTable()
+        table.register("f", len)
+        assert table.lookup("f") is len
+        assert "f" in table
+
+    def test_unknown_function(self):
+        with pytest.raises(MachineError, match="unknown foreign"):
+            ForeignTable().lookup("ghost")

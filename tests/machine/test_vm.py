@@ -1,0 +1,235 @@
+"""Tests for the TAM virtual machine and code generator."""
+
+import pytest
+
+from repro.core.parser import parse_term
+from repro.core.syntax import Abs, Char, UNIT
+from repro.machine.codegen import CodegenError, compile_function
+from repro.machine.isa import code_size, flatten_codes
+from repro.machine.runtime import ForeignTable, MachineError, UncaughtTmlException
+from repro.machine.vm import VM, StepLimitExceeded, instantiate
+
+
+def compile_proc(source, name="test"):
+    term = parse_term(source)
+    assert isinstance(term, Abs), "test sources must be proc abstractions"
+    return compile_function(term, name=name)
+
+
+def run_proc(source, args, **vm_kwargs):
+    code = compile_proc(source)
+    vm = VM(**vm_kwargs)
+    return vm.call(instantiate(code), args)
+
+
+class TestBasics:
+    def test_identity(self):
+        assert run_proc("proc(x ce cc) (cc x)", [7]).value == 7
+
+    def test_arith_chain(self):
+        src = "proc(x ce cc) (+ x 1 ce cont(t) (* t 2 ce cc))"
+        assert run_proc(src, [20]).value == 42
+
+    def test_branching(self):
+        src = "proc(x ce cc) (< x 10 cont() (cc 1) cont() (cc 0))"
+        assert run_proc(src, [5]).value == 1
+        assert run_proc(src, [15]).value == 0
+
+    def test_case_dispatch(self):
+        src = """
+        proc(x ce cc)
+          (== x 1 2 cont() (cc 10) cont() (cc 20) cont() (cc 99))
+        """
+        assert run_proc(src, [1]).value == 10
+        assert run_proc(src, [2]).value == 20
+        assert run_proc(src, [3]).value == 99
+
+    def test_case_without_else_traps(self):
+        src = "proc(x ce cc) (== x 1 cont() (cc 10))"
+        with pytest.raises(UncaughtTmlException):
+            run_proc(src, [5])
+
+    def test_loop_via_y(self):
+        src = """
+        proc(n ce cc)
+          (Y λ(^c0 loop ^c)
+             (c cont() (loop 1 0)
+                cont(i acc)
+                  (> i n cont() (cc acc)
+                         cont() (+ acc i ce cont(a)
+                                    (+ i 1 ce cont(j) (loop j a))))))
+        """
+        assert run_proc(src, [100]).value == 5050
+
+    def test_closure_capture(self):
+        src = """
+        proc(x ce cc)
+          (λ(add) (add 5 ce cc)
+           proc(y ce2 cc2) (+ x y ce2 cc2))
+        """
+        assert run_proc(src, [10]).value == 15
+
+    def test_instantiate_requires_bindings(self):
+        code = compile_proc("proc(x ce cc) (f x ce cc)")
+        with pytest.raises(MachineError):
+            instantiate(code)
+
+
+class TestExceptionsAndTraps:
+    def test_overflow_to_exception_path(self):
+        big = (1 << 63) - 1
+        src = "proc(x ce cc) (+ x 1 cont(e) (cc -1) cc)"
+        # exception continuation inline: deliver -1
+        assert run_proc(src, [big]).value == -1
+
+    def test_zero_divide(self):
+        src = "proc(a b ce cc) (/ a b ce cc)"
+        with pytest.raises(UncaughtTmlException):
+            run_proc(src, [1, 0])
+
+    def test_handler_stack_catches_trap(self):
+        src = """
+        proc(a ce cc)
+          (λ(^h) (pushHandler h cont() (new 1 0 cont(arr) ([] arr 5 cont(v) (cc v))))
+           cont(exv) (cc 777))
+        """
+        assert run_proc(src, [0]).value == 777
+
+    def test_raise_primitive(self):
+        src = """
+        proc(a ce cc)
+          (λ(^h) (pushHandler h cont() (raise 13))
+           cont(exv) (cc exv))
+        """
+        assert run_proc(src, [0]).value == 13
+
+    def test_pop_handler(self):
+        src = """
+        proc(a ce cc)
+          (λ(^h) (pushHandler h cont() (popHandler cont() (cc 1)))
+           cont(exv) (cc 2))
+        """
+        assert run_proc(src, [0]).value == 1
+
+    def test_step_limit(self):
+        src = """
+        proc(n ce cc)
+          (Y λ(^c0 ^loop ^c) (c cont() (loop) cont() (loop)))
+        """
+        with pytest.raises(StepLimitExceeded):
+            run_proc(src, [0], step_limit=500)
+
+
+class TestDataOps:
+    def test_array_lifecycle(self):
+        src = """
+        proc(n ce cc)
+          (new n 0 cont(a)
+            ([]:= a 2 99 cont(u)
+              ([] a 2 cont(v)
+                (size a cont(s)
+                  (+ v s ce cc)))))
+        """
+        assert run_proc(src, [10]).value == 109
+
+    def test_vector_is_immutable(self):
+        src = """
+        proc(x ce cc)
+          (vector 1 2 3 cont(v) ([]:= v 0 9 cont(u) (cc u)))
+        """
+        with pytest.raises(UncaughtTmlException):
+            run_proc(src, [0])
+
+    def test_byte_array(self):
+        src = """
+        proc(n ce cc)
+          ($new 4 7 cont(b)
+            ($[]:= b 1 300 cont(u)
+              ($[] b 1 cont(v) (cc v))))
+        """
+        assert run_proc(src, [0]).value == 300 & 0xFF
+
+    def test_move(self):
+        src = """
+        proc(x ce cc)
+          (new 5 0 cont(dst)
+            (vector 9 8 7 cont(src)
+              (move dst 1 src 0 3 cont(u)
+                ([] dst 2 cont(v) (cc v)))))
+        """
+        assert run_proc(src, [0]).value == 8
+
+    def test_move_bounds_trap(self):
+        src = """
+        proc(x ce cc)
+          (new 2 0 cont(dst)
+            (vector 9 8 7 cont(src)
+              (move dst 0 src 0 3 cont(u) (cc u))))
+        """
+        with pytest.raises(UncaughtTmlException):
+            run_proc(src, [0])
+
+    def test_bit_ops(self):
+        src = "proc(a b ce cc) (band a b cont(x) (bor x 1 cont(y) (cc y)))"
+        assert run_proc(src, [12, 10]).value == 9
+
+    def test_char_conversion(self):
+        src = "proc(c ce cc) (char2int c cont(i) (+ i 1 ce cont(j) (int2char j cont(d) (cc d))))"
+        assert run_proc(src, [Char("a")]).value == Char("b")
+
+
+class TestCodegenStructure:
+    def test_continuations_are_inlined_not_closures(self):
+        """Straight-line TL code becomes straight-line bytecode."""
+        code = compile_proc("proc(x ce cc) (+ x 1 ce cont(t) (* t 2 ce cc))")
+        # no nested code objects: all continuations were inline join points
+        assert not code.codes
+
+    def test_escaping_continuation_materialized(self):
+        code = compile_proc("proc(f ce cc) (f 1 ce cont(t) (cc t))")
+        # the cont passed to f must be a real closure
+        assert len(code.codes) == 1
+
+    def test_disassemble_readable(self):
+        code = compile_proc("proc(x ce cc) (+ x 1 ce cc)")
+        listing = code.disassemble()
+        assert "add" in listing and "code test" in listing
+
+    def test_code_size_counts_nested(self):
+        code = compile_proc("proc(f ce cc) (f 1 ce cont(t) (cc t))")
+        assert code_size(code) == sum(len(c.instrs) for c in flatten_codes(code))
+
+    def test_direct_abs_application_inlined(self):
+        code = compile_proc("proc(x ce cc) (λ(y) (+ y 1 ce cc)  x)")
+        assert not code.codes  # the λ was a binding, not a closure
+
+    def test_y_emits_fix(self):
+        code = compile_proc(
+            """
+            proc(n ce cc)
+              (Y λ(^c0 loop ^c)
+                 (c cont() (loop n)
+                    cont(i) (cc i)))
+            """
+        )
+        ops = [instr[0] for instr in code.instrs]
+        assert "fix" in ops
+
+    def test_foreign_ccall(self):
+        code = compile_proc(
+            'proc(x ce cc) (vector x cont(v) (ccall "inc" v ce cc))'
+        )
+        vm = VM(foreign=ForeignTable({"inc": lambda v: v + 1}))
+        assert vm.call(instantiate(code), [41]).value == 42
+
+    def test_print_and_unit(self):
+        code = compile_proc('proc(x ce cc) (print "out" cont(u) (cc u))')
+        vm = VM()
+        result = vm.call(instantiate(code), [0])
+        assert result.value == UNIT
+        assert result.output == ["out"]
+
+    def test_unknown_prim_rejected(self):
+        term = parse_term("proc(x ce cc) (zorp x ce cc)", prims={"zorp"})
+        with pytest.raises(CodegenError):
+            compile_function(term)

@@ -1,0 +1,149 @@
+"""Tests for meta-evaluation of arithmetic/comparison primitives (§2.3 item 2)."""
+
+import pytest
+
+from repro.core.parser import parse_term
+from repro.core.syntax import App, Lit, Var
+from repro.primitives._util import INT_MAX, INT_MIN
+from repro.primitives.arith import OVERFLOW, ZERO_DIVIDE, int_div, int_rem
+from repro.primitives.registry import default_registry
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+def fold(registry, source):
+    call = parse_term(source)
+    return registry.lookup(call.prim).meta_evaluate(call)
+
+
+class TestPaperExamples:
+    def test_plus_1_2_reduces_to_cc_3(self, registry):
+        """(+ 1 2 ce cc) -> (cc 3), the paper's own fold example."""
+        out = fold(registry, "(+ 1 2 ^ce ^cc)")
+        assert isinstance(out, App)
+        assert out.args == (Lit(3),)
+        assert isinstance(out.fn, Var) and out.fn.name.base == "cc"
+
+
+class TestConstantFolding:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("+", 2, 3, 5),
+            ("-", 10, 4, 6),
+            ("*", 6, 7, 42),
+            ("/", 7, 2, 3),
+            ("/", -7, 2, -3),  # truncation toward zero
+            ("%", 7, 2, 1),
+            ("%", -7, 2, -1),  # sign follows the dividend
+        ],
+    )
+    def test_binary_folds(self, registry, op, a, b, expected):
+        out = fold(registry, f"({op} {a} {b} ^ce ^cc)")
+        assert out.args == (Lit(expected),)
+        assert out.fn.name.base == "cc"
+
+    def test_division_identity_holds(self):
+        for a in (-9, -1, 0, 5, 13):
+            for b in (-4, -1, 1, 3):
+                assert a == int_div(a, b) * b + int_rem(a, b)
+
+    def test_no_fold_with_variables(self, registry):
+        assert fold(registry, "(+ x y ^ce ^cc)") is None
+
+
+class TestExceptionFolds:
+    def test_zero_divide(self, registry):
+        out = fold(registry, "(/ 5 0 ^ce ^cc)")
+        assert out.fn.name.base == "ce"
+        assert out.args == (Lit(ZERO_DIVIDE),)
+
+    def test_rem_zero_divide(self, registry):
+        out = fold(registry, "(% 5 0 ^ce ^cc)")
+        assert out.args == (Lit(ZERO_DIVIDE),)
+
+    def test_add_overflow(self, registry):
+        out = fold(registry, f"(+ {INT_MAX} 1 ^ce ^cc)")
+        assert out.fn.name.base == "ce"
+        assert out.args == (Lit(OVERFLOW),)
+
+    def test_sub_overflow(self, registry):
+        out = fold(registry, f"(- {INT_MIN} 1 ^ce ^cc)")
+        assert out.args == (Lit(OVERFLOW),)
+
+    def test_mul_overflow(self, registry):
+        out = fold(registry, f"(* {INT_MAX} 2 ^ce ^cc)")
+        assert out.args == (Lit(OVERFLOW),)
+
+    def test_intmin_div_minus_one_overflows(self, registry):
+        out = fold(registry, f"(/ {INT_MIN} -1 ^ce ^cc)")
+        assert out.fn.name.base == "ce"
+
+
+class TestAlgebraicIdentities:
+    @pytest.mark.parametrize(
+        "source,arg_base",
+        [
+            ("(+ x 0 ^ce ^cc)", "x"),
+            ("(+ 0 x ^ce ^cc)", "x"),
+            ("(- x 0 ^ce ^cc)", "x"),
+            ("(* x 1 ^ce ^cc)", "x"),
+            ("(* 1 x ^ce ^cc)", "x"),
+            ("(/ x 1 ^ce ^cc)", "x"),
+        ],
+    )
+    def test_identity_operand(self, registry, source, arg_base):
+        out = fold(registry, source)
+        assert isinstance(out.args[0], Var)
+        assert out.args[0].name.base == arg_base
+
+    def test_mul_by_zero(self, registry):
+        out = fold(registry, "(* x 0 ^ce ^cc)")
+        assert out.args == (Lit(0),)
+
+    def test_sub_same_variable(self, registry):
+        out = fold(registry, "(- x x ^ce ^cc)")
+        assert out.args == (Lit(0),)
+
+    def test_rem_by_one(self, registry):
+        out = fold(registry, "(% x 1 ^ce ^cc)")
+        assert out.args == (Lit(0),)
+
+
+class TestComparisonFolds:
+    @pytest.mark.parametrize(
+        "source,taken",
+        [
+            ("(< 1 2 ^t ^e)", "t"),
+            ("(< 2 1 ^t ^e)", "e"),
+            ("(> 3 1 ^t ^e)", "t"),
+            ("(<= 2 2 ^t ^e)", "t"),
+            ("(>= 1 2 ^t ^e)", "e"),
+        ],
+    )
+    def test_literal_comparisons(self, registry, source, taken):
+        out = fold(registry, source)
+        assert out.args == ()
+        assert out.fn.name.base == taken
+
+    def test_same_variable_le_is_true(self, registry):
+        out = fold(registry, "(<= x x ^t ^e)")
+        assert out.fn.name.base == "t"
+
+    def test_same_variable_lt_is_false(self, registry):
+        out = fold(registry, "(< x x ^t ^e)")
+        assert out.fn.name.base == "e"
+
+    def test_unknown_comparison_does_not_fold(self, registry):
+        assert fold(registry, "(< x 1 ^t ^e)") is None
+
+
+def test_fold_disabled_by_attribute(registry):
+    disabled = registry.with_disabled_fold(["+"])
+    call = parse_term("(+ 1 2 ^ce ^cc)")
+    assert disabled.lookup("+").meta_evaluate(call) is None
+    # the original registry is untouched
+    assert registry.lookup("+").meta_evaluate(call) is not None

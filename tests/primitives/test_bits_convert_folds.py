@@ -1,0 +1,83 @@
+"""Tests for bit-operation and conversion primitive folds."""
+
+import pytest
+
+from repro.core.parser import parse_term
+from repro.core.syntax import Char, Lit, Var
+from repro.primitives._util import wrap_int
+from repro.primitives.registry import default_registry
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+def fold(registry, source):
+    call = parse_term(source)
+    return registry.lookup(call.prim).meta_evaluate(call)
+
+
+@pytest.mark.parametrize(
+    "source,expected",
+    [
+        ("(band 12 10 ^k)", 8),
+        ("(bor 12 10 ^k)", 14),
+        ("(bxor 12 10 ^k)", 6),
+        ("(shl 1 10 ^k)", 1024),
+        ("(shr 1024 3 ^k)", 128),
+        ("(shr -8 1 ^k)", -4),  # arithmetic shift
+        ("(bnot 0 ^k)", -1),
+    ],
+)
+def test_literal_bit_folds(registry, source, expected):
+    out = fold(registry, source)
+    assert out.args == (Lit(expected),)
+
+
+def test_shift_wraps_to_64_bits(registry):
+    out = fold(registry, "(shl 1 63 ^k)")
+    assert out.args == (Lit(wrap_int(1 << 63)),)
+    assert out.args[0].value < 0  # two's complement sign bit
+
+
+def test_shift_count_mod_64(registry):
+    out = fold(registry, "(shl 3 64 ^k)")
+    assert out.args == (Lit(3),)
+
+
+class TestBitIdentities:
+    def test_band_same_var(self, registry):
+        out = fold(registry, "(band x x ^k)")
+        assert isinstance(out.args[0], Var)
+
+    def test_band_zero(self, registry):
+        assert fold(registry, "(band x 0 ^k)").args == (Lit(0),)
+
+    def test_bor_zero_identity(self, registry):
+        out = fold(registry, "(bor x 0 ^k)")
+        assert isinstance(out.args[0], Var) and out.args[0].name.base == "x"
+
+    def test_bxor_same_var_is_zero(self, registry):
+        assert fold(registry, "(bxor x x ^k)").args == (Lit(0),)
+
+    def test_unknown_does_not_fold(self, registry):
+        assert fold(registry, "(band x y ^k)") is None
+
+
+class TestConversions:
+    def test_char2int(self, registry):
+        out = fold(registry, "(char2int 'A' ^k)")
+        assert out.args == (Lit(65),)
+
+    def test_int2char(self, registry):
+        out = fold(registry, "(int2char 66 ^k)")
+        assert out.args == (Lit(Char("B")),)
+
+    def test_int2char_truncates_to_byte(self, registry):
+        out = fold(registry, "(int2char 321 ^k)")
+        assert out.args == (Lit(Char(chr(321 & 0xFF))),)
+
+    def test_variable_does_not_fold(self, registry):
+        assert fold(registry, "(char2int c ^k)") is None
+        assert fold(registry, "(int2char i ^k)") is None

@@ -1,0 +1,80 @@
+"""Tests for the ``==`` identity-case primitive and its meta-evaluation."""
+
+import pytest
+
+from repro.core.parser import parse_term
+from repro.core.syntax import App, Var
+from repro.primitives.control import case_parts
+from repro.primitives.registry import default_registry
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+def fold(registry, source):
+    call = parse_term(source)
+    return registry.lookup("==").meta_evaluate(call)
+
+
+def test_paper_example():
+    """(== 2 1 2 3 c1 c2 c3) -> (c2), the paper's fold example."""
+    out = fold(default_registry(), "(== 2 1 2 3 ^c1 ^c2 ^c3)")
+    assert isinstance(out, App)
+    assert out.fn.name.base == "c2"
+    assert out.args == ()
+
+
+def test_else_branch_taken_when_no_tag_matches(registry):
+    out = fold(registry, "(== 9 1 2 ^c1 ^c2 ^celse)")
+    assert out.fn.name.base == "celse"
+
+
+def test_no_else_and_no_match_does_not_fold(registry):
+    # a runtime caseError cannot be folded away
+    assert fold(registry, "(== 9 1 2 ^c1 ^c2)") is None
+
+
+def test_variable_scrutinee_does_not_fold(registry):
+    assert fold(registry, "(== x 1 2 ^c1 ^c2)") is None
+
+
+def test_variable_tag_blocks_fold(registry):
+    # an earlier unknown tag might match first at runtime
+    assert fold(registry, "(== 2 y 2 ^c1 ^c2)") is None
+
+
+def test_variable_tag_after_literal_match_still_folds(registry):
+    out = fold(registry, "(== 2 2 y ^c1 ^c2)")
+    assert out.fn.name.base == "c1"
+
+
+def test_bool_and_int_tags_do_not_conflate(registry):
+    # identity distinguishes true from 1
+    out = fold(registry, "(== true 1 true ^c1 ^c2 ^celse)")
+    assert out.fn.name.base == "c2"
+
+
+def test_char_tags(registry):
+    out = fold(registry, "(== 'x' 'x' ^c1 ^celse)")
+    assert out.fn.name.base == "c1"
+
+
+class TestCaseParts:
+    def test_without_else(self):
+        call = parse_term("(== v 1 2 ^c1 ^c2)")
+        scrutinee, tags, branches, else_branch = case_parts(call)
+        assert len(tags) == 2 and len(branches) == 2
+        assert else_branch is None
+
+    def test_with_else(self):
+        call = parse_term("(== v 1 2 ^c1 ^c2 ^celse)")
+        _, tags, branches, else_branch = case_parts(call)
+        assert len(tags) == 2 and len(branches) == 2
+        assert isinstance(else_branch, Var)
+
+    def test_single_branch(self):
+        call = parse_term("(== v 1 ^c1)")
+        _, tags, branches, else_branch = case_parts(call)
+        assert len(tags) == 1 and len(branches) == 1 and else_branch is None

@@ -1,0 +1,147 @@
+"""Tests for the primitive registry, signatures and attributes (§2.3)."""
+
+import pytest
+
+from repro.primitives.effects import EffectClass, is_discardable, may_commute, mutates, observes
+from repro.primitives.registry import (
+    Attributes,
+    Primitive,
+    PrimitiveRegistry,
+    Signature,
+    default_registry,
+)
+
+
+class TestSignature:
+    def test_suffix_layout(self):
+        sig = Signature(value_args=2, cont_args=2)
+        assert sig.accepts_arity(4)
+        assert not sig.accepts_arity(3)
+        assert sig.cont_positions(4) == frozenset({2, 3})
+        assert sig.value_positions(4) == frozenset({0, 1})
+
+    def test_variadic_layout(self):
+        sig = Signature(value_args=0, cont_args=1, variadic=True)
+        assert sig.accepts_arity(1)
+        assert sig.accepts_arity(10)
+        assert not sig.accepts_arity(0)
+        assert sig.cont_positions(5) == frozenset({4})
+
+    def test_case_layout_odd_no_else(self):
+        sig = Signature(layout="case")
+        # (== v t1 t2 c1 c2): 5 args, last 2 are continuations
+        assert sig.cont_positions(5) == frozenset({3, 4})
+
+    def test_case_layout_even_with_else(self):
+        sig = Signature(layout="case")
+        # (== v t1 t2 c1 c2 celse): 6 args, last 3 are continuations
+        assert sig.cont_positions(6) == frozenset({3, 4, 5})
+        assert not sig.accepts_arity(2)
+
+    def test_fixpoint_layout(self):
+        sig = Signature(layout="fixpoint")
+        assert sig.accepts_arity(1)
+        assert not sig.accepts_arity(2)
+        assert sig.cont_positions(1) == frozenset()
+
+    def test_describe(self):
+        assert "continuations" in Signature(value_args=1, cont_args=1).describe()
+        assert Signature(layout="case").describe().startswith("(==")
+
+
+class TestRegistry:
+    def test_default_contains_figure_2(self):
+        registry = default_registry()
+        for name in [
+            "+", "-", "*", "/", "%", "<", ">", "<=", ">=",
+            "band", "bor", "bxor", "shl", "shr", "bnot",
+            "char2int", "int2char",
+            "array", "vector", "new", "$new",
+            "[]", "[]:=", "$[]", "$[]:=", "size", "move", "$move",
+            "==", "Y", "pushHandler", "popHandler", "raise", "ccall",
+        ]:
+            assert name in registry, f"missing Fig. 2 primitive {name}"
+
+    def test_duplicate_registration_rejected(self):
+        registry = PrimitiveRegistry()
+        prim = Primitive("p", Signature(value_args=1, cont_args=1))
+        registry.register(prim)
+        with pytest.raises(ValueError):
+            registry.register(prim)
+        registry.register(prim, replace_existing=True)
+
+    def test_extension_registration(self):
+        """New primitives can be added for specialized languages (§2.3)."""
+        registry = default_registry().copy()
+        registry.register(
+            Primitive("mystats", Signature(value_args=1, cont_args=2), cost=30)
+        )
+        assert "mystats" in registry
+        assert "mystats" not in default_registry()
+
+    def test_lookup_and_get(self):
+        registry = default_registry()
+        assert registry.lookup("+").name == "+"
+        assert registry.get("no-such") is None
+        with pytest.raises(KeyError):
+            registry.lookup("no-such")
+
+    def test_set_interp_and_emitter_hooks(self):
+        registry = PrimitiveRegistry([Primitive("p", Signature(cont_args=1))])
+        handler = lambda machine, args: None
+        registry.set_interp("p", handler)
+        registry.set_emitter("p", handler)
+        assert registry.lookup("p").interp is handler
+        assert registry.lookup("p").emit is handler
+
+    def test_worst_case_attribute_defaults(self):
+        attrs = Attributes()
+        assert attrs.effect == EffectClass.UNKNOWN
+        assert not attrs.commutative
+
+    def test_commutativity_attribute(self):
+        registry = default_registry()
+        assert registry.lookup("+").attrs.commutative
+        assert registry.lookup("*").attrs.commutative
+        assert not registry.lookup("-").attrs.commutative
+
+    def test_costs_are_positive(self):
+        for prim in default_registry():
+            assert prim.cost >= 1
+
+    def test_meta_evaluate_name_mismatch(self):
+        from repro.core.parser import parse_term
+
+        registry = default_registry()
+        call = parse_term("(+ 1 2 ^ce ^cc)")
+        with pytest.raises(ValueError):
+            registry.lookup("-").meta_evaluate(call)
+
+
+class TestEffects:
+    def test_pure_commutes_with_everything(self):
+        for effect in EffectClass:
+            assert may_commute(EffectClass.PURE, effect)
+
+    def test_write_does_not_commute_with_read(self):
+        assert not may_commute(EffectClass.WRITE, EffectClass.READ)
+        assert not may_commute(EffectClass.READ, EffectClass.WRITE)
+
+    def test_reads_commute(self):
+        assert may_commute(EffectClass.READ, EffectClass.READ)
+
+    def test_unknown_never_commutes(self):
+        assert not may_commute(EffectClass.UNKNOWN, EffectClass.READ)
+        assert not may_commute(EffectClass.CONTROL, EffectClass.ALLOC)
+
+    def test_discardability(self):
+        assert is_discardable(EffectClass.PURE)
+        assert is_discardable(EffectClass.READ)
+        assert not is_discardable(EffectClass.WRITE)
+        assert not is_discardable(EffectClass.IO)
+
+    def test_observes_and_mutates(self):
+        assert observes(EffectClass.READ)
+        assert mutates(EffectClass.WRITE)
+        assert not mutates(EffectClass.READ)
+        assert not observes(EffectClass.ALLOC)

@@ -1,0 +1,115 @@
+"""Property-based tests on core TML invariants (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.freevars import free_names
+from repro.core.names import NameSupply
+from repro.core.occurrences import count, count_all
+from repro.core.parser import parse_term
+from repro.core.pretty import PrettyOptions, pretty
+from repro.core.substitution import alpha_rename, substitute
+from repro.core.syntax import (
+    Abs,
+    App,
+    Lit,
+    PrimApp,
+    Var,
+    bound_names,
+    iter_subterms,
+    max_uid,
+    term_size,
+)
+from repro.core.wellformed import violations
+from repro.store.ptml import decode_ptml, encode_ptml
+
+# ---------------------------------------------------------------------------
+# a strategy for random well-formed executable TML programs: straight-line
+# CPS chains of arithmetic over bound variables, ending in halt
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def straightline_terms(draw):
+    supply = NameSupply()
+    steps = draw(st.lists(st.sampled_from(["+", "-", "*", "band", "bor"]), min_size=0, max_size=8))
+    bound: list = []
+
+    def value():
+        if bound and draw(st.booleans()):
+            return Var(draw(st.sampled_from(bound)))
+        return Lit(draw(st.integers(-100, 100)))
+
+    def build(index: int):
+        if index == len(steps):
+            return PrimApp("halt", (value(),))
+        op = steps[index]
+        t = supply.fresh_val("t")
+        rest_bound_marker = len(bound)
+        bound.append(t)
+        rest = build(index + 1)
+        del bound[rest_bound_marker:]
+        if op in ("band", "bor"):
+            return PrimApp(op, (value(), value(), Abs((t,), rest)))
+        err = supply.fresh_val("e")
+        handler = Abs((err,), PrimApp("halt", (Lit(-1),)))
+        return PrimApp(op, (value(), value(), handler, Abs((t,), rest)))
+
+    return build(0)
+
+
+@given(straightline_terms())
+@settings(max_examples=120)
+def test_generated_terms_are_well_formed(term):
+    from repro.primitives.registry import default_registry
+
+    assert violations(term, default_registry()) == []
+
+
+@given(straightline_terms())
+@settings(max_examples=120)
+def test_alpha_rename_invariants(term):
+    supply = NameSupply(start=max_uid(term) + 1)
+    renamed = alpha_rename(term, supply)
+    assert term_size(renamed) == term_size(term)
+    assert free_names(renamed) == free_names(term)
+    old_bound = {n.uid for n in bound_names(term)}
+    new_bound = {n.uid for n in bound_names(renamed)}
+    assert old_bound.isdisjoint(new_bound) or not old_bound
+
+
+@given(straightline_terms())
+@settings(max_examples=120)
+def test_ptml_roundtrip_exact(term):
+    assert decode_ptml(encode_ptml(term)).term == term
+
+
+@given(straightline_terms())
+@settings(max_examples=80)
+def test_pretty_parse_roundtrip(term):
+    text = pretty(term, PrettyOptions(show_uids=True))
+    assert parse_term(text) == term
+
+
+@given(straightline_terms(), st.integers(-5, 5))
+@settings(max_examples=80)
+def test_substitution_eliminates_all_occurrences(term, payload):
+    binders = bound_names(term)
+    if not binders:
+        return
+    target = binders[0]
+    out = substitute(term, Lit(payload), target)
+    assert count(out, target) == 0
+
+
+@given(straightline_terms())
+@settings(max_examples=80)
+def test_census_matches_individual_counts(term):
+    census = count_all(term)
+    for name in set(census):
+        assert census[name] == count(term, name)
+
+
+@given(straightline_terms())
+@settings(max_examples=80)
+def test_size_equals_subterm_count(term):
+    assert term_size(term) == sum(1 for _ in iter_subterms(term))

@@ -1,0 +1,65 @@
+"""Fuzz properties: parsers fail cleanly on arbitrary input."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.parser import ParseError, parse_term
+from repro.lang.errors import TLError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_expression, parse_module
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=200)
+def test_tml_parser_never_crashes(text):
+    """Arbitrary input either parses or raises ParseError — nothing else."""
+    try:
+        parse_term(text)
+    except ParseError:
+        pass
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=200)
+def test_tl_parser_never_crashes(text):
+    try:
+        parse_module(text)
+    except TLError:
+        pass
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=150)
+def test_tl_expression_parser_never_crashes(text):
+    try:
+        parse_expression(text)
+    except TLError:
+        pass
+
+
+#: token soup: syntactically plausible fragments, harder than raw text
+_FRAGMENTS = st.sampled_from(
+    [
+        "module", "export", "let", "var", "end", "if", "then", "else",
+        "begin", "while", "do", "for", "upto", "in", "tuple", "try",
+        "catch", "raise", "select", "from", "where", "as", "exists", "fn",
+        "(", ")", "[", "]", ",", ";", ":", "=", ":=", "=>", "+", "-", "*",
+        "/", "==", "<", "x", "y", "f", "42", '"s"', "'c'", "true", "Int",
+    ]
+)
+
+
+@given(st.lists(_FRAGMENTS, max_size=30))
+@settings(max_examples=200)
+def test_tl_parser_survives_token_soup(fragments):
+    source = " ".join(fragments)
+    try:
+        parse_module(source)
+    except TLError:
+        pass
+
+
+@given(st.lists(_FRAGMENTS, max_size=30))
+@settings(max_examples=150)
+def test_lexer_total_on_fragments(fragments):
+    tokens = tokenize(" ".join(fragments))
+    assert tokens[-1].kind == "eof"

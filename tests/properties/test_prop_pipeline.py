@@ -1,0 +1,86 @@
+"""The grand differential property: Python oracle ≡ interpreter ≡ VM ≡
+optimized VM ≡ reflectively optimized VM, on random TL expressions.
+
+This is the strongest whole-pipeline guarantee in the suite: any unsound
+rewrite rule, codegen bug or machine divergence shows up as a counterexample.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import CompileOptions, TycoonSystem
+from repro.machine.runtime import UncaughtTmlException
+from repro.reflect import optimize_function
+from repro.rewrite import OptimizerConfig
+
+from tests.conftest import tl_int_expression
+
+
+def _build_systems():
+    return (
+        TycoonSystem(options=CompileOptions(optimizer=None)),
+        TycoonSystem(options=CompileOptions(optimizer=OptimizerConfig())),
+    )
+
+
+_SYSTEMS = _build_systems()
+_counter = [0]
+
+
+def _observe(call):
+    try:
+        return ("value", call().value)
+    except UncaughtTmlException as exc:
+        return ("raise", exc.value)
+
+
+@given(tl_int_expression(max_depth=3))
+@settings(max_examples=60, deadline=None)
+def test_pipeline_matches_oracle(case):
+    source_expr, expected = case
+    _counter[0] += 1
+    module = f"gen{_counter[0]}"
+    source = f"module {module} export f\nlet f(): Int = {source_expr}\nend"
+
+    unopt, opt = _SYSTEMS
+    unopt.compile(source)
+    opt.compile(source)
+
+    outcomes = {
+        "unoptimized": _observe(lambda: unopt.call(module, "f", [])),
+        "static": _observe(lambda: opt.call(module, "f", [])),
+    }
+    fast = optimize_function(opt, module, "f")
+    outcomes["dynamic"] = _observe(lambda: opt.vm().call(fast, []))
+
+    if isinstance(expected, int):
+        want = ("value", expected)
+    else:
+        want = ("raise", expected)
+
+    for label, outcome in outcomes.items():
+        assert outcome == want, (label, source_expr, outcome, want)
+
+
+@given(tl_int_expression(max_depth=2), st.integers(-50, 50))
+@settings(max_examples=40, deadline=None)
+def test_expression_with_parameter(case, arg):
+    """The expression appears under a parameter binding; all engines agree
+    with each other (oracle-free self-consistency with runtime inputs)."""
+    source_expr, _ = case
+    _counter[0] += 1
+    module = f"par{_counter[0]}"
+    source = (
+        f"module {module} export f\n"
+        f"let f(p0: Int): Int = p0 + ({source_expr})\n"
+        "end"
+    )
+    unopt, opt = _SYSTEMS
+    unopt.compile(source)
+    opt.compile(source)
+
+    base = _observe(lambda: unopt.call(module, "f", [arg]))
+    static = _observe(lambda: opt.call(module, "f", [arg]))
+    fast = optimize_function(opt, module, "f")
+    dynamic = _observe(lambda: opt.vm().call(fast, [arg]))
+    assert base == static == dynamic, (source_expr, base, static, dynamic)

@@ -1,0 +1,47 @@
+"""Property-based round-trip tests for the store codecs."""
+
+from hypothesis import given, settings
+
+from repro.core.syntax import Char, Oid, Unit
+from repro.machine.runtime import TmlArray, TmlByteArray, TmlVector
+from repro.store.serialize import decode_value, encode_value
+
+from tests.conftest import runtime_values
+
+
+def _equivalent(a, b) -> bool:
+    if isinstance(a, TmlArray):
+        return isinstance(b, TmlArray) and len(a.slots) == len(b.slots) and all(
+            _equivalent(x, y) for x, y in zip(a.slots, b.slots)
+        )
+    if isinstance(a, TmlVector):
+        return isinstance(b, TmlVector) and len(a.slots) == len(b.slots) and all(
+            _equivalent(x, y) for x, y in zip(a.slots, b.slots)
+        )
+    if isinstance(a, TmlByteArray):
+        return isinstance(b, TmlByteArray) and bytes(a.data) == bytes(b.data)
+    if isinstance(a, tuple):
+        return (
+            isinstance(b, tuple)
+            and len(a) == len(b)
+            and all(_equivalent(x, y) for x, y in zip(a, b))
+        )
+    if isinstance(a, dict):
+        if not isinstance(b, dict) or set(a) != set(b):
+            return False
+        return all(_equivalent(a[k], b[k]) for k in a)
+    if isinstance(a, bool) or isinstance(b, bool):
+        return type(a) is type(b) and a == b
+    return type(a) is type(b) and a == b or (a is None and b is None)
+
+
+@given(runtime_values())
+@settings(max_examples=200)
+def test_value_roundtrip(value):
+    assert _equivalent(decode_value(encode_value(value)), value)
+
+
+@given(runtime_values())
+@settings(max_examples=100)
+def test_encoding_deterministic(value):
+    assert encode_value(value) == encode_value(value)

@@ -1,0 +1,85 @@
+"""Unit tests for the integrated optimizer driver and rewrite statistics."""
+
+import pytest
+
+from repro.core.parser import parse_term
+from repro.query.algebra import query_registry
+from repro.query.optimizer import IntegratedResult, integrated_optimize
+from repro.query.rules import QueryRewriteStats
+from repro.rewrite.stats import RewriteStats
+
+
+@pytest.fixture
+def registry():
+    return query_registry()
+
+
+def test_plain_program_converges_in_one_round(registry):
+    term = parse_term("proc(x ce cc) (+ x 1 ce cc)", prims=registry.names())
+    result = integrated_optimize(term, registry)
+    assert result.rounds == 1  # no query rewrites: stop immediately
+    assert result.query_stats.total == 0
+
+
+def test_query_rewrite_triggers_another_program_round(registry):
+    src = """
+    proc(rel ce cc)
+      (select proc(x ce1 cc1) (cc1 true)
+              rel ce
+              cont(t) (select proc(y ce2 cc2) (cc2 true) t ce cc))
+    """
+    term = parse_term(src, prims=registry.names())
+    result = integrated_optimize(term, registry)
+    assert result.query_stats.count("merge-select") == 1
+    assert result.rounds >= 2  # the rewrite forced a second program round
+
+
+def test_stats_alias(registry):
+    term = parse_term("proc(x ce cc) (cc x)", prims=registry.names())
+    result = integrated_optimize(term, registry)
+    assert result.stats is result.program_stats
+    assert result.size > 0
+
+
+def test_enabled_rule_subset(registry):
+    src = """
+    proc(rel ce cc)
+      (select proc(x ce1 cc1) (cc1 true)
+              rel ce
+              cont(t) (select proc(y ce2 cc2) (cc2 true) t ce cc))
+    """
+    term = parse_term(src, prims=registry.names())
+    result = integrated_optimize(
+        term, registry, query_rules=frozenset({"trivial-exists"})
+    )
+    assert result.query_stats.count("merge-select") == 0
+
+
+class TestQueryRewriteStats:
+    def test_counts(self):
+        stats = QueryRewriteStats()
+        stats.fired("merge-select")
+        stats.fired("merge-select")
+        stats.fired("index-select")
+        assert stats.count("merge-select") == 2
+        assert stats.total == 3
+        assert stats.count("never") == 0
+
+
+class TestRewriteStats:
+    def test_merge(self):
+        a, b = RewriteStats(), RewriteStats()
+        a.fired("subst", 2)
+        b.fired("subst")
+        b.fired("fold", 3)
+        b.inlined_sites = 4
+        a.merge(b)
+        assert a.count("subst") == 3
+        assert a.count("fold") == 3
+        assert a.inlined_sites == 4
+        assert a.total_rewrites == 6
+
+    def test_summary_mentions_sizes(self):
+        stats = RewriteStats()
+        stats.size_before, stats.size_after = 10, 5
+        assert "10 -> 5" in stats.summary()

@@ -1,0 +1,136 @@
+"""Tests for relations and indexes (repro.query.relation / .index)."""
+
+import pytest
+
+from repro.core.syntax import Char, Oid
+from repro.machine.runtime import TmlVector
+from repro.query.index import HashIndex, OrderedIndex, index_key
+from repro.query.relation import QueryError, Relation
+from repro.store.heap import ObjectHeap
+
+
+@pytest.fixture
+def people():
+    rel = Relation("people", ["id", "name", "age"])
+    rel.insert_many(
+        [(1, "ann", 34), (2, "bob", 12), (3, "cy", 19), (4, "dee", 12)]
+    )
+    return rel
+
+
+class TestSchema:
+    def test_fields_and_positions(self, people):
+        assert people.arity == 3
+        assert people.field_position("age") == 2
+        assert people.field_at(1) == "name"
+        assert people.field_at(9) is None
+
+    def test_unknown_field(self, people):
+        with pytest.raises(QueryError):
+            people.field_position("salary")
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(QueryError):
+            Relation("bad", ["a", "a"])
+
+
+class TestRows:
+    def test_insert_sequences_and_vectors(self, people):
+        people.insert(TmlVector([5, "el", 40]))
+        people.insert((6, "fi", 50))
+        assert len(people) == 6
+
+    def test_arity_mismatch(self, people):
+        with pytest.raises(QueryError):
+            people.insert((1, 2))
+
+    def test_rows_are_vectors(self, people):
+        assert all(isinstance(row, TmlVector) for row in people)
+
+    def test_to_tuples(self, people):
+        assert people.to_tuples()[0] == (1, "ann", 34)
+
+    def test_scan_counts(self, people):
+        assert people.scans == 0
+        list(people.scan())
+        list(people.scan())
+        assert people.scans == 2
+
+    def test_project_fields(self, people):
+        names = people.project_fields(["name"])
+        assert names.to_tuples() == [("ann",), ("bob",), ("cy",), ("dee",)]
+
+
+class TestIndexes:
+    def test_hash_index_lookup(self, people):
+        people.create_index("age")
+        rows = people.index_lookup("age", 12)
+        assert {r.slots[1] for r in rows} == {"bob", "dee"}
+
+    def test_index_maintained_on_insert(self, people):
+        people.create_index("age")
+        people.insert((5, "el", 12))
+        assert len(people.index_lookup("age", 12)) == 3
+
+    def test_ordered_index_range(self, people):
+        people.create_index("age", ordered=True)
+        rows = people.index_range("age", 12, 20)
+        assert {r.slots[1] for r in rows} == {"bob", "cy", "dee"}
+
+    def test_range_needs_ordered_index(self, people):
+        people.create_index("age")  # hash
+        with pytest.raises(QueryError):
+            people.index_range("age", 0, 100)
+
+    def test_no_index_error(self, people):
+        with pytest.raises(QueryError):
+            people.index_lookup("name", "ann")
+
+    def test_has_index(self, people):
+        assert not people.has_index("id")
+        people.create_index("id")
+        assert people.has_index("id")
+
+
+class TestIndexStructures:
+    def test_hash_index_duplicates(self):
+        index = HashIndex()
+        index.add(1, "a")
+        index.add(1, "b")
+        assert index.lookup(1) == ["a", "b"]
+        assert len(index) == 2
+        assert index.lookups == 1
+
+    def test_ordered_index_sorted(self):
+        index = OrderedIndex()
+        for key in (5, 1, 3, 2, 4):
+            index.add(key, key * 10)
+        assert index.range(2, 4) == [20, 30, 40]
+        assert index.lookup(3) == [30]
+
+    def test_index_key_type_separation(self):
+        assert index_key(1) != index_key(True)
+        assert index_key("1") != index_key(1)
+        assert index_key(Char("a")) != index_key("a")
+        assert index_key(Oid(3))[0] == "oid"
+
+    def test_unhashable_key_rejected(self):
+        with pytest.raises(TypeError):
+            index_key(TmlVector([1]))
+
+
+class TestPersistence:
+    def test_relation_codec_roundtrip(self, people, tmp_path):
+        people.create_index("age", ordered=True)
+        heap = ObjectHeap(str(tmp_path / "rel.tyc"))
+        oid = heap.store(people)
+        heap.set_root("people", oid)
+        heap.commit()
+        heap.close()
+
+        heap2 = ObjectHeap(str(tmp_path / "rel.tyc"))
+        loaded = heap2.load_root("people")
+        assert loaded.to_tuples() == people.to_tuples()
+        assert loaded.has_index("age")
+        assert loaded.index_range("age", 12, 13) is not None
+        heap2.close()

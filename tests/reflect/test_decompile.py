@@ -1,0 +1,183 @@
+"""Tests for TML reconstruction from executable code (§6 future work).
+
+The paper's "interesting question": does the non-isomorphic reconstructed
+tree still support the optimizations?  These tests answer yes — the
+reconstruction is well-formed, semantically equivalent, and the optimizer
+fires on it.
+"""
+
+import pytest
+
+from repro.core.parser import parse_term
+from repro.core.syntax import Abs
+from repro.core.wellformed import check
+from repro.lang import TycoonSystem
+from repro.machine.codegen import compile_function
+from repro.machine.runtime import UncaughtTmlException
+from repro.machine.vm import VM, instantiate
+from repro.primitives.registry import default_registry
+from repro.reflect.decompile import decompile_code
+from repro.rewrite import optimize
+
+SOURCES = [
+    # straight-line arithmetic with exception paths
+    "proc(x ce cc) (+ x 1 ce cont(t) (* t 2 ce cc))",
+    # branching
+    "proc(x ce cc) (< x 10 cont() (cc 1) cont() (cc 0))",
+    # case with else
+    "proc(x ce cc) (== x 1 2 cont() (cc 10) cont() (cc 20) cont() (cc 99))",
+    # arrays and unit-result stores
+    """
+    proc(n ce cc)
+      (new n 0 cont(a)
+        ([]:= a 0 7 cont(u)
+          ([] a 0 cont(v) (size a cont(s) (+ v s ce cc)))))
+    """,
+    # a loop (fix group)
+    """
+    proc(n ce cc)
+      (Y λ(^c0 loop ^c)
+         (c cont() (loop 1 0)
+            cont(i acc)
+              (> i n cont() (cc acc)
+                     cont() (+ acc i ce cont(a)
+                               (+ i 1 ce cont(j) (loop j a))))))
+    """,
+    # closures (materialized continuation passed to a call)
+    "proc(f ce cc) (f 3 ce cont(t) (+ t 1 ce cc))",
+    # handler machinery
+    """
+    proc(x ce cc)
+      (λ(^h) (pushHandler h cont() (raise x))
+       cont(e) (+ e 100 ce cc))
+    """,
+    # print and char conversion
+    "proc(c ce cc) (char2int c cont(i) (print i cont(u) (int2char i cont(d) (cc d))))",
+]
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+def _roundtrip(source, registry):
+    term = parse_term(source)
+    assert isinstance(term, Abs)
+    code = compile_function(term, registry)
+    rebuilt = decompile_code(code)
+    return term, code, rebuilt
+
+
+@pytest.mark.parametrize("source", SOURCES)
+def test_reconstruction_is_well_formed(source, registry):
+    _, _, rebuilt = _roundtrip(source, registry)
+    check(rebuilt, registry)
+
+
+@pytest.mark.parametrize("source", SOURCES)
+def test_reconstruction_recompiles(source, registry):
+    _, _, rebuilt = _roundtrip(source, registry)
+    compile_function(rebuilt, registry)  # must not raise
+
+
+def _run(code, args):
+    return VM().call(instantiate(code), args)
+
+
+class TestSemanticEquivalence:
+    def test_arithmetic(self, registry):
+        _, code, rebuilt = _roundtrip(SOURCES[0], registry)
+        recompiled = compile_function(rebuilt, registry)
+        for x in (-3, 0, 20):
+            assert _run(code, [x]).value == _run(recompiled, [x]).value
+
+    def test_branching_and_case(self, registry):
+        for source in (SOURCES[1], SOURCES[2]):
+            _, code, rebuilt = _roundtrip(source, registry)
+            recompiled = compile_function(rebuilt, registry)
+            for x in (0, 1, 2, 15):
+                assert _run(code, [x]).value == _run(recompiled, [x]).value
+
+    def test_arrays(self, registry):
+        _, code, rebuilt = _roundtrip(SOURCES[3], registry)
+        recompiled = compile_function(rebuilt, registry)
+        assert _run(code, [5]).value == _run(recompiled, [5]).value == 12
+
+    def test_loop(self, registry):
+        _, code, rebuilt = _roundtrip(SOURCES[4], registry)
+        recompiled = compile_function(rebuilt, registry)
+        assert _run(recompiled, [100]).value == 5050
+
+    def test_handlers(self, registry):
+        _, code, rebuilt = _roundtrip(SOURCES[6], registry)
+        recompiled = compile_function(rebuilt, registry)
+        assert _run(recompiled, [11]).value == 111
+
+    def test_output(self, registry):
+        from repro.core.syntax import Char
+
+        _, code, rebuilt = _roundtrip(SOURCES[7], registry)
+        recompiled = compile_function(rebuilt, registry)
+        original = _run(code, [Char("A")])
+        again = _run(recompiled, [Char("A")])
+        assert original.value == again.value
+        assert original.output == again.output == ["65"]
+
+
+def test_not_necessarily_isomorphic(registry):
+    """The paper's caveat: reconstruction duplicates shared blocks."""
+    source = """
+    proc(x ce cc)
+      (< x 0 cont() (+ x 1 ce cc)
+             cont() (+ x 2 ce cc))
+    """
+    term, code, rebuilt = _roundtrip(source, registry)
+    # equivalence holds even when the trees differ
+    recompiled = compile_function(rebuilt, registry)
+    for x in (-5, 5):
+        assert _run(code, [x]).value == _run(recompiled, [x]).value
+
+
+def test_optimizer_applies_to_reconstruction(registry):
+    """The paper's 'interesting question': reconstructed TML optimizes."""
+    source = "proc(ce cc) (+ 1 2 ce cont(t) (* t t ce cc))"
+    _, code, rebuilt = _roundtrip(source, registry)
+    result = optimize(rebuilt, registry)
+    assert result.stats.count("fold") >= 2
+    recompiled = compile_function(result.term, registry)
+    assert _run(recompiled, []).value == 9
+
+
+def test_decompiled_tl_function_runs(registry):
+    """End to end: decompile a compiled TL function and re-link it."""
+    system = TycoonSystem()
+    system.compile(
+        """
+        module d export f
+        let f(n: Int): Int =
+          var acc := 1 in
+          begin
+            for i = 1 upto n do acc := acc * i end;
+            acc
+          end
+        end
+        """
+    )
+    closure = system.closure("d", "f")
+    rebuilt = decompile_code(closure.code)
+    check(rebuilt, system.registry)
+    recompiled = compile_function(rebuilt, system.registry)
+    # rebind the original free values (library procedures) positionally
+    bindings = dict(zip(closure.code.free_names, closure.free))
+    new_closure = instantiate(recompiled, bindings)
+    assert system.vm().call(new_closure, [6]).value == 720
+
+
+def test_exceptions_preserved(registry):
+    source = "proc(a b ce cc) (/ a b ce cc)"
+    _, code, rebuilt = _roundtrip(source, registry)
+    recompiled = compile_function(rebuilt, registry)
+    assert _run(recompiled, [7, 2]).value == 3
+    with pytest.raises(UncaughtTmlException):
+        _run(recompiled, [1, 0])

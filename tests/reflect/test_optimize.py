@@ -1,0 +1,182 @@
+"""Tests for reflective runtime optimization (paper section 4.1)."""
+
+import pytest
+
+from repro.core.pretty import pretty_compact
+from repro.core.syntax import PrimApp, iter_subterms
+from repro.core.wellformed import check
+from repro.lang import TycoonSystem
+from repro.machine.runtime import UncaughtTmlException
+from repro.reflect import optimize_function, optimize_result
+
+COMPLEX_SRC = """
+module complex export T new x y
+type T = tuple x: Int, y: Int end
+let new(a: Int, b: Int): T = tuple x = a, y = b end
+let x(c: T): Int = c.x
+let y(c: T): Int = c.y
+end
+"""
+
+ABS_SRC = """
+module app export abs
+import complex
+let abs(c: complex.T): Int =
+  sqrt(complex.x(c) * complex.x(c) + complex.y(c) * complex.y(c))
+end
+"""
+
+
+@pytest.fixture
+def system():
+    system = TycoonSystem()
+    system.compile(COMPLEX_SRC)
+    system.compile(ABS_SRC)
+    return system
+
+
+class TestPaperAbsExample:
+    """Section 4.1's worked example: reflect.optimize(abs)."""
+
+    def test_equivalence(self, system):
+        point = system.call("complex", "new", [3, 4]).value
+        original = system.call("app", "abs", [point])
+        fast = optimize_function(system, "app", "abs")
+        optimized = system.vm().call(fast, [point])
+        assert original.value == optimized.value == 5
+
+    def test_module_accessors_inlined(self, system):
+        """optimizedAbs ≡ sqrt(c.x*c.x + c.y*c.y): direct field access."""
+        result = optimize_result(system, "app", "abs")
+        text = pretty_compact(result.term)
+        # the record accessors collapsed to direct indexed loads
+        assert "[]" in text
+        # no calls to complex.x / complex.y remain
+        assert "complex.x" not in text and "complex.y" not in text
+
+    def test_faster_than_original(self, system):
+        point = system.call("complex", "new", [3, 4]).value
+        original = system.call("app", "abs", [point])
+        result = optimize_result(system, "app", "abs")
+        optimized = system.vm().call(result.closure, [point])
+        assert optimized.instructions < original.instructions
+        assert result.cost_after < result.cost_before
+
+    def test_result_is_well_formed(self, system):
+        result = optimize_result(system, "app", "abs")
+        check(result.term, system.registry)
+
+    def test_optimized_code_carries_new_ptml(self, system):
+        """Re-optimization chains: the new code is itself reflectable."""
+        result = optimize_result(system, "app", "abs")
+        assert result.closure.code.ptml_ref is not None
+
+
+class TestRecursion:
+    def test_self_recursive_function(self, system):
+        system.compile(
+            """
+            module r export fact
+            let fact(n: Int): Int = if n <= 1 then 1 else n * fact(n - 1) end
+            end
+            """
+        )
+        fast = optimize_function(system, "r", "fact")
+        assert system.vm().call(fast, [10]).value == 3628800
+
+    def test_recursive_binding_uses_y(self, system):
+        system.compile(
+            """
+            module r export fact
+            let fact(n: Int): Int = if n <= 1 then 1 else n * fact(n - 1) end
+            end
+            """
+        )
+        result = optimize_result(system, "r", "fact")
+        y_nodes = [
+            n
+            for n in iter_subterms(result.term)
+            if isinstance(n, PrimApp) and n.prim == "Y"
+        ]
+        assert y_nodes  # the recursive group is a Y application
+
+    def test_mutual_recursion(self, system):
+        system.compile(
+            """
+            module r export iseven
+            let iseven(n: Int): Bool = if n == 0 then true else isodd(n - 1) end
+            let isodd(n: Int): Bool = if n == 0 then false else iseven(n - 1) end
+            end
+            """
+        )
+        fast = optimize_function(system, "r", "iseven")
+        assert system.vm().call(fast, [100]).value is True
+        assert system.vm().call(fast, [101]).value is False
+
+
+class TestSemanticsPreservation:
+    def test_exceptions_preserved(self, system):
+        system.compile(
+            """
+            module e export f
+            let f(x: Int): Int = 100 / x
+            end
+            """
+        )
+        fast = optimize_function(system, "e", "f")
+        assert system.vm().call(fast, [4]).value == 25
+        with pytest.raises(UncaughtTmlException):
+            system.vm().call(fast, [0])
+
+    def test_try_catch_preserved(self, system):
+        system.compile(
+            """
+            module e export f
+            let f(x: Int): Int = try 100 / x catch(err) -1 end
+            end
+            """
+        )
+        fast = optimize_function(system, "e", "f")
+        assert system.vm().call(fast, [0]).value == -1
+
+    def test_output_preserved(self, system):
+        system.compile(
+            """
+            module o export f
+            let f(x: Int) = begin print(x); print(x + 1); unit end
+            end
+            """
+        )
+        fast = optimize_function(system, "o", "f")
+        result = system.vm().call(fast, [1])
+        assert result.output == ["1", "2"]
+
+    def test_loops_preserved(self, system):
+        system.compile(
+            """
+            module l export f
+            let f(n: Int): Int =
+              var acc := 0 in
+              begin
+                for i = 1 upto n do acc := acc + i * i end;
+                acc
+              end
+            end
+            """
+        )
+        fast = optimize_function(system, "l", "f")
+        assert system.vm().call(fast, [10]).value == 385
+
+
+class TestDiagnostics:
+    def test_entities_counted(self, system):
+        result = optimize_result(system, "app", "abs")
+        assert result.entities >= 4  # abs + accessors + library leaves
+
+    def test_speedup_estimate_positive(self, system):
+        result = optimize_result(system, "app", "abs")
+        assert result.estimated_speedup > 1.0
+
+    def test_stats_show_inlining(self, system):
+        result = optimize_result(system, "app", "abs")
+        assert result.stats.inlined_sites + result.stats.count("subst") > 0

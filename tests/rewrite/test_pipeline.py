@@ -1,0 +1,123 @@
+"""Tests for the two-pass optimizer pipeline and cost model (section 3)."""
+
+import pytest
+
+from repro.core.parser import parse_term
+from repro.core.pretty import pretty_compact
+from repro.core.syntax import Abs, Lit, term_size
+from repro.primitives.registry import default_registry
+from repro.rewrite import OptimizerConfig, RuleConfig, optimize, reduce_only
+from repro.rewrite.cost import (
+    CALL_COST,
+    CLOSURE_COST,
+    DEFAULT_PRIM_COST,
+    InlineDecision,
+    site_decision,
+    term_cost,
+)
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+class TestTermCost:
+    def test_prim_costs_summed(self, registry):
+        term = parse_term("(+ a b ^ce ^cc)")
+        assert term_cost(term, registry) == registry.lookup("+").cost
+
+    def test_call_and_closure_costs(self, registry):
+        term = parse_term("(f cont(t) (k t))")
+        # one App + one Abs + the inner App
+        assert term_cost(term, registry) == 2 * CALL_COST + CLOSURE_COST
+
+    def test_unknown_prim_gets_worst_case(self, registry):
+        term = parse_term("(frobnicate a ^k)", prims={"frobnicate"})
+        assert term_cost(term, registry) == DEFAULT_PRIM_COST
+
+
+class TestSiteDecision:
+    def test_small_body_inlined(self, registry):
+        body = parse_term("proc(x ce cc) (+ x 1 ce cc)")
+        decision = site_decision(body, (Lit(1),), registry, growth_budget=24)
+        assert decision.inline
+
+    def test_literal_args_increase_savings(self, registry):
+        body = parse_term("proc(x ce cc) (+ x 1 ce cc)")
+        with_lit = site_decision(body, (Lit(1),), registry, 0)
+        var = parse_term("v")
+        without = site_decision(body, (var,), registry, 0)
+        assert with_lit.savings > without.savings
+
+    def test_budget_zero_rejects_large_bodies(self, registry):
+        big = parse_term(
+            "proc(x ce cc) (f x ce cont(a) (g a ce cont(b) (h b ce cont(d) "
+            "(i d ce cont(e2) (j e2 ce cc)))))"
+        )
+        decision = site_decision(big, (), registry, growth_budget=0)
+        assert not decision.inline
+        assert decision.growth > 0
+
+
+class TestOptimizeDriver:
+    def test_reduction_only_config(self, registry):
+        term = parse_term(
+            "(λ(g) (g 1 ^e1 cont(t) (g t ^e2 ^cc))  proc(v ce cc) (+ v 1 ce cc))"
+        )
+        result = optimize(term, registry, OptimizerConfig.reduction_only())
+        assert result.stats.inlined_sites == 0
+
+    def test_alternation_beats_single_pass(self, registry):
+        """Expansion exposes folds reduction alone cannot reach (section 3)."""
+        source = """
+        (λ(inc) (inc 1 ^e1 cont(a) (inc a ^e2 cont(b) (halt b)))
+         proc(v ce cc) (+ v 1 ce cc))
+        """
+        reduced = reduce_only(parse_term(source), registry)
+        both = optimize(parse_term(source), registry)
+        assert term_size(both.term) < term_size(reduced.term)
+        assert pretty_compact(both.term) == "(halt 3)"
+
+    def test_size_accounting(self, registry):
+        term = parse_term("(+ 1 2 ^ce ^cc)")
+        result = optimize(term, registry)
+        assert result.stats.size_before == term_size(term)
+        assert result.stats.size_after == term_size(result.term)
+        assert result.stats.size_after < result.stats.size_before
+
+    def test_rounds_bounded(self, registry):
+        term = parse_term("(halt 1)")
+        result = optimize(term, registry, OptimizerConfig(max_rounds=3))
+        assert result.stats.rounds <= 3
+
+    def test_idempotent_on_optimized_term(self, registry):
+        term = parse_term(
+            "(λ(g) (g 1 ^e1 cont(t) (g t ^e2 ^cc))  proc(v ce cc) (+ v 1 ce cc))"
+        )
+        once = optimize(term, registry).term
+        twice = optimize(once, registry).term
+        assert once == twice
+
+    def test_rule_config_threads_through(self, registry):
+        term = parse_term("(+ 1 2 ^ce ^cc)")
+        config = OptimizerConfig(rules=RuleConfig.without("fold"))
+        result = optimize(term, registry, config)
+        assert result.stats.count("fold") == 0
+
+    def test_stats_summary_is_readable(self, registry):
+        result = optimize(parse_term("(+ 1 2 ^ce ^cc)"), registry)
+        summary = result.stats.summary()
+        assert "fold" in summary and "->" in summary
+
+
+class TestRuleConfig:
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError):
+            RuleConfig(frozenset({"definitely-not-a-rule"}))
+
+    def test_without(self):
+        config = RuleConfig.without("fold", "subst")
+        assert not config.allows("fold")
+        assert not config.allows("subst")
+        assert config.allows("remove")

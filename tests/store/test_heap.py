@@ -1,0 +1,186 @@
+"""Tests for the object heap: OIDs, roots, commit/abort (repro.store.heap)."""
+
+import pytest
+
+from repro.core.syntax import Oid
+from repro.machine.runtime import TmlArray, TmlVector
+from repro.store.heap import HeapError, ObjectHeap, Transaction
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "heap.tyc")
+
+
+class TestInMemory:
+    def test_store_and_load(self):
+        heap = ObjectHeap()
+        oid = heap.store(TmlArray([1, 2]))
+        assert heap.load(oid).slots == [1, 2]
+
+    def test_identity_interning(self):
+        heap = ObjectHeap()
+        obj = TmlArray([1])
+        assert heap.store(obj) == heap.store(obj)
+        assert heap.oid_of(obj) is not None
+
+    def test_unknown_oid(self):
+        with pytest.raises(HeapError):
+            ObjectHeap().load(Oid(404))
+
+    def test_commit_is_noop(self):
+        heap = ObjectHeap()
+        oid = heap.store("value")
+        heap.commit()
+        assert heap.load(oid) == "value"
+
+
+class TestPersistence:
+    def test_commit_and_reopen(self, path):
+        heap = ObjectHeap(path)
+        oid = heap.store(TmlArray(["persisted", 1]))
+        heap.set_root("data", oid)
+        heap.commit()
+        heap.close()
+
+        heap2 = ObjectHeap(path)
+        assert heap2.load_root("data").slots == ["persisted", 1]
+        heap2.close()
+
+    def test_nested_references_swizzle(self, path):
+        heap = ObjectHeap(path)
+        inner = TmlArray([42])
+        outer = TmlArray([heap.store(inner), "x"])
+        heap.set_root("outer", heap.store(outer))
+        heap.commit()
+        heap.close()
+
+        heap2 = ObjectHeap(path)
+        loaded = heap2.load_root("outer")
+        assert loaded.slots[0].slots == [42]
+        heap2.close()
+
+    def test_loaded_objects_cached(self, path):
+        heap = ObjectHeap(path)
+        oid = heap.store(TmlArray([1]))
+        heap.commit()
+        heap.close()
+
+        heap2 = ObjectHeap(path)
+        assert heap2.load(oid) is heap2.load(oid)
+        heap2.close()
+
+    def test_update_rewrites_object(self, path):
+        heap = ObjectHeap(path)
+        oid = heap.store(TmlArray([1]))
+        heap.commit()
+        heap.update(oid, TmlArray([2, 3]))
+        heap.commit()
+        heap.close()
+
+        heap2 = ObjectHeap(path)
+        assert heap2.load(oid).slots == [2, 3]
+        heap2.close()
+
+    def test_in_place_mutation_with_update(self, path):
+        heap = ObjectHeap(path)
+        arr = TmlArray([1])
+        oid = heap.store(arr)
+        heap.commit()
+        arr.slots.append(2)
+        heap.update(oid)
+        heap.commit()
+        heap.close()
+
+        heap2 = ObjectHeap(path)
+        assert heap2.load(oid).slots == [1, 2]
+        heap2.close()
+
+    def test_oid_counter_survives(self, path):
+        heap = ObjectHeap(path)
+        first = heap.store("a")
+        heap.commit()
+        heap.close()
+        heap2 = ObjectHeap(path)
+        second = heap2.store("b")
+        assert int(second) > int(first)
+        heap2.close()
+
+    def test_uncommitted_objects_lost_on_reopen(self, path):
+        heap = ObjectHeap(path)
+        committed = heap.store("yes")
+        heap.commit()
+        lost = heap.store("no")
+        heap.close()
+
+        heap2 = ObjectHeap(path)
+        assert heap2.load(committed) == "yes"
+        with pytest.raises(HeapError):
+            heap2.load(lost)
+        heap2.close()
+
+
+class TestAbort:
+    def test_abort_discards_new_objects(self, path):
+        heap = ObjectHeap(path)
+        oid = heap.store("temp")
+        heap.abort()
+        with pytest.raises(HeapError):
+            heap.load(oid)
+        heap.close()
+
+    def test_transaction_context_manager(self, path):
+        heap = ObjectHeap(path)
+        with Transaction(heap):
+            oid = heap.store("committed")
+            heap.set_root("t", oid)
+        heap.close()
+        heap2 = ObjectHeap(path)
+        assert heap2.load_root("t") == "committed"
+        heap2.close()
+
+    def test_transaction_aborts_on_exception(self, path):
+        heap = ObjectHeap(path)
+        with pytest.raises(RuntimeError):
+            with Transaction(heap):
+                heap.store("doomed")
+                raise RuntimeError("boom")
+        assert not list(heap.oids())
+        heap.close()
+
+
+class TestRoots:
+    def test_root_names(self, path):
+        heap = ObjectHeap(path)
+        heap.set_root("b", heap.store(1))
+        heap.set_root("a", heap.store(2))
+        assert heap.root_names() == ["a", "b"]
+        assert heap.root("missing") is None
+        with pytest.raises(HeapError):
+            heap.load_root("missing")
+        heap.close()
+
+
+class TestMetrics:
+    def test_stored_size(self, path):
+        heap = ObjectHeap(path)
+        oid = heap.store(TmlVector(list(range(100))))
+        size_estimate = heap.stored_size(oid)  # uncommitted: estimate
+        heap.commit()
+        assert heap.stored_size(oid) == size_estimate
+        assert size_estimate > 100
+        heap.close()
+
+    def test_file_size_grows(self, path):
+        heap = ObjectHeap(path)
+        before = heap.file_size
+        heap.store(TmlVector([0] * 5000))
+        heap.commit()
+        assert heap.file_size > before
+        heap.close()
+
+    def test_closed_heap_rejects_operations(self, path):
+        heap = ObjectHeap(path)
+        heap.close()
+        with pytest.raises(HeapError):
+            heap.store(1)

@@ -1,0 +1,117 @@
+"""Tests for the page file layer (repro.store.pager)."""
+
+import os
+
+import pytest
+
+from repro.store.pager import DEFAULT_PAGE_SIZE, PageError, Pager
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "test.tyc")
+
+
+class TestLifecycle:
+    def test_create_and_reopen(self, path):
+        with Pager(path) as pager:
+            assert pager.header.npages == 1
+        with Pager(path) as pager:
+            assert pager.header.page_size == DEFAULT_PAGE_SIZE
+
+    def test_bad_magic_rejected(self, path):
+        with open(path, "wb") as f:
+            f.write(b"NOPE" + b"\x00" * 100)
+        with pytest.raises(PageError):
+            Pager(path)
+
+    def test_tiny_page_size_rejected(self, path):
+        with pytest.raises(PageError):
+            Pager(path, page_size=16)
+
+
+class TestAllocation:
+    def test_allocate_grows_file(self, path):
+        with Pager(path) as pager:
+            first = pager.allocate()
+            second = pager.allocate()
+            assert first == 1 and second == 2
+            assert pager.header.npages == 3
+
+    def test_release_and_reuse(self, path):
+        with Pager(path) as pager:
+            a = pager.allocate()
+            b = pager.allocate()
+            pager.release(a)
+            assert pager.allocate() == a  # from the free list
+            assert pager.allocate() == 3  # then fresh
+
+    def test_free_list_survives_reopen(self, path):
+        with Pager(path) as pager:
+            a = pager.allocate()
+            pager.allocate()
+            pager.release(a)
+            pager.sync_header()
+        with Pager(path) as pager:
+            assert pager.allocate() == a
+
+    def test_release_header_rejected(self, path):
+        with Pager(path) as pager:
+            with pytest.raises(PageError):
+                pager.release(0)
+
+
+class TestPageIO:
+    def test_write_read_roundtrip(self, path):
+        with Pager(path) as pager:
+            pid = pager.allocate()
+            pager.write(pid, b"hello world")
+            assert pager.read(pid).startswith(b"hello world")
+
+    def test_out_of_range_read(self, path):
+        with Pager(path) as pager:
+            with pytest.raises(PageError):
+                pager.read(99)
+
+    def test_oversized_write_rejected(self, path):
+        with Pager(path) as pager:
+            pid = pager.allocate()
+            with pytest.raises(PageError):
+                pager.write(pid, b"x" * (DEFAULT_PAGE_SIZE + 1))
+
+
+class TestChains:
+    def test_small_record(self, path):
+        with Pager(path) as pager:
+            head = pager.write_chain(b"small")
+            assert pager.read_chain(head, 5) == b"small"
+
+    def test_multi_page_record(self, path):
+        payload = bytes(range(256)) * 64  # 16 KiB, spans several pages
+        with Pager(path) as pager:
+            head = pager.write_chain(payload)
+            assert pager.read_chain(head, len(payload)) == payload
+
+    def test_empty_record(self, path):
+        with Pager(path) as pager:
+            head = pager.write_chain(b"")
+            assert pager.read_chain(head, 0) == b""
+
+    def test_release_chain_recycles_pages(self, path):
+        payload = b"z" * (DEFAULT_PAGE_SIZE * 3)
+        with Pager(path) as pager:
+            before = pager.header.npages
+            head = pager.write_chain(payload)
+            used = pager.header.npages - before
+            pager.release_chain(head, len(payload))
+            # a new same-sized record reuses the freed pages
+            pager.write_chain(payload)
+            assert pager.header.npages == before + used
+
+    def test_chain_survives_reopen(self, path):
+        payload = b"persist me" * 1000
+        with Pager(path) as pager:
+            head = pager.write_chain(payload)
+            pager.sync_header()
+        with Pager(path) as pager:
+            assert pager.read_chain(head, len(payload)) == payload

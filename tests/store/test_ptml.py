@@ -1,0 +1,101 @@
+"""Tests for the PTML persistent code encoding (paper section 4.1)."""
+
+import pytest
+
+from repro.core.names import NameSupply
+from repro.core.parser import parse_term
+from repro.core.syntax import Abs, App, Lit, PrimApp, Var, term_size
+from repro.store.ptml import PtmlError, decode_ptml, encode_ptml, ptml_size
+from repro.store.serialize import Blob
+
+SOURCES = [
+    "42",
+    "x",
+    "(halt 1)",
+    "(+ 1 2 ^ce ^cc)",
+    "proc(x ce cc) (+ x 1 ce cc)",
+    "(λ(g) (g 1 ^e cont(t) (halt t))  proc(v ce cc) (cc v))",
+    "(== v 1 2 cont() (halt 1) cont() (halt 2) cont() (halt 3))",
+    """
+    (Y λ(^c0 loop ^c)
+       (c cont() (loop 1 0)
+          cont(i acc)
+            (> i 10 cont() (halt acc)
+                    cont() (+ acc i ^ce cont(a) (loop a a)))))
+    """,
+    '(print "strings and chars" cont(u) (halt \'c\'))',
+    "(f <oid 0x00000042> unit true)",
+]
+
+
+@pytest.mark.parametrize("source", SOURCES)
+def test_exact_roundtrip(source):
+    """decode(encode(t)) == t including every name uid and sort."""
+    term = parse_term(source)
+    decoded = decode_ptml(encode_ptml(term))
+    assert decoded.term == term
+
+
+def test_free_names_reported_in_canonical_order():
+    term = parse_term("(f a b ^k)")
+    decoded = decode_ptml(encode_ptml(term))
+    assert [n.uid for n in decoded.free] == sorted(n.uid for n in decoded.free)
+    assert {n.base for n in decoded.free} == {"f", "a", "b", "k"}
+
+
+def test_bound_names_not_in_free_list():
+    term = parse_term("proc(x ce cc) (f x ce cc)")
+    decoded = decode_ptml(encode_ptml(term))
+    assert {n.base for n in decoded.free} == {"f"}
+
+
+def test_encoding_is_compact():
+    """PTML interns strings: many occurrences of one name stay cheap."""
+    term = parse_term("(verylongfunctionname x x x x x x x x x x)")
+    size = ptml_size(term)
+    assert size < 120  # far below the textual representation
+
+
+def test_deep_term_roundtrip():
+    """50k-deep CPS chains encode and decode without recursion errors."""
+    supply = NameSupply()
+    k = supply.fresh_cont("k")
+    app = App(Var(k), (Lit(0),))
+    for _ in range(50_000):
+        t = supply.fresh_val("t")
+        app = App(Abs((t,), app), (Lit(1),))
+    decoded = decode_ptml(encode_ptml(app))
+    assert term_size(decoded.term) == term_size(app)
+
+
+def test_corrupt_blob_rejected():
+    from repro.store.serialize import SerializeError
+
+    blob = encode_ptml(parse_term("(halt 1)"))
+    with pytest.raises(SerializeError):  # PtmlError or a lower-level decode error
+        decode_ptml(Blob(blob.data[:-2]))
+
+
+def test_trailing_garbage_rejected():
+    blob = encode_ptml(parse_term("(halt 1)"))
+    with pytest.raises(PtmlError):
+        decode_ptml(Blob(blob.data + b"\x00\x01"))
+
+
+def test_sorts_preserved():
+    term = parse_term("proc(x ce cc) (cc x)")
+    decoded = decode_ptml(encode_ptml(term))
+    assert [p.is_cont for p in decoded.term.params] == [False, True, True]
+
+
+def test_blob_accepts_raw_bytes():
+    term = parse_term("(halt 9)")
+    blob = encode_ptml(term)
+    assert decode_ptml(blob.data).term == term
+
+
+def test_ptml_size_scales_linearly():
+    small = parse_term("(f x)")
+    big = parse_term("(f {})".format(" ".join(f"x{i}" for i in range(100))))
+    assert ptml_size(big) > ptml_size(small)
+    assert ptml_size(big) < 100 * ptml_size(small)
