@@ -1,0 +1,34 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-fast properties lint ruff bench all
+
+all: test lint
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-fast:
+	$(PYTHON) -m pytest -x -q --ignore=tests/properties
+
+properties:
+	$(PYTHON) -m pytest -x -q tests/properties
+
+# static analysis over everything we ship: the stdlib and every example
+lint:
+	$(PYTHON) -m repro lint --stdlib
+	@set -e; for f in examples/*.tl; do \
+		echo "lint $$f"; \
+		$(PYTHON) -m repro lint $$f; \
+	done
+
+# ruff is optional tooling; the config lives in pyproject.toml
+ruff:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping (config in pyproject.toml)"; \
+	fi
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q

@@ -1,0 +1,63 @@
+"""Static verification layer for TML terms and TAM bytecode.
+
+The paper states its invariants (section 2.2 constraints 1-5, section 2.3
+effect classes, section 3 strict size decrease) but never enforces them
+mechanically; this package does:
+
+* :mod:`repro.analysis.diagnostics` — the shared :class:`Diagnostic` record,
+  severities, stable ``TML``/``TAM`` codes;
+* :mod:`repro.analysis.dataflow` — path-carrying traversals and a bottom-up
+  analysis framework over TML trees;
+* :mod:`repro.analysis.linearity` — continuation-linearity and arity
+  analysis (constraints 1-5), the engine behind
+  :mod:`repro.core.wellformed`;
+* :mod:`repro.analysis.effects` — Gifford/Lucassen effect inference and
+  registry attribute lint;
+* :mod:`repro.analysis.usage` — dead bindings and unused parameters, feeding
+  the expansion pass's savings estimate;
+* :mod:`repro.analysis.verify_tam` — the TAM bytecode verifier run by the
+  linker before code is persisted or executed;
+* :mod:`repro.analysis.checked` — invariant re-verification after every
+  optimizer pass (``optimize(..., check=True)``);
+* :mod:`repro.analysis.lint` — the aggregate entry point behind
+  ``python -m repro lint``.
+"""
+
+from repro.analysis.diagnostics import (
+    AnalysisError,
+    Diagnostic,
+    DIAGNOSTIC_CODES,
+    Severity,
+    format_diagnostics,
+    format_path,
+    has_errors,
+    severity_counts,
+)
+from repro.analysis.effects import effect_join, effect_le, infer_effect
+from repro.analysis.lint import lint_code, lint_function, lint_registry, lint_term
+from repro.analysis.verify_tam import (
+    TamVerificationError,
+    assert_verified,
+    verify_code,
+)
+
+__all__ = [
+    "AnalysisError",
+    "Diagnostic",
+    "DIAGNOSTIC_CODES",
+    "Severity",
+    "TamVerificationError",
+    "assert_verified",
+    "effect_join",
+    "effect_le",
+    "format_diagnostics",
+    "format_path",
+    "has_errors",
+    "infer_effect",
+    "lint_code",
+    "lint_function",
+    "lint_registry",
+    "lint_term",
+    "severity_counts",
+    "verify_code",
+]

@@ -1,0 +1,248 @@
+"""Gifford/Lucassen effect inference over TML terms (paper section 2.3).
+
+The primitive registry declares one :class:`EffectClass` per primitive (item
+4 of section 2.3, worst-case defaults).  This module propagates those classes
+*through* terms, bottom-up, so whole procedures get an effect class too:
+
+* the effect of a value is the *latent* effect of invoking it — ``PURE`` for
+  literals, the body effect for abstractions, the bound latent for variables;
+* a direct application ``((λ(p..) body) a..)`` binds each argument's latent
+  to its parameter and takes the body's effect — this is exactly where the
+  reduction rules operate, so the inference is precise exactly where the
+  checked pipeline needs it;
+* a call through an unknown (free, value-sorted) variable is ``UNKNOWN`` —
+  the worst-case default.  Calls through continuation *parameters* are
+  ``PURE``: a continuation is the caller's rest-of-computation, not an effect
+  of the procedure under analysis;
+* a primitive application joins the primitive's declared class with the
+  latent effects of every continuation and abstraction argument (those the
+  primitive may invoke: branch continuations, query predicates);
+* ``Y`` fixpoints are solved by monotone iteration over the member latents.
+
+The Gifford/Lucassen classes form a partial order; for inference we use a
+conservative *linearization* (``EFFECT_RANK``): joining READ and ALLOC to
+READ loses the distinction but never under-approximates, which is the
+direction that matters for the checked pipeline's "effects never increase"
+invariant and for fold legality.
+
+Thanks to unique binding (constraint 4) the environment needs no scoping: a
+single mutable ``Name -> EffectClass`` map serves the whole term.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.core.names import Name
+from repro.core.syntax import Abs, App, Lit, PrimApp, Term, Var
+from repro.primitives.effects import EffectClass, is_discardable, may_commute
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.primitives.registry import PrimitiveRegistry
+
+__all__ = [
+    "EFFECT_RANK",
+    "effect_join",
+    "effect_le",
+    "infer_effect",
+    "lint_registry",
+]
+
+#: Conservative linearization of the Gifford/Lucassen lattice: a class never
+#: ranks below one it could stand in for.  UNKNOWN is top (worst case).
+EFFECT_RANK: dict[EffectClass, int] = {
+    EffectClass.PURE: 0,
+    EffectClass.ALLOC: 1,
+    EffectClass.READ: 2,
+    EffectClass.WRITE: 3,
+    EffectClass.IO: 4,
+    EffectClass.CONTROL: 5,
+    EffectClass.UNKNOWN: 6,
+}
+
+_BY_RANK = sorted(EFFECT_RANK, key=EFFECT_RANK.get)
+
+#: Bound on Y fixpoint iterations: the rank chain has 7 levels, so a monotone
+#: iteration is stable after at most 7 rounds per group.
+_MAX_FIX_ROUNDS = 8
+
+
+def effect_join(first: EffectClass, second: EffectClass) -> EffectClass:
+    """Least upper bound under the rank linearization."""
+    return first if EFFECT_RANK[first] >= EFFECT_RANK[second] else second
+
+
+def effect_le(first: EffectClass, second: EffectClass) -> bool:
+    """``first`` is no worse than ``second``."""
+    return EFFECT_RANK[first] <= EFFECT_RANK[second]
+
+
+def infer_effect(term: Term, registry: "PrimitiveRegistry") -> EffectClass:
+    """Infer the effect class of ``term``.
+
+    For a value, the latent effect of invoking it; for an application, the
+    effect of executing it.  The result is conservative: it never
+    under-reports relative to the registry's declarations, except that
+    procedures only reachable through value-sorted variables the primitive
+    layer never invokes are assumed to be data (documented imprecision).
+    """
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 100_000))
+    try:
+        return _Inference(registry).latent(term)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+
+class _Inference:
+    __slots__ = ("registry", "env")
+
+    def __init__(self, registry: "PrimitiveRegistry"):
+        self.registry = registry
+        #: latent effect of the procedure/continuation bound to each name;
+        #: flat thanks to unique binding
+        self.env: dict[Name, EffectClass] = {}
+
+    # ------------------------------------------------------------- values
+
+    def latent(self, term: Term) -> EffectClass:
+        if isinstance(term, Lit):
+            return EffectClass.PURE
+        if isinstance(term, Var):
+            bound = self.env.get(term.name)
+            if bound is not None:
+                return bound
+            # a free continuation is the caller's rest-of-computation; a free
+            # value variable is an unknown procedure (worst case if invoked)
+            return EffectClass.PURE if term.name.is_cont else EffectClass.UNKNOWN
+        if isinstance(term, Abs):
+            return self.execute(term.body)
+        # applications handed in directly (lint over a stored body)
+        return self.execute(term)
+
+    # ------------------------------------------------------- applications
+
+    def execute(self, node: Term) -> EffectClass:
+        if isinstance(node, App):
+            fn = node.fn
+            if isinstance(fn, Abs):
+                if fn.arity != len(node.args):
+                    return EffectClass.UNKNOWN  # ill-formed; worst case
+                for param, arg in zip(fn.params, node.args):
+                    self.env[param] = self.latent(arg)
+                return self.execute(fn.body)
+            effect = self.latent(fn)
+            return self._join_invocable_args(effect, node.args)
+        if isinstance(node, PrimApp):
+            if node.prim == "Y":
+                return self._execute_y(node)
+            prim = self.registry.get(node.prim)
+            effect = prim.attrs.effect if prim is not None else EffectClass.UNKNOWN
+            return self._join_invocable_args(effect, node.args)
+        return self.latent(node)
+
+    def _join_invocable_args(self, effect: EffectClass, args) -> EffectClass:
+        """Join latents of arguments the callee may invoke.
+
+        Abstractions and continuation-sorted variables are treated as
+        invocable (branch continuations, inlined predicates); value-sorted
+        variables are assumed to be data.
+        """
+        for arg in args:
+            if isinstance(arg, Abs) or (isinstance(arg, Var) and arg.name.is_cont):
+                effect = effect_join(effect, self.latent(arg))
+        return effect
+
+    def _execute_y(self, node: PrimApp) -> EffectClass:
+        """Monotone fixpoint iteration over a Y group's member latents."""
+        if len(node.args) != 1 or not isinstance(node.args[0], Abs):
+            return EffectClass.UNKNOWN
+        fixfun = node.args[0]
+        if len(fixfun.params) < 2:
+            return EffectClass.UNKNOWN
+        names = fixfun.params[1:-1]
+        members = self._y_members(fixfun, len(names))
+        if members is None:
+            for name in names:
+                self.env[name] = EffectClass.UNKNOWN
+            return self.execute(fixfun.body)
+        for name in names:
+            self.env.setdefault(name, EffectClass.PURE)
+        for _ in range(_MAX_FIX_ROUNDS):
+            changed = False
+            for name, member in zip(names, members):
+                updated = effect_join(self.env[name], self.latent(member))
+                if updated is not self.env[name]:
+                    self.env[name] = updated
+                    changed = True
+            if not changed:
+                break
+        return self.execute(fixfun.body)
+
+    @staticmethod
+    def _y_members(fixfun: Abs, count: int):
+        """The member abstractions of ``λ(c0 v1..vn c)(c entry m1..mn)``."""
+        body = fixfun.body
+        if (
+            isinstance(body, App)
+            and isinstance(body.fn, Var)
+            and body.fn.name == fixfun.params[-1]
+            and len(body.args) == count + 1
+        ):
+            return body.args[1:]
+        return None
+
+
+# ---------------------------------------------------------------------------
+# registry lint: fold/reorder preconditions (section 2.3)
+# ---------------------------------------------------------------------------
+
+
+def lint_registry(registry: "PrimitiveRegistry") -> list[Diagnostic]:
+    """Flag registry entries whose attributes violate rewrite preconditions.
+
+    The ``fold`` rule replaces a primitive call by an invocation of its
+    continuation on the meta-evaluated result — sound only when discarding
+    the call is unobservable (:func:`is_discardable`).  A fold function on a
+    WRITE/IO/CONTROL/UNKNOWN primitive is therefore an error before any term
+    is ever rewritten; the checked pipeline additionally catches it
+    dynamically (``TML043``).
+    """
+    found: list[Diagnostic] = []
+    for prim in registry:
+        attrs = prim.attrs
+        if prim.fold is not None and attrs.fold_enabled and not is_discardable(
+            attrs.effect
+        ):
+            found.append(
+                Diagnostic(
+                    code="TML030",
+                    severity=Severity.ERROR,
+                    message=f"primitive {prim.name!r} has effect class "
+                    f"{attrs.effect.value!r} but registers a fold function: "
+                    "meta-evaluation would discard its effect",
+                    path=f"registry[{prim.name!r}]",
+                    subject=prim.name,
+                    hint="drop the fold or set fold_enabled=False "
+                    "(Attributes, section 2.3 item 4)",
+                    data={"prim": prim.name, "effect": attrs.effect.value},
+                )
+            )
+        if attrs.commutative and not may_commute(attrs.effect, attrs.effect):
+            found.append(
+                Diagnostic(
+                    code="TML031",
+                    severity=Severity.WARNING,
+                    message=f"primitive {prim.name!r} is declared commutative "
+                    f"but its effect class {attrs.effect.value!r} forbids "
+                    "reordering two of its calls",
+                    path=f"registry[{prim.name!r}]",
+                    subject=prim.name,
+                    hint="commutativity should only be declared for "
+                    "primitives whose calls may be swapped",
+                    data={"prim": prim.name, "effect": attrs.effect.value},
+                )
+            )
+    return found

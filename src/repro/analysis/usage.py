@@ -1,0 +1,105 @@
+"""Dead-binding and unused-parameter detection.
+
+Two consumers:
+
+* the ``repro lint`` CLI reports the findings as warnings/info
+  (``TML020``/``TML021``/``TML022``);
+* the expansion pass's savings heuristic
+  (:func:`repro.rewrite.cost.site_decision`) credits arguments bound to
+  parameters the body never uses — after inlining, the ``remove`` reduction
+  rule deletes those bindings outright, so the argument's materialization
+  cost is recovered for free.  :func:`unused_param_indices` is the feed.
+
+Occurrence counting is the census of :mod:`repro.core.occurrences`; thanks to
+the unique-binding invariant (constraint 4) a whole-tree census doubles as a
+per-scope one.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import iter_with_paths
+from repro.analysis.diagnostics import Diagnostic, Severity, format_path
+from repro.core.occurrences import count_all, count_many
+from repro.core.syntax import Abs, App, Term
+
+__all__ = ["unused_param_indices", "analyze"]
+
+
+def unused_param_indices(abs_node: Abs) -> tuple[int, ...]:
+    """Indices of parameters with zero occurrences in the body."""
+    counts = count_many(abs_node.body, abs_node.params)
+    return tuple(
+        index for index, param in enumerate(abs_node.params) if counts[param] == 0
+    )
+
+
+def analyze(term: Term) -> list[Diagnostic]:
+    """Usage diagnostics: unused parameters and dead direct bindings."""
+    found: list[Diagnostic] = []
+    census = count_all(term)
+    for node, path in iter_with_paths(term):
+        if isinstance(node, Abs):
+            for index, param in enumerate(node.params):
+                if census.get(param, 0) != 0:
+                    continue
+                if not param.is_cont:
+                    # "_"/"u" are the CPS converter's discard binders for
+                    # sequencing — intentionally unused, so informational
+                    deliberate = param.base in ("_", "u")
+                    found.append(
+                        Diagnostic(
+                            code="TML020",
+                            severity=Severity.INFO if deliberate else Severity.WARNING,
+                            message=f"parameter {param} is never used",
+                            path=format_path(path),
+                            subject=param,
+                            hint="the expansion pass credits call sites for "
+                            "arguments bound here; consider dropping the "
+                            "parameter at the source level",
+                        )
+                    )
+                elif node.is_proc_abs and param == node.params[-1]:
+                    # the normal continuation: a procedure that never invokes
+                    # it cannot return normally
+                    found.append(
+                        Diagnostic(
+                            code="TML022",
+                            severity=Severity.WARNING,
+                            message=f"normal continuation {param} is never "
+                            "invoked: the procedure cannot return normally",
+                            path=format_path(path),
+                            subject=param,
+                            hint="expected only for procedures that always "
+                            "raise or loop",
+                        )
+                    )
+                else:
+                    # an unused exception continuation is the common case for
+                    # code that cannot trap — informational only
+                    found.append(
+                        Diagnostic(
+                            code="TML020",
+                            severity=Severity.INFO,
+                            message=f"continuation parameter {param} is never "
+                            "used",
+                            path=format_path(path),
+                            subject=param,
+                        )
+                    )
+        elif isinstance(node, App):
+            fn = node.fn
+            if isinstance(fn, Abs) and fn.arity == len(node.args):
+                for index in unused_param_indices(fn):
+                    found.append(
+                        Diagnostic(
+                            code="TML021",
+                            severity=Severity.INFO,
+                            message=f"binding of {fn.params[index]} is dead: "
+                            "the body ignores this argument",
+                            path=format_path(path + (("args", index),)),
+                            subject=node.args[index],
+                            hint="the reduction pass's remove rule deletes "
+                            "dead bindings of value arguments",
+                        )
+                    )
+    return found

@@ -1,0 +1,596 @@
+"""TAM bytecode verifier: abstract interpretation over :mod:`repro.machine.isa`.
+
+Stored code outlives the compiler that produced it (the central risk of a
+persistent code representation), so the linker verifies every code object
+before it is persisted, loaded or executed.  Three phases per code object,
+applied recursively to nested codes:
+
+1. **structural** — every instruction is a known opcode with the right
+   operand count and kinds; register / constant-pool / nested-code / jump
+   operands are in range; closure capture plans match the child code's free
+   slot count (``TAM001`` – ``TAM008``, ``TAM011``);
+2. **control** — execution cannot fall off the end of the instruction
+   stream: every path ends in a control transfer (``TAM009``);
+3. **dataflow** — forward definite-assignment analysis over the CFG: a
+   register read must be dominated by a definition (parameters define the
+   leading registers; the exception edges of arithmetic, ``ccall`` and
+   ``extcall`` define their error register on the branch target).  Reads of
+   possibly-undefined registers are ``TAM010``.  A best-effort handler-depth
+   analysis reports ``popHandler`` without a local ``pushHandler`` as INFO
+   (``TAM020`` — legitimate when a continuation was materialized into its
+   own closure).
+
+The verifier accepts exactly what :mod:`repro.machine.codegen` emits and what
+:mod:`repro.machine.vm` executes; the property suite pins both directions.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import (
+    AnalysisError,
+    Diagnostic,
+    Severity,
+)
+from repro.machine.isa import CodeObject
+
+__all__ = ["verify_code", "assert_verified", "TamVerificationError"]
+
+
+class TamVerificationError(AnalysisError):
+    """A code object failed bytecode verification."""
+
+
+def assert_verified(root: CodeObject, name: str | None = None) -> CodeObject:
+    """Verify ``root`` (and nested codes); raise on any error diagnostic."""
+    found = verify_code(root, name=name)
+    errors = [d for d in found if d.is_error]
+    if errors:
+        raise TamVerificationError(errors, context=name or root.name)
+    return root
+
+
+def verify_code(root: CodeObject, name: str | None = None) -> list[Diagnostic]:
+    """All verifier diagnostics for ``root`` and its nested code objects."""
+    found: list[Diagnostic] = []
+    _verify_one(root, name or root.name, found)
+    return found
+
+
+# ---------------------------------------------------------------------------
+# per-opcode operand specifications
+# ---------------------------------------------------------------------------
+
+#: kinds: w=register write, r=register read, c=const index, k=code index,
+#: pc=jump target, pc?=jump target or None, rs=tuple of register reads,
+#: plan=closure capture plan, group=fix group, name=string, ew=register
+#: written on the exception edge, ew?=the same but unused when pc? is None.
+_SPECS: dict[str, tuple[str, ...]] = {
+    "const": ("w", "c"),
+    "move": ("w", "r"),
+    "free": ("w", "f"),
+    "closure": ("w", "k", "plan"),
+    "fix": ("group",),
+    "jump": ("pc",),
+    "add": ("w", "r", "r", "pc", "ew"),
+    "sub": ("w", "r", "r", "pc", "ew"),
+    "mul": ("w", "r", "r", "pc", "ew"),
+    "div": ("w", "r", "r", "pc", "ew"),
+    "rem": ("w", "r", "r", "pc", "ew"),
+    "lt": ("r", "r", "pc"),
+    "gt": ("r", "r", "pc"),
+    "le": ("r", "r", "pc"),
+    "ge": ("r", "r", "pc"),
+    "band": ("w", "r", "r"),
+    "bor": ("w", "r", "r"),
+    "bxor": ("w", "r", "r"),
+    "shl": ("w", "r", "r"),
+    "shr": ("w", "r", "r"),
+    "bnot": ("w", "r"),
+    "c2i": ("w", "r"),
+    "i2c": ("w", "r"),
+    "arr": ("w", "rs"),
+    "vec": ("w", "rs"),
+    "anew": ("w", "r", "r"),
+    "bnew": ("w", "r", "r"),
+    "aget": ("w", "r", "r"),
+    "aset": ("r", "r", "r"),
+    "bget": ("w", "r", "r"),
+    "bset": ("r", "r", "r"),
+    "asize": ("w", "r"),
+    "amove": ("r", "r", "r", "r", "r"),
+    "bmove": ("r", "r", "r", "r", "r"),
+    "case": ("r", "rs", "pcs", "pc?"),
+    "tailcall": ("r", "rs"),
+    "pushh": ("r",),
+    "poph": (),
+    "raise": ("r",),
+    "ccall": ("w", "r", "r", "pc", "ew"),
+    "extcall": ("name", "w", "rs", "pc?", "ew?"),
+    "print": ("r",),
+    "halt": ("r",),
+    "trapc": ("c",),
+}
+
+#: opcodes after which control never falls through to pc+1
+_TERMINAL = {"jump", "case", "tailcall", "raise", "halt", "trapc"}
+
+
+def _verify_one(code: CodeObject, path: str, found: list[Diagnostic]) -> None:
+    before = len(found)
+    _check_metadata(code, path, found)
+    structural_ok = _check_instructions(code, path, found) and len(found) == before
+    if structural_ok:
+        _check_dataflow(code, path, found)
+        _check_handlers(code, path, found)
+    for index, nested in enumerate(code.codes):
+        _verify_one(nested, f"{path}.codes[{index}]", found)
+
+
+def _err(
+    found: list[Diagnostic],
+    code: str,
+    message: str,
+    path: str,
+    pc: int | None = None,
+    severity: Severity = Severity.ERROR,
+    **data,
+) -> None:
+    where = path if pc is None else f"{path}.instrs[{pc}]"
+    if pc is not None:
+        data.setdefault("pc", pc)
+    found.append(
+        Diagnostic(
+            code=code, severity=severity, message=message, path=where, data=data
+        )
+    )
+
+
+def _check_metadata(code: CodeObject, path: str, found: list[Diagnostic]) -> None:
+    if code.nregs < len(code.params):
+        _err(
+            found,
+            "TAM011",
+            f"{code.nregs} registers cannot hold {len(code.params)} parameters",
+            path,
+        )
+    if not code.instrs:
+        _err(found, "TAM009", "empty instruction stream", path)
+
+
+def _check_instructions(code: CodeObject, path: str, found: list[Diagnostic]) -> bool:
+    """Structural phase; returns False when later phases would be unsafe."""
+    ok = True
+    nregs = code.nregs
+    limit = len(code.instrs)
+    for pc, instr in enumerate(code.instrs):
+        if not isinstance(instr, tuple) or not instr:
+            _err(found, "TAM001", f"not an instruction tuple: {instr!r}", path, pc)
+            ok = False
+            continue
+        op = instr[0]
+        spec = _SPECS.get(op)
+        if spec is None:
+            _err(found, "TAM001", f"unknown opcode {op!r}", path, pc, op=str(op))
+            ok = False
+            continue
+        operands = instr[1:]
+        if len(operands) != len(spec):
+            _err(
+                found,
+                "TAM002",
+                f"opcode {op!r} takes {len(spec)} operand(s), got {len(operands)}",
+                path,
+                pc,
+                op=op,
+            )
+            ok = False
+            continue
+        for position, (kind, operand) in enumerate(zip(spec, operands)):
+            if not _check_operand(
+                kind, operand, position, op, code, nregs, limit, path, pc, found
+            ):
+                ok = False
+    return ok
+
+
+def _check_reg(value, what, op, nregs, path, pc, found) -> bool:
+    if type(value) is not int:
+        _err(
+            found,
+            "TAM003",
+            f"opcode {op!r}: {what} must be a register index, got {value!r}",
+            path,
+            pc,
+            op=op,
+        )
+        return False
+    if not 0 <= value < nregs:
+        _err(
+            found,
+            "TAM004",
+            f"opcode {op!r}: register {value} out of range (nregs={nregs})",
+            path,
+            pc,
+            op=op,
+        )
+        return False
+    return True
+
+
+def _check_pc(value, op, limit, path, pc, found) -> bool:
+    if type(value) is not int:
+        _err(
+            found,
+            "TAM003",
+            f"opcode {op!r}: jump target must be an int, got {value!r}",
+            path,
+            pc,
+            op=op,
+        )
+        return False
+    if not 0 <= value < limit:
+        _err(
+            found,
+            "TAM007",
+            f"opcode {op!r}: jump target {value} out of range "
+            f"({limit} instruction(s))",
+            path,
+            pc,
+            op=op,
+        )
+        return False
+    return True
+
+
+def _check_plan(plan, child_index, op, code, path, pc, found) -> bool:
+    """A capture plan: ((kind, index), ...) matching the child's free slots."""
+    if not isinstance(plan, tuple):
+        _err(found, "TAM003", f"opcode {op!r}: capture plan must be a tuple", path, pc)
+        return False
+    child = code.codes[child_index]
+    if len(plan) != len(child.free_names):
+        _err(
+            found,
+            "TAM008",
+            f"opcode {op!r}: capture plan has {len(plan)} entries; child "
+            f"{child.name!r} has {len(child.free_names)} free slot(s)",
+            path,
+            pc,
+            op=op,
+        )
+        return False
+    ok = True
+    for entry in plan:
+        if (
+            not isinstance(entry, tuple)
+            or len(entry) != 2
+            or entry[0] not in ("r", "f")
+        ):
+            _err(
+                found,
+                "TAM008",
+                f"opcode {op!r}: malformed capture-plan entry {entry!r}",
+                path,
+                pc,
+                op=op,
+            )
+            ok = False
+            continue
+        kind, index = entry
+        if kind == "r":
+            ok = _check_reg(index, "capture source", op, code.nregs, path, pc, found) and ok
+        elif type(index) is not int or not 0 <= index < len(code.free_names):
+            _err(
+                found,
+                "TAM008",
+                f"opcode {op!r}: capture plan reads free slot {index!r}; this "
+                f"code has {len(code.free_names)} free slot(s)",
+                path,
+                pc,
+                op=op,
+            )
+            ok = False
+    return ok
+
+
+def _check_operand(
+    kind, operand, position, op, code, nregs, limit, path, pc, found
+) -> bool:
+    if kind in ("w", "r", "ew"):
+        return _check_reg(operand, f"operand {position}", op, nregs, path, pc, found)
+    if kind == "ew?":
+        if operand is None:
+            return True
+        return _check_reg(operand, f"operand {position}", op, nregs, path, pc, found)
+    if kind == "c":
+        if type(operand) is not int or not 0 <= operand < len(code.consts):
+            _err(
+                found,
+                "TAM005",
+                f"opcode {op!r}: constant index {operand!r} out of range "
+                f"({len(code.consts)} constant(s))",
+                path,
+                pc,
+                op=op,
+            )
+            return False
+        return True
+    if kind == "k":
+        if type(operand) is not int or not 0 <= operand < len(code.codes):
+            _err(
+                found,
+                "TAM006",
+                f"opcode {op!r}: nested-code index {operand!r} out of range "
+                f"({len(code.codes)} nested code(s))",
+                path,
+                pc,
+                op=op,
+            )
+            return False
+        return True
+    if kind == "f":
+        if type(operand) is not int or not 0 <= operand < len(code.free_names):
+            _err(
+                found,
+                "TAM004",
+                f"opcode {op!r}: free slot {operand!r} out of range "
+                f"({len(code.free_names)} free slot(s))",
+                path,
+                pc,
+                op=op,
+            )
+            return False
+        return True
+    if kind == "pc":
+        return _check_pc(operand, op, limit, path, pc, found)
+    if kind == "pc?":
+        if operand is None:
+            return True
+        return _check_pc(operand, op, limit, path, pc, found)
+    if kind == "rs":
+        if not isinstance(operand, tuple):
+            _err(
+                found,
+                "TAM003",
+                f"opcode {op!r}: operand {position} must be a register tuple",
+                path,
+                pc,
+                op=op,
+            )
+            return False
+        return all(
+            _check_reg(r, "tuple element", op, nregs, path, pc, found)
+            for r in operand
+        )
+    if kind == "pcs":
+        if not isinstance(operand, tuple):
+            _err(
+                found,
+                "TAM003",
+                f"opcode {op!r}: operand {position} must be a pc tuple",
+                path,
+                pc,
+                op=op,
+            )
+            return False
+        return all(_check_pc(target, op, limit, path, pc, found) for target in operand)
+    if kind == "plan":
+        # the code index was validated just before (spec order: w, k, plan)
+        child_index = None
+        if op == "closure":
+            child_index = code.instrs[pc][2]
+            if type(child_index) is not int or not 0 <= child_index < len(code.codes):
+                return False  # already reported by the k operand
+        return _check_plan(operand, child_index, op, code, path, pc, found)
+    if kind == "group":
+        if not isinstance(operand, tuple) or not operand:
+            _err(
+                found,
+                "TAM003",
+                "opcode 'fix': group must be a non-empty tuple",
+                path,
+                pc,
+                op=op,
+            )
+            return False
+        ok = True
+        for descriptor in operand:
+            if not isinstance(descriptor, tuple) or len(descriptor) != 3:
+                _err(
+                    found,
+                    "TAM003",
+                    f"opcode 'fix': malformed group descriptor {descriptor!r}",
+                    path,
+                    pc,
+                    op=op,
+                )
+                ok = False
+                continue
+            dst, child_index, plan = descriptor
+            ok = _check_reg(dst, "fix target", op, nregs, path, pc, found) and ok
+            if type(child_index) is not int or not 0 <= child_index < len(code.codes):
+                _err(
+                    found,
+                    "TAM006",
+                    f"opcode 'fix': nested-code index {child_index!r} out of "
+                    f"range ({len(code.codes)} nested code(s))",
+                    path,
+                    pc,
+                    op=op,
+                )
+                ok = False
+                continue
+            ok = _check_plan(plan, child_index, op, code, path, pc, found) and ok
+        return ok
+    if kind == "name":
+        if not isinstance(operand, str) or not operand:
+            _err(
+                found,
+                "TAM003",
+                f"opcode {op!r}: extension name must be a non-empty string",
+                path,
+                pc,
+                op=op,
+            )
+            return False
+        return True
+    raise AssertionError(f"unhandled operand kind {kind!r}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# control flow + definite assignment
+# ---------------------------------------------------------------------------
+
+
+def _instr_flow(instr: tuple) -> tuple[set, set, list, bool]:
+    """``(uses, fallthrough_defs, branch_edges, falls_through)`` for one instr.
+
+    ``branch_edges`` is a list of ``(target_pc, defs_on_edge)``.
+    """
+    op = instr[0]
+    spec = _SPECS[op]
+    uses: set[int] = set()
+    defs: set[int] = set()
+    branches: list[tuple[int, frozenset]] = []
+
+    if op == "closure":
+        uses = {i for kind, i in instr[3] if kind == "r"}
+        defs = {instr[1]}
+    elif op == "fix":
+        group = instr[1]
+        defs = {dst for dst, _k, _plan in group}
+        # plan registers are read after all group targets are assigned, so
+        # self-references are fine: treat the targets as defined first
+        uses = {
+            i
+            for _dst, _k, plan in group
+            for kind, i in plan
+            if kind == "r" and i not in defs
+        }
+    elif op == "case":
+        uses = {instr[1], *instr[2]}
+        branches = [(target, frozenset()) for target in instr[3]]
+        if instr[4] is not None:
+            branches.append((instr[4], frozenset()))
+    elif op == "tailcall":
+        uses = {instr[1], *instr[2]}
+    elif op == "extcall":
+        uses = set(instr[3])
+        defs = {instr[2]}
+        if instr[4] is not None:
+            branches = [(instr[4], frozenset({instr[5]}))]
+    elif op == "jump":
+        branches = [(instr[1], frozenset())]
+    else:
+        for kind, operand in zip(spec, instr[1:]):
+            if kind == "r":
+                uses.add(operand)
+            elif kind == "w":
+                defs.add(operand)
+            elif kind == "rs":
+                uses.update(operand)
+        if "pc" in spec and "ew" in spec:  # arith / ccall exception edge
+            epc = instr[1 + spec.index("pc")]
+            ed = instr[1 + spec.index("ew")]
+            branches = [(epc, frozenset({ed}))]
+        elif "pc" in spec:  # comparisons: plain two-way branch
+            branches = [(instr[1 + spec.index("pc")], frozenset())]
+
+    falls_through = op not in _TERMINAL
+    return uses, defs, branches, falls_through
+
+
+def _check_dataflow(code: CodeObject, path: str, found: list[Diagnostic]) -> None:
+    limit = len(code.instrs)
+    flows = [_instr_flow(instr) for instr in code.instrs]
+
+    # forward definite-assignment: IN[pc] = intersection over predecessors
+    entry = frozenset(range(len(code.params)))
+    defined_in: list[frozenset | None] = [None] * limit
+    defined_in[0] = entry
+    worklist = [0]
+    while worklist:
+        pc = worklist.pop()
+        current = defined_in[pc]
+        _uses, defs, branches, falls_through = flows[pc]
+        # the regular destination register is written on the fallthrough path
+        # only; exception edges carry just their own error-register def
+        targets = [(target, current | edge_defs) for target, edge_defs in branches]
+        if falls_through and pc + 1 < limit:
+            targets.append((pc + 1, current | defs))
+        for target, reaching in targets:
+            existing = defined_in[target]
+            updated = reaching if existing is None else existing & reaching
+            if updated != existing:
+                defined_in[target] = updated
+                worklist.append(target)
+
+    for pc, (uses, _defs, _branches, falls_through) in enumerate(flows):
+        reached = defined_in[pc]
+        if reached is None:
+            continue  # unreachable; nothing to prove
+        if falls_through and pc + 1 == limit:
+            _err(
+                found,
+                "TAM009",
+                f"control falls off the end after {code.instrs[pc][0]!r}",
+                path,
+                pc,
+            )
+        undefined = sorted(uses - reached)
+        if undefined:
+            _err(
+                found,
+                "TAM010",
+                f"opcode {code.instrs[pc][0]!r} reads register(s) "
+                f"{undefined} before any definition reaches them",
+                path,
+                pc,
+                registers=tuple(undefined),
+            )
+
+
+def _check_handlers(code: CodeObject, path: str, found: list[Diagnostic]) -> None:
+    """Best-effort handler-depth analysis (INFO only).
+
+    Depth is tracked intra-code-object with min-join at merges; a ``poph`` at
+    local depth 0 pops a handler installed by some caller — legitimate when a
+    handler-scoped continuation was materialized into its own closure, so
+    this never errors.
+    """
+    limit = len(code.instrs)
+    depth_in: list[int | None] = [None] * limit
+    depth_in[0] = 0
+    worklist = [0]
+    reported = False
+    while worklist and not reported:
+        pc = worklist.pop()
+        depth = depth_in[pc]
+        instr = code.instrs[pc]
+        op = instr[0]
+        if op == "pushh":
+            depth += 1
+        elif op == "poph":
+            if depth == 0:
+                _err(
+                    found,
+                    "TAM020",
+                    "popHandler without a matching pushHandler in this code "
+                    "object (handler installed by a caller)",
+                    path,
+                    pc,
+                    severity=Severity.INFO,
+                )
+                reported = True
+                break
+            depth -= 1
+        _uses, _defs, branches, falls_through = _instr_flow(instr)
+        targets = [target for target, _ in branches]
+        if falls_through and pc + 1 < limit:
+            targets.append(pc + 1)
+        for target in targets:
+            existing = depth_in[target]
+            updated = depth if existing is None else min(existing, depth)
+            if updated != existing:
+                depth_in[target] = updated
+                worklist.append(target)

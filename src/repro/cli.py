@@ -9,7 +9,11 @@ Commands:
   runtime optimization);
 * ``disasm FILE --function m.f`` — print the TAM code listing;
 * ``bench [--scale S] [--programs p,q]`` — the §6 Stanford table;
-* ``store ls PATH`` — list the roots of a persistent store image.
+* ``store ls PATH`` — list the roots of a persistent store image;
+* ``lint [FILE] [--stdlib] [--store PATH --oid N]`` — run the static
+  analyses (constraints 1-5, usage, effect/registry lint, TAM bytecode
+  verifier) over compiled TL functions or a stored PTML/code object; exits
+  nonzero when any error-severity diagnostic is found (see docs/analysis.md).
 """
 
 from __future__ import annotations
@@ -141,6 +145,96 @@ def _cmd_store(args: argparse.Namespace) -> int:
         heap.close()
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import Severity, lint_code, lint_registry, lint_term
+    from repro.primitives.registry import default_registry
+
+    registry = default_registry()
+    findings: list[tuple[str, object]] = []  # (label, Diagnostic)
+
+    def collect(label: str, diags) -> None:
+        findings.extend((label, d) for d in diags)
+
+    collect("registry", lint_registry(registry))
+
+    targets: list[tuple[str, object, object]] = []  # (label, term, code)
+    if args.stdlib:
+        from repro.lang.modules import compile_stdlib
+
+        for mod_name, module in compile_stdlib(_options(args.opt)).items():
+            for fn in module.functions.values():
+                targets.append((f"{mod_name}.{fn.name}", fn.term, fn.code))
+    if args.file is not None:
+        system = _load_system(args.file, args.opt, None)
+        for mod_name, module in system.compiled.items():
+            for fn in module.functions.values():
+                targets.append((f"{mod_name}.{fn.name}", fn.term, fn.code))
+    if args.oid is not None:
+        if args.store is None:
+            raise SystemExit("error: --oid requires --store")
+        targets.extend(_stored_targets(args.store, args.oid))
+    if not targets and not args.stdlib:
+        raise SystemExit("error: nothing to lint (give a FILE, --stdlib or --oid)")
+
+    for label, term, code in targets:
+        if term is not None:
+            collect(label, lint_term(term, registry, include_usage=not args.no_usage))
+        if code is not None:
+            collect(label, lint_code(code, name=label))
+
+    errors = warnings = infos = 0
+    for label, diagnostic in findings:
+        if diagnostic.severity == Severity.ERROR:
+            errors += 1
+        elif diagnostic.severity == Severity.WARNING:
+            warnings += 1
+        else:
+            infos += 1
+        if diagnostic.severity == Severity.INFO and not args.verbose:
+            continue
+        print(f"{label}: {diagnostic}")
+    print(
+        f"linted {len(targets)} object(s): {errors} error(s), "
+        f"{warnings} warning(s), {infos} info(s)"
+    )
+    return 1 if errors else 0
+
+
+def _stored_targets(store_path: str, oid: int):
+    """Lintable (label, term, code) triples for one stored object."""
+    from repro.machine.isa import CodeObject
+    from repro.store.ptml import decode_ptml
+    from repro.store.serialize import Blob
+
+    heap = ObjectHeap(store_path)
+    try:
+        obj = heap.load(oid)
+        label = f"oid:{oid}"
+        if isinstance(obj, Blob):
+            return [(label, decode_ptml(obj).term, None)]
+        if isinstance(obj, CodeObject):
+            term = None
+            if obj.ptml_ref is not None:
+                ref = obj.ptml_ref
+                blob = heap.load(ref) if not isinstance(ref, Blob) else ref
+                term = decode_ptml(blob).term
+            return [(label, term, obj)]
+        if hasattr(obj, "functions"):  # a StoredModule
+            targets = []
+            for fn_name, code, _externals in obj.functions:
+                term = None
+                if code.ptml_ref is not None:
+                    ref = code.ptml_ref
+                    blob = heap.load(ref) if not isinstance(ref, Blob) else ref
+                    term = decode_ptml(blob).term
+                targets.append((f"oid:{oid}/{fn_name}", term, code))
+            return targets
+        raise SystemExit(f"error: oid {oid} holds {type(obj).__name__}, "
+                         "not PTML, code, or a stored module")
+    finally:
+        heap.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -186,6 +280,22 @@ def build_parser() -> argparse.ArgumentParser:
     store_p.add_argument("action", choices=["ls"])
     store_p.add_argument("path")
     store_p.set_defaults(handler=_cmd_store)
+
+    lint_p = sub.add_parser(
+        "lint", help="run the static analyses over TL functions or stored objects"
+    )
+    lint_p.add_argument("file", nargs="?", help="TL source file to compile and lint")
+    lint_p.add_argument("--stdlib", action="store_true", help="lint the standard library")
+    lint_p.add_argument("--store", help="persistent store image to read")
+    lint_p.add_argument("--oid", type=int, help="lint a stored PTML/code/module object")
+    lint_p.add_argument("--opt", choices=["none", "static"], default="static")
+    lint_p.add_argument(
+        "--no-usage", action="store_true", help="skip dead-binding/unused-parameter lint"
+    )
+    lint_p.add_argument(
+        "-v", "--verbose", action="store_true", help="also print info-severity findings"
+    )
+    lint_p.set_defaults(handler=_cmd_lint)
     return parser
 
 

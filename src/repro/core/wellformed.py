@@ -20,17 +20,24 @@ The paper's constraints:
 The checker is used pervasively in the test suite as a rewrite-soundness
 oracle: section 3 promises the constraints "are never violated by any of the
 TML rewrite rules", and we assert exactly that after every pass.
+
+The constraint walkers themselves live in :mod:`repro.analysis.linearity`,
+which reports path-carrying :class:`~repro.analysis.diagnostics.Diagnostic`
+records; this module maps them back to the historical :class:`Violation`
+records (keyed by the paper's constraint number) so existing callers keep
+their raising/boolean API while both views see exactly the same findings.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING
 
 from repro.core.names import Name
-from repro.core.syntax import Abs, App, Lit, PrimApp, Term, Var
+from repro.core.syntax import Term
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.diagnostics import Diagnostic
     from repro.primitives.registry import PrimitiveRegistry
 
 __all__ = ["Violation", "WellFormednessError", "check", "violations", "is_well_formed"]
@@ -75,228 +82,27 @@ def violations(
     term: Term, registry: "PrimitiveRegistry | None" = None
 ) -> list[Violation]:
     """Collect all well-formedness violations in ``term``."""
-    found: list[Violation] = []
-    _check_unique_binding(term, found)
-    _check_structure(term, registry, found)
-    return found
+    return [_to_violation(d) for d in diagnostics(term, registry)]
 
 
-# ---------------------------------------------------------------------------
-# Constraint 4 — unique binding
-# ---------------------------------------------------------------------------
+def diagnostics(
+    term: Term, registry: "PrimitiveRegistry | None" = None
+) -> "list[Diagnostic]":
+    """The same findings as :func:`violations`, as rich diagnostics.
 
-
-def _check_unique_binding(term: Term, found: list[Violation]) -> None:
-    seen: set[Name] = set()
-    stack: list[Term] = [term]
-    while stack:
-        node = stack.pop()
-        if isinstance(node, Abs):
-            for param in node.params:
-                if param in seen:
-                    found.append(
-                        Violation(4, f"identifier {param} bound more than once", param)
-                    )
-                seen.add(param)
-            stack.append(node.body)
-        elif isinstance(node, App):
-            stack.append(node.fn)
-            stack.extend(node.args)
-        elif isinstance(node, PrimApp):
-            stack.extend(node.args)
-
-
-# ---------------------------------------------------------------------------
-# Constraints 1, 2, 3, 5 — one context-aware walk
-# ---------------------------------------------------------------------------
-
-#: Context flags describing how the node is used by its parent.
-_CTX_ROOT = "root"
-_CTX_FN = "fn"  # functional position of an App
-_CTX_VALUE_ARG = "value-arg"  # argument position expecting a value
-_CTX_CONT_ARG = "cont-arg"  # argument position expecting a continuation
-_CTX_Y_FN = "y-fn"  # the abstraction argument of the Y primitive
-_CTX_BODY = "body"  # body of an abstraction
-
-
-def _is_cont_value(node: Term) -> bool:
-    """Continuation-sorted variable or continuation abstraction."""
-    if isinstance(node, Var):
-        return node.name.is_cont
-    if isinstance(node, Abs):
-        return node.is_cont_abs
-    return False
-
-
-def _check_structure(term, registry, found: list[Violation]) -> None:
-    stack: list[tuple[Term, str]] = [(term, _CTX_ROOT)]
-    while stack:
-        node, ctx = stack.pop()
-
-        if isinstance(node, Var):
-            if node.name.is_cont and ctx == _CTX_VALUE_ARG:
-                found.append(
-                    Violation(
-                        3,
-                        f"continuation variable {node.name} escapes into a "
-                        "value position",
-                        node,
-                    )
-                )
-        elif isinstance(node, Abs):
-            _check_abs_shape(node, ctx, found)
-            stack.append((node.body, _CTX_BODY))
-        elif isinstance(node, App):
-            if isinstance(node.fn, Abs) and node.fn.arity != len(node.args):
-                found.append(
-                    Violation(
-                        1,
-                        f"direct application of a {node.fn.arity}-ary abstraction "
-                        f"to {len(node.args)} arguments",
-                        node,
-                    )
-                )
-            stack.append((node.fn, _CTX_FN))
-            for arg in node.args:
-                # For a user application the callee's signature is unknown at
-                # the IR level (the typed front end guarantees it); we accept
-                # continuation values in any argument position but still
-                # require continuation *suffix* discipline below.
-                ctx_arg = _CTX_CONT_ARG if _is_cont_value(arg) else _CTX_VALUE_ARG
-                stack.append((arg, ctx_arg))
-            _check_cont_suffix(node.args, found)
-        elif isinstance(node, PrimApp):
-            cont_positions = _prim_cont_positions(node, registry, found)
-            for index, arg in enumerate(node.args):
-                if cont_positions is None:
-                    ctx_arg = _CTX_CONT_ARG if _is_cont_value(arg) else _CTX_VALUE_ARG
-                elif index in cont_positions:
-                    ctx_arg = _CTX_CONT_ARG
-                    if not _is_cont_value(arg) and not isinstance(arg, Var):
-                        found.append(
-                            Violation(
-                                2,
-                                f"primitive {node.prim!r} expects a continuation "
-                                f"at argument {index}",
-                                node,
-                            )
-                        )
-                else:
-                    ctx_arg = _CTX_VALUE_ARG
-                if node.prim == Y_PRIM and index == 0:
-                    ctx_arg = _CTX_Y_FN
-                stack.append((arg, ctx_arg))
-        elif isinstance(node, Lit):
-            pass
-        else:  # pragma: no cover - defensive
-            found.append(Violation(1, f"foreign object in tree: {node!r}", node))
-
-
-def _check_abs_shape(node: Abs, ctx: str, found: list[Violation]) -> None:
-    """Constraint 5 (proc shape) and constraint 3 (no cont params stored)."""
-    cont_params = node.cont_params
-    if not cont_params:
-        return  # a continuation abstraction; any value parameters are fine
-
-    if ctx == _CTX_Y_FN:
-        # λ(c0 v1..vn c): leading and trailing continuation params.
-        if not (node.params[0].is_cont and node.params[-1].is_cont):
-            found.append(
-                Violation(
-                    5,
-                    "Y fixpoint function must have shape λ(c0 v1..vn c)",
-                    node,
-                )
-            )
-        # The middle parameters v1..vn name the recursive bindings; the Y
-        # combinator binds "procedures and/or continuations" (section 2.3) —
-        # a while-loop binds a nullary continuation, for example — so any
-        # sort is legal there.
-        return
-
-    # Constraint 5 restricts abstractions *used as values* ("not as
-    # continuations and not in functional position of applications"): those
-    # must take exactly two continuation parameters, exception then normal,
-    # as the parameter-list suffix.  A λ in functional position of a direct
-    # application may bind any mix (e.g. binding a handler continuation).
-    if len(cont_params) != 2 and ctx not in (_CTX_FN, _CTX_BODY, _CTX_ROOT):
-        found.append(
-            Violation(
-                5,
-                f"procedure abstraction takes {len(cont_params)} continuation "
-                "parameters; exactly 2 (exception, normal) are required",
-                node,
-            )
-        )
-    if ctx not in (_CTX_FN, _CTX_BODY, _CTX_ROOT) and any(
-        p.is_cont for p in node.params[: len(node.params) - len(cont_params)]
-    ):
-        found.append(
-            Violation(
-                5,
-                "continuation parameters must form the suffix of a procedure's "
-                "parameter list",
-                node,
-            )
-        )
-
-
-def _check_cont_suffix(args: Iterable[Term], found: list[Violation]) -> None:
-    """Continuation arguments of a user application must be a suffix.
-
-    This is the tree-level shadow of constraint 1: the typed front end
-    arranges calls as ``(f v1..vn ce cc)``.  A value argument following a
-    continuation argument indicates a mangled call.
+    Each record carries a stable code (``TML001``..), the term path, a fix
+    hint and ``data["constraint"]``; see ``repro.analysis.diagnostics``.
     """
-    seen_cont = False
-    for arg in args:
-        if _is_cont_value(arg):
-            seen_cont = True
-        elif seen_cont and not isinstance(arg, Var):
-            # Abs values after a continuation are definitely mangled; plain
-            # value vars after a cont var cannot occur for sorted names, and
-            # literals cannot be continuations.
-            found.append(
-                Violation(
-                    1,
-                    "value argument follows a continuation argument in an "
-                    "application",
-                    arg,
-                )
-            )
-        elif seen_cont and isinstance(arg, Lit):
-            found.append(
-                Violation(
-                    1,
-                    "literal argument follows a continuation argument in an "
-                    "application",
-                    arg,
-                )
-            )
+    # Imported lazily: repro.analysis pulls in the machine layer for the
+    # bytecode verifier, which repro.core must not depend on at import time.
+    from repro.analysis.linearity import analyze
+
+    return analyze(term, registry)
 
 
-def _prim_cont_positions(node: PrimApp, registry, found: list[Violation]):
-    """Return the set of continuation argument indices for this primitive call.
-
-    ``None`` when no registry is supplied (positions unknown).  Also emits
-    constraint-2 arity violations.
-    """
-    if registry is None:
-        return None
-    try:
-        prim = registry.lookup(node.prim)
-    except KeyError:
-        found.append(Violation(2, f"unknown primitive {node.prim!r}", node))
-        return None
-    sig = prim.signature
-    if not sig.accepts_arity(len(node.args)):
-        found.append(
-            Violation(
-                2,
-                f"primitive {node.prim!r} called with {len(node.args)} arguments; "
-                f"signature is {sig.describe()}",
-                node,
-            )
-        )
-        return None
-    return sig.cont_positions(len(node.args))
+def _to_violation(diagnostic: "Diagnostic") -> Violation:
+    return Violation(
+        constraint=diagnostic.data.get("constraint", 0),
+        message=diagnostic.message,
+        subject=diagnostic.subject,
+    )

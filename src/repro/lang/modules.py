@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.analysis.verify_tam import assert_verified
 from repro.core.names import Name, NameSupply
 from repro.core.syntax import Abs, Char, UNIT
 from repro.core.wellformed import check as check_wf
@@ -61,6 +62,9 @@ class CompileOptions:
     the space cost measured by E3, and the enabler of runtime optimization.
     ``library_ops``: route operators/builtins through the dynamically bound
     library (section 6); ``False`` open-codes primitives (ablation).
+    ``verify_code``: run the TAM bytecode verifier
+    (:func:`repro.analysis.verify_tam.assert_verified`) over every generated
+    code object before it is linked or persisted.
     """
 
     optimizer: OptimizerConfig | None = field(
@@ -69,6 +73,7 @@ class CompileOptions:
     attach_ptml: bool = True
     library_ops: bool = True
     check_wellformed: bool = True
+    verify_code: bool = True
     registry: PrimitiveRegistry | None = None
 
 
@@ -174,6 +179,8 @@ def compile_module(
             if options.check_wellformed:
                 check_wf(term, registry)
         code = compile_function(term, registry, name=f"{checked.module.name}.{decl.name}")
+        if options.verify_code:
+            assert_verified(code, name=f"{checked.module.name}.{decl.name}")
         if options.attach_ptml:
             code.ptml_ref = encode_ptml(term)
         sig = checked.interface.functions.get(decl.name) or FunSig(
@@ -221,6 +228,8 @@ def compile_stdlib(
                 term = optimize(term, registry, options.optimizer).term
                 assert isinstance(term, Abs)
             code = compile_function(term, registry, name=f"{name}.{std_fn.name}")
+            if options.verify_code:
+                assert_verified(code, name=f"{name}.{std_fn.name}")
             if options.attach_ptml:
                 code.ptml_ref = encode_ptml(term)
             functions[std_fn.name] = CompiledFunction(
@@ -389,13 +398,20 @@ def _store_ptml_refs(heap: ObjectHeap, code: CodeObject) -> None:
         _store_ptml_refs(heap, nested)
 
 
-def load_module(heap: ObjectHeap, name: str) -> CompiledModule:
-    """Recover a compiled module from the store (interface is signature-less)."""
+def load_module(heap: ObjectHeap, name: str, verify: bool = True) -> CompiledModule:
+    """Recover a compiled module from the store (interface is signature-less).
+
+    Stored bytecode is untrusted — it may come from an older writer or a
+    corrupted heap — so each code object is re-verified before it can be
+    linked (``verify=False`` opts out, e.g. for forensic inspection).
+    """
     stored = heap.load_root(f"module:{name}")
     if not isinstance(stored, StoredModule):
         raise TLError(f"root module:{name} is not a stored module")
     functions: dict[str, CompiledFunction] = {}
     for fn_name, code, externals in stored.functions:
+        if verify:
+            assert_verified(code, name=f"{name}.{fn_name}")
         functions[fn_name] = CompiledFunction(
             name=fn_name,
             term=None,  # recoverable from PTML on demand

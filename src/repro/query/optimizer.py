@@ -58,8 +58,15 @@ def integrated_optimize(
     heap=None,
     config: OptimizerConfig | None = None,
     query_rules: frozenset[str] | None = None,
+    check: bool = False,
 ) -> IntegratedResult:
-    """Alternate the program optimizer and the query rewriter to a fixpoint."""
+    """Alternate the program optimizer and the query rewriter to a fixpoint.
+
+    With ``check=True`` the program phases run in checked mode (see
+    :func:`repro.rewrite.pipeline.optimize`) and the tree is re-verified for
+    well-formedness after every query-rewriter round, so an unsound algebraic
+    rule is caught before the next program phase can consume its output.
+    """
     registry = registry or query_registry()
     config = config or OptimizerConfig()
     program_stats = RewriteStats()
@@ -67,13 +74,15 @@ def integrated_optimize(
     rounds = 0
 
     for rounds in range(1, _MAX_ROUNDS + 1):
-        program_result = optimize(term, registry, config)
+        program_result = optimize(term, registry, config, check=check)
         program_stats.merge(program_result.stats)
         term = program_result.term
 
         rewriter = QueryRewriter(registry, heap=heap, enabled=query_rules)
         term = rewriter.rewrite(term)
         query_stats.counts.update(rewriter.stats.counts)
+        if check and rewriter.stats.total > 0:
+            _check_query_round(term, registry, rewriter.stats)
         if rewriter.stats.total == 0:
             break
 
@@ -83,4 +92,31 @@ def integrated_optimize(
         program_stats=program_stats,
         query_stats=query_stats,
         rounds=rounds,
+    )
+
+
+def _check_query_round(term, registry, stats: QueryRewriteStats) -> None:
+    """Raise RewriteCheckError if a query-rewriter round broke constraints 1-5."""
+    from repro.analysis.checked import RewriteCheckError
+    from repro.analysis.diagnostics import Diagnostic, Severity
+    from repro.analysis.linearity import analyze
+
+    errors = [d for d in analyze(term, registry) if d.is_error]
+    if not errors:
+        return
+    rules = tuple(sorted(rule for rule, n in stats.counts.items() if n))
+    detail = "; ".join(f"{d.code} {d.path}: {d.message}" for d in errors[:5])
+    raise RewriteCheckError(
+        [
+            Diagnostic(
+                code="TML040",
+                severity=Severity.ERROR,
+                message=f"query rewriter round (rules fired: "
+                f"{', '.join(rules) or 'none'}) broke well-formedness: {detail}",
+                subject=term,
+                data={"rules": rules},
+            )
+        ],
+        context="integrated_optimize",
+        rules=rules,
     )

@@ -104,13 +104,26 @@ def site_decision(
     savings = call overhead + per-argument bonuses for statically known
     arguments; the site is expanded when ``body_cost - savings`` does not
     exceed ``growth_budget``.
+
+    Arguments bound to parameters the body never uses are credited too: the
+    reduction pass deletes the dead binding right after inlining, so whatever
+    it cost to materialize the argument is recovered (nothing for variables,
+    the literal bonus for literals, a closure for abstractions).
     """
+    from repro.analysis.usage import unused_param_indices
+
     cost = term_cost(body.body, registry)
     savings = CALL_COST + CLOSURE_COST  # the call and (eventually) the closure
-    for arg in call_args:
+    unused = set(unused_param_indices(body))
+    for index, arg in enumerate(call_args):
         if isinstance(arg, Lit):
             savings += LIT_ARG_BONUS
         elif isinstance(arg, Abs):
             savings += ABS_ARG_BONUS
+        if index in unused:
+            if isinstance(arg, Lit):
+                savings += 1
+            elif isinstance(arg, Abs):
+                savings += CLOSURE_COST
     growth = max(0, cost - savings)
     return InlineDecision(growth <= growth_budget, savings, growth, cost)

@@ -62,10 +62,20 @@ def optimize(
     term: Term,
     registry: PrimitiveRegistry | None = None,
     config: OptimizerConfig | None = None,
+    check: bool = False,
 ) -> OptimizeResult:
-    """Run the alternating reduction/expansion optimizer to quiescence."""
+    """Run the alternating reduction/expansion optimizer to quiescence.
+
+    With ``check=True`` every pass is re-verified against the paper's
+    invariants (well-formedness, strict shrink, effect preservation, fold
+    legality); a violation raises
+    :class:`repro.analysis.checked.RewriteCheckError` naming the offending
+    rule with before/after terms.  See ``docs/analysis.md``.
+    """
     registry = registry or default_registry()
     config = config or OptimizerConfig()
+    checker, registry = _checker(registry, check, context="optimize")
+    on_pass = checker.reduction_pass_hook if checker else None
     stats = RewriteStats()
     stats.size_before = term_size(term)
 
@@ -73,15 +83,18 @@ def optimize(
     expansion_config = config.expansion
     for round_index in range(config.max_rounds):
         stats.rounds = round_index + 1
-        term = reduce_to_fixpoint(term, registry, config.rules, stats)
+        term = reduce_to_fixpoint(term, registry, config.rules, stats, on_pass)
         if not config.expansion_enabled:
             break
 
         if penalty >= config.penalty_limit:
             break
         inlined_before = stats.inlined_sites
-        term = expand_pass(term, registry, expansion_config, stats)
+        expanded = expand_pass(term, registry, expansion_config, stats)
         new_sites = stats.inlined_sites - inlined_before
+        if checker and new_sites > 0:
+            checker.expansion_check(term, expanded)
+        term = expanded
         if new_sites == 0:
             break
         penalty += new_sites
@@ -90,7 +103,7 @@ def optimize(
             # collapse the growth budget so a final reduction settles things
             expansion_config = replace(expansion_config, growth_budget=0)
 
-    term = reduce_to_fixpoint(term, registry, config.rules, stats)
+    term = reduce_to_fixpoint(term, registry, config.rules, stats, on_pass)
     stats.size_after = term_size(term)
     return OptimizeResult(term, stats)
 
@@ -99,11 +112,25 @@ def reduce_only(
     term: Term,
     registry: PrimitiveRegistry | None = None,
     rules: RuleConfig | None = None,
+    check: bool = False,
 ) -> OptimizeResult:
     """Run just the reduction pass to fixpoint (no inlining)."""
     registry = registry or default_registry()
+    checker, registry = _checker(registry, check, context="reduce_only")
+    on_pass = checker.reduction_pass_hook if checker else None
     stats = RewriteStats()
     stats.size_before = term_size(term)
-    term = reduce_to_fixpoint(term, registry, rules or RuleConfig(), stats)
+    term = reduce_to_fixpoint(term, registry, rules or RuleConfig(), stats, on_pass)
     stats.size_after = term_size(term)
     return OptimizeResult(term, stats)
+
+
+def _checker(registry: PrimitiveRegistry, check: bool, context: str):
+    """Build the pass checker and fold-guarded registry for checked mode."""
+    if not check:
+        return None, registry
+    # Imported lazily: repro.analysis is a client of this package's stats
+    # types and must not be required for plain (unchecked) optimization.
+    from repro.analysis.checked import PassChecker, checked_registry
+
+    return PassChecker(registry, context=context), checked_registry(registry)

@@ -14,6 +14,8 @@ O(tree), and the strict size decrease bounds the number of passes.
 
 from __future__ import annotations
 
+from collections import Counter
+
 from repro.core.occurrences import OccurrenceCensus
 from repro.core.syntax import Abs, App, Lit, PrimApp, Term, Var
 from repro.primitives.registry import PrimitiveRegistry
@@ -139,8 +141,14 @@ def reduce_to_fixpoint(
     registry: PrimitiveRegistry,
     config: RuleConfig | None = None,
     stats: RewriteStats | None = None,
+    on_pass=None,
 ) -> Term:
-    """Apply the reduction rules until none is applicable (section 3)."""
+    """Apply the reduction rules until none is applicable (section 3).
+
+    ``on_pass(before, after, fired)`` is invoked after every pass that changed
+    the tree, with the per-pass rule-application counts (a ``Counter``); the
+    checked pipeline uses it to re-verify the section 2.2/2.3/3 invariants.
+    """
     config = config or RuleConfig()
     stats = stats if stats is not None else RewriteStats()
     for _ in range(_MAX_PASSES):
@@ -150,8 +158,12 @@ def reduce_to_fixpoint(
             config=config,
             stats=stats,
         )
+        counts_before = Counter(stats.rule_counts) if on_pass is not None else None
+        before = term
         term = reduce_pass(term, state)
         stats.reduction_passes += 1
         if not state.changed:
             break
+        if on_pass is not None:
+            on_pass(before, term, stats.rule_counts - counts_before)
     return term

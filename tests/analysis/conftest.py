@@ -1,0 +1,25 @@
+"""Shared fixtures for the analysis tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.primitives.registry import PrimitiveRegistry, default_registry
+
+
+def fresh_registry() -> PrimitiveRegistry:
+    """A registry whose Primitive records are private copies.
+
+    ``default_registry()`` is a shared singleton and even ``.copy()`` shares
+    the mutable ``Primitive`` objects — tests that inject broken folds or
+    emitters must not leak them into other tests.
+    """
+    clone = PrimitiveRegistry()
+    for prim in default_registry():
+        clone.register(dataclasses.replace(prim))
+    return clone
+
+
+@pytest.fixture
+def registry() -> PrimitiveRegistry:
+    return fresh_registry()

@@ -1,0 +1,87 @@
+"""Tests for the shared diagnostic records."""
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    DIAGNOSTIC_CODES,
+    AnalysisError,
+    Diagnostic,
+    Severity,
+    error_count,
+    format_diagnostics,
+    format_path,
+    has_errors,
+    raise_on_error,
+    severity_counts,
+)
+
+
+def _diag(code="TML001", severity=Severity.ERROR, **kw):
+    return Diagnostic(code=code, severity=severity, message="boom", **kw)
+
+
+class TestFormatPath:
+    def test_empty_path_is_root(self):
+        assert format_path(()) == "<root>"
+
+    def test_mixed_steps(self):
+        assert format_path(("body", ("args", 2), "fn")) == "body.args[2].fn"
+
+
+class TestDiagnostic:
+    def test_str_contains_severity_code_path(self):
+        d = _diag(path="body.fn", hint="do less")
+        assert str(d) == "error[TML001] body.fn: boom (hint: do less)"
+
+    def test_str_without_hint(self):
+        assert str(_diag(severity=Severity.WARNING)) == "warning[TML001] <root>: boom"
+
+    def test_is_error(self):
+        assert _diag().is_error
+        assert not _diag(severity=Severity.INFO).is_error
+
+    def test_severity_ordering(self):
+        assert max(Severity.INFO, Severity.ERROR, Severity.WARNING) is Severity.ERROR
+
+
+class TestAggregation:
+    def test_has_errors_and_count(self):
+        diags = [_diag(severity=Severity.WARNING), _diag(), _diag()]
+        assert has_errors(diags)
+        assert error_count(diags) == 2
+        assert not has_errors([_diag(severity=Severity.INFO)])
+
+    def test_severity_counts_shape(self):
+        diags = [_diag(), _diag(severity=Severity.INFO)]
+        assert severity_counts(diags) == {"error": 1, "warning": 0, "info": 1}
+
+    def test_raise_on_error(self):
+        with pytest.raises(AnalysisError) as err:
+            raise_on_error([_diag()], context="unit test")
+        assert "unit test" in str(err.value)
+        assert err.value.diagnostics[0].code == "TML001"
+
+    def test_raise_on_error_passes_clean_lists_through(self):
+        diags = [_diag(severity=Severity.WARNING)]
+        assert raise_on_error(diags) is diags
+
+    def test_format_orders_worst_first(self):
+        report = format_diagnostics(
+            [_diag(severity=Severity.INFO), _diag(severity=Severity.ERROR)]
+        )
+        first, second = report.splitlines()
+        assert first.startswith("error[")
+        assert second.startswith("info[")
+
+
+def test_every_emitted_code_is_documented():
+    """Each code constructed anywhere in the analysis package has a docs entry."""
+    import pathlib
+    import re
+
+    package = pathlib.Path("src/repro/analysis")
+    emitted = set()
+    for path in package.glob("*.py"):
+        emitted.update(re.findall(r"\"(T(?:ML|AM)\d{3})\"", path.read_text()))
+    emitted -= set()  # codes referenced in tables/docstrings are fine too
+    assert emitted <= set(DIAGNOSTIC_CODES), emitted - set(DIAGNOSTIC_CODES)

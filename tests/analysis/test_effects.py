@@ -1,0 +1,76 @@
+"""Tests for effect inference and the registry attribute lint."""
+
+from repro.analysis.effects import (
+    EFFECT_RANK,
+    effect_join,
+    effect_le,
+    infer_effect,
+    lint_registry,
+)
+from repro.core.parser import parse_term
+from repro.primitives.effects import EffectClass
+
+
+class TestLattice:
+    def test_rank_covers_every_class(self):
+        assert set(EFFECT_RANK) == set(EffectClass)
+
+    def test_join_is_max(self):
+        assert effect_join(EffectClass.PURE, EffectClass.IO) is EffectClass.IO
+        assert effect_join(EffectClass.WRITE, EffectClass.READ) is EffectClass.WRITE
+
+    def test_le(self):
+        assert effect_le(EffectClass.PURE, EffectClass.UNKNOWN)
+        assert not effect_le(EffectClass.IO, EffectClass.READ)
+
+
+class TestInference:
+    def test_pure_arith(self, registry):
+        term = parse_term("proc(x ce cc) (+ x 1 ce cc)")
+        assert infer_effect(term, registry) is EffectClass.PURE
+
+    def test_print_is_io(self, registry):
+        term = parse_term("proc(x ce cc) (print x cont() (cc 0))")
+        assert infer_effect(term, registry) is EffectClass.IO
+
+    def test_array_write(self, registry):
+        term = parse_term("proc(a ce cc) ([]:= a 0 7 cont() (cc 0))")
+        assert infer_effect(term, registry) is EffectClass.WRITE
+
+    def test_alloc(self, registry):
+        term = parse_term("proc(n ce cc) (new n 0 cont(a) (cc a))")
+        assert infer_effect(term, registry) is EffectClass.ALLOC
+
+    def test_direct_application_binds_latents(self, registry):
+        # the body invokes f, which is bound to a pure abstraction
+        term = parse_term(
+            "proc(x ce cc) (λ(f) (f x ce cc)  proc(y ce2 cc2) (+ y 1 ce2 cc2))"
+        )
+        assert infer_effect(term, registry) is EffectClass.PURE
+
+    def test_call_through_free_value_var_is_unknown(self, registry):
+        term = parse_term("proc(x ce cc) (g x ce cc)")
+        assert infer_effect(term, registry) is EffectClass.UNKNOWN
+
+    def test_y_loop_effect(self, registry):
+        pure_loop = parse_term(
+            "(Y λ(^c0 ^loop ^c) (c cont() (loop) cont() (halt 0)))"
+        )
+        # halt is CONTROL; the loop's latent includes the body's halt
+        assert infer_effect(pure_loop, registry) is EffectClass.CONTROL
+
+    def test_unknown_prim_is_unknown(self, registry):
+        term = parse_term("proc(x ce cc) (no-such x ce cc)")
+        assert infer_effect(term, registry) is EffectClass.UNKNOWN
+
+
+class TestRegistryLint:
+    def test_default_registry_is_clean(self, registry):
+        assert lint_registry(registry) == []
+
+    def test_fold_on_effectful_prim_flagged(self, registry):
+        registry.get("print").fold = lambda call: call.args[-1]
+        found = lint_registry(registry)
+        assert [d.code for d in found] == ["TML030"]
+        assert found[0].is_error
+        assert found[0].data["prim"] == "print"

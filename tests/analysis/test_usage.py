@@ -1,0 +1,71 @@
+"""Tests for dead-binding and unused-parameter detection."""
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.usage import analyze, unused_param_indices
+from repro.core.names import NameSupply
+from repro.core.parser import parse_term
+from repro.core.syntax import Abs, App, Lit, Var
+
+
+def by_code(found, code):
+    return [d for d in found if d.code == code]
+
+
+class TestUnusedParamIndices:
+    def test_all_used(self):
+        term = parse_term("proc(x ce cc) (+ x 1 ce cc)")
+        assert unused_param_indices(term) == ()
+
+    def test_reports_unused(self):
+        supply = NameSupply()
+        x, y = supply.fresh_val("x"), supply.fresh_val("y")
+        cc = supply.fresh_cont("cc")
+        term = Abs((x, y, cc), App(Var(cc), (Var(x),)))
+        assert unused_param_indices(term) == (1,)
+
+
+class TestAnalyze:
+    def test_unused_value_param_warns(self):
+        supply = NameSupply()
+        x, y = supply.fresh_val("x"), supply.fresh_val("y")
+        cc = supply.fresh_cont("cc")
+        found = analyze(Abs((x, y, cc), App(Var(cc), (Var(x),))))
+        [d] = by_code(found, "TML020")
+        assert d.severity is Severity.WARNING
+        assert str(y) in d.message
+
+    def test_discard_binder_is_info(self):
+        supply = NameSupply()
+        u = supply.fresh_val("_")
+        cc = supply.fresh_cont("cc")
+        found = analyze(Abs((u, cc), App(Var(cc), (Lit(0),))))
+        [d] = by_code(found, "TML020")
+        assert d.severity is Severity.INFO
+
+    def test_unused_exception_cont_is_info(self):
+        term = parse_term("proc(x ce cc) (cc x)")
+        found = analyze(term)
+        infos = by_code(found, "TML020")
+        assert infos and all(d.severity is Severity.INFO for d in infos)
+
+    def test_never_returning_proc_tml022(self):
+        term = parse_term("proc(x ce cc) (halt x)")
+        found = analyze(term)
+        [d] = by_code(found, "TML022")
+        assert d.severity is Severity.WARNING
+        assert "cannot return" in d.message
+
+    def test_dead_direct_binding_tml021(self):
+        supply = NameSupply()
+        t = supply.fresh_val("t")
+        cc = supply.fresh_cont("cc")
+        # ((λ(t) (cc 0)) 42): binds t, ignores it
+        term = Abs((cc,), App(Abs((t,), App(Var(cc), (Lit(0),))), (Lit(42),)))
+        found = analyze(term)
+        [d] = by_code(found, "TML021")
+        assert d.path == "body.args[0]"
+        assert d.subject == Lit(42)
+
+    def test_clean_term_has_no_warnings(self):
+        term = parse_term("proc(x ce cc) (+ x 1 ce cc)")
+        assert all(d.severity is not Severity.WARNING for d in analyze(term))

@@ -1,0 +1,76 @@
+"""Property-based tests for the static analysis layer (hypothesis)."""
+
+from hypothesis import given, settings
+
+from repro.analysis import infer_effect, lint_term, verify_code
+from repro.analysis.effects import effect_le
+from repro.core.names import NameSupply
+from repro.core.syntax import Abs, max_uid
+from repro.core.wellformed import violations
+from repro.machine.codegen import compile_function
+from repro.primitives.registry import default_registry
+from repro.rewrite import optimize, reduce_only
+from repro.rewrite.reduction import reduce_to_fixpoint
+
+from tests.properties.test_prop_core import straightline_terms
+
+_REGISTRY = default_registry()
+
+
+def _wrap_proc(term):
+    """Close a straight-line body into the Abs shape codegen expects."""
+    supply = NameSupply(start=max_uid(term) + 1)
+    return Abs((supply.fresh_cont("ce"), supply.fresh_cont("cc")), term)
+
+
+@given(straightline_terms())
+@settings(max_examples=100)
+def test_linearity_agrees_with_wellformed(term):
+    assert lint_term(term, _REGISTRY, include_usage=False) == []
+    assert violations(term, _REGISTRY) == []
+
+
+@given(straightline_terms())
+@settings(max_examples=100)
+def test_every_reduction_pass_preserves_wf_and_effect(term):
+    """Per-pass invariant, not just end-to-end: checked via the on_pass hook."""
+    effect_at_entry = infer_effect(term, _REGISTRY)
+
+    def check_pass(before, after, fired):
+        assert sum(fired.values()) > 0
+        assert violations(after, _REGISTRY) == []
+        assert effect_le(infer_effect(after, _REGISTRY), effect_at_entry)
+
+    reduce_to_fixpoint(term, _REGISTRY, on_pass=check_pass)
+
+
+@given(straightline_terms())
+@settings(max_examples=100)
+def test_checked_pipeline_accepts_sound_rules(term):
+    """The real rule set never trips the checked pipeline."""
+    checked = optimize(term, _REGISTRY, check=True).term
+    plain = optimize(term, _REGISTRY).term
+    assert checked == plain
+
+
+@given(straightline_terms())
+@settings(max_examples=100)
+def test_optimizer_never_increases_effect(term):
+    before = infer_effect(term, _REGISTRY)
+    after = infer_effect(optimize(term, _REGISTRY).term, _REGISTRY)
+    assert effect_le(after, before)
+
+
+@given(straightline_terms())
+@settings(max_examples=100)
+def test_verifier_accepts_everything_codegen_emits(term):
+    code = compile_function(_wrap_proc(term), _REGISTRY, name="prop")
+    assert verify_code(code, name="prop") == []
+
+
+@given(straightline_terms())
+@settings(max_examples=60)
+def test_verifier_accepts_optimized_code_too(term):
+    reduced = reduce_only(_wrap_proc(term), _REGISTRY).term
+    code = compile_function(reduced, _REGISTRY, name="prop-reduced")
+    assert verify_code(code, name="prop-reduced") == []
