@@ -30,5 +30,8 @@ ruff:
 		echo "ruff not installed; skipping (config in pyproject.toml)"; \
 	fi
 
+# experiment benchmarks, then the machine-readable artifacts
+# (BENCH_vm.json / BENCH_opt.json, schema docs in docs/observability.md)
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+	$(PYTHON) -m repro bench --scale 0.3 --artifacts .

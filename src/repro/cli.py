@@ -13,7 +13,16 @@ Commands:
 * ``lint [FILE] [--stdlib] [--store PATH --oid N]`` — run the static
   analyses (constraints 1-5, usage, effect/registry lint, TAM bytecode
   verifier) over compiled TL functions or a stored PTML/code object; exits
-  nonzero when any error-severity diagnostic is found (see docs/analysis.md).
+  nonzero when any error-severity diagnostic is found (see docs/analysis.md);
+* ``profile FILE [--entry m.f] [--pgo]`` — run under the VM profiler and
+  print per-closure invocation/instruction counts plus per-opcode totals;
+  ``--pgo`` then feeds the profile into ``reflect.optimize`` and reports the
+  profile-guided reoptimization (see docs/observability.md);
+* ``stats [FILE]`` — print the process metrics registry (optionally after
+  compiling and running FILE).
+
+Most subcommands accept ``--trace OUT.ndjson`` to stream structured
+spans/events from every instrumented layer to an NDJSON trace file.
 """
 
 from __future__ import annotations
@@ -125,6 +134,124 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     names = args.programs.split(",") if args.programs else None
     rows = run_stanford(names=names, scale=args.scale, repeats=args.repeats)
     print(format_table(rows))
+    if args.artifacts is not None:
+        from repro.bench.artifacts import write_bench_artifacts
+
+        vm_path, opt_path = write_bench_artifacts(
+            args.artifacts, scale=args.scale, repeats=args.repeats, rows=rows
+        )
+        print(f"wrote {vm_path} and {opt_path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.machine.vm import StepLimitExceeded
+    from repro.obs import VMProfiler, write_metrics_json
+
+    system = _load_system(args.file, args.opt, args.store)
+    entry = args.entry
+    if entry is None:
+        last = list(system.compiled)[-1]
+        entry = f"{last}.main" if "main" in system.compiled[last].functions else last
+    module, function = _split_entry(entry, system)
+    call_args = [_parse_value(a) for a in args.args]
+
+    profiler = VMProfiler()
+    closure = system.closure(module, function)
+    vm = system.vm(step_limit=args.step_limit)
+    vm.profiler = profiler
+    truncated = False
+    try:
+        result = vm.call(closure, call_args)
+    except UncaughtTmlException as exc:
+        print(f"uncaught exception: {show_value(exc.value)}", file=sys.stderr)
+        return 1
+    except StepLimitExceeded as exc:
+        # the profile of the truncated run is still valid evidence
+        truncated = True
+        result = exc.partial
+        print(
+            f"step limit hit after {exc.instructions} instructions "
+            f"(limit {exc.limit}); profile covers the truncated run",
+            file=sys.stderr,
+        )
+
+    for line in result.output:
+        print(line)
+    if not truncated:
+        print(f"=> {show_value(result.value)}")
+    print()
+    print(f"profile of {module}.{function} ({result.instructions} instructions):")
+    print(profiler.format_report(top=args.top))
+
+    if args.pgo:
+        from repro.reflect.pgo import optimize_hot
+
+        report = optimize_hot(system, profiler, top=args.pgo)
+        print()
+        if not report.selected:
+            print("pgo: no profiled compiled function to reoptimize")
+        for candidate in report.selected:
+            reflected = report.results[candidate.qualified]
+            print(
+                f"pgo: reoptimized {candidate.qualified} "
+                f"({candidate.invocations} invocation(s), "
+                f"{candidate.instructions} instructions measured): "
+                f"cost {reflected.cost_before} -> {reflected.cost_after}, "
+                f"estimated speedup {reflected.estimated_speedup:.2f}x"
+            )
+
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w", encoding="utf-8") as fp:
+            _json.dump(profiler.as_dict(), fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.metrics_json:
+        write_metrics_json(args.metrics_json)
+        print(f"wrote {args.metrics_json}", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import METRICS, write_metrics_json
+
+    # importing the instrumented layers registers their metric catalog even
+    # before anything runs
+    import repro.machine.vm  # noqa: F401
+    import repro.rewrite.pipeline  # noqa: F401
+    import repro.store.heap  # noqa: F401
+    import repro.store.ptml  # noqa: F401
+
+    if args.file is not None:
+        system = _load_system(args.file, args.opt, args.store)
+        last = list(system.compiled)[-1]
+        entry = f"{last}.main" if "main" in system.compiled[last].functions else last
+        module, function = _split_entry(entry, system)
+        try:
+            system.call(module, function, [])
+        except UncaughtTmlException as exc:
+            print(f"uncaught exception: {show_value(exc.value)}", file=sys.stderr)
+            return 1
+
+    rows = METRICS.describe()
+    snapshot = METRICS.snapshot()
+    print(f"{'metric':<34} {'type':<10} value")
+    print("-" * 64)
+    for name, kind, _help in rows:
+        state = snapshot[name]
+        if kind == "histogram":
+            value = (
+                f"count={state['count']} total={state['total']} "
+                f"min={state['min']} max={state['max']}"
+            )
+        else:
+            value = str(state["value"])
+        print(f"{name:<34} {kind:<10} {value}")
+    if args.json:
+        write_metrics_json(args.json)
+        print(f"wrote {args.json}", file=sys.stderr)
     return 0
 
 
@@ -274,7 +401,47 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--scale", type=float, default=1.0)
     bench_p.add_argument("--repeats", type=int, default=1)
     bench_p.add_argument("--programs", help="comma-separated subset")
+    bench_p.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        help="also write BENCH_vm.json / BENCH_opt.json into DIR",
+    )
     bench_p.set_defaults(handler=_cmd_bench)
+
+    prof_p = sub.add_parser(
+        "profile", help="run a TL file under the VM profiler"
+    )
+    prof_p.add_argument("file")
+    prof_p.add_argument("--entry", help="module.function (default: <last module>.main)")
+    prof_p.add_argument("--args", nargs="*", default=[], help="int/bool/string arguments")
+    prof_p.add_argument("--opt", choices=["none", "static"], default="static")
+    prof_p.add_argument("--store", help="persistent store file to attach")
+    prof_p.add_argument(
+        "--step-limit", type=int, help="instruction budget (profile the truncated run)"
+    )
+    prof_p.add_argument("--top", type=int, help="show only the N hottest closures")
+    prof_p.add_argument(
+        "--pgo",
+        type=int,
+        nargs="?",
+        const=1,
+        metavar="N",
+        help="feed the profile into reflect.optimize for the N hottest functions",
+    )
+    prof_p.add_argument("--json", metavar="OUT", help="write the profile as JSON")
+    prof_p.add_argument(
+        "--metrics-json", metavar="OUT", help="write a metrics snapshot as JSON"
+    )
+    prof_p.set_defaults(handler=_cmd_profile)
+
+    stats_p = sub.add_parser(
+        "stats", help="print the process metrics registry"
+    )
+    stats_p.add_argument("file", nargs="?", help="TL file to compile and run first")
+    stats_p.add_argument("--opt", choices=["none", "static"], default="static")
+    stats_p.add_argument("--store", help="persistent store file to attach")
+    stats_p.add_argument("--json", metavar="OUT", help="write the snapshot as JSON")
+    stats_p.set_defaults(handler=_cmd_stats)
 
     store_p = sub.add_parser("store", help="inspect a persistent store image")
     store_p.add_argument("action", choices=["ls"])
@@ -296,13 +463,30 @@ def build_parser() -> argparse.ArgumentParser:
         "-v", "--verbose", action="store_true", help="also print info-severity findings"
     )
     lint_p.set_defaults(handler=_cmd_lint)
+
+    # --trace OUT.ndjson on every subcommand that executes/optimizes code
+    for sub_parser in (run_p, tml_p, dis_p, bench_p, prof_p, stats_p, lint_p):
+        sub_parser.add_argument(
+            "--trace",
+            metavar="OUT.ndjson",
+            help="stream structured trace events (NDJSON) to this file",
+        )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return args.handler(args)
+    from repro.obs import NdjsonRecorder, TRACER
+
+    with NdjsonRecorder(trace_path) as recorder:
+        with TRACER.recording(recorder):
+            status = args.handler(args)
+    print(f"wrote trace to {trace_path}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

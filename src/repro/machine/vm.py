@@ -37,14 +37,43 @@ from repro.machine.runtime import (
 #: name -> handler(vm, [arg values]) -> result value.  Populated by the
 #: subsystems that register extension primitives (e.g. the query algebra).
 EXT_OPS: dict = {}
+from repro.obs.metrics import METRICS
 from repro.primitives.arith import OVERFLOW, ZERO_DIVIDE, int_div, int_rem
 from repro.primitives._util import INT_MAX, INT_MIN, wrap_int
+
+_VM_RUNS = METRICS.counter("vm.runs", "completed top-level VM runs")
+_VM_INSTRUCTIONS = METRICS.counter(
+    "vm.instructions", "TAM instructions executed by completed runs"
+)
 
 __all__ = ["VM", "VMResult", "instantiate", "StepLimitExceeded"]
 
 
 class StepLimitExceeded(Exception):
-    """The configured instruction budget ran out."""
+    """The configured instruction budget ran out.
+
+    Carries the truncated run as structured state so profilers and tests can
+    inspect how far execution got:
+
+    * ``limit`` — the configured budget;
+    * ``instructions`` — instructions executed by the *run* that hit the
+      limit (filled in by :meth:`VM._run`);
+    * ``partial`` — a :class:`VMResult` with ``value=None`` holding the
+      instruction count and the output emitted before truncation.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        limit: int | None = None,
+        instructions: int | None = None,
+        partial: "VMResult | None" = None,
+    ):
+        super().__init__(message)
+        self.limit = limit
+        self.instructions = instructions
+        self.partial = partial
 
 
 class _VMTrap(Exception):
@@ -100,6 +129,7 @@ class VM:
         store=None,
         foreign: ForeignTable | None = None,
         step_limit: int | None = None,
+        profiler=None,
     ):
         self.store = store
         self.foreign = foreign or ForeignTable()
@@ -107,6 +137,9 @@ class VM:
         self.handlers: list[Any] = []
         self.output: list[str] = []
         self.instructions = 0
+        #: optional :class:`repro.obs.profile.VMProfiler`; when attached the
+        #: main loop additionally counts per-opcode / per-closure totals
+        self.profiler = profiler
 
     # ------------------------------------------------------------------ API
 
@@ -132,6 +165,22 @@ class VM:
         start_output = len(self.output)
         pending: tuple[Any, list[Any]] | None = (closure, args)
         try:
+            return self._loop(pending, start_instr, start_output)
+        except StepLimitExceeded as exc:
+            # enrich with the truncated run's observable state (satellite of
+            # the obs layer: profilers/tests inspect how far execution got)
+            exc.instructions = self.instructions - start_instr
+            exc.partial = VMResult(
+                value=None,
+                instructions=exc.instructions,
+                output=self.output[start_output:],
+            )
+            raise
+
+    def _loop(
+        self, pending: tuple[Any, list[Any]], start_instr: int, start_output: int
+    ) -> VMResult:
+        try:
             while True:
                 try:
                     target, values = pending
@@ -150,9 +199,12 @@ class VM:
                     handler = self.handlers.pop()
                     pending = (handler, [trap.value])
         except _VMHalt as halted:
+            executed = self.instructions - start_instr
+            _VM_RUNS.inc()
+            _VM_INSTRUCTIONS.inc(executed)
             return VMResult(
                 value=halted.value,
-                instructions=self.instructions - start_instr,
+                instructions=executed,
                 output=self.output[start_output:],
             )
 
@@ -168,14 +220,25 @@ class VM:
         pc = 0
         counted = self.instructions
         limit = self.step_limit
+        profiler = self.profiler
+        if profiler is not None:
+            profile_ops = profiler.opcodes
+            closure_stats = profiler.enter(code.name)
 
         while True:
             instr = instrs[pc]
             counted += 1
             if limit is not None and counted > limit:
-                self.instructions = counted
-                raise StepLimitExceeded(f"exceeded {limit} instructions")
+                # the instruction that tripped the limit never executes, so
+                # it is not part of the run's executed-instruction count
+                self.instructions = counted - 1
+                raise StepLimitExceeded(
+                    f"exceeded {limit} instructions", limit=limit
+                )
             op = instr[0]
+            if profiler is not None:
+                profile_ops[op] += 1
+                closure_stats.instructions += 1
 
             if op == "const":
                 value = consts[instr[2]]
@@ -389,6 +452,8 @@ class VM:
                     argvec, (TmlArray, TmlVector)
                 ):
                     raise _VMTrap(TYPE_ERROR)
+                if profiler is not None:
+                    profiler.primitives[f"ccall:{fn_name}"] += 1
                 function = self.foreign.lookup(fn_name)
                 try:
                     result = function(*argvec.slots)
@@ -403,6 +468,8 @@ class VM:
                 self.instructions = counted
                 if handler is None:
                     raise MachineError(f"no VM handler for extension primitive {name!r}")
+                if profiler is not None:
+                    profiler.primitives[f"extcall:{name}"] += 1
                 try:
                     regs[dst] = handler(self, [regs[i] for i in arg_regs])
                 except ExtRaise as ext:

@@ -1,0 +1,56 @@
+"""repro.obs — unified tracing, metrics and profiling.
+
+Three pieces, one package:
+
+* :mod:`repro.obs.metrics` — always-on process-wide counters/gauges/
+  histograms (``METRICS``), incremented inline by the store, the rewrite
+  pipeline and the VM;
+* :mod:`repro.obs.trace` — opt-in structured spans/events (``TRACER``),
+  disabled by default with a near-zero no-op path;
+* :mod:`repro.obs.profile` — per-closure/per-opcode VM execution profiles
+  (:class:`VMProfiler`), the runtime evidence consumed by
+  ``repro.reflect.pgo`` for profile-guided reoptimization.
+
+Exporters (:mod:`repro.obs.exporters`) serialize traces as NDJSON and
+metric/bench snapshots as JSON.  See ``docs/observability.md``.
+"""
+
+from repro.obs.exporters import (
+    ListRecorder,
+    NdjsonRecorder,
+    SCHEMA_VERSION,
+    TraceSchemaError,
+    event_from_dict,
+    event_to_dict,
+    read_ndjson,
+    validate_event,
+    write_metrics_json,
+)
+from repro.obs.metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import ClosureStats, VMProfiler, profile_call
+from repro.obs.trace import NULL_SPAN, Span, TraceEvent, Tracer, TRACER
+
+__all__ = [
+    "METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TRACER",
+    "Tracer",
+    "TraceEvent",
+    "Span",
+    "NULL_SPAN",
+    "ListRecorder",
+    "NdjsonRecorder",
+    "SCHEMA_VERSION",
+    "TraceSchemaError",
+    "event_to_dict",
+    "event_from_dict",
+    "read_ndjson",
+    "validate_event",
+    "write_metrics_json",
+    "ClosureStats",
+    "VMProfiler",
+    "profile_call",
+]

@@ -1,0 +1,168 @@
+"""Recorders and file exporters: NDJSON traces, JSON metrics/bench dumps.
+
+NDJSON trace schema (version 1) — one JSON object per line::
+
+    {"v": 1, "name": "rewrite.pass", "kind": "span",
+     "ts": 1722860000.123, "dur": 0.0004, "attrs": {"fired": 3}}
+
+``validate_event`` / ``read_ndjson`` enforce the schema so traces stay
+machine-consumable; round-trip behavior is pinned by
+``tests/obs/test_trace.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.trace import TraceEvent
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TraceSchemaError",
+    "ListRecorder",
+    "NdjsonRecorder",
+    "event_to_dict",
+    "event_from_dict",
+    "validate_event",
+    "read_ndjson",
+    "write_metrics_json",
+]
+
+SCHEMA_VERSION = 1
+
+_KINDS = ("span", "event")
+
+
+class TraceSchemaError(ValueError):
+    """An event violates the NDJSON trace schema."""
+
+
+def _safe_attr(value: Any):
+    """Coerce an attribute value to something JSON-representable."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_safe_attr(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _safe_attr(v) for k, v in value.items()}
+    return repr(value)
+
+
+def event_to_dict(event: TraceEvent) -> dict:
+    return {
+        "v": SCHEMA_VERSION,
+        "name": event.name,
+        "kind": event.kind,
+        "ts": event.ts,
+        "dur": event.dur,
+        "attrs": {str(k): _safe_attr(v) for k, v in event.attrs.items()},
+    }
+
+
+def validate_event(data: dict) -> dict:
+    """Check one decoded NDJSON line against the schema; returns it."""
+    if not isinstance(data, dict):
+        raise TraceSchemaError(f"event is {type(data).__name__}, not an object")
+    if data.get("v") != SCHEMA_VERSION:
+        raise TraceSchemaError(f"unsupported schema version {data.get('v')!r}")
+    name = data.get("name")
+    if not isinstance(name, str) or not name:
+        raise TraceSchemaError("event name must be a non-empty string")
+    kind = data.get("kind")
+    if kind not in _KINDS:
+        raise TraceSchemaError(f"bad kind {kind!r} (expected one of {_KINDS})")
+    ts = data.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+        raise TraceSchemaError("ts must be a number")
+    dur = data.get("dur")
+    if kind == "span":
+        if not isinstance(dur, (int, float)) or isinstance(dur, bool):
+            raise TraceSchemaError("span events must carry a numeric dur")
+    elif dur is not None:
+        raise TraceSchemaError("point events must have dur = null")
+    attrs = data.get("attrs")
+    if not isinstance(attrs, dict):
+        raise TraceSchemaError("attrs must be an object")
+    return data
+
+
+def event_from_dict(data: dict) -> TraceEvent:
+    validate_event(data)
+    return TraceEvent(data["name"], data["kind"], data["ts"], data["dur"], data["attrs"])
+
+
+class ListRecorder:
+    """Collects events in memory (tests, ad-hoc inspection)."""
+
+    def __init__(self):
+        self.events: list[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def named(self, name: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.name == name]
+
+
+class NdjsonRecorder:
+    """Streams events to an NDJSON file, one schema-valid object per line."""
+
+    def __init__(self, target):
+        if hasattr(target, "write"):
+            self._fp = target
+            self._owns = False
+        else:
+            self._fp = open(target, "w", encoding="utf-8")
+            self._owns = True
+
+    def record(self, event: TraceEvent) -> None:
+        self._fp.write(json.dumps(event_to_dict(event), sort_keys=True))
+        self._fp.write("\n")
+
+    def close(self) -> None:
+        self._fp.flush()
+        if self._owns:
+            self._fp.close()
+
+    def __enter__(self) -> "NdjsonRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_ndjson(path) -> list[dict]:
+    """Read and validate every event of an NDJSON trace file."""
+    events = []
+    with open(path, "r", encoding="utf-8") as fp:
+        for line_no, line in enumerate(fp, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceSchemaError(f"line {line_no}: not JSON: {error}") from None
+            try:
+                events.append(validate_event(data))
+            except TraceSchemaError as error:
+                raise TraceSchemaError(f"line {line_no}: {error}") from None
+    return events
+
+
+def write_metrics_json(
+    path,
+    registry: MetricsRegistry | None = None,
+    meta: dict | None = None,
+) -> dict:
+    """Dump a registry snapshot (plus optional metadata) as pretty JSON."""
+    registry = registry if registry is not None else METRICS
+    payload = {"schema": "repro.metrics/v1", "metrics": registry.snapshot()}
+    if meta:
+        payload["meta"] = {str(k): _safe_attr(v) for k, v in meta.items()}
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(payload, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    return payload

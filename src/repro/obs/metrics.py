@@ -1,0 +1,198 @@
+"""Process-wide metrics: counters, gauges and histograms.
+
+The registry is the always-on half of the observability layer (the other
+half, :mod:`repro.obs.trace`, is opt-in).  Instruments are plain Python
+attributes incremented inline by the instrumented subsystems — a counter
+``inc`` is one integer add, cheap enough to leave enabled everywhere the
+work it measures (page I/O, optimizer runs, VM calls) dominates it.
+
+Naming convention: dotted ``<layer>.<component>.<what>`` — e.g.
+``store.pager.page_reads`` or ``rewrite.rules_fired``.  The full catalog is
+documented in ``docs/observability.md`` and printable via
+``python -m repro stats``.
+
+Snapshots are deterministic: same sequence of operations, same snapshot
+(histograms use fixed power-of-two bucket boundaries and no timestamps).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A value that can go up and down (e.g. cache size)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+    def dec(self, amount=1) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+#: Histogram bucket upper bounds: powers of two from 1 to 2**30, fixed so
+#: that two runs observing the same values produce identical snapshots.
+_BUCKET_BOUNDS = tuple(1 << i for i in range(31))
+
+
+class Histogram:
+    """A distribution summary with fixed power-of-two buckets.
+
+    Designed for sizes and counts (bytes encoded, term sizes, latencies in
+    microseconds); ``observe`` takes any non-negative number.
+    """
+
+    __slots__ = ("name", "help", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self.buckets = [0] * (len(_BUCKET_BOUNDS) + 1)  # last = overflow
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(_BUCKET_BOUNDS):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        # only non-empty buckets, keyed by their upper bound — compact and
+        # stable across runs
+        buckets = {}
+        for index, filled in enumerate(self.buckets):
+            if filled:
+                key = (
+                    str(_BUCKET_BOUNDS[index])
+                    if index < len(_BUCKET_BOUNDS)
+                    else "+inf"
+                )
+                buckets[key] = filled
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": buckets,
+        }
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self.buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+
+
+class MetricsRegistry:
+    """A named collection of instruments with get-or-create semantics."""
+
+    def __init__(self):
+        self._metrics: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, help: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, requested {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, help, Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, help, Gauge)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get_or_create(name, help, Histogram)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        """Deterministic name → state mapping (sorted by name)."""
+        return {
+            name: self._metrics[name].snapshot() for name in sorted(self._metrics)
+        }
+
+    def describe(self) -> list[tuple[str, str, str]]:
+        """(name, type, help) rows for the catalog listing, sorted."""
+        return [
+            (name, type(self._metrics[name]).__name__.lower(), self._metrics[name].help)
+            for name in sorted(self._metrics)
+        ]
+
+    def reset(self) -> None:
+        """Zero every instrument (the registry keeps its catalog)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+
+#: The process-wide default registry every subsystem instruments into.
+METRICS = MetricsRegistry()

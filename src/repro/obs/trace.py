@@ -1,0 +1,144 @@
+"""Structured event/span tracing — the opt-in half of ``repro.obs``.
+
+One process-wide :class:`Tracer` (module constant :data:`TRACER`) is shared
+by every instrumented subsystem.  It is *disabled* by default: no recorder
+is attached, ``span()`` returns a shared no-op singleton and ``event()``
+returns immediately, so instrumentation left inline in hot paths costs one
+attribute load and an ``is None`` test (the overhead guard in
+``tests/obs/test_overhead.py`` enforces this stays negligible).
+
+Attach a recorder (see :mod:`repro.obs.exporters`) to start collecting::
+
+    from repro.obs import TRACER, ListRecorder
+    with TRACER.recording(ListRecorder()) as rec:
+        ...  # spans/events from every layer land in rec.events
+
+Event model (the NDJSON schema, version 1):
+
+* ``name`` — dotted event name (``rewrite.pass``, ``query.rule``, ...);
+* ``kind`` — ``"span"`` (has a duration) or ``"event"`` (a point);
+* ``ts``   — wall-clock seconds since the epoch;
+* ``dur``  — span duration in seconds (``None`` for point events);
+* ``attrs`` — flat JSON-safe key/value payload.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = ["TraceEvent", "Span", "Tracer", "TRACER", "NULL_SPAN"]
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One recorded span or point event."""
+
+    name: str
+    kind: str  # "span" | "event"
+    ts: float
+    dur: float | None
+    attrs: dict
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled.
+
+    A singleton: the disabled path allocates nothing (asserted by the
+    overhead guard).
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def finish(self) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live span: use as a context manager, enrich with ``set(...)``."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_ts", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._ts = time.time()
+        self._t0 = time.perf_counter()
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes discovered mid-span (e.g. sizes after a pass)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.finish()
+        return False
+
+    def finish(self) -> None:
+        dur = time.perf_counter() - self._t0
+        self._tracer._emit(
+            TraceEvent(self.name, "span", self._ts, dur, self.attrs)
+        )
+
+
+class Tracer:
+    """Routes spans/events to the attached recorder; no-op when detached."""
+
+    __slots__ = ("recorder",)
+
+    def __init__(self, recorder=None):
+        self.recorder = recorder
+
+    @property
+    def enabled(self) -> bool:
+        return self.recorder is not None
+
+    def span(self, name: str, **attrs):
+        """Open a span; returns :data:`NULL_SPAN` while disabled."""
+        if self.recorder is None:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a point event (dropped while disabled)."""
+        if self.recorder is None:
+            return
+        self._emit(TraceEvent(name, "event", time.time(), None, attrs))
+
+    def _emit(self, event: TraceEvent) -> None:
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.record(event)
+
+    @contextmanager
+    def recording(self, recorder):
+        """Attach ``recorder`` for the duration of a ``with`` block."""
+        previous = self.recorder
+        self.recorder = recorder
+        try:
+            yield recorder
+        finally:
+            self.recorder = previous
+
+
+#: The process-wide tracer all subsystems report to.
+TRACER = Tracer()

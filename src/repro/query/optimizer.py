@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.syntax import Term, term_size
+from repro.obs.trace import TRACER
 from repro.primitives.registry import PrimitiveRegistry
 from repro.query.algebra import query_registry
 from repro.query.rules import QueryRewriter, QueryRewriteStats
@@ -74,13 +75,26 @@ def integrated_optimize(
     rounds = 0
 
     for rounds in range(1, _MAX_ROUNDS + 1):
-        program_result = optimize(term, registry, config, check=check)
-        program_stats.merge(program_result.stats)
-        term = program_result.term
+        with TRACER.span(
+            "query.round", round=rounds, runtime=heap is not None
+        ) as span:
+            program_result = optimize(term, registry, config, check=check)
+            program_stats.merge(program_result.stats)
+            term = program_result.term
 
-        rewriter = QueryRewriter(registry, heap=heap, enabled=query_rules)
-        term = rewriter.rewrite(term)
-        query_stats.counts.update(rewriter.stats.counts)
+            rewriter = QueryRewriter(registry, heap=heap, enabled=query_rules)
+            term = rewriter.rewrite(term)
+            query_stats.counts.update(rewriter.stats.counts)
+            span.set(
+                program_rewrites=program_result.stats.total_rewrites,
+                query_rewrites=rewriter.stats.total,
+                query_rules={
+                    name: rewriter.stats.counts[name]
+                    for name in sorted(rewriter.stats.counts)
+                    if rewriter.stats.counts[name]
+                },
+                size=term_size(term),
+            )
         if check and rewriter.stats.total > 0:
             _check_query_round(term, registry, rewriter.stats)
         if rewriter.stats.total == 0:

@@ -51,6 +51,7 @@ from repro.core.syntax import (
     Var,
     max_uid,
 )
+from repro.obs.trace import TRACER
 from repro.primitives.effects import EffectClass
 from repro.primitives.registry import PrimitiveRegistry
 from repro.query.relation import Relation
@@ -125,6 +126,39 @@ class QueryRewriter:
 
     def allows(self, rule: str) -> bool:
         return self.enabled is None or rule in self.enabled
+
+    def _fired(self, rule: str, relation=None, **attrs) -> None:
+        """Count a rule application and, when tracing, explain the choice.
+
+        The emitted ``query.rule`` event carries the cardinality/cost
+        estimates behind the decision (e.g. scan-vs-index cost for
+        index-select), so a trace answers *why* a plan was chosen.
+        """
+        self.stats.fired(rule)
+        if TRACER.enabled:
+            if relation is not None:
+                attrs["relation"] = self._describe_rel(relation)
+            TRACER.event("query.rule", rule=rule, **attrs)
+
+    def _describe_rel(self, rel) -> str:
+        """A compact label for the relation operand of a fired rule."""
+        if isinstance(rel, Lit) and isinstance(rel.value, Oid):
+            return f"oid:{int(rel.value)}"
+        if isinstance(rel, Var):
+            return str(rel.name)
+        return type(rel).__name__
+
+    def _cardinality(self, rel) -> int | None:
+        """Runtime row count of a relation operand, when resolvable."""
+        if self.heap is None:
+            return None
+        if not (isinstance(rel, Lit) and isinstance(rel.value, Oid)):
+            return None
+        try:
+            relation = self.heap.load(rel.value)
+        except Exception:
+            return None
+        return len(relation) if isinstance(relation, Relation) else None
 
     # ------------------------------------------------------------- driver
 
@@ -236,7 +270,13 @@ class QueryRewriter:
             return node
 
         merged = self._conjoin(q, p)
-        self.stats.fired("merge-select")
+        self._fired(
+            "merge-select",
+            relation=rel,
+            scans_before=2,
+            scans_after=1,
+            materializes_temp=False,
+        )
         return PrimApp("select", (merged, rel, ce2, cc2))
 
     def _conjoin(self, q: Value, p: Value) -> Abs:
@@ -281,7 +321,13 @@ class QueryRewriter:
         inner_call = App(f, (Var(t), Var(ce_n), Var(cc_n)))
         body = App(g, (Var(x), Var(ce_n), Abs((t,), inner_call)))
         composed = Abs((x, ce_n, cc_n), body)
-        self.stats.fired("merge-project")
+        self._fired(
+            "merge-project",
+            relation=rel,
+            scans_before=2,
+            scans_after=1,
+            materializes_temp=False,
+        )
         return PrimApp("project", (composed, rel, ce2, cc2))
 
     def _trivial_exists(self, node: PrimApp) -> Application:
@@ -307,10 +353,12 @@ class QueryRewriter:
                                   Abs((), App(Var(j), (Lit(False),))),
                                   Abs((), App(pred, (Lit(0), ce, Var(j))))))
             body = PrimApp("empty", (rel, Abs((e,), test)))
-            self.stats.fired("trivial-exists")
+            self._fired(
+                "trivial-exists", relation=rel, predicate_evals_after=1
+            )
             return App(Abs((j,), body), (cc,))
         test = PrimApp("==", (Var(e), Lit(True), on_empty, on_nonempty))
-        self.stats.fired("trivial-exists")
+        self._fired("trivial-exists", relation=rel, predicate_evals_after=1)
         return PrimApp("empty", (rel, Abs((e,), test)))
 
     @staticmethod
@@ -372,7 +420,14 @@ class QueryRewriter:
 
         temp2 = self.supply.fresh_val("tempRel")
         new_join = PrimApp("join", (jp, Var(temp2), right_rel, ce2, cc2))
-        self.stats.fired("push-select-join")
+        left_rows = len(relation)
+        self._fired(
+            "push-select-join",
+            relation=left_rel,
+            left_rows=left_rows,
+            right=self._cardinality(right_rel),
+            est_join_input_before=left_rows,
+        )
         return PrimApp("select", (p, left_rel, ce, Abs((temp2,), new_join)))
 
     def _index_select(self, node: PrimApp) -> Application:
@@ -397,7 +452,15 @@ class QueryRewriter:
         field_name = relation.field_at(field_position)
         if field_name is None or not relation.has_index(field_name):
             return node
-        self.stats.fired("index-select")
+        rows = len(relation)
+        self._fired(
+            "index-select",
+            relation=rel,
+            field=field_name,
+            rows=rows,
+            est_scan_cost=rows,
+            est_index_cost=1,
+        )
         return PrimApp("indexscan", (rel, Lit(field_name), key_value, ce, cc))
 
 

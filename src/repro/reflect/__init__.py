@@ -24,6 +24,7 @@ from repro.reflect.attributes import (
 )
 from repro.reflect.decompile import decompile_code
 from repro.reflect.optimize import DYNAMIC_CONFIG, ReflectResult, optimize_closure
+from repro.reflect.pgo import HotCandidate, PgoReport, optimize_hot, rank_hot
 from repro.reflect.reach import (
     Entity,
     EntityGraph,
@@ -48,6 +49,10 @@ __all__ = [
     "decompile_code",
     "optimize_function",
     "optimize_result",
+    "HotCandidate",
+    "PgoReport",
+    "optimize_hot",
+    "rank_hot",
 ]
 
 

@@ -19,13 +19,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.core.syntax import Term, term_size
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 from repro.primitives.registry import PrimitiveRegistry, default_registry
 from repro.rewrite.expansion import ExpansionConfig, expand_pass
 from repro.rewrite.reduction import reduce_to_fixpoint
 from repro.rewrite.rules import RuleConfig
-from repro.rewrite.stats import RewriteStats
+from repro.rewrite.stats import RewriteStats, RuleTimer
 
 __all__ = ["OptimizerConfig", "OptimizeResult", "optimize", "reduce_only"]
+
+_OPT_RUNS = METRICS.counter("rewrite.optimize_runs", "full optimizer invocations")
+_RULES_FIRED = METRICS.counter("rewrite.rules_fired", "reduction rule applications")
+_SITES_INLINED = METRICS.counter("rewrite.inlined_sites", "expansion inline sites")
+_SIZE_DELTA = METRICS.histogram(
+    "rewrite.size_shrink", "term-size reduction (nodes removed) per optimize run"
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -78,20 +87,25 @@ def optimize(
     on_pass = checker.reduction_pass_hook if checker else None
     stats = RewriteStats()
     stats.size_before = term_size(term)
+    tracer = TRACER
+    timer = RuleTimer() if tracer.enabled else None
+    span = tracer.span("rewrite.optimize", size_before=stats.size_before)
 
     penalty = 0
     expansion_config = config.expansion
     for round_index in range(config.max_rounds):
         stats.rounds = round_index + 1
-        term = reduce_to_fixpoint(term, registry, config.rules, stats, on_pass)
+        term = reduce_to_fixpoint(term, registry, config.rules, stats, on_pass, timer)
         if not config.expansion_enabled:
             break
 
         if penalty >= config.penalty_limit:
             break
         inlined_before = stats.inlined_sites
-        expanded = expand_pass(term, registry, expansion_config, stats)
-        new_sites = stats.inlined_sites - inlined_before
+        with tracer.span("rewrite.expansion", round=round_index + 1) as exp_span:
+            expanded = expand_pass(term, registry, expansion_config, stats)
+            new_sites = stats.inlined_sites - inlined_before
+            exp_span.set(inlined_sites=new_sites)
         if checker and new_sites > 0:
             checker.expansion_check(term, expanded)
         term = expanded
@@ -103,9 +117,33 @@ def optimize(
             # collapse the growth budget so a final reduction settles things
             expansion_config = replace(expansion_config, growth_budget=0)
 
-    term = reduce_to_fixpoint(term, registry, config.rules, stats, on_pass)
+    term = reduce_to_fixpoint(term, registry, config.rules, stats, on_pass, timer)
     stats.size_after = term_size(term)
+    _record_run(stats)
+    if timer is not None:
+        for rule, fires, total in timer.as_rows():
+            tracer.event(
+                "rewrite.rule_latency",
+                rule=rule,
+                timed_fires=fires,
+                total_fires=stats.count(rule),
+                total_s=total,
+            )
+    span.set(
+        size_after=stats.size_after,
+        rounds=stats.rounds,
+        inlined_sites=stats.inlined_sites,
+        rewrites=stats.total_rewrites,
+    ).finish()
     return OptimizeResult(term, stats)
+
+
+def _record_run(stats: RewriteStats) -> None:
+    """Fold one optimizer run into the process-wide metrics."""
+    _OPT_RUNS.inc()
+    _RULES_FIRED.inc(stats.total_rewrites)
+    _SITES_INLINED.inc(stats.inlined_sites)
+    _SIZE_DELTA.observe(max(0, stats.size_before - stats.size_after))
 
 
 def reduce_only(

@@ -15,8 +15,10 @@ O(tree), and the strict size decrease bounds the number of passes.
 from __future__ import annotations
 
 from collections import Counter
+from time import perf_counter
 
 from repro.core.occurrences import OccurrenceCensus
+from repro.obs.trace import TRACER
 from repro.core.syntax import Abs, App, Lit, PrimApp, Term, Var
 from repro.primitives.registry import PrimitiveRegistry
 from repro.rewrite.rules import ReductionState, RuleConfig, rewrite_app, rewrite_prim, try_eta
@@ -123,13 +125,21 @@ def _maybe_eta(value: Term, state: ReductionState) -> Term:
 def _cascade(node: Term, state: ReductionState) -> Term:
     """Apply the application-level rules repeatedly at one node."""
     current = node
+    timer = state.timer
     for _ in range(_CASCADE_LIMIT):
+        if timer is not None:
+            # eta fires elsewhere may have left pending entries; drop them so
+            # this call's elapsed time is credited only to its own rules
+            timer.pending.clear()
+            started = perf_counter()
         if isinstance(current, App) and isinstance(current.fn, Abs):
             rewritten = rewrite_app(current, state)
         elif isinstance(current, PrimApp):
             rewritten = rewrite_prim(current, state)
         else:
             break
+        if timer is not None:
+            timer.credit(perf_counter() - started)
         if rewritten is current:
             break
         current = rewritten
@@ -142,28 +152,44 @@ def reduce_to_fixpoint(
     config: RuleConfig | None = None,
     stats: RewriteStats | None = None,
     on_pass=None,
+    timer=None,
 ) -> Term:
     """Apply the reduction rules until none is applicable (section 3).
 
     ``on_pass(before, after, fired)`` is invoked after every pass that changed
     the tree, with the per-pass rule-application counts (a ``Counter``); the
     checked pipeline uses it to re-verify the section 2.2/2.3/3 invariants.
+    ``timer`` is an optional :class:`~repro.rewrite.stats.RuleTimer`
+    collecting per-rule latencies (attached by the pipeline while tracing).
     """
     config = config or RuleConfig()
     stats = stats if stats is not None else RewriteStats()
+    tracer = TRACER
     for _ in range(_MAX_PASSES):
+        traced = tracer.enabled
         state = ReductionState(
             census=OccurrenceCensus(term),
             registry=registry,
             config=config,
             stats=stats,
+            timer=timer,
         )
-        counts_before = Counter(stats.rule_counts) if on_pass is not None else None
+        want_delta = on_pass is not None or traced
+        counts_before = Counter(stats.rule_counts) if want_delta else None
+        span = tracer.span("rewrite.pass", pass_index=stats.reduction_passes)
         before = term
         term = reduce_pass(term, state)
         stats.reduction_passes += 1
+        if traced:
+            fired = stats.rule_counts - counts_before
+            span.set(
+                changed=state.changed,
+                fired=sum(fired.values()),
+                rules={name: fired[name] for name in sorted(fired)},
+            ).finish()
         if not state.changed:
             break
         if on_pass is not None:
-            on_pass(before, term, stats.rule_counts - counts_before)
+            delta = stats.rule_counts - counts_before
+            on_pass(before, term, delta)
     return term

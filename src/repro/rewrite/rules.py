@@ -88,6 +88,9 @@ class ReductionState:
     stats: RewriteStats = field(default_factory=RewriteStats)
     changed: bool = False
     dirty: set[Name] = field(default_factory=set)
+    #: optional :class:`repro.rewrite.stats.RuleTimer` — attached only while
+    #: tracing is enabled, so the default path pays nothing
+    timer: object | None = None
 
     def occurrences(self, name: Name) -> int:
         return self.census.occurrences(name)
@@ -98,6 +101,8 @@ class ReductionState:
     def fired(self, rule: str) -> None:
         self.stats.fired(rule)
         self.changed = True
+        if self.timer is not None:
+            self.timer.pending.append(rule)
 
 
 # ---------------------------------------------------------------------------

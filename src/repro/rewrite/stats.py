@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-__all__ = ["RewriteStats"]
+__all__ = ["RewriteStats", "RuleTimer"]
 
 
 @dataclass(slots=True)
@@ -37,16 +37,80 @@ class RewriteStats:
         return sum(self.rule_counts.values())
 
     def merge(self, other: "RewriteStats") -> None:
+        """Fold a later run's counters into this one.
+
+        Sizes follow sequential-composition semantics: ``size_before`` is
+        the first recorded input size, ``size_after`` the last recorded
+        output size (previously both were silently dropped, so merged
+        summaries misreported sizes).
+        """
         self.rule_counts.update(other.rule_counts)
         self.reduction_passes += other.reduction_passes
         self.expansion_passes += other.expansion_passes
         self.rounds += other.rounds
         self.inlined_sites += other.inlined_sites
         self.penalty += other.penalty
+        if not self.size_before:
+            self.size_before = other.size_before
+        if other.size_after:
+            self.size_after = other.size_after
+
+    def as_dict(self) -> dict:
+        """Deterministic JSON-ready form (used by the bench exporters)."""
+        return {
+            "rules": {name: self.rule_counts[name] for name in sorted(self.rule_counts)},
+            "reduction_passes": self.reduction_passes,
+            "expansion_passes": self.expansion_passes,
+            "rounds": self.rounds,
+            "inlined_sites": self.inlined_sites,
+            "penalty": self.penalty,
+            "size_before": self.size_before,
+            "size_after": self.size_after,
+        }
 
     def summary(self) -> str:
         rules = ", ".join(f"{name}={n}" for name, n in sorted(self.rule_counts.items()))
         return (
             f"size {self.size_before} -> {self.size_after} in {self.rounds} round(s); "
             f"{self.inlined_sites} site(s) inlined; rules: {rules or 'none'}"
+        )
+
+
+class RuleTimer:
+    """Wall-clock latency per reduction rule, active only while tracing.
+
+    The reduction pass calls rules at cascade sites; when a timer is
+    attached to the :class:`~repro.rewrite.rules.ReductionState`, each
+    timed rewrite call credits its elapsed time to the rules that fired
+    during it (``fired`` pushes onto ``pending``, the cascade site calls
+    :meth:`credit`).  Never attached on the default (untraced) path, so it
+    costs nothing when observability is off.
+    """
+
+    __slots__ = ("pending", "totals", "timed_fires")
+
+    def __init__(self):
+        self.pending: list[str] = []
+        self.totals: dict[str, float] = {}
+        self.timed_fires: dict[str, int] = {}
+
+    def credit(self, elapsed: float) -> None:
+        """Attribute one timed rewrite call to the rules it fired."""
+        pending = self.pending
+        if not pending:
+            return
+        share = elapsed / len(pending)
+        for rule in pending:
+            self.totals[rule] = self.totals.get(rule, 0.0) + share
+            self.timed_fires[rule] = self.timed_fires.get(rule, 0) + 1
+        pending.clear()
+
+    def as_rows(self) -> list[tuple[str, int, float]]:
+        """(rule, timed fires, total seconds) sorted by total desc, name."""
+        return sorted(
+            (
+                (rule, self.timed_fires[rule], total)
+                for rule, total in self.totals.items()
+            ),
+            key=lambda row: (-row[2], row[0]),
         )

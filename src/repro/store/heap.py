@@ -24,10 +24,24 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from repro.core.syntax import Oid
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
 from repro.store.pager import Pager
 from repro.store.serialize import Decoder, Encoder, decode_value, encode_value
 
 __all__ = ["HeapError", "ObjectHeap", "Transaction"]
+
+_HEAP_LOADS = METRICS.counter("store.heap.loads", "object loads (incl. cache hits)")
+_HEAP_FAULTS = METRICS.counter(
+    "store.heap.faults", "loads that missed the cache and deserialized pages"
+)
+_HEAP_COMMITS = METRICS.counter("store.heap.commits", "atomic commits")
+_HEAP_OBJECTS_WRITTEN = METRICS.counter(
+    "store.heap.objects_written", "dirty objects serialized by commits"
+)
+_HEAP_BYTES_COMMITTED = METRICS.counter(
+    "store.heap.bytes_committed", "serialized payload bytes written by commits"
+)
 
 
 class HeapError(Exception):
@@ -89,11 +103,13 @@ class ObjectHeap:
         """Resolve an OID to its object (cached; nested refs swizzled)."""
         self._check_open()
         key = int(oid)
+        _HEAP_LOADS.inc()
         if key in self._cache:
             return self._cache[key]
         entry = self._table.get(key)
         if entry is None or self._pager is None:
             raise HeapError(f"unknown oid {key}")
+        _HEAP_FAULTS.inc()
         head, length = entry
         raw = self._pager.read_chain(head, length)
         obj = decode_value(raw, resolver=self.load)
@@ -153,10 +169,13 @@ class ObjectHeap:
     def commit(self) -> None:
         """Serialize dirty objects, then publish atomically."""
         self._check_open()
+        _HEAP_COMMITS.inc()
         if self._pager is None:
             self._dirty.clear()
             return
+        span = TRACER.span("store.commit", dirty=len(self._dirty))
         released: list[tuple[int, int]] = []
+        written = bytes_out = 0
         for key in sorted(self._dirty):
             obj = self._cache.get(key)
             if obj is None:
@@ -167,7 +186,11 @@ class ObjectHeap:
                 released.append(old)
             head = self._pager.write_chain(payload)
             self._table[key] = (head, len(payload))
+            written += 1
+            bytes_out += len(payload)
         self._dirty.clear()
+        _HEAP_OBJECTS_WRITTEN.inc(written)
+        _HEAP_BYTES_COMMITTED.inc(bytes_out)
 
         table = Encoder()
         table.uvarint(len(self._table))
@@ -195,6 +218,7 @@ class ObjectHeap:
         for head, length in released:
             self._pager.release_chain(head, length)
         self._pager.sync_header()
+        span.set(objects_written=written, bytes_written=bytes_out).finish()
 
     def abort(self) -> None:
         """Discard uncommitted objects and modifications."""

@@ -19,7 +19,18 @@ import os
 import struct
 from dataclasses import dataclass
 
+from repro.obs.metrics import METRICS
+
 __all__ = ["PageError", "Header", "Pager", "DEFAULT_PAGE_SIZE"]
+
+_PAGE_READS = METRICS.counter("store.pager.page_reads", "pages read from disk")
+_PAGE_WRITES = METRICS.counter("store.pager.page_writes", "pages written to disk")
+_BYTES_READ = METRICS.counter("store.pager.bytes_read", "payload bytes read")
+_BYTES_WRITTEN = METRICS.counter("store.pager.bytes_written", "payload bytes written")
+_PAGES_ALLOCATED = METRICS.counter("store.pager.pages_allocated", "page allocations")
+_HEADER_SYNCS = METRICS.counter(
+    "store.pager.header_syncs", "header writes + fsync (commit points)"
+)
 
 MAGIC = b"TYC1"
 DEFAULT_PAGE_SIZE = 4096
@@ -107,6 +118,8 @@ class Pager:
         raw = self._file.read(self.header.page_size)
         if len(raw) < self.header.page_size:
             raw = raw + b"\x00" * (self.header.page_size - len(raw))
+        _PAGE_READS.inc()
+        _BYTES_READ.inc(self.header.page_size)
         return raw
 
     def _write_raw(self, page_id: int, data: bytes) -> None:
@@ -115,6 +128,8 @@ class Pager:
         padded = data + b"\x00" * (self.header.page_size - len(data))
         self._file.seek(page_id * self.header.page_size)
         self._file.write(padded)
+        _PAGE_WRITES.inc()
+        _BYTES_WRITTEN.inc(len(data))
 
     def read(self, page_id: int) -> bytes:
         if not 1 <= page_id < self.header.npages:
@@ -130,6 +145,7 @@ class Pager:
 
     def allocate(self) -> int:
         """Take a page from the free list, or grow the file."""
+        _PAGES_ALLOCATED.inc()
         if self.header.free_head:
             page_id = self.header.free_head
             raw = self.read(page_id)
@@ -195,6 +211,7 @@ class Pager:
 
     def sync_header(self) -> None:
         """Write the header page and flush — the commit point."""
+        _HEADER_SYNCS.inc()
         self._file.flush()
         self._write_raw(0, self.header.pack())
         self._file.flush()

@@ -28,9 +28,19 @@ from dataclasses import dataclass
 from repro.core.freevars import free_names
 from repro.core.names import Name
 from repro.core.syntax import Abs, App, Lit, PrimApp, Term, Var
+from repro.obs.metrics import METRICS
 from repro.store.serialize import Blob, Decoder, Encoder, SerializeError
 
 __all__ = ["PtmlError", "DecodedPtml", "encode_ptml", "decode_ptml", "ptml_size"]
+
+_PTML_ENCODES = METRICS.counter("store.ptml.encodes", "TML→PTML encodings")
+_PTML_DECODES = METRICS.counter("store.ptml.decodes", "PTML→TML decodings")
+_PTML_ENCODE_BYTES = METRICS.histogram(
+    "store.ptml.encode_bytes", "encoded PTML blob sizes"
+)
+_PTML_DECODE_BYTES = METRICS.histogram(
+    "store.ptml.decode_bytes", "decoded PTML blob sizes"
+)
 
 _OP_LIT = 0
 _OP_VAR = 1
@@ -144,12 +154,17 @@ def encode_ptml(term: Term) -> Blob:
         else:  # pragma: no cover - defensive
             raise PtmlError(f"not a TML term: {node!r}")
 
-    return Blob(encoder.getvalue())
+    payload = encoder.getvalue()
+    _PTML_ENCODES.inc()
+    _PTML_ENCODE_BYTES.observe(len(payload))
+    return Blob(payload)
 
 
 def decode_ptml(blob: Blob | bytes) -> DecodedPtml:
     """Map a PTML blob back to a TML term plus its R-value binding names."""
     data = blob.data if isinstance(blob, Blob) else bytes(blob)
+    _PTML_DECODES.inc()
+    _PTML_DECODE_BYTES.observe(len(data))
     decoder = Decoder(data)
 
     strings = [decoder.text() for _ in range(decoder.uvarint())]

@@ -1,0 +1,46 @@
+"""BENCH_vm.json / BENCH_opt.json artifact emission."""
+
+import json
+
+from repro.bench.artifacts import opt_payload, vm_payload, write_bench_artifacts
+from repro.bench.harness import run_stanford
+
+NAMES = ["fib"]
+
+
+def test_write_bench_artifacts(tmp_path):
+    vm_path, opt_path = write_bench_artifacts(
+        out_dir=str(tmp_path), names=NAMES, scale=0.05, repeats=1
+    )
+    vm_doc = json.loads(open(vm_path).read())
+    opt_doc = json.loads(open(opt_path).read())
+
+    assert vm_doc["schema"] == "repro.bench.vm/v1"
+    assert opt_doc["schema"] == "repro.bench.opt/v1"
+    assert [p["program"] for p in vm_doc["programs"]] == NAMES
+    assert [p["program"] for p in opt_doc["programs"]] == NAMES
+
+    row = vm_doc["programs"][0]
+    assert set(row["wall_s"]) == {"none", "static", "dynamic"}
+    assert row["instructions"]["none"] >= row["instructions"]["static"]
+    assert vm_doc["geomean"]["dynamic_speedup"] > 0
+
+    opt_row = opt_doc["programs"][0]
+    assert opt_row["cost_before"] >= opt_row["cost_after"]
+    assert opt_row["term_size_before"] > 0
+    assert isinstance(opt_row["rules"], dict)
+
+    # both embed a process metrics snapshot (the always-on counters)
+    assert "vm.instructions" in vm_doc["metrics"]
+    assert "vm.instructions" in opt_doc["metrics"]
+
+
+def test_payloads_from_precomputed_rows():
+    rows = run_stanford(names=NAMES, scale=0.05, repeats=1)
+    vm_doc = vm_payload(rows, scale=0.05, repeats=1)
+    assert vm_doc["meta"]["scale"] == 0.05
+    assert vm_doc["programs"][0]["checksum"] == rows[0].checksum
+
+    opt_doc = opt_payload(NAMES, scale=0.05, repeats=1)
+    assert opt_doc["programs"][0]["program"] == "fib"
+    assert json.dumps(opt_doc)  # JSON-serializable end to end

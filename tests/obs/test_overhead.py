@@ -1,0 +1,68 @@
+"""Disabled-mode overhead guard.
+
+The observability layer promises near-zero cost while tracing is off and no
+profiler is attached.  These tests pin the mechanisms that keep that true
+(no allocation on the disabled path, profiler defaulting to None) and put a
+deliberately generous wall-clock ceiling on the disabled fast path so a
+regression that adds real work per call (formatting, allocation, locking)
+fails loudly without making CI flaky.
+"""
+
+import time
+
+from repro.lang import TycoonSystem
+from repro.obs.trace import NULL_SPAN, TRACER, Tracer
+
+PROGRAM = """
+module m export run
+let run(n: Int): Int =
+  var s := 0 in var i := 0 in
+  begin while i < n do begin s := s + i; i := i + 1 end end; s end
+end"""
+
+
+def test_disabled_span_is_shared_singleton():
+    tracer = Tracer()
+    a = tracer.span("one", x=1)
+    b = tracer.span("two")
+    assert a is NULL_SPAN and b is NULL_SPAN  # zero allocations when off
+
+
+def test_global_tracer_disabled_by_default():
+    assert TRACER.enabled is False
+    assert TRACER.span("anything") is NULL_SPAN
+
+
+def test_vm_runs_unprofiled_by_default():
+    system = TycoonSystem()
+    system.compile(PROGRAM)
+    vm = system.vm()
+    assert vm.profiler is None
+    result = vm.call(system.closure("m", "run"), [10])
+    assert result.value == 45
+
+
+def test_disabled_tracing_calls_are_cheap():
+    tracer = Tracer()
+    iterations = 100_000
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        tracer.span("hot.path", a=1)
+        tracer.event("hot.event")
+    elapsed = time.perf_counter() - t0
+    # ~0.05 us/call on any recent CPython; the 5 us/call ceiling only trips
+    # if the disabled path starts doing real work
+    assert elapsed < iterations * 5e-6, f"disabled tracer too slow: {elapsed:.3f}s"
+
+
+def test_profiled_run_matches_unprofiled_semantics():
+    """Profiling must not change results or instruction counts."""
+    from repro.obs.profile import profile_call
+
+    system = TycoonSystem()
+    system.compile(PROGRAM)
+    plain = system.vm().call(system.closure("m", "run"), [50])
+    profiled, profiler = profile_call(system, "m", "run", [50])
+    assert profiled.value == plain.value
+    assert profiled.instructions == plain.instructions
+    assert profiler.total_instructions == plain.instructions

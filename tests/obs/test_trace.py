@@ -1,0 +1,167 @@
+"""Tracer semantics and NDJSON schema round-trip."""
+
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    ListRecorder,
+    NdjsonRecorder,
+    TraceSchemaError,
+    event_from_dict,
+    event_to_dict,
+    read_ndjson,
+    validate_event,
+    write_metrics_json,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_SPAN, TRACER, TraceEvent, Tracer
+
+
+def test_disabled_tracer_emits_nothing():
+    tracer = Tracer()
+    assert not tracer.enabled
+    assert tracer.span("x", a=1) is NULL_SPAN
+    tracer.event("x", a=1)  # dropped silently
+
+
+def test_null_span_api_is_noop():
+    with NULL_SPAN as span:
+        assert span.set(a=1) is NULL_SPAN
+    NULL_SPAN.finish()
+
+
+def test_span_records_name_attrs_and_duration():
+    tracer = Tracer()
+    rec = ListRecorder()
+    with tracer.recording(rec):
+        with tracer.span("work", phase="setup") as span:
+            span.set(items=3)
+        tracer.event("tick", n=1)
+    assert not tracer.enabled  # recorder detached afterwards
+    (span_event,) = rec.named("work")
+    assert span_event.kind == "span"
+    assert span_event.attrs == {"phase": "setup", "items": 3}
+    assert span_event.dur >= 0
+    (point,) = rec.named("tick")
+    assert point.kind == "event"
+    assert point.dur is None
+
+
+def test_span_context_manager_tags_errors():
+    tracer = Tracer()
+    rec = ListRecorder()
+    with tracer.recording(rec):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("nope")
+    (event,) = rec.events
+    assert event.attrs["error"] == "RuntimeError"
+
+
+def test_recording_restores_previous_recorder():
+    tracer = Tracer()
+    outer, inner = ListRecorder(), ListRecorder()
+    with tracer.recording(outer):
+        with tracer.recording(inner):
+            tracer.event("deep")
+        tracer.event("shallow")
+    assert [e.name for e in inner.events] == ["deep"]
+    assert [e.name for e in outer.events] == ["shallow"]
+
+
+def test_ndjson_round_trip(tmp_path):
+    path = tmp_path / "trace.ndjson"
+    events = [
+        TraceEvent("rewrite.pass", "span", 100.5, 0.002, {"fired": 3, "rules": {"beta": 2}}),
+        TraceEvent("query.rule", "event", 101.0, None, {"rule": "index-select"}),
+    ]
+    with NdjsonRecorder(str(path)) as recorder:
+        for event in events:
+            recorder.record(event)
+    decoded = read_ndjson(str(path))
+    assert len(decoded) == 2
+    restored = [event_from_dict(d) for d in decoded]
+    assert restored == events
+
+
+def test_event_to_dict_coerces_unsafe_attrs():
+    class Opaque:
+        def __repr__(self):
+            return "<opaque>"
+
+    event = TraceEvent("x", "event", 1.0, None, {"obj": Opaque(), "seq": (1, 2)})
+    data = event_to_dict(event)
+    assert data["attrs"] == {"obj": "<opaque>", "seq": [1, 2]}
+    json.dumps(data)  # must be serializable
+
+
+@pytest.mark.parametrize(
+    "mutation, message",
+    [
+        ({"v": 2}, "version"),
+        ({"name": ""}, "name"),
+        ({"kind": "metric"}, "kind"),
+        ({"ts": "soon"}, "ts"),
+        ({"dur": None}, "dur"),
+        ({"attrs": []}, "attrs"),
+    ],
+)
+def test_validate_event_rejects_malformed(mutation, message):
+    good = event_to_dict(TraceEvent("x", "span", 1.0, 0.1, {}))
+    validate_event(good)
+    bad = {**good, **mutation}
+    with pytest.raises(TraceSchemaError, match=message):
+        validate_event(bad)
+
+
+def test_point_event_must_not_carry_duration():
+    data = event_to_dict(TraceEvent("x", "event", 1.0, None, {}))
+    validate_event(data)
+    with pytest.raises(TraceSchemaError):
+        validate_event({**data, "dur": 0.5})
+
+
+def test_read_ndjson_reports_bad_lines(tmp_path):
+    path = tmp_path / "bad.ndjson"
+    path.write_text('{"v": 1}\n')
+    with pytest.raises(TraceSchemaError, match="line 1"):
+        read_ndjson(str(path))
+    path.write_text("not json\n")
+    with pytest.raises(TraceSchemaError, match="not JSON"):
+        read_ndjson(str(path))
+
+
+def test_global_tracer_feeds_rewrite_spans(tmp_path):
+    """End-to-end: optimizing a module under the global TRACER produces a
+    schema-valid NDJSON trace containing rewrite spans."""
+    from repro.lang import TycoonSystem
+
+    path = tmp_path / "opt.ndjson"
+    with NdjsonRecorder(str(path)) as recorder:
+        with TRACER.recording(recorder):
+            system = TycoonSystem()
+            system.compile(
+                """
+module m export f
+let f(x: Int): Int = (x + 0) * 2
+end"""
+            )
+    events = read_ndjson(str(path))
+    names = {e["name"] for e in events}
+    assert "rewrite.optimize" in names
+    assert "rewrite.pass" in names
+    for event in events:
+        assert event["v"] == 1
+
+
+def test_write_metrics_json(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("a").inc(5)
+    path = tmp_path / "metrics.json"
+    payload = write_metrics_json(str(path), registry, meta={"scale": 0.5})
+    on_disk = json.loads(path.read_text())
+    assert on_disk == payload
+    assert on_disk["schema"] == "repro.metrics/v1"
+    assert on_disk["metrics"]["a"]["value"] == 5
+    assert on_disk["meta"]["scale"] == 0.5

@@ -1,0 +1,84 @@
+"""RewriteStats merge/export semantics and the RuleTimer."""
+
+from repro.rewrite.stats import RewriteStats, RuleTimer
+
+
+def _stats(**kwargs):
+    stats = RewriteStats()
+    for name, value in kwargs.items():
+        setattr(stats, name, value)
+    return stats
+
+
+def test_merge_accumulates_counters():
+    a = _stats(reduction_passes=2, rounds=1, inlined_sites=3)
+    a.fired("beta", 4)
+    b = _stats(reduction_passes=1, expansion_passes=1, penalty=5)
+    b.fired("beta")
+    b.fired("eta", 2)
+    a.merge(b)
+    assert a.count("beta") == 5
+    assert a.count("eta") == 2
+    assert a.total_rewrites == 7
+    assert a.reduction_passes == 3
+    assert a.expansion_passes == 1
+    assert a.penalty == 5
+
+
+def test_merge_keeps_first_size_before_and_last_size_after():
+    """Sequential composition: the merged summary describes input of the
+    first run and output of the last (previously both were dropped)."""
+    first = _stats(size_before=120, size_after=90)
+    second = _stats(size_before=90, size_after=70)
+    first.merge(second)
+    assert first.size_before == 120
+    assert first.size_after == 70
+
+
+def test_merge_into_empty_adopts_other_sizes():
+    empty = RewriteStats()
+    ran = _stats(size_before=50, size_after=40)
+    empty.merge(ran)
+    assert empty.size_before == 50
+    assert empty.size_after == 40
+
+
+def test_merge_with_sizeless_run_keeps_existing_size_after():
+    stats = _stats(size_before=30, size_after=25)
+    stats.merge(RewriteStats())  # e.g. a pass that fired nothing
+    assert stats.size_before == 30
+    assert stats.size_after == 25
+
+
+def test_as_dict_is_sorted_and_complete():
+    stats = _stats(size_before=10, size_after=8, rounds=2)
+    stats.fired("eta")
+    stats.fired("beta")
+    data = stats.as_dict()
+    assert list(data["rules"]) == ["beta", "eta"]
+    assert data["size_before"] == 10
+    assert data["size_after"] == 8
+    assert data["rounds"] == 2
+
+
+def test_rule_timer_credits_pending_rules():
+    timer = RuleTimer()
+    timer.pending.extend(["beta", "beta", "eta"])
+    timer.credit(0.3)
+    assert timer.pending == []
+    assert timer.timed_fires == {"beta": 2, "eta": 1}
+    assert abs(timer.totals["beta"] - 0.2) < 1e-9
+    assert abs(timer.totals["eta"] - 0.1) < 1e-9
+    # crediting with nothing pending is a no-op
+    timer.credit(1.0)
+    assert timer.timed_fires == {"beta": 2, "eta": 1}
+
+
+def test_rule_timer_rows_sorted_by_total_time():
+    timer = RuleTimer()
+    timer.pending.append("cheap")
+    timer.credit(0.1)
+    timer.pending.append("hot")
+    timer.credit(0.9)
+    rows = timer.as_rows()
+    assert [row[0] for row in rows] == ["hot", "cheap"]
