@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast properties lint ruff bench all
+.PHONY: test test-fast properties lint ruff bench server-smoke all
 
 all: test lint
 
@@ -29,6 +29,11 @@ ruff:
 	else \
 		echo "ruff not installed; skipping (config in pyproject.toml)"; \
 	fi
+
+# boot the daemon as a subprocess and drive it with concurrent clients
+# (transactional commits, code-cache hits, one PGO round, graceful shutdown)
+server-smoke:
+	$(PYTHON) scripts/server_smoke.py --image server-smoke.tyc --trace server-smoke-trace.ndjson
 
 # experiment benchmarks, then the machine-readable artifacts
 # (BENCH_vm.json / BENCH_opt.json, schema docs in docs/observability.md)

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""CI smoke test for the repro daemon (`python scripts/server_smoke.py`).
+
+Boots ``python -m repro serve`` as a real subprocess with NDJSON tracing,
+then drives it the way the docs promise it works:
+
+1. eight concurrent client sessions transactionally increment one shared
+   counter — every increment must survive (serialized commits, no lost
+   updates);
+2. a stored function is called from several sessions — the shared compiled
+   -code cache must serve at least one hit;
+3. one explicit PGO round replaces the measured-hot function with a
+   cheaper body while the server keeps answering;
+4. a ``shutdown`` request stops the daemon gracefully (exit code 0).
+
+Exits nonzero on the first violated expectation.  The trace file
+(``server-smoke-trace.ndjson`` by default) is uploaded as a CI artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import threading
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.server.client import connect  # noqa: E402
+
+BENCH = """
+module bench export work
+let work(n: Int): Int =
+  var s := 0 in var i := 0 in
+  begin while i < n do begin s := s + i; i := i + 1 end end; s end
+end"""
+
+SESSIONS = 8
+INCREMENTS = 4
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+    print(f"ok: {message}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--image", default="server-smoke.tyc")
+    parser.add_argument("--trace", default="server-smoke-trace.ndjson")
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", args.image,
+            "--no-pgo",  # rounds are driven explicitly for determinism
+            "--trace", args.trace,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        ready = daemon.stdout.readline().strip()
+        match = re.fullmatch(r"listening on (\S+):(\d+)", ready)
+        if match is None:
+            fail(f"daemon did not announce readiness, got {ready!r}")
+        port = int(match.group(2))
+        print(f"daemon ready on port {port}")
+
+        # --- 1. concurrent transactional commits, no lost updates --------
+        with connect(port) as db:
+            db.run(BENCH)
+            db.set("counter", 0)
+        errors: list[Exception] = []
+
+        def incrementer() -> None:
+            try:
+                with connect(port) as session:
+                    for _ in range(INCREMENTS):
+                        with session.transaction():
+                            value = session.get("counter")["counter"]
+                            session.set("counter", value + 1)
+            except Exception as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=incrementer) for _ in range(SESSIONS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        check(not errors, f"{SESSIONS} concurrent sessions committed without error")
+        with connect(port) as db:
+            final = db.get("counter")["counter"]
+        check(
+            final == SESSIONS * INCREMENTS,
+            f"counter == {SESSIONS * INCREMENTS} after "
+            f"{SESSIONS}x{INCREMENTS} transactional increments (got {final})",
+        )
+
+        # --- 2. shared compiled-code cache serves hits across sessions ---
+        with connect(port) as first:
+            first.call("bench", "work", [200])
+        with connect(port) as second:
+            result = second.call("bench", "work", [200], full=True)
+            stats = second.stats()
+        check(result["cache"] == "hit", "second session hit the compiled-code cache")
+        check(stats["codecache"]["hits"] >= 1, "code cache hit counter advanced")
+
+        # --- 3. a PGO round swaps in faster code while serving ------------
+        with connect(port) as db:
+            before = db.call("bench", "work", [200], full=True)
+            report = db.pgo(top=1)
+            optimized = [entry["function"] for entry in report["optimized"]]
+            check("bench.work" in optimized, "pgo round reoptimized bench.work")
+            after = db.call("bench", "work", [200], full=True)
+            check(after["value"] == before["value"], "optimized code agrees on the result")
+            check(
+                after["instructions"] < before["instructions"],
+                f"optimized code is faster "
+                f"({before['instructions']} -> {after['instructions']} instructions)",
+            )
+            check(db.ping()["pong"] is True, "server still serving after the swap")
+
+        # --- 4. graceful shutdown ----------------------------------------
+        with connect(port) as db:
+            check(db.shutdown() == {"stopping": True}, "shutdown acknowledged")
+        daemon.wait(timeout=60)
+        check(daemon.returncode == 0, "daemon exited cleanly")
+        check(
+            os.path.exists(args.trace) and os.path.getsize(args.trace) > 0,
+            f"trace artifact {args.trace} written",
+        )
+        print("server smoke: all checks passed")
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,13 @@ Commands:
 * ``disasm FILE --function m.f`` — print the TAM code listing;
 * ``bench [--scale S] [--programs p,q]`` — the §6 Stanford table;
 * ``store ls PATH`` — list the roots of a persistent store image;
+* ``serve IMAGE [--port N] [--workers N] ...`` — boot the multi-session
+  database server over a persistent image (see docs/server.md); prints
+  ``listening on HOST:PORT`` once ready and serves until interrupted or a
+  client sends ``shutdown``;
+* ``client --port N ACTION [...]`` — one-shot session against a running
+  daemon: ``ping``, ``call m.f [args]``, ``run FILE``, ``get ROOT...``,
+  ``set ROOT VALUE``, ``roots``, ``stats``, ``pgo``, ``shutdown``;
 * ``lint [FILE] [--stdlib] [--store PATH --oid N]`` — run the static
   analyses (constraints 1-5, usage, effect/registry lint, TAM bytecode
   verifier) over compiled TL functions or a stored PTML/code object; exits
@@ -28,6 +35,7 @@ spans/events from every instrumented layer to an NDJSON trace file.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.bench.harness import format_table, run_stanford
@@ -362,6 +370,92 @@ def _stored_targets(store_path: str, oid: int):
         heap.close()
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import ReproServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        step_limit=args.step_limit,
+        lock_timeout=args.lock_timeout,
+        pgo_interval=None if args.no_pgo else args.pgo_interval,
+        enable_debug_ops=args.debug_ops,
+    )
+    server = ReproServer(args.image, config)
+    server.start()
+    host, port = server.address
+    # machine-parsable readiness line: the smoke driver waits for it
+    print(f"listening on {host}:{port}", flush=True)
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+        server.stop()
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.server.client import ServerError, connect
+
+    try:
+        with connect(args.port, host=args.host) as db:
+            action = args.action
+            if action == "ping":
+                result = db.ping()
+            elif action == "call":
+                if not args.operands:
+                    raise SystemExit("error: call needs module.function [args...]")
+                module, function = _split_qualified(args.operands[0])
+                call_args = [_parse_value(a) for a in args.operands[1:]]
+                result = db.call(
+                    module, function, call_args, step_limit=args.step_limit, full=True
+                )
+            elif action == "run":
+                if len(args.operands) != 1:
+                    raise SystemExit("error: run needs a TL source file or inline source")
+                operand = args.operands[0]
+                if os.path.exists(operand):
+                    with open(operand, "r", encoding="utf-8") as handle:
+                        source = handle.read()
+                else:
+                    source = operand
+                result = {"modules": db.run(source)}
+            elif action == "get":
+                if not args.operands:
+                    raise SystemExit("error: get needs root names")
+                result = db.get(*args.operands)
+            elif action == "set":
+                if len(args.operands) != 2:
+                    raise SystemExit("error: set needs ROOT VALUE")
+                result = {"oid": db.set(args.operands[0], _parse_value(args.operands[1]))}
+            elif action == "roots":
+                result = {"roots": db.roots()}
+            elif action == "stats":
+                result = db.stats(metrics=args.metrics)
+            elif action == "pgo":
+                result = db.pgo(top=int(args.operands[0]) if args.operands else None)
+            elif action == "shutdown":
+                result = db.shutdown()
+            else:  # pragma: no cover - argparse restricts choices
+                raise SystemExit(f"unknown client action {action!r}")
+    except ServerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(_json.dumps(result, indent=2, sort_keys=True, default=str))
+    return 0
+
+
+def _split_qualified(entry: str) -> tuple[str, str]:
+    if "." not in entry:
+        raise SystemExit(f"error: expected module.function, got {entry!r}")
+    module, function = entry.split(".", 1)
+    return module, function
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -464,8 +558,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_p.set_defaults(handler=_cmd_lint)
 
+    serve_p = sub.add_parser(
+        "serve", help="run the multi-session database server over an image"
+    )
+    serve_p.add_argument("image", help="persistent store image (created if absent)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    serve_p.add_argument("--workers", type=int, default=4)
+    serve_p.add_argument("--queue-size", type=int, default=64)
+    serve_p.add_argument(
+        "--step-limit", type=int, default=5_000_000,
+        help="per-request TAM instruction budget",
+    )
+    serve_p.add_argument("--lock-timeout", type=float, default=10.0)
+    serve_p.add_argument(
+        "--pgo-interval", type=float, default=30.0,
+        help="seconds between background PGO rounds",
+    )
+    serve_p.add_argument(
+        "--no-pgo", action="store_true", help="disable the background PGO worker"
+    )
+    serve_p.add_argument(
+        "--debug-ops", action="store_true",
+        help="enable debug protocol ops (sleep) — test use only",
+    )
+    serve_p.set_defaults(handler=_cmd_serve)
+
+    client_p = sub.add_parser("client", help="one-shot session against a daemon")
+    client_p.add_argument(
+        "action",
+        choices=[
+            "ping", "call", "run", "get", "set", "roots", "stats", "pgo", "shutdown",
+        ],
+    )
+    client_p.add_argument("operands", nargs="*")
+    client_p.add_argument("--port", type=int, required=True)
+    client_p.add_argument("--host", default="127.0.0.1")
+    client_p.add_argument("--step-limit", type=int, help="per-call instruction budget")
+    client_p.add_argument(
+        "--metrics", action="store_true", help="include the metrics snapshot in stats"
+    )
+    client_p.set_defaults(handler=_cmd_client)
+
     # --trace OUT.ndjson on every subcommand that executes/optimizes code
-    for sub_parser in (run_p, tml_p, dis_p, bench_p, prof_p, stats_p, lint_p):
+    for sub_parser in (run_p, tml_p, dis_p, bench_p, prof_p, stats_p, lint_p, serve_p):
         sub_parser.add_argument(
             "--trace",
             metavar="OUT.ndjson",

@@ -13,9 +13,18 @@ documented in ``docs/observability.md`` and printable via
 
 Snapshots are deterministic: same sequence of operations, same snapshot
 (histograms use fixed power-of-two bucket boundaries and no timestamps).
+
+Thread safety: the server (``repro.server``) increments instruments from
+worker threads, so every mutation holds a small per-instrument lock and
+registry creation holds a registry lock.  A CPython lock acquire on the
+uncontended path is tens of nanoseconds — far below the work any
+instrumented operation performs — so the single-threaded paths stay cheap
+(guarded by ``tests/obs/test_overhead.py``).
 """
 
 from __future__ import annotations
+
+import threading
 
 __all__ = [
     "Counter",
@@ -27,49 +36,59 @@ __all__ = [
 
 
 class Counter:
-    """A monotonically increasing integer."""
+    """A monotonically increasing integer (thread-safe)."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict:
-        return {"type": "counter", "value": self.value}
+        with self._lock:
+            return {"type": "counter", "value": self.value}
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
 
 class Gauge:
-    """A value that can go up and down (e.g. cache size)."""
+    """A value that can go up and down (e.g. cache size); thread-safe."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
         self.value = 0
+        self._lock = threading.Lock()
 
     def set(self, value) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount=1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount=1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def snapshot(self) -> dict:
-        return {"type": "gauge", "value": self.value}
+        with self._lock:
+            return {"type": "gauge", "value": self.value}
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
 
 #: Histogram bucket upper bounds: powers of two from 1 to 2**30, fixed so
@@ -84,7 +103,7 @@ class Histogram:
     microseconds); ``observe`` takes any non-negative number.
     """
 
-    __slots__ = ("name", "help", "count", "total", "min", "max", "buckets")
+    __slots__ = ("name", "help", "count", "total", "min", "max", "buckets", "_lock")
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
@@ -94,19 +113,21 @@ class Histogram:
         self.min = None
         self.max = None
         self.buckets = [0] * (len(_BUCKET_BOUNDS) + 1)  # last = overflow
+        self._lock = threading.Lock()
 
     def observe(self, value) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        for index, bound in enumerate(_BUCKET_BOUNDS):
-            if value <= bound:
-                self.buckets[index] += 1
-                return
-        self.buckets[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            for index, bound in enumerate(_BUCKET_BOUNDS):
+                if value <= bound:
+                    self.buckets[index] += 1
+                    return
+            self.buckets[-1] += 1
 
     @property
     def mean(self) -> float:
@@ -115,30 +136,32 @@ class Histogram:
     def snapshot(self) -> dict:
         # only non-empty buckets, keyed by their upper bound — compact and
         # stable across runs
-        buckets = {}
-        for index, filled in enumerate(self.buckets):
-            if filled:
-                key = (
-                    str(_BUCKET_BOUNDS[index])
-                    if index < len(_BUCKET_BOUNDS)
-                    else "+inf"
-                )
-                buckets[key] = filled
-        return {
-            "type": "histogram",
-            "count": self.count,
-            "total": self.total,
-            "min": self.min,
-            "max": self.max,
-            "buckets": buckets,
-        }
+        with self._lock:
+            buckets = {}
+            for index, filled in enumerate(self.buckets):
+                if filled:
+                    key = (
+                        str(_BUCKET_BOUNDS[index])
+                        if index < len(_BUCKET_BOUNDS)
+                        else "+inf"
+                    )
+                    buckets[key] = filled
+            return {
+                "type": "histogram",
+                "count": self.count,
+                "total": self.total,
+                "min": self.min,
+                "max": self.max,
+                "buckets": buckets,
+            }
 
     def reset(self) -> None:
-        self.count = 0
-        self.total = 0
-        self.min = None
-        self.max = None
-        self.buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+        with self._lock:
+            self.count = 0
+            self.total = 0
+            self.min = None
+            self.max = None
+            self.buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
 
 
 class MetricsRegistry:
@@ -146,13 +169,15 @@ class MetricsRegistry:
 
     def __init__(self):
         self._metrics: dict[str, object] = {}
+        self._lock = threading.Lock()
 
     def _get_or_create(self, name: str, help: str, cls):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name, help)
-            self._metrics[name] = metric
-            return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help)
+                self._metrics[name] = metric
+                return metric
         if not isinstance(metric, cls):
             raise TypeError(
                 f"metric {name!r} already registered as "

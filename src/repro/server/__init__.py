@@ -1,0 +1,53 @@
+"""repro.server — a multi-session database server over the persistent image.
+
+The paper's premise is an *open database environment*: persistent TML/PTML
+code in a shared store, executed by many clients and reoptimized
+reflectively behind their backs (§2.1, §4).  This package makes that an
+actual service:
+
+* :mod:`repro.server.daemon` — :class:`ReproServer`: one persistent image,
+  many concurrent sessions over a length-prefixed JSON protocol on TCP,
+  per-session transactions (single-writer / snapshot-reader), a bounded
+  worker pool with backpressure, and an image-resident compiled-code cache
+  keyed by PTML content hash;
+* :mod:`repro.server.pgo` — the background profile-guided optimization
+  worker: aggregates per-request VM profiles and periodically re-optimizes
+  the measured-hot stored functions in the live image;
+* :mod:`repro.server.client` — a small blocking client library;
+* :mod:`repro.server.protocol` — framing and value conversion.
+
+``python -m repro serve IMAGE`` boots the daemon; ``python -m repro
+client`` talks to it.  Protocol and lifecycle are specified in
+``docs/server.md``.
+"""
+
+from repro.server.client import Client, ClientError, ServerError, connect
+from repro.server.codecache import CodeCache
+from repro.server.daemon import ReproServer, ServerConfig
+from repro.server.pgo import PgoWorker
+from repro.server.pool import Backpressure, WorkerPool
+from repro.server.protocol import (
+    ProtocolError,
+    from_jsonable,
+    recv_frame,
+    send_frame,
+    to_jsonable,
+)
+
+__all__ = [
+    "Client",
+    "ClientError",
+    "ServerError",
+    "connect",
+    "CodeCache",
+    "ReproServer",
+    "ServerConfig",
+    "PgoWorker",
+    "Backpressure",
+    "WorkerPool",
+    "ProtocolError",
+    "send_frame",
+    "recv_frame",
+    "to_jsonable",
+    "from_jsonable",
+]

@@ -1,0 +1,184 @@
+"""Blocking client for the repro daemon.
+
+One :class:`Client` is one session: a TCP connection speaking the
+length-prefixed JSON protocol of :mod:`repro.server.protocol`, requests
+issued strictly one at a time (the daemon still interleaves *sessions*
+concurrently).  Failures come back as :class:`ServerError` carrying the
+structured error code, so callers branch on ``exc.code`` rather than
+parsing messages:
+
+>>> with connect(port) as db:                       # doctest: +SKIP
+...     db.set("counter", 0)
+...     with db.transaction():
+...         value = db.get("counter")["counter"]
+...         db.set("counter", value + 1)
+...     db.call("bench", "fib", [20])
+"""
+
+from __future__ import annotations
+
+import socket
+from contextlib import contextmanager
+from typing import Any
+
+from repro.server import protocol
+from repro.server.protocol import from_jsonable, recv_frame, send_frame, to_jsonable
+
+__all__ = ["Client", "ClientError", "ServerError", "connect"]
+
+
+class ClientError(Exception):
+    """Client-side failure: connection lost, protocol violation."""
+
+
+class ServerError(Exception):
+    """The daemon answered with a structured error."""
+
+    def __init__(self, code: str, message: str, details: dict | None = None):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.details = details or {}
+
+
+class Client:
+    """One session against a running repro daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self._next_id = 1
+        self._closed = False
+
+    # ----------------------------------------------------------- transport
+
+    def request(self, op: str, **operands) -> dict:
+        """Send one request and block for its response's ``result``."""
+        if self._closed:
+            raise ClientError("client is closed")
+        request_id = self._next_id
+        self._next_id += 1
+        message = {"id": request_id, "op": op}
+        message.update(operands)
+        try:
+            send_frame(self.sock, message)
+            response = recv_frame(self.sock)
+        except (OSError, protocol.ProtocolError) as exc:
+            raise ClientError(f"connection failed during {op!r}: {exc}") from exc
+        if response is None:
+            raise ClientError(f"server closed the connection during {op!r}")
+        if response.get("id") != request_id:
+            raise ClientError(
+                f"response id {response.get('id')!r} does not match {request_id}"
+            )
+        if response.get("ok"):
+            return response.get("result", {})
+        error = response.get("error") or {}
+        details = {
+            k: v for k, v in error.items() if k not in ("code", "message")
+        }
+        raise ServerError(
+            error.get("code", protocol.E_INTERNAL),
+            error.get("message", "unknown server error"),
+            details,
+        )
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ---------------------------------------------------------- operations
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def call(
+        self,
+        module: str,
+        function: str,
+        args: list | None = None,
+        step_limit: int | None = None,
+        mode: str = "read",
+        full: bool = False,
+    ) -> Any:
+        """Call a stored function; returns its value (or the full result)."""
+        operands: dict[str, Any] = {
+            "module": module,
+            "function": function,
+            "args": [to_jsonable(a) for a in (args or [])],
+            "mode": mode,
+        }
+        if step_limit is not None:
+            operands["step_limit"] = step_limit
+        result = self.request("call", **operands)
+        if full:
+            result = dict(result)
+            result["value"] = from_jsonable(result["value"])
+            return result
+        return from_jsonable(result["value"])
+
+    def run(self, source: str) -> list[str]:
+        """Compile and persist TL source; returns the stored module names."""
+        return self.request("run", source=source)["modules"]
+
+    def get(self, *roots: str) -> dict[str, Any]:
+        """Read root objects in one snapshot; name → value."""
+        result = self.request("get", roots=list(roots))
+        return {name: from_jsonable(v) for name, v in result["values"].items()}
+
+    def set(self, root: str, value: Any) -> int:
+        """Bind a root to a value (auto-commits outside a transaction)."""
+        return self.request("set", root=root, value=to_jsonable(value))["oid"]
+
+    def roots(self) -> list[str]:
+        return self.request("roots")["roots"]
+
+    def begin(self, mode: str = "write", timeout: float | None = None) -> dict:
+        operands: dict[str, Any] = {"mode": mode}
+        if timeout is not None:
+            operands["timeout"] = timeout
+        return self.request("begin", **operands)
+
+    def commit(self) -> dict:
+        return self.request("commit")
+
+    def abort(self) -> dict:
+        return self.request("abort")
+
+    @contextmanager
+    def transaction(self, mode: str = "write", timeout: float | None = None):
+        """``with db.transaction(): ...`` — commit on success, abort on error."""
+        self.begin(mode, timeout)
+        try:
+            yield self
+        except BaseException:
+            self.abort()
+            raise
+        else:
+            self.commit()
+
+    def stats(self, metrics: bool = False) -> dict:
+        return self.request("stats", metrics=metrics)
+
+    def pgo(self, top: int | None = None) -> dict:
+        """Ask the server to run one PGO round right now."""
+        operands = {} if top is None else {"top": top}
+        return self.request("pgo", **operands)
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+
+def connect(port: int, host: str = "127.0.0.1", timeout: float = 60.0) -> Client:
+    """Open one session against a daemon listening on ``host:port``."""
+    return Client(host=host, port=port, timeout=timeout)

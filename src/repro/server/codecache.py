@@ -1,0 +1,153 @@
+"""The image-resident compiled-code cache, keyed by PTML content hash.
+
+The paper stores *two* representations of every function: executable TAM
+code and the persistent TML tree (PTML) it was generated from.  PTML is
+the identity: two functions with byte-identical PTML have byte-identical
+observable behavior, whatever code they currently carry.  The cache
+exploits that — it maps ``sha256(PTML bytes)`` to a ready-to-run
+:class:`VMClosure`, so repeated execution of the same stored function by
+*any* session resolves without re-linking, and a server restart can warm
+the executable half from the image.
+
+Invalidation is the reflective loop's other half: when background PGO
+rewrites a function, its PTML changes, so the old hash's entry is dropped
+and the next call installs the regenerated code under the new hash.
+
+Two tiers:
+
+* a runtime closure table (hash → :class:`VMClosure`) serving ``call``
+  requests — process-local, since closures capture live Python objects;
+* an image-resident code table (hash → :class:`CodeObject`) persisted
+  under heap root ``server:code-cache`` by :meth:`flush`, reloaded by
+  :meth:`attach` — the shared, durable half that outlives the process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+from repro.core.syntax import Oid
+from repro.machine.isa import CodeObject, VMClosure
+from repro.obs.metrics import METRICS
+from repro.store.serialize import Blob
+
+__all__ = ["CodeCache", "CACHE_ROOT"]
+
+CACHE_ROOT = "server:code-cache"
+
+_HITS = METRICS.counter("server.codecache.hits", "compiled-code cache hits")
+_MISSES = METRICS.counter("server.codecache.misses", "compiled-code cache misses")
+_INVALIDATIONS = METRICS.counter(
+    "server.codecache.invalidations", "entries dropped after reoptimization"
+)
+_ENTRIES = METRICS.gauge("server.codecache.entries", "live compiled-code cache entries")
+
+
+class CodeCache:
+    """Shared compiled-code cache over one persistent image."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._closures: dict[str, VMClosure] = {}
+        self._codes: dict[str, CodeObject] = {}
+        self._dirty = False
+
+    # ------------------------------------------------------------- keying
+
+    @staticmethod
+    def key_of(code: CodeObject, heap=None) -> str | None:
+        """Content hash of the code's PTML blob (None when none attached)."""
+        ref = code.ptml_ref
+        if ref is None:
+            return None
+        if isinstance(ref, Oid):
+            if heap is None:
+                return None
+            ref = heap.load(ref)
+        if not isinstance(ref, Blob):
+            return None
+        return hashlib.sha256(ref.data).hexdigest()
+
+    # ------------------------------------------------------------- lookup
+
+    def lookup(self, key: str) -> VMClosure | None:
+        """Runtime lookup; counts a hit or a miss."""
+        with self._lock:
+            closure = self._closures.get(key)
+        if closure is None:
+            _MISSES.inc()
+            return None
+        _HITS.inc()
+        return closure
+
+    def install(self, key: str, closure: VMClosure) -> None:
+        with self._lock:
+            self._closures[key] = closure
+            self._codes[key] = closure.code
+            self._dirty = True
+            _ENTRIES.set(len(self._closures))
+
+    def invalidate(self, key: str) -> bool:
+        """Drop an entry (its function was rewritten); True when present."""
+        with self._lock:
+            dropped = self._closures.pop(key, None) is not None
+            dropped = (self._codes.pop(key, None) is not None) or dropped
+            if dropped:
+                self._dirty = True
+            _ENTRIES.set(len(self._closures))
+        if dropped:
+            _INVALIDATIONS.inc()
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._closures)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._closures),
+            "persisted_codes": len(self._codes),
+            "hits": _HITS.value,
+            "misses": _MISSES.value,
+            "invalidations": _INVALIDATIONS.value,
+        }
+
+    # -------------------------------------------------------- image resident
+
+    def attach(self, heap) -> int:
+        """Load the persisted code table from the image (warm start).
+
+        Only the code half is recoverable — closures capture live values
+        and are rebuilt lazily as functions are first called.  Returns the
+        number of warm entries.
+        """
+        oid = heap.root(CACHE_ROOT)
+        if oid is None:
+            return 0
+        stored = heap.load(oid)
+        if not isinstance(stored, dict):
+            return 0
+        with self._lock:
+            for key, code in stored.items():
+                if isinstance(key, str) and isinstance(code, CodeObject):
+                    self._codes.setdefault(key, code)
+            self._dirty = False
+            return len(self._codes)
+
+    def flush(self, heap) -> None:
+        """Persist the code table under ``server:code-cache``.
+
+        Must run inside a write transaction — it marks the heap dirty; the
+        surrounding commit publishes it.
+        """
+        with self._lock:
+            if not self._dirty:
+                return
+            snapshot = dict(self._codes)
+            self._dirty = False
+        oid = heap.root(CACHE_ROOT)
+        if oid is None:
+            oid = heap.store(snapshot)
+            heap.set_root(CACHE_ROOT, oid)
+        else:
+            heap.update(oid, snapshot)

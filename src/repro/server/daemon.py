@@ -1,0 +1,676 @@
+"""The repro daemon: concurrent sessions over one persistent image.
+
+One :class:`ReproServer` owns one :class:`~repro.store.heap.ObjectHeap`
+and one :class:`~repro.lang.TycoonSystem` built over it.  Clients connect
+over TCP; each connection is one *session*.  Per connection a cheap reader
+thread parses frames and submits stateless requests to the bounded worker
+pool (:mod:`repro.server.pool`); a full queue answers with the structured
+``backpressure`` error instead of queueing unboundedly.  ``begin`` and
+every request of a session holding an open transaction run on the
+session's own connection thread instead (see :meth:`ReproServer._admit`),
+so a session blocked on the transaction lock can never starve the pool.
+
+Transactions (single-writer / snapshot-reader, see
+:mod:`repro.store.concurrency`):
+
+* without an explicit transaction each request runs in its own implicit
+  one — ``read`` for pure execution, ``write`` (auto-commit) for
+  mutating operations;
+* ``begin``/``commit``/``abort`` give a session an explicit transaction
+  spanning several requests; a write transaction holds the image
+  exclusively until the session commits, aborts or disconnects.
+
+Execution requests resolve stored functions through the shared
+compiled-code cache (:mod:`repro.server.codecache`) and run on a fresh VM
+per request with a per-request step limit (the budget errors surface as
+structured ``step_limit`` responses).  Each run is profiled; the
+aggregated profile feeds the background PGO worker
+(:mod:`repro.server.pgo`), which rewrites hot functions in the live image
+— sessions transparently pick up the faster code on their next call.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+
+from repro.lang import TycoonSystem
+from repro.lang.errors import TLError
+from repro.lang.parser import parse_modules
+from repro.lang.stdlib import STDLIB_MODULE_NAMES
+from repro.machine.runtime import MachineError, UncaughtTmlException, show_value
+from repro.machine.vm import VM, StepLimitExceeded
+from repro.obs.metrics import METRICS
+from repro.obs.profile import VMProfiler
+from repro.obs.trace import TRACER
+from repro.server import protocol
+from repro.server.codecache import CodeCache
+from repro.server.pgo import PgoWorker
+from repro.server.pool import Backpressure, WorkerPool
+from repro.server.protocol import from_jsonable, recv_frame, send_frame, to_jsonable
+from repro.store.concurrency import LockTimeout, TransactionManager
+from repro.store.heap import HeapError, ObjectHeap
+
+__all__ = ["ServerConfig", "Session", "ReproServer", "RequestError"]
+
+_REQUESTS = METRICS.counter("server.requests", "requests received")
+_REQUEST_ERRORS = METRICS.counter("server.request_errors", "requests answered with an error")
+_LATENCY = METRICS.histogram(
+    "server.request_latency_us", "request handling latency (microseconds)"
+)
+_ACTIVE_SESSIONS = METRICS.gauge("server.active_sessions", "connected sessions")
+_SESSIONS_OPENED = METRICS.counter("server.sessions_opened", "sessions accepted")
+
+
+@dataclass
+class ServerConfig:
+    """Tuning knobs of one daemon instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port from server.port
+    workers: int = 4
+    queue_size: int = 64
+    #: default/maximum instruction budget per execution request
+    step_limit: int = 5_000_000
+    #: transaction lock acquisition timeout (seconds)
+    lock_timeout: float = 10.0
+    #: bound on the heap's clean-object cache (None = unbounded)
+    heap_cache_limit: int | None = 4096
+    #: seconds between background PGO rounds (None disables the worker)
+    pgo_interval: float | None = 30.0
+    pgo_top: int = 2
+    pgo_min_instructions: int = 1_000
+    #: profile every execution request (the PGO evidence source)
+    profile: bool = True
+    #: allow debug ops (``sleep``) — test/diagnostic use only
+    enable_debug_ops: bool = False
+    max_frame: int = protocol.MAX_FRAME
+
+
+class RequestError(Exception):
+    """A structured protocol-level failure (code + message + details)."""
+
+    def __init__(self, code: str, message: str, **details):
+        super().__init__(message)
+        self.code = code
+        self.details = details
+
+
+class Session:
+    """One client connection: id, socket, and its open transaction."""
+
+    def __init__(self, session_id: int, sock: socket.socket, addr):
+        self.id = session_id
+        self.sock = sock
+        self.addr = addr
+        self.txn = None
+        #: serializes request execution within the session (requests keep
+        #: their submission order even if pool scheduling would race them)
+        self.lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self.closed = False
+
+    def send(self, message: dict) -> None:
+        with self._send_lock:
+            if not self.closed:
+                send_frame(self.sock, message)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+
+
+class ReproServer:
+    """The multi-session daemon over one persistent image."""
+
+    def __init__(self, image: str | None, config: ServerConfig | None = None):
+        self.config = config or ServerConfig()
+        self.heap = ObjectHeap(image, cache_limit=self.config.heap_cache_limit)
+        self.system = TycoonSystem(heap=self.heap)
+        self.txns = TransactionManager(self.heap, default_timeout=self.config.lock_timeout)
+        self.code_cache = CodeCache()
+        self.pool = WorkerPool(
+            workers=self.config.workers,
+            queue_size=self.config.queue_size,
+            name="repro-server",
+        )
+        self.pgo_worker: PgoWorker | None = (
+            PgoWorker(
+                self,
+                interval=self.config.pgo_interval,
+                top=self.config.pgo_top,
+                min_instructions=self.config.pgo_min_instructions,
+            )
+            if self.config.pgo_interval is not None
+            else None
+        )
+        #: qualified function name -> current code-cache key
+        self._keys: dict[str, str] = {}
+        self._keys_lock = threading.Lock()
+        #: merged profile of every profiled request since the last PGO round
+        self._profile = VMProfiler()
+        self._profile_lock = threading.Lock()
+        self._sessions: dict[int, Session] = {}
+        self._sessions_lock = threading.Lock()
+        self._next_session = 1
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._threads: list[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+        self._boot()
+
+    # ----------------------------------------------------------------- boot
+
+    def _boot(self) -> None:
+        """Load persisted modules, warm the code cache, commit boot state.
+
+        Building the :class:`TycoonSystem` stores the stdlib's PTML into
+        the image (dirty objects), so a fresh image gets one boot commit
+        establishing the baseline.
+        """
+        loaded = []
+        for root in self.heap.root_names():
+            if not root.startswith("module:"):
+                continue
+            name = root[len("module:"):]
+            if name in STDLIB_MODULE_NAMES:
+                continue
+            try:
+                self.system.load(name)
+                loaded.append(name)
+            except (TLError, HeapError) as exc:
+                print(f"repro-server: skipping module {name!r}: {exc}", file=sys.stderr)
+        warm = self.code_cache.attach(self.heap)
+        self.heap.commit()
+        TRACER.event(
+            "server.boot", modules=loaded, warm_code_entries=warm,
+            roots=len(self.heap.root_names()),
+        )
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Bind, listen and serve in background threads; returns at once."""
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((self.config.host, self.config.port))
+        self._listener.listen(64)
+        self.pool.start()
+        if self.pgo_worker is not None:
+            self.pgo_worker.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    @property
+    def port(self) -> int:
+        if self._listener is None:
+            raise RuntimeError("server is not started")
+        return self._listener.getsockname()[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.config.host, self.port)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the server has fully stopped."""
+        return self._stopped.wait(timeout)
+
+    def stop(self) -> None:
+        """Graceful shutdown: drain in-flight work, close sessions and heap."""
+        if self._stopping.is_set():
+            self._stopped.wait(30)
+            return
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=10)
+        self.pool.stop(drain=True)
+        if self.pgo_worker is not None:
+            self.pgo_worker.stop()
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            self._release_session(session)
+        with self.txns.write():
+            self.code_cache.flush(self.heap)
+        self.heap.close()
+        TRACER.event("server.stop")
+        self._stopped.set()
+
+    # ---------------------------------------------------------- connections
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                sock, addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutting down
+            with self._sessions_lock:
+                session = Session(self._next_session, sock, addr)
+                self._next_session += 1
+                self._sessions[session.id] = session
+            _SESSIONS_OPENED.inc()
+            _ACTIVE_SESSIONS.set(len(self._sessions))
+            TRACER.event("server.session.open", session=session.id)
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(session,),
+                name=f"repro-session-{session.id}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, session: Session) -> None:
+        try:
+            while not self._stopping.is_set():
+                try:
+                    request = recv_frame(session.sock, self.config.max_frame)
+                except protocol.ProtocolError:
+                    break
+                except OSError:
+                    break
+                if request is None:
+                    break
+                self._admit(session, request)
+        finally:
+            self._release_session(session)
+
+    def _admit(self, session: Session, request: dict) -> None:
+        """Admission control: pooled execution or immediate backpressure.
+
+        Two execution lanes prevent a pool deadlock: ``begin`` (which may
+        block indefinitely on the transaction lock) and every request of a
+        session *holding* a transaction run directly on the session's own
+        connection thread — a blocked transaction only ever blocks its own
+        session, and the lock holder never needs a pool worker to reach its
+        ``commit``.  Stateless requests go through the bounded pool and get
+        the structured ``backpressure`` rejection when it is full.
+        """
+        _REQUESTS.inc()
+        request_id = request.get("id")
+        if self._stopping.is_set():
+            self._send_error(
+                session, request_id,
+                RequestError(protocol.E_SHUTTING_DOWN, "server is shutting down"),
+            )
+            return
+        if request.get("op") == "begin" or session.txn is not None:
+            self._handle(session, request)
+            return
+        try:
+            self.pool.submit(lambda: self._handle(session, request))
+        except Backpressure as exc:
+            self._send_error(
+                session, request_id,
+                RequestError(
+                    protocol.E_BACKPRESSURE, str(exc), queue_size=exc.queue_size
+                ),
+            )
+
+    def _release_session(self, session: Session) -> None:
+        if session.txn is not None:
+            try:
+                session.txn.abort()
+            finally:
+                session.txn = None
+        session.close()
+        with self._sessions_lock:
+            if self._sessions.pop(session.id, None) is not None:
+                _ACTIVE_SESSIONS.set(len(self._sessions))
+                TRACER.event("server.session.close", session=session.id)
+
+    # ------------------------------------------------------------- handling
+
+    def _handle(self, session: Session, request: dict) -> None:
+        request_id = request.get("id")
+        op = request.get("op")
+        start = time.perf_counter()
+        span = TRACER.span("server.request", session=session.id, op=op)
+        try:
+            with session.lock:
+                handler = self._OPS.get(op)
+                if handler is None:
+                    raise RequestError(protocol.E_BAD_REQUEST, f"unknown op {op!r}")
+                result = handler(self, session, request)
+            session.send({"id": request_id, "ok": True, "result": result})
+            span.set(status="ok")
+        except RequestError as exc:
+            span.set(status=exc.code)
+            self._send_error(session, request_id, exc)
+        except Exception as exc:  # anything else is an internal error
+            traceback.print_exc(file=sys.stderr)
+            span.set(status="internal")
+            self._send_error(
+                session, request_id,
+                RequestError(protocol.E_INTERNAL, f"{type(exc).__name__}: {exc}"),
+            )
+        finally:
+            span.finish()
+            _LATENCY.observe(int((time.perf_counter() - start) * 1e6))
+
+    def _send_error(self, session: Session, request_id, error: RequestError) -> None:
+        _REQUEST_ERRORS.inc()
+        payload = {"code": error.code, "message": str(error)}
+        payload.update(error.details)
+        try:
+            session.send({"id": request_id, "ok": False, "error": payload})
+        except OSError:
+            pass  # peer is gone; nothing to report to
+
+    # ----------------------------------------------------- transaction glue
+
+    def _run_read(self, session: Session, body):
+        """Run ``body()`` under the session's txn or an implicit read txn."""
+        if session.txn is not None:
+            return body()
+        try:
+            with self.txns.read():
+                return body()
+        except LockTimeout as exc:
+            raise RequestError(protocol.E_BUSY, str(exc)) from exc
+
+    def _run_write(self, session: Session, body):
+        """Run ``body()`` under the session's write txn or auto-commit."""
+        if session.txn is not None:
+            if session.txn.mode != "write":
+                raise RequestError(
+                    protocol.E_TXN_STATE,
+                    "mutating request inside a read transaction",
+                )
+            return body()
+        try:
+            with self.txns.write():
+                return body()
+        except LockTimeout as exc:
+            raise RequestError(protocol.E_BUSY, str(exc)) from exc
+
+    # ------------------------------------------------------------ execution
+
+    def _resolve(self, module: str, function: str):
+        """Resolve a stored function through the compiled-code cache.
+
+        Returns ``(closure, hit)``; a miss links through the system and
+        installs the closure under its PTML content hash.
+        """
+        qualified = f"{module}.{function}"
+        with self._keys_lock:
+            key = self._keys.get(qualified)
+        if key is not None:
+            closure = self.code_cache.lookup(key)
+            if closure is not None:
+                return closure, True
+        try:
+            closure = self.system.closure(module, function)
+        except TLError as exc:
+            raise RequestError(protocol.E_NOT_FOUND, str(exc)) from exc
+        key = self.code_cache.key_of(closure.code, self.heap)
+        if key is None:
+            key = f"name:{qualified}"  # PTML-less code: name-keyed fallback
+        self.code_cache.install(key, closure)
+        with self._keys_lock:
+            self._keys[qualified] = key
+        return closure, False
+
+    def invalidate_function(self, module: str, function: str) -> None:
+        """Drop the cache entry for a rewritten function (PGO/recompile)."""
+        qualified = f"{module}.{function}"
+        with self._keys_lock:
+            key = self._keys.pop(qualified, None)
+        if key is not None:
+            self.code_cache.invalidate(key)
+
+    def take_profile(self) -> VMProfiler:
+        """Hand the aggregated profile to the caller, starting a fresh one."""
+        with self._profile_lock:
+            profile = self._profile
+            self._profile = VMProfiler()
+        return profile
+
+    def _merge_profile(self, profiler: VMProfiler) -> None:
+        with self._profile_lock:
+            self._profile.merge(profiler)
+
+    def _execute(self, closure, args, step_limit: int | None):
+        limit = self.config.step_limit
+        if step_limit is not None:
+            limit = max(1, min(int(step_limit), limit))
+        profiler = VMProfiler() if self.config.profile else None
+        vm = VM(
+            store=self.heap,
+            foreign=self.system.foreign,
+            step_limit=limit,
+            profiler=profiler,
+        )
+        try:
+            result = vm.call(closure, list(args))
+        except StepLimitExceeded as exc:
+            if profiler is not None:
+                self._merge_profile(profiler)  # truncated runs are evidence too
+            raise RequestError(
+                protocol.E_STEP_LIMIT,
+                str(exc),
+                limit=exc.limit,
+                instructions=exc.instructions,
+                output=list(exc.partial.output) if exc.partial else [],
+            ) from exc
+        except UncaughtTmlException as exc:
+            raise RequestError(
+                protocol.E_EXEC, f"uncaught exception: {show_value(exc.value)}"
+            ) from exc
+        except MachineError as exc:
+            raise RequestError(protocol.E_EXEC, str(exc)) from exc
+        if profiler is not None:
+            self._merge_profile(profiler)
+        return result
+
+    # ------------------------------------------------------------- operators
+
+    def _op_ping(self, session, request):
+        return {
+            "pong": True,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "session": session.id,
+        }
+
+    def _op_call(self, session, request):
+        module = request.get("module")
+        function = request.get("function")
+        if not module or not function:
+            raise RequestError(protocol.E_BAD_REQUEST, "call needs module and function")
+        args = [from_jsonable(a) for a in request.get("args", [])]
+        step_limit = request.get("step_limit")
+        mode = request.get("mode", "read")
+
+        def body():
+            closure, hit = self._resolve(module, function)
+            result = self._execute(closure, args, step_limit)
+            return {
+                "value": to_jsonable(result.value),
+                "instructions": result.instructions,
+                "output": list(result.output),
+                "cache": "hit" if hit else "miss",
+            }
+
+        if mode == "write":
+            return self._run_write(session, body)
+        return self._run_read(session, body)
+
+    def _op_run(self, session, request):
+        source = request.get("source")
+        if not isinstance(source, str):
+            raise RequestError(protocol.E_BAD_REQUEST, "run needs TL source text")
+
+        def body():
+            try:
+                modules = [
+                    self.system.compile_ast(ast) for ast in parse_modules(source)
+                ]
+            except TLError as exc:
+                raise RequestError(protocol.E_BAD_REQUEST, str(exc)) from exc
+            names = []
+            for module in modules:
+                self.system.persist(module.name)
+                names.append(module.name)
+                for function in module.functions:
+                    self.invalidate_function(module.name, function)
+            return {"modules": names}
+
+        return self._run_write(session, body)
+
+    def _op_get(self, session, request):
+        roots = request.get("roots")
+        if not isinstance(roots, list) or not roots:
+            raise RequestError(protocol.E_BAD_REQUEST, "get needs a list of roots")
+
+        def body():
+            values = {}
+            for name in roots:
+                try:
+                    values[name] = to_jsonable(self.heap.load_root(name))
+                except HeapError as exc:
+                    raise RequestError(protocol.E_NOT_FOUND, str(exc)) from exc
+            return {"values": values, "version": self.txns.version}
+
+        return self._run_read(session, body)
+
+    def _op_set(self, session, request):
+        root = request.get("root")
+        if not isinstance(root, str):
+            raise RequestError(protocol.E_BAD_REQUEST, "set needs a root name")
+        value = from_jsonable(request.get("value"))
+
+        def body():
+            oid = self.heap.root(root)
+            # update(oid, None) means "mark dirty", so binding a root to the
+            # null value always goes through a fresh store + rebind
+            if oid is None or value is None:
+                oid = self.heap.store(value)
+                self.heap.set_root(root, oid)
+            else:
+                self.heap.update(oid, value)
+            return {"root": root, "oid": int(oid)}
+
+        return self._run_write(session, body)
+
+    def _op_roots(self, session, request):
+        def body():
+            return {"roots": self.heap.root_names(), "version": self.txns.version}
+
+        return self._run_read(session, body)
+
+    def _op_begin(self, session, request):
+        if session.txn is not None:
+            raise RequestError(protocol.E_TXN_STATE, "session already has a transaction")
+        mode = request.get("mode", "write")
+        if mode not in ("read", "write"):
+            raise RequestError(protocol.E_BAD_REQUEST, f"unknown txn mode {mode!r}")
+        try:
+            session.txn = self.txns.begin(mode, timeout=request.get("timeout"))
+        except LockTimeout as exc:
+            raise RequestError(protocol.E_BUSY, str(exc)) from exc
+        return {"mode": mode, "version": session.txn.version}
+
+    def _op_commit(self, session, request):
+        if session.txn is None:
+            raise RequestError(protocol.E_TXN_STATE, "no open transaction")
+        txn, session.txn = session.txn, None
+        try:
+            txn.commit()
+        except HeapError as exc:
+            raise RequestError(protocol.E_EXEC, f"commit failed: {exc}") from exc
+        return {"version": self.txns.version}
+
+    def _op_abort(self, session, request):
+        if session.txn is None:
+            raise RequestError(protocol.E_TXN_STATE, "no open transaction")
+        txn, session.txn = session.txn, None
+        txn.abort()
+        return {"version": self.txns.version}
+
+    def _op_stats(self, session, request):
+        with self._sessions_lock:
+            active = len(self._sessions)
+        report = {
+            "sessions": active,
+            "version": self.txns.version,
+            "codecache": self.code_cache.stats(),
+            "roots": len(self.heap.root_names()),
+        }
+        if self.pgo_worker is not None:
+            report["pgo"] = self.pgo_worker.stats()
+        if request.get("metrics"):
+            report["metrics"] = METRICS.snapshot()
+        return report
+
+    def _op_pgo(self, session, request):
+        """Run one PGO round now (admin/diagnostic; tests and smoke use it)."""
+        worker = self.pgo_worker
+        if worker is None:
+            worker = PgoWorker(
+                self,
+                interval=None,
+                top=self.config.pgo_top,
+                min_instructions=self.config.pgo_min_instructions,
+            )
+        report = worker.run_round(top=request.get("top"), min_instructions=0)
+        if report is None:
+            return {"optimized": []}
+        return {
+            "optimized": [
+                {
+                    "function": candidate.qualified,
+                    "invocations": candidate.invocations,
+                    "instructions": candidate.instructions,
+                    "cost_before": report.results[candidate.qualified].cost_before,
+                    "cost_after": report.results[candidate.qualified].cost_after,
+                }
+                for candidate in report.selected
+            ]
+        }
+
+    def _op_sleep(self, session, request):
+        if not self.config.enable_debug_ops:
+            raise RequestError(protocol.E_BAD_REQUEST, "debug ops are disabled")
+        seconds = float(request.get("seconds", 0.1))
+        time.sleep(min(seconds, 30.0))
+        return {"slept": seconds}
+
+    def _op_shutdown(self, session, request):
+        # respond first, then stop from a separate thread so the worker
+        # executing this request is not asked to join itself
+        threading.Thread(target=self.stop, name="repro-server-stop", daemon=True).start()
+        return {"stopping": True}
+
+    _OPS = {
+        "ping": _op_ping,
+        "call": _op_call,
+        "run": _op_run,
+        "get": _op_get,
+        "set": _op_set,
+        "roots": _op_roots,
+        "begin": _op_begin,
+        "commit": _op_commit,
+        "abort": _op_abort,
+        "stats": _op_stats,
+        "pgo": _op_pgo,
+        "sleep": _op_sleep,
+        "shutdown": _op_shutdown,
+    }

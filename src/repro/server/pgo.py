@@ -1,0 +1,154 @@
+"""Background profile-guided optimization over the live image.
+
+The paper's reflective loop (§4.1) run as a service: every profiled
+execution request feeds one aggregate :class:`VMProfiler`; periodically
+this worker takes the accumulated evidence, opens a *write* transaction on
+the shared image and runs :func:`repro.reflect.pgo.optimize_hot` on the
+measured-hottest stored functions.  The rewritten code (and its new PTML)
+is committed to the image, the compiled-code cache entries of the replaced
+functions are invalidated, and the next ``call`` from any session links
+the optimized code — the clients never stop, the code under them just
+gets faster.
+
+Each round takes the profile with reset semantics, so evidence is spent
+once: an already-optimized function must earn its next rewrite with fresh
+measurements (``optimize_hot`` names regenerated code ``module.fn'``,
+whose profile entries no longer match any export — no rewrite thrash).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import traceback
+
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER
+from repro.reflect.pgo import PgoReport, optimize_hot
+
+__all__ = ["PgoWorker"]
+
+_ROUNDS = METRICS.counter("server.pgo.rounds", "completed background PGO rounds")
+_RELINKED = METRICS.counter(
+    "server.pgo.relinked", "stored functions replaced by background PGO"
+)
+_ERRORS = METRICS.counter("server.pgo.errors", "background PGO rounds that failed")
+_SKIPPED = METRICS.counter(
+    "server.pgo.skipped", "PGO wakeups with no profile evidence to act on"
+)
+
+
+class PgoWorker:
+    """Periodic optimize-the-hot-functions worker over a :class:`ReproServer`.
+
+    With ``interval=None`` the worker never wakes on its own; rounds are
+    then driven explicitly through :meth:`run_round` (the daemon's ``pgo``
+    op uses this for deterministic tests and demos).
+    """
+
+    def __init__(
+        self,
+        server,
+        interval: float | None = 30.0,
+        top: int = 2,
+        min_instructions: int = 1_000,
+    ):
+        self.server = server
+        self.interval = interval
+        self.top = top
+        self.min_instructions = min_instructions
+        self._wake = threading.Event()
+        self._stopping = False
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()  # one round at a time (timer vs. op)
+        self.rounds = 0
+        self.relinked = 0
+        self.errors = 0
+        self.last_selected: list[str] = []
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        if self.interval is None or self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-pgo", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stopping = True
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stopping:
+            self._wake.wait(self.interval)
+            self._wake.clear()
+            if self._stopping:
+                return
+            try:
+                self.run_round()
+            except Exception:  # a bad round must not kill the worker
+                traceback.print_exc(file=sys.stderr)
+
+    # ---------------------------------------------------------------- round
+
+    def run_round(
+        self, top: int | None = None, min_instructions: int | None = None
+    ) -> PgoReport | None:
+        """Run one optimization round now; None when there was no evidence.
+
+        Takes the server's aggregated profile (reset semantics), rewrites
+        up to ``top`` hot functions inside one write transaction, then
+        invalidates their code-cache entries and persists the refreshed
+        image-resident code table.
+        """
+        server = self.server
+        with self._lock:
+            profile = server.take_profile()
+            if not profile.closures:
+                _SKIPPED.inc()
+                return None
+            try:
+                with server.txns.write():
+                    report = optimize_hot(
+                        server.system,
+                        profile,
+                        top=top if top is not None else self.top,
+                        min_instructions=(
+                            min_instructions
+                            if min_instructions is not None
+                            else self.min_instructions
+                        ),
+                        relink=True,
+                    )
+                    for candidate in report.selected:
+                        server.invalidate_function(candidate.module, candidate.function)
+                    server.code_cache.flush(server.heap)
+            except Exception:
+                self.errors += 1
+                _ERRORS.inc()
+                raise
+            self.rounds += 1
+            _ROUNDS.inc()
+            self.relinked += len(report.selected)
+            _RELINKED.inc(len(report.selected))
+            self.last_selected = [c.qualified for c in report.selected]
+            TRACER.event(
+                "server.pgo.round",
+                selected=self.last_selected,
+                profiled=len(profile.closures),
+            )
+            return report
+
+    def stats(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "relinked": self.relinked,
+            "errors": self.errors,
+            "last_selected": list(self.last_selected),
+            "interval": self.interval,
+        }

@@ -1,0 +1,103 @@
+"""Bounded worker pool — the server's admission control.
+
+A fixed number of worker threads drain a bounded queue.  ``submit`` never
+blocks: when the queue is full the request is rejected immediately with
+:class:`Backpressure`, which the connection layer turns into the
+structured ``backpressure`` protocol error.  Rejecting at the door keeps
+the server's latency bounded under overload instead of letting every
+client hang behind an unbounded backlog.
+"""
+
+from __future__ import annotations
+
+import queue
+import sys
+import threading
+import traceback
+from typing import Any, Callable
+
+from repro.obs.metrics import METRICS
+
+__all__ = ["Backpressure", "WorkerPool"]
+
+_REJECTIONS = METRICS.counter(
+    "server.pool.rejections", "requests rejected by admission control"
+)
+_QUEUE_DEPTH = METRICS.gauge(
+    "server.pool.queue_depth", "requests waiting for a worker"
+)
+_EXECUTED = METRICS.counter("server.pool.executed", "jobs executed by workers")
+
+
+class Backpressure(Exception):
+    """The worker queue is full; the request was not admitted."""
+
+    def __init__(self, queue_size: int):
+        super().__init__(f"server over capacity: {queue_size} requests queued")
+        self.queue_size = queue_size
+
+
+class WorkerPool:
+    """N worker threads over one bounded FIFO queue."""
+
+    def __init__(self, workers: int = 4, queue_size: int = 64, name: str = "repro"):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        self.queue_size = queue_size
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._threads: list[threading.Thread] = []
+        self._name = name
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._work, name=f"{self._name}-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def submit(self, job: Callable[[], Any]) -> None:
+        """Enqueue ``job`` or raise :class:`Backpressure` without waiting."""
+        if not self._started:
+            raise RuntimeError("pool is not running")
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            _REJECTIONS.inc()
+            raise Backpressure(self.queue_size) from None
+        _QUEUE_DEPTH.set(self._queue.qsize())
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the workers; with ``drain`` the queued jobs finish first."""
+        if not self._started:
+            return
+        if not drain:
+            while True:
+                try:
+                    self._queue.get_nowait()
+                except queue.Empty:
+                    break
+        for _ in self._threads:
+            self._queue.put(None)  # one stop sentinel per worker
+        for thread in self._threads:
+            thread.join(timeout=30)
+        self._threads.clear()
+        self._started = False
+        _QUEUE_DEPTH.set(0)
+
+    def _work(self) -> None:
+        while True:
+            job = self._queue.get()
+            _QUEUE_DEPTH.set(self._queue.qsize())
+            if job is None:
+                return
+            try:
+                job()
+                _EXECUTED.inc()
+            except Exception:  # a job must never kill its worker
+                traceback.print_exc(file=sys.stderr)

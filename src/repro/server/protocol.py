@@ -1,0 +1,175 @@
+"""Wire protocol: length-prefixed JSON frames and value conversion.
+
+Framing (version 1): each message is a 4-byte big-endian unsigned payload
+length followed by a UTF-8 JSON object.  Requests and responses are flat
+JSON objects:
+
+* request — ``{"id": <int>, "op": "<name>", ...operands}``;
+* success — ``{"id": <int>, "ok": true, "result": {...}}``;
+* failure — ``{"id": <int>, "ok": false,
+  "error": {"code": "<code>", "message": "...", ...details}}``.
+
+Error codes are machine-readable contract, not prose: ``backpressure``
+(admission control rejected the request), ``busy`` (transaction lock
+timeout), ``step_limit`` (instruction budget exhausted,
+:class:`repro.machine.vm.StepLimitExceeded`), ``exec_error`` (uncaught TML
+exception), ``bad_request``, ``txn_state``, ``not_found``, ``internal``,
+``shutting_down``.
+
+TML runtime values cross the wire as JSON with tagged escapes for the
+types JSON cannot express directly (see :func:`to_jsonable` /
+:func:`from_jsonable`).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+from repro.core.syntax import Char, Oid, UNIT, Unit
+from repro.machine.runtime import TmlArray, TmlByteArray, TmlVector
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME",
+    "ProtocolError",
+    "send_frame",
+    "recv_frame",
+    "to_jsonable",
+    "from_jsonable",
+    "E_BACKPRESSURE",
+    "E_BUSY",
+    "E_STEP_LIMIT",
+    "E_EXEC",
+    "E_BAD_REQUEST",
+    "E_TXN_STATE",
+    "E_NOT_FOUND",
+    "E_INTERNAL",
+    "E_SHUTTING_DOWN",
+]
+
+PROTOCOL_VERSION = 1
+#: refuse frames above this size — a corrupt length prefix must not make
+#: the peer allocate gigabytes
+MAX_FRAME = 16 * 1024 * 1024
+_LEN = struct.Struct(">I")
+
+E_BACKPRESSURE = "backpressure"
+E_BUSY = "busy"
+E_STEP_LIMIT = "step_limit"
+E_EXEC = "exec_error"
+E_BAD_REQUEST = "bad_request"
+E_TXN_STATE = "txn_state"
+E_NOT_FOUND = "not_found"
+E_INTERNAL = "internal"
+E_SHUTTING_DOWN = "shutting_down"
+
+
+class ProtocolError(Exception):
+    """Malformed frame, oversized message or mid-frame disconnect."""
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Serialize ``message`` and write one length-prefixed frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds {MAX_FRAME}")
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; None on clean EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if chunks:
+                raise ProtocolError("connection closed mid-frame")
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket, max_frame: int = MAX_FRAME) -> dict | None:
+    """Read one frame; returns None when the peer closed the connection."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > max_frame:
+        raise ProtocolError(f"announced frame of {length} bytes exceeds {max_frame}")
+    payload = _recv_exact(sock, length) if length else b""
+    if payload is None:
+        raise ProtocolError("connection closed mid-frame")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload is not a JSON object")
+    return message
+
+
+# ---------------------------------------------------------------------------
+# value conversion
+# ---------------------------------------------------------------------------
+
+
+def to_jsonable(value: Any) -> Any:
+    """TML runtime value → JSON-safe representation (tagged escapes).
+
+    Scalars that JSON covers pass through; everything else becomes a
+    single-key tag object: ``{"$char": "c"}``, ``{"$unit": true}``,
+    ``{"$oid": 7}``, ``{"$vec": [...]}`` (immutable vector), ``{"$arr":
+    [...]}`` (mutable array), ``{"$bytes": "hex"}``.  Values with no wire
+    form (closures, relations) degrade to ``{"$repr": "..."}`` — they stay
+    in the image; the wire carries a description.
+    """
+    if value is None or isinstance(value, (bool, int, str, float)):
+        return value
+    if isinstance(value, Char):
+        return {"$char": value.value}
+    if isinstance(value, Unit):
+        return {"$unit": True}
+    if isinstance(value, Oid):
+        return {"$oid": int(value)}
+    if isinstance(value, TmlVector):
+        return {"$vec": [to_jsonable(v) for v in value.slots]}
+    if isinstance(value, TmlArray):
+        return {"$arr": [to_jsonable(v) for v in value.slots]}
+    if isinstance(value, TmlByteArray):
+        return {"$bytes": bytes(value.data).hex()}
+    if isinstance(value, (list, tuple)):
+        return {"$vec": [to_jsonable(v) for v in value]}
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    return {"$repr": repr(value)}
+
+
+def from_jsonable(value: Any) -> Any:
+    """JSON wire representation → TML runtime value (inverse of above)."""
+    if value is None or isinstance(value, (bool, int, str, float)):
+        return value
+    if isinstance(value, list):
+        return TmlVector([from_jsonable(v) for v in value])
+    if isinstance(value, dict):
+        if "$char" in value:
+            return Char(value["$char"])
+        if "$unit" in value:
+            return UNIT
+        if "$oid" in value:
+            return Oid(value["$oid"])
+        if "$vec" in value:
+            return TmlVector([from_jsonable(v) for v in value["$vec"]])
+        if "$arr" in value:
+            return TmlArray([from_jsonable(v) for v in value["$arr"]])
+        if "$bytes" in value:
+            return TmlByteArray(bytearray.fromhex(value["$bytes"]))
+        if "$repr" in value:
+            raise ProtocolError("$repr values are display-only, not sendable")
+        return {k: from_jsonable(v) for k, v in value.items()}
+    raise ProtocolError(f"unsendable wire value: {value!r}")

@@ -21,9 +21,10 @@ for scratch images in the code-shipping example.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Iterator
 
-from repro.core.syntax import Oid
+from repro.core.syntax import Oid, Unit
 from repro.obs.metrics import METRICS
 from repro.obs.trace import TRACER
 from repro.store.pager import Pager
@@ -42,6 +43,23 @@ _HEAP_OBJECTS_WRITTEN = METRICS.counter(
 _HEAP_BYTES_COMMITTED = METRICS.counter(
     "store.heap.bytes_committed", "serialized payload bytes written by commits"
 )
+_HEAP_EVICTIONS = METRICS.counter(
+    "store.heap.evictions", "clean cached objects evicted by the bounded cache"
+)
+_HEAP_CACHED = METRICS.gauge("store.heap.cached_objects", "objects in the heap cache")
+
+#: distinguishes "absent from cache" from a cached ``None``-ish value
+_MISSING = object()
+
+#: types excluded from identity-based store() deduplication: CPython interns
+#: small ints, short strings, None and the Unit singleton, so two logically
+#: distinct stores of ``0`` would otherwise silently share one OID — and a
+#: later in-place ``update`` of one alias would clobber the other
+_UNTRACKED_IDENTITY = (int, float, str, bytes, type(None), Unit)
+
+
+def _tracks_identity(obj: Any) -> bool:
+    return not isinstance(obj, _UNTRACKED_IDENTITY)
 
 
 class HeapError(Exception):
@@ -49,15 +67,38 @@ class HeapError(Exception):
 
 
 class ObjectHeap:
-    """An object store with OID identity, caching and atomic commit."""
+    """An object store with OID identity, caching and atomic commit.
 
-    def __init__(self, path: str | None = None, page_size: int = 4096):
+    ``cache_limit`` bounds the in-memory object cache: once more than
+    ``cache_limit`` objects are cached, the least-recently-used *clean*
+    objects (committed and not marked dirty) are dropped and transparently
+    re-loaded from their page chains on the next access.  Dirty objects are
+    never evicted — they are the uncommitted state itself.  Long-lived
+    processes (the ``repro.server`` daemon) need the bound; the default
+    (``None``) keeps the historical grow-without-bound behavior.  With a
+    bounded cache, mark mutated objects dirty via :meth:`update` promptly:
+    a clean cached object may be evicted at any time and its next load
+    yields the last *committed* state.
+    """
+
+    def __init__(
+        self,
+        path: str | None = None,
+        page_size: int = 4096,
+        cache_limit: int | None = None,
+    ):
+        if cache_limit is not None and cache_limit < 1:
+            raise HeapError(f"cache_limit must be positive, got {cache_limit}")
         self._pager: Pager | None = Pager(path, page_size) if path else None
         #: oid -> (head_page, length); the durable object table
         self._table: dict[int, tuple[int, int]] = {}
-        #: committed root directory
+        #: current root directory (uncommitted edits included)
         self._roots: dict[str, int] = {}
-        self._cache: dict[int, Any] = {}
+        #: root directory as of the last commit — restored by abort()
+        self._committed_roots: dict[str, int] = {}
+        #: LRU order: oldest first (only consulted when cache_limit is set)
+        self._cache: OrderedDict[int, Any] = OrderedDict()
+        self._cache_limit = cache_limit
         self._oid_by_identity: dict[int, int] = {}
         self._dirty: set[int] = set()
         self._next_oid = 1
@@ -83,20 +124,31 @@ class ObjectHeap:
             for _ in range(nroots):
                 name = decoder.text()
                 self._roots[name] = decoder.uvarint()
+        self._committed_roots = dict(self._roots)
 
     # ------------------------------------------------------------- object API
 
     def store(self, obj: Any) -> Oid:
-        """Enter a new object into the heap, returning its fresh OID."""
+        """Enter a new object into the heap, returning its fresh OID.
+
+        Storing the same (identity-tracked) object twice returns the same
+        OID.  Interned scalars (ints, strings, None, unit) are exempt from
+        the dedup — each store gets a fresh OID, so two roots bound to the
+        value ``0`` stay independently updatable.
+        """
         self._check_open()
-        existing = self._oid_by_identity.get(id(obj))
-        if existing is not None:
-            return Oid(existing)
+        tracked = _tracks_identity(obj)
+        if tracked:
+            existing = self._oid_by_identity.get(id(obj))
+            if existing is not None:
+                return Oid(existing)
         oid = self._next_oid
         self._next_oid += 1
         self._cache[oid] = obj
-        self._oid_by_identity[id(obj)] = oid
+        if tracked:
+            self._oid_by_identity[id(obj)] = oid
         self._dirty.add(oid)
+        self._evict()
         return Oid(oid)
 
     def load(self, oid: Oid | int) -> Any:
@@ -104,8 +156,11 @@ class ObjectHeap:
         self._check_open()
         key = int(oid)
         _HEAP_LOADS.inc()
-        if key in self._cache:
-            return self._cache[key]
+        cached = self._cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            if self._cache_limit is not None:
+                self._cache.move_to_end(key)
+            return cached
         entry = self._table.get(key)
         if entry is None or self._pager is None:
             raise HeapError(f"unknown oid {key}")
@@ -114,7 +169,9 @@ class ObjectHeap:
         raw = self._pager.read_chain(head, length)
         obj = decode_value(raw, resolver=self.load)
         self._cache[key] = obj
-        self._oid_by_identity[id(obj)] = key
+        if _tracks_identity(obj):
+            self._oid_by_identity[id(obj)] = key
+        self._evict()
         return obj
 
     def update(self, oid: Oid | int, obj: Any = None) -> None:
@@ -123,10 +180,13 @@ class ObjectHeap:
         key = int(oid)
         if obj is not None:
             old = self._cache.get(key)
-            if old is not None and old is not obj:
+            if old is not None and old is not obj and _tracks_identity(old):
                 self._oid_by_identity.pop(id(old), None)
             self._cache[key] = obj
-            self._oid_by_identity[id(obj)] = key
+            if self._cache_limit is not None:
+                self._cache.move_to_end(key)
+            if _tracks_identity(obj):
+                self._oid_by_identity[id(obj)] = key
         elif key not in self._cache and key not in self._table:
             raise HeapError(f"unknown oid {key}")
         self._dirty.add(key)
@@ -167,19 +227,33 @@ class ObjectHeap:
     # --------------------------------------------------------- transactions
 
     def commit(self) -> None:
-        """Serialize dirty objects, then publish atomically."""
+        """Serialize dirty objects, then publish atomically.
+
+        Every dirty OID must have its object in the cache: an OID marked
+        dirty via ``update(oid)`` whose object was never (re)supplied would
+        otherwise be silently skipped and the update lost.  The check runs
+        before any page is written, so a failing commit leaves the durable
+        state untouched and the dirty set intact.
+        """
         self._check_open()
         _HEAP_COMMITS.inc()
+        missing = sorted(
+            key for key in self._dirty if self._cache.get(key, _MISSING) is _MISSING
+        )
+        if missing:
+            raise HeapError(
+                f"dirty oid(s) {missing} have no cached object to serialize; "
+                "pass the object to update(oid, obj) before committing"
+            )
         if self._pager is None:
             self._dirty.clear()
+            self._committed_roots = dict(self._roots)
             return
         span = TRACER.span("store.commit", dirty=len(self._dirty))
         released: list[tuple[int, int]] = []
         written = bytes_out = 0
         for key in sorted(self._dirty):
-            obj = self._cache.get(key)
-            if obj is None:
-                continue
+            obj = self._cache[key]
             payload = encode_value(obj)
             old = self._table.get(key)
             if old is not None:
@@ -210,6 +284,7 @@ class ObjectHeap:
         header.table_len = len(raw)
         header.oid_counter = self._next_oid
         self._pager.sync_header()  # the commit point
+        self._committed_roots = dict(self._roots)
 
         # space released by superseded versions is reclaimed only after the
         # new state is durable
@@ -219,15 +294,17 @@ class ObjectHeap:
             self._pager.release_chain(head, length)
         self._pager.sync_header()
         span.set(objects_written=written, bytes_written=bytes_out).finish()
+        self._evict()  # freshly committed objects are clean, thus evictable
 
     def abort(self) -> None:
-        """Discard uncommitted objects and modifications."""
+        """Discard uncommitted objects, modifications and root edits."""
         self._check_open()
         for key in self._dirty:
             obj = self._cache.pop(key, None)
-            if obj is not None:
+            if obj is not None and _tracks_identity(obj):
                 self._oid_by_identity.pop(id(obj), None)
         self._dirty.clear()
+        self._roots = dict(self._committed_roots)
         # recompute next oid from durable state
         self._next_oid = (
             self._pager.header.oid_counter if self._pager is not None else self._next_oid
@@ -245,6 +322,37 @@ class ObjectHeap:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ------------------------------------------------------------- eviction
+
+    def _evict(self) -> None:
+        """Drop least-recently-used *clean* objects past ``cache_limit``.
+
+        Only objects that are committed (present in the durable table) and
+        not dirty are candidates: anything else is unrecoverable state.  If
+        every cached object is dirty the cache is allowed to exceed the
+        limit — correctness beats the bound.
+        """
+        limit = self._cache_limit
+        if limit is None:
+            _HEAP_CACHED.set(len(self._cache))
+            return
+        if len(self._cache) > limit:
+            evictable = [
+                key
+                for key in self._cache  # oldest first
+                if key in self._table and key not in self._dirty
+            ]
+            for key in evictable[: len(self._cache) - limit]:
+                # concurrent snapshot readers may race on faulting/evicting;
+                # a key another thread already dropped is simply skipped
+                obj = self._cache.pop(key, _MISSING)
+                if obj is _MISSING:
+                    continue
+                if _tracks_identity(obj):
+                    self._oid_by_identity.pop(id(obj), None)
+                _HEAP_EVICTIONS.inc()
+        _HEAP_CACHED.set(len(self._cache))
 
     # ------------------------------------------------------------- metrics
 

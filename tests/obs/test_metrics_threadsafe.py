@@ -1,0 +1,104 @@
+"""Thread-safety of the metrics registry (server workers share instruments)."""
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def _hammer(threads_n, worker):
+    threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+
+
+def test_counter_increments_are_not_lost():
+    registry = MetricsRegistry()
+    counter = registry.counter("t.counter", "test")
+    per_thread = 20_000
+
+    def worker():
+        for _ in range(per_thread):
+            counter.inc()
+
+    _hammer(8, worker)
+    assert counter.value == 8 * per_thread
+
+
+def test_counter_bulk_increments():
+    registry = MetricsRegistry()
+    counter = registry.counter("t.bulk", "test")
+
+    def worker():
+        for _ in range(5_000):
+            counter.inc(3)
+
+    _hammer(8, worker)
+    assert counter.value == 8 * 5_000 * 3
+
+
+def test_gauge_inc_dec_balance():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("t.gauge", "test")
+
+    def worker():
+        for _ in range(10_000):
+            gauge.inc()
+            gauge.dec()
+
+    _hammer(8, worker)
+    assert gauge.value == 0
+
+
+def test_histogram_observation_count_is_exact():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("t.hist", "test")
+    per_thread = 10_000
+
+    def worker():
+        for i in range(per_thread):
+            histogram.observe(i % 7)
+
+    _hammer(8, worker)
+    snapshot = histogram.snapshot()
+    assert snapshot["count"] == 8 * per_thread
+    assert snapshot["total"] == 8 * sum(i % 7 for i in range(per_thread))
+    assert snapshot["min"] == 0
+    assert snapshot["max"] == 6
+
+
+def test_get_or_create_races_return_one_instrument():
+    registry = MetricsRegistry()
+    seen = []
+    barrier = threading.Barrier(8)
+
+    def worker():
+        barrier.wait()
+        seen.append(registry.counter("t.race", "test"))
+
+    _hammer(8, worker)
+    assert len(seen) == 8
+    assert all(instrument is seen[0] for instrument in seen)
+
+
+def test_reset_while_incrementing_keeps_consistency():
+    """reset() under concurrent inc() must not corrupt internal state."""
+    registry = MetricsRegistry()
+    counter = registry.counter("t.reset", "test")
+    stop = threading.Event()
+
+    def incrementer():
+        while not stop.is_set():
+            counter.inc()
+
+    threads = [threading.Thread(target=incrementer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for _ in range(50):
+        registry.reset()
+    stop.set()
+    for t in threads:
+        t.join(timeout=30)
+    assert isinstance(counter.value, int)
+    assert counter.value >= 0

@@ -1,0 +1,91 @@
+"""Tests for the PTML-hash-keyed compiled-code cache (repro.server.codecache)."""
+
+from repro.lang import TycoonSystem
+from repro.server.codecache import CACHE_ROOT, CodeCache
+from repro.store.heap import ObjectHeap
+
+PROGRAM = """
+module demo export double halve
+let double(x: Int): Int = x + x
+let halve(x: Int): Int = x / 2
+end"""
+
+
+def _stored_system(path):
+    heap = ObjectHeap(path)
+    system = TycoonSystem(heap=heap)
+    system.compile(PROGRAM)
+    system.persist("demo")
+    heap.commit()
+    return system, heap
+
+
+def test_key_is_ptml_content_hash(tmp_path):
+    system, heap = _stored_system(str(tmp_path / "a.tyc"))
+    closure = system.closure("demo", "double")
+    key = CodeCache.key_of(closure.code, heap)
+    assert key is not None and len(key) == 64  # sha256 hex
+    # deterministic: same code, same key
+    assert CodeCache.key_of(closure.code, heap) == key
+    # a different function has a different PTML, hence a different key
+    other = CodeCache.key_of(system.closure("demo", "halve").code, heap)
+    assert other != key
+    heap.close()
+
+
+def test_key_of_code_without_ptml_is_none():
+    class Bare:
+        ptml_ref = None
+
+    assert CodeCache.key_of(Bare()) is None
+
+
+def test_install_lookup_invalidate(tmp_path):
+    system, heap = _stored_system(str(tmp_path / "b.tyc"))
+    cache = CodeCache()
+    closure = system.closure("demo", "double")
+    key = CodeCache.key_of(closure.code, heap)
+    assert cache.lookup(key) is None  # miss
+    cache.install(key, closure)
+    assert cache.lookup(key) is closure  # hit
+    assert len(cache) == 1
+    assert cache.invalidate(key)
+    assert cache.lookup(key) is None
+    assert not cache.invalidate(key)  # second drop is a no-op
+    heap.close()
+
+
+def test_flush_and_attach_roundtrip(tmp_path):
+    path = str(tmp_path / "c.tyc")
+    system, heap = _stored_system(path)
+    cache = CodeCache()
+    closure = system.closure("demo", "double")
+    key = CodeCache.key_of(closure.code, heap)
+    cache.install(key, closure)
+    cache.flush(heap)
+    heap.commit()
+    heap.close()
+
+    # a fresh process: the code half is warm, closures rebuild lazily
+    reopened = ObjectHeap(path)
+    warm = CodeCache()
+    assert warm.attach(reopened) == 1
+    assert warm.lookup(key) is None  # closure tier is process-local
+    assert warm.stats()["persisted_codes"] == 1
+    assert reopened.root(CACHE_ROOT) is not None
+    reopened.close()
+
+
+def test_flush_without_changes_is_noop(tmp_path):
+    path = str(tmp_path / "d.tyc")
+    system, heap = _stored_system(path)
+    cache = CodeCache()
+    cache.flush(heap)  # nothing installed, nothing dirty
+    assert heap.root(CACHE_ROOT) is None
+    heap.close()
+
+
+def test_attach_on_empty_image_is_zero(tmp_path):
+    heap = ObjectHeap(str(tmp_path / "e.tyc"))
+    assert CodeCache().attach(heap) == 0
+    heap.close()

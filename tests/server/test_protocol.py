@@ -1,0 +1,143 @@
+"""Tests for framing and wire value conversion (repro.server.protocol)."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.syntax import Char, Oid, UNIT
+from repro.machine.runtime import TmlArray, TmlByteArray, TmlVector
+from repro.server.protocol import (
+    ProtocolError,
+    from_jsonable,
+    recv_frame,
+    send_frame,
+    to_jsonable,
+)
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_roundtrip(self, pair):
+        a, b = pair
+        send_frame(a, {"id": 1, "op": "ping"})
+        assert recv_frame(b) == {"id": 1, "op": "ping"}
+
+    def test_multiple_frames_in_order(self, pair):
+        a, b = pair
+        for i in range(5):
+            send_frame(a, {"id": i})
+        for i in range(5):
+            assert recv_frame(b) == {"id": i}
+
+    def test_clean_eof_returns_none(self, pair):
+        a, b = pair
+        a.close()
+        assert recv_frame(b) is None
+
+    def test_mid_frame_close_raises(self, pair):
+        a, b = pair
+        a.sendall(b"\x00\x00\x00\x10partial")  # announces 16, sends 7
+        a.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_frame(b)
+
+    def test_oversized_announcement_rejected(self, pair):
+        a, b = pair
+        a.sendall(b"\xff\xff\xff\xff")
+        with pytest.raises(ProtocolError, match="exceeds"):
+            recv_frame(b, max_frame=1024)
+
+    def test_bad_json_rejected(self, pair):
+        a, b = pair
+        payload = b"not json"
+        a.sendall(len(payload).to_bytes(4, "big") + payload)
+        with pytest.raises(ProtocolError, match="bad JSON"):
+            recv_frame(b)
+
+    def test_non_object_payload_rejected(self, pair):
+        a, b = pair
+        payload = b"[1,2,3]"
+        a.sendall(len(payload).to_bytes(4, "big") + payload)
+        with pytest.raises(ProtocolError, match="not a JSON object"):
+            recv_frame(b)
+
+    def test_large_frame_roundtrip(self, pair):
+        a, b = pair
+        message = {"blob": "x" * 300_000}
+        received = {}
+        done = threading.Event()
+
+        def reader():
+            received.update(recv_frame(b))
+            done.set()
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        send_frame(a, message)
+        assert done.wait(10)
+        thread.join(timeout=5)
+        assert received == message
+
+
+class TestValueConversion:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, -7, 2**62, "text", 3.5],
+    )
+    def test_scalars_pass_through(self, value):
+        assert to_jsonable(value) == value
+        assert from_jsonable(value) == value
+
+    def test_char_roundtrip(self):
+        wire = to_jsonable(Char("k"))
+        assert wire == {"$char": "k"}
+        assert from_jsonable(wire) == Char("k")
+
+    def test_unit_roundtrip(self):
+        assert from_jsonable(to_jsonable(UNIT)) is UNIT
+
+    def test_oid_roundtrip(self):
+        assert from_jsonable(to_jsonable(Oid(42))) == Oid(42)
+
+    def test_vector_roundtrip(self):
+        vector = TmlVector([1, Char("a"), TmlVector([2])])
+        back = from_jsonable(to_jsonable(vector))
+        assert isinstance(back, TmlVector)
+        assert back.slots[0] == 1
+        assert back.slots[1] == Char("a")
+        assert back.slots[2].slots == (2,)
+
+    def test_array_roundtrip(self):
+        array = TmlArray([1, 2, 3])
+        back = from_jsonable(to_jsonable(array))
+        assert isinstance(back, TmlArray)
+        assert back.slots == [1, 2, 3]
+
+    def test_bytearray_roundtrip(self):
+        data = TmlByteArray(bytearray(b"\x00\x01\xfe"))
+        back = from_jsonable(to_jsonable(data))
+        assert isinstance(back, TmlByteArray)
+        assert bytes(back.data) == b"\x00\x01\xfe"
+
+    def test_plain_json_list_becomes_vector(self):
+        back = from_jsonable([1, 2])
+        assert isinstance(back, TmlVector)
+        assert back.slots == (1, 2)
+
+    def test_unrepresentable_degrades_to_repr(self):
+        wire = to_jsonable(object())
+        assert "$repr" in wire
+        with pytest.raises(ProtocolError):
+            from_jsonable(wire)
+
+    def test_dict_roundtrip(self):
+        wire = to_jsonable({"a": 1, "b": Char("z")})
+        assert from_jsonable(wire) == {"a": 1, "b": Char("z")}

@@ -1,0 +1,183 @@
+"""Tests for single-writer / snapshot-reader control (repro.store.concurrency)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.store.concurrency import LockTimeout, RWLock, TransactionManager
+from repro.store.heap import HeapError, ObjectHeap
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        lock = RWLock()
+        assert lock.acquire_read(timeout=1)
+        assert lock.acquire_read(timeout=1)
+        lock.release_read()
+        lock.release_read()
+
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        assert lock.acquire_write(timeout=1)
+        assert not lock.acquire_read(timeout=0.05)
+        lock.release_write()
+        assert lock.acquire_read(timeout=1)
+        lock.release_read()
+
+    def test_writer_excludes_writer(self):
+        lock = RWLock()
+        assert lock.acquire_write(timeout=1)
+        assert not lock.acquire_write(timeout=0.05)
+        lock.release_write()
+
+    def test_reader_blocks_writer_until_done(self):
+        lock = RWLock()
+        assert lock.acquire_read(timeout=1)
+        assert not lock.acquire_write(timeout=0.05)
+        lock.release_read()
+        assert lock.acquire_write(timeout=1)
+        lock.release_write()
+
+    def test_waiting_writer_blocks_new_readers(self):
+        """Writer preference: a queued writer must not be starved by reads."""
+        lock = RWLock()
+        lock.acquire_read()
+        got_write = threading.Event()
+
+        def writer():
+            lock.acquire_write()
+            got_write.set()
+            lock.release_write()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        # give the writer time to queue, then try to sneak a new reader in
+        time.sleep(0.05)
+        assert not lock.acquire_read(timeout=0.05)
+        lock.release_read()
+        thread.join(timeout=5)
+        assert got_write.is_set()
+        # after the writer is done, readers flow again
+        assert lock.acquire_read(timeout=1)
+        lock.release_read()
+
+    def test_release_across_threads(self):
+        """Sessions migrate between pool workers: acquire here, release there."""
+        lock = RWLock()
+        lock.acquire_write()
+        thread = threading.Thread(target=lock.release_write)
+        thread.start()
+        thread.join(timeout=5)
+        assert lock.acquire_write(timeout=1)
+        lock.release_write()
+
+    def test_unbalanced_release_raises(self):
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+    def test_context_managers(self):
+        lock = RWLock()
+        with lock.read_locked():
+            with lock.read_locked():
+                pass
+        with lock.write_locked():
+            with pytest.raises(LockTimeout):
+                with lock.read_locked(timeout=0.05):
+                    pass
+
+
+class TestTransactionManager:
+    def test_write_commit_is_durable(self, tmp_path):
+        path = str(tmp_path / "txn.tyc")
+        heap = ObjectHeap(path)
+        txns = TransactionManager(heap)
+        with txns.write():
+            heap.set_root("x", heap.store((1, 2, 3)))
+        assert txns.version == 1
+        heap.close()
+        reopened = ObjectHeap(path)
+        assert reopened.load_root("x") == (1, 2, 3)
+        reopened.close()
+
+    def test_write_abort_discards(self):
+        heap = ObjectHeap()
+        txns = TransactionManager(heap)
+        with pytest.raises(RuntimeError):
+            with txns.write():
+                heap.set_root("x", heap.store("gone"))
+                raise RuntimeError("boom")
+        assert txns.version == 0
+
+    def test_read_does_not_bump_version(self):
+        heap = ObjectHeap()
+        txns = TransactionManager(heap)
+        with txns.read() as txn:
+            assert txn.mode == "read"
+            assert txn.version == 0
+        assert txns.version == 0
+
+    def test_write_lock_timeout(self):
+        heap = ObjectHeap()
+        txns = TransactionManager(heap)
+        txn = txns.begin("write")
+        with pytest.raises(LockTimeout):
+            txns.begin("write", timeout=0.05)
+        txn.abort()
+        txns.begin("write", timeout=1).abort()
+
+    def test_unknown_mode(self):
+        with pytest.raises(HeapError):
+            TransactionManager(ObjectHeap()).begin("banana")
+
+    def test_txn_handle_is_idempotent(self):
+        heap = ObjectHeap()
+        txns = TransactionManager(heap)
+        txn = txns.begin("write")
+        txn.commit()
+        txn.commit()  # no-op, must not double-release
+        txn.abort()  # no-op
+        assert txns.version == 1
+
+    def test_commit_failure_aborts_and_releases(self, monkeypatch):
+        heap = ObjectHeap()
+        txns = TransactionManager(heap)
+
+        def failing_commit():
+            raise HeapError("injected")
+
+        txn = txns.begin("write")
+        heap.set_root("x", heap.store("v"))
+        monkeypatch.setattr(heap, "commit", failing_commit)
+        with pytest.raises(HeapError, match="injected"):
+            txn.commit()
+        monkeypatch.undo()
+        # lock must have been released and the dirty state dropped
+        with txns.write():
+            pass
+        assert txns.version == 1
+
+    def test_concurrent_increments_are_serialized(self):
+        heap = ObjectHeap()
+        txns = TransactionManager(heap)
+        with txns.write():
+            oid = heap.store((0,))
+            heap.set_root("counter", oid)
+        threads_n, per_thread = 8, 25
+
+        def worker():
+            for _ in range(per_thread):
+                with txns.write():
+                    value = heap.load_root("counter")[0]
+                    heap.update(heap.root("counter"), (value + 1,))
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert heap.load_root("counter")[0] == threads_n * per_thread
+        assert txns.version == 1 + threads_n * per_thread

@@ -1,0 +1,156 @@
+"""Crash-recovery fault injection: a commit that dies must not corrupt.
+
+The heap's commit protocol is shadow-paging-lite: dirty objects and the new
+object table go to fresh pages first; the single header sync is the commit
+point.  These tests kill the process model at the worst moments — after the
+data pages are written but before the header is published, and mid-file via
+truncation — and assert that reopening the image yields exactly the
+previous committed state, fully reachable.
+"""
+
+import os
+
+import pytest
+
+from repro.store.heap import HeapError, ObjectHeap
+from repro.store.pager import Pager
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "crash.tyc")
+
+
+def _committed_image(path):
+    """An image with one committed generation: roots a=(1,2), b="keep"."""
+    heap = ObjectHeap(path)
+    heap.set_root("a", heap.store((1, 2)))
+    heap.set_root("b", heap.store("keep"))
+    heap.commit()
+    return heap
+
+
+class _SyncCrash(RuntimeError):
+    """Injected power-loss at the commit point."""
+
+
+def test_crash_before_header_sync_preserves_previous_commit(path):
+    heap = _committed_image(path)
+
+    # second transaction dies after writing data pages, before the header
+    # sync publishes them
+    real_sync = Pager.sync_header
+
+    def dying_sync(self):
+        raise _SyncCrash("power loss at the commit point")
+
+    heap.set_root("a", heap.store((3, 4, 5)))
+    heap.set_root("c", heap.store("new"))
+    Pager.sync_header = dying_sync
+    try:
+        with pytest.raises(_SyncCrash):
+            heap.commit()
+    finally:
+        Pager.sync_header = real_sync
+    # simulate the process dying: no further writes, just drop the handle
+    heap._pager._file.close()
+
+    reopened = ObjectHeap(path)
+    assert reopened.root_names() == ["a", "b"]
+    assert reopened.load_root("a") == (1, 2)
+    assert reopened.load_root("b") == "keep"
+    reopened.close()
+
+
+def test_crash_between_commits_keeps_latest_published_state(path):
+    heap = _committed_image(path)
+    # a second, successful commit supersedes the first generation
+    heap.update(heap.root("a"), (10, 20, 30))
+    heap.set_root("c", heap.store({"k": 1}))
+    heap.commit()
+
+    # the third one crashes at the commit point
+    real_sync = Pager.sync_header
+    heap.update(heap.root("a"), ("must", "not", "survive"))
+    Pager.sync_header = lambda self: (_ for _ in ()).throw(_SyncCrash())
+    try:
+        with pytest.raises(_SyncCrash):
+            heap.commit()
+    finally:
+        Pager.sync_header = real_sync
+    heap._pager._file.close()
+
+    reopened = ObjectHeap(path)
+    assert reopened.load_root("a") == (10, 20, 30)
+    assert reopened.load_root("b") == "keep"
+    assert reopened.load_root("c") == {"k": 1}
+    reopened.close()
+
+
+def test_truncated_tail_after_commit_point_is_harmless(path):
+    """Pages appended after the last header sync are garbage, not damage."""
+    heap = _committed_image(path)
+    size_after_commit = os.path.getsize(path)
+    # a crashed follow-up commit appended data pages but never published
+    real_sync = Pager.sync_header
+    heap.set_root("a", heap.store(tuple(range(100))))
+    Pager.sync_header = lambda self: (_ for _ in ()).throw(_SyncCrash())
+    try:
+        with pytest.raises(_SyncCrash):
+            heap.commit()
+    finally:
+        Pager.sync_header = real_sync
+    heap._pager._file.close()
+    assert os.path.getsize(path) >= size_after_commit
+
+    reopened = ObjectHeap(path)
+    assert reopened.load_root("a") == (1, 2)
+    # and the image still accepts new transactions after recovery
+    reopened.set_root("d", reopened.store("after-recovery"))
+    reopened.commit()
+    reopened.close()
+
+    final = ObjectHeap(path)
+    assert final.load_root("d") == "after-recovery"
+    assert final.load_root("a") == (1, 2)
+    final.close()
+
+
+def test_failed_commit_keeps_in_memory_session_consistent(path):
+    """After an injected crash the surviving process can retry and commit."""
+    heap = _committed_image(path)
+    real_sync = Pager.sync_header
+    heap.update(heap.root("a"), (7, 7, 7))
+    Pager.sync_header = lambda self: (_ for _ in ()).throw(_SyncCrash())
+    try:
+        with pytest.raises(_SyncCrash):
+            heap.commit()
+    finally:
+        Pager.sync_header = real_sync
+    # same process retries with the pager intact: the data pages of the
+    # failed attempt are already on disk, the retry republishes the table
+    heap.commit()
+    heap.close()
+
+    reopened = ObjectHeap(path)
+    assert reopened.load_root("a") == (7, 7, 7)
+    reopened.close()
+
+
+def test_commit_refuses_dirty_oid_without_object(path):
+    """The silent-skip bug: dirty OIDs missing from the cache must fail loudly."""
+    heap = ObjectHeap(path)
+    oid = heap.store(("v1",))
+    heap.set_root("x", oid)
+    heap.commit()
+    # mark dirty, then make the cached object vanish (models the eviction /
+    # bookkeeping bug class that used to lose the update silently)
+    heap.update(oid)
+    del heap._cache[int(oid)]
+    with pytest.raises(HeapError, match="no cached object"):
+        heap.commit()
+    # the failed commit wrote nothing: reopening sees the old value
+    heap._pager._file.close()
+    reopened = ObjectHeap(path)
+    assert reopened.load_root("x") == ("v1",)
+    reopened.close()
