@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast properties lint ruff bench server-smoke all
+.PHONY: test test-fast properties lint ruff bench server-smoke crash-sim fsck-smoke all
 
 all: test lint
 
@@ -34,6 +34,16 @@ ruff:
 # (transactional commits, code-cache hits, one PGO round, graceful shutdown)
 server-smoke:
 	$(PYTHON) scripts/server_smoke.py --image server-smoke.tyc --trace server-smoke-trace.ndjson
+
+# exhaustive crash-point sweep: simulate power loss at every I/O operation
+# of a multi-commit workload, in four failure models, and require recovery
+# to an adjacent commit's state every time (see docs/durability.md)
+crash-sim:
+	$(PYTHON) scripts/crash_sim.py --json crash-sim-report.json
+
+# integrity-check the image the server smoke test leaves behind
+fsck-smoke: server-smoke
+	$(PYTHON) -m repro fsck server-smoke.tyc --json fsck-report.json -v
 
 # experiment benchmarks, then the machine-readable artifacts
 # (BENCH_vm.json / BENCH_opt.json, schema docs in docs/observability.md)

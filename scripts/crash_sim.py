@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""CI driver for the exhaustive crash-point harness (``make crash-sim``).
+
+Runs :func:`repro.store.crashsim.run_crash_sim` — a simulated crash at
+every successive I/O operation of a multi-commit workload, in all four
+failure models — and exits nonzero if any scenario reopened to anything
+but the pre- or post-commit state (or failed its fsck).  Writes the full
+JSON report for artifact upload.
+
+Usage: python scripts/crash_sim.py [--page-size N] [--modes a,b]
+                                   [--no-fsck] [--json OUT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.store.crashsim import MODES, run_crash_sim  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--page-size", type=int, default=256)
+    parser.add_argument(
+        "--modes", default=",".join(MODES), help="comma-separated failure models"
+    )
+    parser.add_argument(
+        "--no-fsck", action="store_true", help="skip the per-scenario fsck pass"
+    )
+    parser.add_argument("--json", metavar="OUT", help="write the report as JSON")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="crash-sim-") as workdir:
+        report = run_crash_sim(
+            workdir,
+            page_size=args.page_size,
+            modes=tuple(m for m in args.modes.split(",") if m),
+            fsck=not args.no_fsck,
+        )
+    summary = report.as_dict()
+    print(
+        f"crash-sim: {summary['scenarios']} scenarios "
+        f"({summary['io_ops_per_run']} crash points x {len(summary['modes'])} modes, "
+        f"{summary['commits']} commits, page_size={summary['page_size']}) "
+        f"in {summary['duration_s']}s -> "
+        + ("OK" if report.ok else f"{len(report.failures)} FAILURES")
+    )
+    for failure in report.failures:
+        print(f"  FAIL {failure['mode']} @ op {failure['crash_at']}: {failure['error']}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fp:
+            json.dump(summary, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,11 @@ Commands:
 * ``disasm FILE --function m.f`` — print the TAM code listing;
 * ``bench [--scale S] [--programs p,q]`` — the §6 Stanford table;
 * ``store ls PATH`` — list the roots of a persistent store image;
+* ``fsck IMAGE [--repair] [--json OUT]`` — offline integrity check of a
+  store image: header slots, page checksums, object table, chains, free
+  list, references and reachability; ``--repair`` quarantines corrupt or
+  unreachable objects and rebuilds the free list (see docs/durability.md);
+  exits nonzero when integrity errors are found;
 * ``serve IMAGE [--port N] [--workers N] ...`` — boot the multi-session
   database server over a persistent image (see docs/server.md); prints
   ``listening on HOST:PORT`` once ready and serves until interrupted or a
@@ -370,7 +375,36 @@ def _stored_targets(store_path: str, oid: int):
         heap.close()
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.store.fsck import fsck_image
+
+    result = fsck_image(args.image, repair=args.repair)
+    for finding in result.findings:
+        if finding.severity == "info" and not args.verbose:
+            continue
+        print(f"{finding.severity}: [{finding.code}] {finding.message}")
+    print(
+        f"fsck {args.image}: format v{result.format}, "
+        f"{result.objects_checked} object(s) checked, "
+        f"{len(result.errors)} error(s), {len(result.warnings)} warning(s), "
+        f"{len(result.leaked_pages)} leaked page(s)"
+        + (f", {len(result.quarantined)} quarantined" if result.repaired else "")
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fp:
+            _json.dump(result.as_dict(), fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+    if result.repaired:
+        return 0
+    return 1 if result.errors else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from repro.server import ReproServer, ServerConfig
 
     config = ServerConfig(
@@ -388,6 +422,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     host, port = server.address
     # machine-parsable readiness line: the smoke driver waits for it
     print(f"listening on {host}:{port}", flush=True)
+
+    def _on_sigterm(signum, frame):  # graceful drain, then exit
+        print("SIGTERM; draining sessions and shutting down", file=sys.stderr)
+        server.initiate_shutdown()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
     try:
         server.wait()
     except KeyboardInterrupt:
@@ -541,6 +584,21 @@ def build_parser() -> argparse.ArgumentParser:
     store_p.add_argument("action", choices=["ls"])
     store_p.add_argument("path")
     store_p.set_defaults(handler=_cmd_store)
+
+    fsck_p = sub.add_parser(
+        "fsck", help="check (and repair) the integrity of a store image"
+    )
+    fsck_p.add_argument("image", help="persistent store image to check")
+    fsck_p.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine corrupt/unreachable objects and rebuild the free list",
+    )
+    fsck_p.add_argument("--json", metavar="OUT", help="write the report as JSON")
+    fsck_p.add_argument(
+        "-v", "--verbose", action="store_true", help="also print info findings"
+    )
+    fsck_p.set_defaults(handler=_cmd_fsck)
 
     lint_p = sub.add_parser(
         "lint", help="run the static analyses over TL functions or stored objects"

@@ -21,7 +21,17 @@ client`` talks to it.  Protocol and lifecycle are specified in
 ``docs/server.md``.
 """
 
-from repro.server.client import Client, ClientError, ServerError, connect
+from repro.server.client import (
+    BackpressureError,
+    BusyError,
+    Client,
+    ClientError,
+    ConnectionLost,
+    RetryPolicy,
+    ServerError,
+    ShuttingDownError,
+    connect,
+)
 from repro.server.codecache import CodeCache
 from repro.server.daemon import ReproServer, ServerConfig
 from repro.server.pgo import PgoWorker
@@ -37,7 +47,12 @@ from repro.server.protocol import (
 __all__ = [
     "Client",
     "ClientError",
+    "ConnectionLost",
     "ServerError",
+    "BusyError",
+    "BackpressureError",
+    "ShuttingDownError",
+    "RetryPolicy",
     "connect",
     "CodeCache",
     "ReproServer",

@@ -1,13 +1,32 @@
-"""Blocking client for the repro daemon.
+"""Blocking client for the repro daemon — with optional self-healing.
 
 One :class:`Client` is one session: a TCP connection speaking the
 length-prefixed JSON protocol of :mod:`repro.server.protocol`, requests
 issued strictly one at a time (the daemon still interleaves *sessions*
-concurrently).  Failures come back as :class:`ServerError` carrying the
-structured error code, so callers branch on ``exc.code`` rather than
-parsing messages:
+concurrently).  Failures come back typed, so callers branch on the
+exception class (or ``exc.code``) rather than parsing messages:
 
->>> with connect(port) as db:                       # doctest: +SKIP
+* :class:`BusyError`, :class:`BackpressureError`,
+  :class:`ShuttingDownError` — the daemon *rejected* the request before
+  executing it.  Rejections are side-effect free, so they are safe to
+  retry for any operation;
+* :class:`ServerError` — every other structured failure (the request may
+  have executed);
+* :class:`ConnectionLost` — the TCP session died mid-request.  Only
+  *idempotent* requests (``ping``, ``get``, ``roots``, ``stats``,
+  read-mode ``call``) are safe to replay, because a mutating request may
+  have committed before the response was lost.
+
+Pass a :class:`RetryPolicy` to opt into automatic recovery: rejected
+requests are retried with exponential backoff + jitter, and idempotent
+requests transparently *reconnect* and retry when the connection drops —
+which is exactly what surviving a daemon SIGTERM + restart takes.  Retries
+never happen inside an explicit transaction (the server aborts a
+disconnected session's transaction, so replaying mid-transaction requests
+would silently drop the transaction's earlier effects).  The default
+(``retry=None``) keeps the historical fail-fast behavior.
+
+>>> with connect(port, retry=RetryPolicy()) as db:   # doctest: +SKIP
 ...     db.set("counter", 0)
 ...     with db.transaction():
 ...         value = db.get("counter")["counter"]
@@ -17,22 +36,58 @@ parsing messages:
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Any
 
+from repro.obs.metrics import METRICS
 from repro.server import protocol
 from repro.server.protocol import from_jsonable, recv_frame, send_frame, to_jsonable
 
-__all__ = ["Client", "ClientError", "ServerError", "connect"]
+__all__ = [
+    "Client",
+    "ClientError",
+    "ConnectionLost",
+    "ServerError",
+    "BusyError",
+    "BackpressureError",
+    "ShuttingDownError",
+    "RetryPolicy",
+    "connect",
+]
+
+_RETRIES = METRICS.counter(
+    "server.client.retries", "requests retried after a rejection or disconnect"
+)
+_RECONNECTS = METRICS.counter(
+    "server.client.reconnects", "TCP sessions re-established by the retry layer"
+)
+_GAVE_UP = METRICS.counter(
+    "server.client.gave_up", "requests that exhausted their retry budget"
+)
+
+#: requests with no server-side effects: safe to replay even when the
+#: connection died mid-request and the first attempt's fate is unknown
+IDEMPOTENT_OPS = frozenset({"ping", "get", "roots", "stats"})
 
 
 class ClientError(Exception):
     """Client-side failure: connection lost, protocol violation."""
 
 
+class ConnectionLost(ClientError):
+    """The TCP session died; whether the request executed is unknown."""
+
+
 class ServerError(Exception):
     """The daemon answered with a structured error."""
+
+    #: True when the daemon rejected the request *before* executing it
+    #: (admission control), making a retry side-effect free
+    retryable = False
 
     def __init__(self, code: str, message: str, details: dict | None = None):
         super().__init__(f"[{code}] {message}")
@@ -41,20 +96,119 @@ class ServerError(Exception):
         self.details = details or {}
 
 
+class BusyError(ServerError):
+    """Rejected: the transaction lock could not be acquired in time."""
+
+    retryable = True
+
+
+class BackpressureError(ServerError):
+    """Rejected: the worker pool's bounded queue is full."""
+
+    retryable = True
+
+
+class ShuttingDownError(ServerError):
+    """Rejected: the daemon is draining for shutdown."""
+
+    retryable = True
+
+
+_ERROR_TYPES: dict[str, type[ServerError]] = {
+    protocol.E_BUSY: BusyError,
+    protocol.E_BACKPRESSURE: BackpressureError,
+    protocol.E_SHUTTING_DOWN: ShuttingDownError,
+}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter (AWS-style).
+
+    Attempt *n* (1-based retries) sleeps
+    ``min(max_delay, base_delay * multiplier**(n-1))`` scaled by a random
+    factor in ``[1 - jitter, 1]`` — jitter keeps a thundering herd of
+    clients from re-arriving in lockstep after a restart.
+    """
+
+    max_attempts: int = 6
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    #: also retry the initial TCP connect (daemon not yet listening)
+    retry_connect: bool = True
+
+    def delay(self, retry_index: int) -> float:
+        """Sleep before retry number ``retry_index`` (1-based)."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** (retry_index - 1))
+        return raw * (1.0 - self.jitter * random.random())
+
+
 class Client:
     """One session against a running repro daemon."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0):
-        self.sock = socket.create_connection((host, port), timeout=timeout)
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 60.0,
+        retry: RetryPolicy | None = None,
+    ):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.retry = retry
+        self.sock: socket.socket | None = None
         self._next_id = 1
         self._closed = False
+        self._in_txn = False
+        self._connect(initial=True)
 
     # ----------------------------------------------------------- transport
 
+    def _connect(self, initial: bool = False) -> None:
+        attempts = 0
+        while True:
+            try:
+                self.sock = socket.create_connection(
+                    (self._host, self._port), timeout=self._timeout
+                )
+                if not initial:
+                    _RECONNECTS.inc()
+                return
+            except OSError as exc:
+                self.sock = None
+                attempts += 1
+                policy = self.retry
+                if (
+                    policy is None
+                    or not policy.retry_connect
+                    or attempts >= policy.max_attempts
+                ):
+                    raise ConnectionLost(
+                        f"cannot connect to {self._host}:{self._port}: {exc}"
+                    ) from exc
+                time.sleep(policy.delay(attempts))
+
+    def _drop_socket(self) -> None:
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.sock = None
+
     def request(self, op: str, **operands) -> dict:
-        """Send one request and block for its response's ``result``."""
+        """Send one request and block for its response's ``result``.
+
+        Single-shot: raises the typed error on failure.  The retrying
+        public operations go through :meth:`_invoke`.
+        """
         if self._closed:
             raise ClientError("client is closed")
+        if self.sock is None:
+            self._connect()
         request_id = self._next_id
         self._next_id += 1
         message = {"id": request_id, "op": op}
@@ -63,9 +217,11 @@ class Client:
             send_frame(self.sock, message)
             response = recv_frame(self.sock)
         except (OSError, protocol.ProtocolError) as exc:
-            raise ClientError(f"connection failed during {op!r}: {exc}") from exc
+            self._drop_socket()
+            raise ConnectionLost(f"connection failed during {op!r}: {exc}") from exc
         if response is None:
-            raise ClientError(f"server closed the connection during {op!r}")
+            self._drop_socket()
+            raise ConnectionLost(f"server closed the connection during {op!r}")
         if response.get("id") != request_id:
             raise ClientError(
                 f"response id {response.get('id')!r} does not match {request_id}"
@@ -76,19 +232,40 @@ class Client:
         details = {
             k: v for k, v in error.items() if k not in ("code", "message")
         }
-        raise ServerError(
-            error.get("code", protocol.E_INTERNAL),
-            error.get("message", "unknown server error"),
-            details,
+        code = error.get("code", protocol.E_INTERNAL)
+        raise _ERROR_TYPES.get(code, ServerError)(
+            code, error.get("message", "unknown server error"), details
         )
+
+    def _invoke(self, op: str, idempotent: bool | None = None, **operands) -> dict:
+        """Issue a request under the retry policy (see module docstring)."""
+        if idempotent is None:
+            idempotent = op in IDEMPOTENT_OPS
+        policy = self.retry
+        retries = 0
+        while True:
+            try:
+                return self.request(op, **operands)
+            except (ServerError, ConnectionLost) as exc:
+                if policy is None or self._in_txn:
+                    raise
+                if isinstance(exc, ServerError):
+                    can_retry = exc.retryable  # rejected, never executed
+                else:
+                    # the request may have executed before the link died:
+                    # only replay requests with no server-side effects
+                    can_retry = idempotent
+                retries += 1
+                if not can_retry or retries >= policy.max_attempts:
+                    _GAVE_UP.inc()
+                    raise
+                _RETRIES.inc()
+                time.sleep(policy.delay(retries))
 
     def close(self) -> None:
         if not self._closed:
             self._closed = True
-            try:
-                self.sock.close()
-            except OSError:
-                pass
+            self._drop_socket()
 
     def __enter__(self) -> "Client":
         return self
@@ -100,7 +277,7 @@ class Client:
     # ---------------------------------------------------------- operations
 
     def ping(self) -> dict:
-        return self.request("ping")
+        return self._invoke("ping")
 
     def call(
         self,
@@ -120,7 +297,8 @@ class Client:
         }
         if step_limit is not None:
             operands["step_limit"] = step_limit
-        result = self.request("call", **operands)
+        # a read-mode call has no server-side effects, so it is replayable
+        result = self._invoke("call", idempotent=(mode == "read"), **operands)
         if full:
             result = dict(result)
             result["value"] = from_jsonable(result["value"])
@@ -129,31 +307,39 @@ class Client:
 
     def run(self, source: str) -> list[str]:
         """Compile and persist TL source; returns the stored module names."""
-        return self.request("run", source=source)["modules"]
+        return self._invoke("run", source=source)["modules"]
 
     def get(self, *roots: str) -> dict[str, Any]:
         """Read root objects in one snapshot; name → value."""
-        result = self.request("get", roots=list(roots))
+        result = self._invoke("get", roots=list(roots))
         return {name: from_jsonable(v) for name, v in result["values"].items()}
 
     def set(self, root: str, value: Any) -> int:
         """Bind a root to a value (auto-commits outside a transaction)."""
-        return self.request("set", root=root, value=to_jsonable(value))["oid"]
+        return self._invoke("set", root=root, value=to_jsonable(value))["oid"]
 
     def roots(self) -> list[str]:
-        return self.request("roots")["roots"]
+        return self._invoke("roots")["roots"]
 
     def begin(self, mode: str = "write", timeout: float | None = None) -> dict:
         operands: dict[str, Any] = {"mode": mode}
         if timeout is not None:
             operands["timeout"] = timeout
-        return self.request("begin", **operands)
+        result = self._invoke("begin", **operands)
+        self._in_txn = True
+        return result
 
     def commit(self) -> dict:
-        return self.request("commit")
+        try:
+            return self.request("commit")
+        finally:
+            self._in_txn = False
 
     def abort(self) -> dict:
-        return self.request("abort")
+        try:
+            return self.request("abort")
+        finally:
+            self._in_txn = False
 
     @contextmanager
     def transaction(self, mode: str = "write", timeout: float | None = None):
@@ -168,17 +354,22 @@ class Client:
             self.commit()
 
     def stats(self, metrics: bool = False) -> dict:
-        return self.request("stats", metrics=metrics)
+        return self._invoke("stats", metrics=metrics)
 
     def pgo(self, top: int | None = None) -> dict:
         """Ask the server to run one PGO round right now."""
         operands = {} if top is None else {"top": top}
-        return self.request("pgo", **operands)
+        return self._invoke("pgo", **operands)
 
     def shutdown(self) -> dict:
         return self.request("shutdown")
 
 
-def connect(port: int, host: str = "127.0.0.1", timeout: float = 60.0) -> Client:
+def connect(
+    port: int,
+    host: str = "127.0.0.1",
+    timeout: float = 60.0,
+    retry: RetryPolicy | None = None,
+) -> Client:
     """Open one session against a daemon listening on ``host:port``."""
-    return Client(host=host, port=port, timeout=timeout)
+    return Client(host=host, port=port, timeout=timeout, retry=retry)

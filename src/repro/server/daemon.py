@@ -64,6 +64,9 @@ _LATENCY = METRICS.histogram(
 )
 _ACTIVE_SESSIONS = METRICS.gauge("server.active_sessions", "connected sessions")
 _SESSIONS_OPENED = METRICS.counter("server.sessions_opened", "sessions accepted")
+_DRAIN_ABORTS = METRICS.counter(
+    "server.drain_aborted_txns", "open transactions aborted by graceful shutdown"
+)
 
 
 @dataclass
@@ -168,6 +171,8 @@ class ReproServer:
         self._threads: list[threading.Thread] = []
         self._stopping = threading.Event()
         self._stopped = threading.Event()
+        self._stop_once = threading.Lock()  # won exactly once, never released
+        self._started_at = time.monotonic()
         self._boot()
 
     # ----------------------------------------------------------------- boot
@@ -228,13 +233,35 @@ class ReproServer:
         """Block until the server has fully stopped."""
         return self._stopped.wait(timeout)
 
-    def stop(self) -> None:
-        """Graceful shutdown: drain in-flight work, close sessions and heap."""
-        if self._stopping.is_set():
-            self._stopped.wait(30)
-            return
+    def initiate_shutdown(self) -> None:
+        """Trigger :meth:`stop` without blocking (signal-handler safe).
+
+        New requests are refused with the structured ``shutting_down``
+        error immediately; the actual drain runs on a background thread so
+        a SIGTERM handler (or a request handler) never joins itself.
+        """
         self._stopping.set()
+        threading.Thread(target=self.stop, name="repro-server-stop", daemon=True).start()
+
+    def stop(self) -> None:
+        """Graceful shutdown: drain in-flight work, close sessions and heap.
+
+        Order matters: refuse new work first, let already-admitted requests
+        finish (bounded wait per session), abort transactions left open,
+        then flush and close the image — so SIGTERM never tears a commit.
+        """
+        self._stopping.set()
+        if not self._stop_once.acquire(blocking=False):
+            self._stopped.wait(30)  # someone else is tearing down
+            return
         if self._listener is not None:
+            # shutdown() wakes a thread blocked in accept() (close() alone
+            # leaves it — and the kernel listen socket — alive, keeping the
+            # port bound after "stop")
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:
@@ -246,7 +273,14 @@ class ReproServer:
             self.pgo_worker.stop()
         with self._sessions_lock:
             sessions = list(self._sessions.values())
+        # drain: an in-flight handler holds session.lock; wait (bounded) for
+        # it to answer before the socket goes away
         for session in sessions:
+            if session.lock.acquire(timeout=5):
+                session.lock.release()
+        for session in sessions:
+            if session.txn is not None:
+                _DRAIN_ABORTS.inc()
             self._release_session(session)
         with self.txns.write():
             self.code_cache.flush(self.heap)
@@ -484,10 +518,14 @@ class ReproServer:
     # ------------------------------------------------------------- operators
 
     def _op_ping(self, session, request):
+        """Liveness + identity: protocol, drain status, image facts, uptime."""
         return {
             "pong": True,
             "protocol": protocol.PROTOCOL_VERSION,
             "session": session.id,
+            "status": "draining" if self._stopping.is_set() else "ok",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "image": self.heap.image_info(),
         }
 
     def _op_call(self, session, request):

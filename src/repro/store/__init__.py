@@ -1,13 +1,20 @@
 """The persistent object store (paper sections 2.2 and 4.1).
 
-Layers: :mod:`repro.store.pager` (page file) → :mod:`repro.store.heap`
-(OID → object, roots, atomic commit) → :mod:`repro.store.serialize`
-(value codec with domain extensions) and :mod:`repro.store.ptml` (the
-compact persistent TML encoding attached to compiled functions).
+Layers: :mod:`repro.store.pager` (checksummed page file with dual-header
+commits) → :mod:`repro.store.heap` (OID → object, roots, atomic commit) →
+:mod:`repro.store.serialize` (value codec with domain extensions) and
+:mod:`repro.store.ptml` (the compact persistent TML encoding attached to
+compiled functions).  Durability tooling: :mod:`repro.store.faults`
+(fault-injecting file layer), :mod:`repro.store.crashsim` (exhaustive
+crash-point harness), :mod:`repro.store.fsck` (offline check/repair) and
+:mod:`repro.store.format` (v1 → v2 migration); see docs/durability.md.
 """
 
+from repro.store.crashsim import CrashSimReport, run_crash_sim
+from repro.store.faults import CrashPoint, FaultFile, FaultPlan
+from repro.store.fsck import FsckResult, fsck_image
 from repro.store.heap import HeapError, ObjectHeap, Transaction
-from repro.store.pager import PageError, Pager
+from repro.store.pager import FORMAT_VERSION, PageError, Pager
 from repro.store.ptml import DecodedPtml, PtmlError, decode_ptml, encode_ptml, ptml_size
 from repro.store.serialize import (
     Blob,
@@ -25,6 +32,14 @@ __all__ = [
     "Transaction",
     "PageError",
     "Pager",
+    "FORMAT_VERSION",
+    "CrashPoint",
+    "FaultFile",
+    "FaultPlan",
+    "CrashSimReport",
+    "run_crash_sim",
+    "FsckResult",
+    "fsck_image",
     "DecodedPtml",
     "PtmlError",
     "decode_ptml",

@@ -86,10 +86,18 @@ class ObjectHeap:
         path: str | None = None,
         page_size: int = 4096,
         cache_limit: int | None = None,
+        checksum: str | None = None,
+        io_factory=None,
     ):
         if cache_limit is not None and cache_limit < 1:
             raise HeapError(f"cache_limit must be positive, got {cache_limit}")
-        self._pager: Pager | None = Pager(path, page_size) if path else None
+        # io_factory lets the durability tests slide a fault-injecting file
+        # layer (repro.store.faults) under the real pager code
+        self._pager: Pager | None = (
+            Pager(path, page_size, checksum=checksum, file_factory=io_factory)
+            if path
+            else None
+        )
         #: oid -> (head_page, length); the durable object table
         self._table: dict[int, tuple[int, int]] = {}
         #: current root directory (uncommitted edits included)
@@ -359,6 +367,12 @@ class ObjectHeap:
     @property
     def file_size(self) -> int:
         return self._pager.file_size if self._pager is not None else 0
+
+    def image_info(self) -> dict:
+        """Identity/durability facts about the backing image (see ping)."""
+        if self._pager is None:
+            return {"path": None, "format": None}
+        return self._pager.image_info()
 
     def stored_size(self, oid: Oid | int) -> int:
         """Serialized byte size of a committed object (E3 measurements)."""
