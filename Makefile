@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast properties lint ruff bench server-smoke crash-sim fsck-smoke all
+.PHONY: test test-fast properties lint ruff bench server-smoke crash-sim replication-sim fsck-smoke all
 
 all: test lint
 
@@ -41,12 +41,21 @@ server-smoke:
 crash-sim:
 	$(PYTHON) scripts/crash_sim.py --json crash-sim-report.json
 
+# replication chaos sweep: link faults, kill/restart of both roles and
+# sync-replicated failover across a primary + 2 replicas; asserts no acked
+# write lost, convergence to the primary's fsck-clean state, and a single
+# highest-term primary (see docs/replication.md)
+replication-sim:
+	$(PYTHON) scripts/replication_sim.py --json replication-sim-report.json
+
 # integrity-check the image the server smoke test leaves behind
 fsck-smoke: server-smoke
 	$(PYTHON) -m repro fsck server-smoke.tyc --json fsck-report.json -v
 
 # experiment benchmarks, then the machine-readable artifacts
-# (BENCH_vm.json / BENCH_opt.json, schema docs in docs/observability.md)
+# (BENCH_vm.json / BENCH_opt.json / BENCH_server.json, schema docs in
+# docs/observability.md)
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 	$(PYTHON) -m repro bench --scale 0.3 --artifacts .
+	$(PYTHON) scripts/server_bench.py --json BENCH_server.json

@@ -7,13 +7,20 @@ failure models — and exits nonzero if any scenario reopened to anything
 but the pre- or post-commit state (or failed its fsck).  Writes the full
 JSON report for artifact upload.
 
+``--negative-control`` swaps in a deliberately non-deterministic workload
+step, so every replayed scenario mismatches its recorded expectation: the
+run MUST exit nonzero, which CI asserts by inverting the invocation —
+proving scenario failures actually propagate to the exit code.
+
 Usage: python scripts/crash_sim.py [--page-size N] [--modes a,b]
                                    [--no-fsck] [--json OUT]
+                                   [--negative-control]
 """
 
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import os
 import sys
@@ -21,7 +28,22 @@ import tempfile
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.store.crashsim import MODES, run_crash_sim  # noqa: E402
+from repro.store.crashsim import MODES, default_workload, run_crash_sim  # noqa: E402
+
+
+def _negative_control_workload():
+    """The default workload plus one run-varying step.
+
+    The counting run records one value; every scenario replay stores a
+    different one, so the reopened state can never match the recorded
+    pre- or post-commit expectation and the comparator must flag it.
+    """
+    ticket = itertools.count(1)
+
+    def nondeterministic(heap, state):
+        heap.set_root("negative", heap.store(("run", next(ticket))))
+
+    return [*default_workload(), nondeterministic]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -34,6 +56,10 @@ def main(argv: list[str] | None = None) -> int:
         "--no-fsck", action="store_true", help="skip the per-scenario fsck pass"
     )
     parser.add_argument("--json", metavar="OUT", help="write the report as JSON")
+    parser.add_argument(
+        "--negative-control", action="store_true",
+        help="sabotage the workload determinism; MUST exit nonzero",
+    )
     args = parser.parse_args(argv)
 
     with tempfile.TemporaryDirectory(prefix="crash-sim-") as workdir:
@@ -41,6 +67,9 @@ def main(argv: list[str] | None = None) -> int:
             workdir,
             page_size=args.page_size,
             modes=tuple(m for m in args.modes.split(",") if m),
+            workload=(
+                _negative_control_workload() if args.negative_control else None
+            ),
             fsck=not args.no_fsck,
         )
     summary = report.as_dict()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""CI driver for the replication chaos sweep (``make replication-sim``).
+
+Runs :func:`repro.server.netchaos.run_sweep` — a few hundred scenarios
+combining link faults (partitions, delays, truncated frames, connection
+resets) with kill/restart of every node in both roles and sync-replicated
+failover — and exits nonzero if any scenario violated an invariant:
+
+* no committed-*acknowledged* write lost,
+* all live nodes converge to the primary's fsck-clean state,
+* exactly one live primary, holding the highest term.
+
+``--negative-control`` runs the unfenced acked-write-loss scenario
+instead; it MUST fail (exit nonzero), which CI asserts by inverting the
+invocation — proving the detector still detects.
+
+Usage: python scripts/replication_sim.py [--quick] [--negative-control]
+                                         [--json OUT] [--verbose]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.server.netchaos import run_sweep  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced step grid (~40 scenarios) for local iteration",
+    )
+    parser.add_argument(
+        "--negative-control", action="store_true",
+        help="run the unfenced loss scenario; MUST exit nonzero",
+    )
+    parser.add_argument("--json", metavar="OUT", help="write the report as JSON")
+    parser.add_argument(
+        "--verbose", action="store_true", help="print every scenario result"
+    )
+    args = parser.parse_args(argv)
+
+    started = time.monotonic()
+
+    def progress(done, total, result):
+        if args.verbose or not result.ok:
+            mark = "ok  " if result.ok else "FAIL"
+            print(
+                f"  [{done:3d}/{total}] {mark} {result.name} "
+                f"({result.elapsed_s:.2f}s)"
+                + ("" if result.ok else f" — {result.detail}")
+            )
+        elif done % 25 == 0:
+            print(f"  [{done:3d}/{total}] ...")
+
+    with tempfile.TemporaryDirectory(prefix="replication-sim-") as workdir:
+        report = run_sweep(
+            workdir,
+            quick=args.quick,
+            negative_control=args.negative_control,
+            progress=progress,
+        )
+    report["duration_s"] = round(time.monotonic() - started, 2)
+    report["mode"] = (
+        "negative-control" if args.negative_control
+        else ("quick" if args.quick else "full")
+    )
+
+    print(
+        f"replication-sim [{report['mode']}]: {report['scenarios']} scenarios "
+        f"in {report['duration_s']}s -> "
+        + ("OK" if not report["failed"] else f"{report['failed']} FAILURES")
+    )
+    for failure in report["failures"]:
+        print(f"  FAIL {failure['name']}: {failure['detail']}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fp:
+            json.dump(report, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if not report["failed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Server throughput benchmark → ``BENCH_server.json`` (``make bench``).
+
+Measures requests/second over the real wire path (loopback TCP, JSON
+frames) in two topologies:
+
+* **single-node** — one standalone daemon, read and write throughput;
+* **replicated** — a primary with two read replicas; reads fan out
+  round-robin across the replicas via :class:`ClusterClient` while the
+  primary replicates writes, quantifying what the read-replica tier buys.
+
+The artifact shares the ``BENCH_vm.json`` envelope style (schema +
+meta + results) so CI uploads it alongside the other benchmarks.
+
+Usage: python scripts/server_bench.py [--ops N] [--threads N] [--json OUT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.server import ReproServer, ServerConfig, connect  # noqa: E402
+from repro.server.client import ClusterClient, RetryPolicy  # noqa: E402
+
+
+def _drive(threads: int, ops: int, make_client, op) -> float:
+    """Run ``op(client)`` ops×threads times; returns requests/second."""
+    clients = [make_client() for _ in range(threads)]
+    barrier = threading.Barrier(threads + 1)
+    errors: list[Exception] = []
+
+    def worker(client):
+        try:
+            barrier.wait()
+            for _ in range(ops):
+                op(client)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    workers = [
+        threading.Thread(target=worker, args=(c,)) for c in clients
+    ]
+    for t in workers:
+        t.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for t in workers:
+        t.join()
+    elapsed = time.perf_counter() - started
+    for client in clients:
+        client.close()
+    if errors:
+        raise errors[0]
+    return (threads * ops) / elapsed if elapsed > 0 else 0.0
+
+
+def bench_single_node(root: str, threads: int, ops: int) -> dict:
+    os.makedirs(root, exist_ok=True)
+    server = ReproServer(
+        os.path.join(root, "single.tyc"),
+        ServerConfig(workers=4, queue_size=128, pgo_interval=None),
+    )
+    server.start()
+    try:
+        with connect(server.port) as db:
+            db.set("x", 1)
+        read_rps = _drive(
+            threads, ops,
+            lambda: connect(server.port),
+            lambda c: c.get("x"),
+        )
+        write_rps = _drive(
+            1, ops,
+            lambda: connect(server.port),
+            lambda c: c.set("x", 2),
+        )
+        return {"read_rps": round(read_rps, 1), "write_rps": round(write_rps, 1)}
+    finally:
+        server.stop()
+
+
+def bench_replicated(root: str, threads: int, ops: int) -> dict:
+    os.makedirs(root, exist_ok=True)
+    primary = ReproServer(
+        os.path.join(root, "primary.tyc"),
+        ServerConfig(
+            workers=4, queue_size=128, pgo_interval=None,
+            replicate=True, node_id="primary",
+        ),
+    )
+    primary.start()
+    replicas = []
+    try:
+        for i in range(2):
+            replica = ReproServer(
+                os.path.join(root, f"r{i}.tyc"),
+                ServerConfig(
+                    workers=4, queue_size=128, pgo_interval=None,
+                    replica_of=("127.0.0.1", primary.port), node_id=f"r{i}",
+                ),
+            )
+            replica.start()
+            replicas.append(replica)
+        with connect(primary.port) as db:
+            version = db.set("x", 1)["repl_version"]
+        # wait for both replicas before timing the read tier
+        deadline = time.monotonic() + 30
+        for replica in replicas:
+            with connect(replica.port) as db:
+                while db.repl_status()["version"] < version:
+                    if time.monotonic() > deadline:
+                        raise RuntimeError("replicas never caught up")
+                    time.sleep(0.02)
+        endpoints = [("127.0.0.1", s.port) for s in (primary, *replicas)]
+
+        def make_cluster():
+            client = ClusterClient(endpoints, retry=RetryPolicy())
+            client.discover()
+            return client
+
+        fanout_rps = _drive(
+            threads, ops, make_cluster, lambda c: c.get("x")
+        )
+        return {
+            "replicas": len(replicas),
+            "fanout_read_rps": round(fanout_rps, 1),
+        }
+    finally:
+        for server in (*replicas, primary):
+            try:
+                server.stop()
+            except Exception:
+                pass
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ops", type=int, default=300, help="ops per thread")
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument(
+        "--json", metavar="OUT", default="BENCH_server.json",
+        help="artifact path (default: BENCH_server.json)",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="server-bench-") as root:
+        single = bench_single_node(os.path.join(root, "s"), args.threads, args.ops)
+        replicated = bench_replicated(
+            os.path.join(root, "r"), args.threads, args.ops
+        )
+
+    speedup = (
+        replicated["fanout_read_rps"] / single["read_rps"]
+        if single["read_rps"] else 0.0
+    )
+    payload = {
+        "schema": "repro.bench.server/v1",
+        "meta": {
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "ops_per_thread": args.ops,
+            "threads": args.threads,
+        },
+        "single_node": single,
+        "replicated": replicated,
+        "read_fanout_speedup": round(speedup, 3),
+    }
+    with open(args.json, "w", encoding="utf-8") as fp:
+        json.dump(payload, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    print(
+        f"server-bench: single read {single['read_rps']} rps, "
+        f"write {single['write_rps']} rps; "
+        f"2-replica fan-out {replicated['fanout_read_rps']} rps "
+        f"({speedup:.2f}x) -> wrote {args.json}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,10 +18,14 @@ Commands:
 * ``serve IMAGE [--port N] [--workers N] ...`` — boot the multi-session
   database server over a persistent image (see docs/server.md); prints
   ``listening on HOST:PORT`` once ready and serves until interrupted or a
-  client sends ``shutdown``;
+  client sends ``shutdown``; ``--replicate`` makes it a commit-log-shipping
+  primary, ``--replica-of HOST:PORT`` a read replica following that
+  primary (see docs/replication.md);
 * ``client --port N ACTION [...]`` — one-shot session against a running
   daemon: ``ping``, ``call m.f [args]``, ``run FILE``, ``get ROOT...``,
-  ``set ROOT VALUE``, ``roots``, ``stats``, ``pgo``, ``shutdown``;
+  ``set ROOT VALUE``, ``roots``, ``stats``, ``pgo``, ``repl-status``,
+  ``promote [TERM]``, ``follow HOST:PORT``, ``shutdown``; ``--deadline S``
+  bounds each request's wall-clock budget;
 * ``lint [FILE] [--stdlib] [--store PATH --oid N]`` — run the static
   analyses (constraints 1-5, usage, effect/registry lint, TAM bytecode
   verifier) over compiled TL functions or a stored PTML/code object; exits
@@ -407,6 +411,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.server import ReproServer, ServerConfig
 
+    replica_of = None
+    if args.replica_of:
+        host, _, port = args.replica_of.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit("error: --replica-of expects HOST:PORT")
+        replica_of = (host, int(port))
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -416,6 +426,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         lock_timeout=args.lock_timeout,
         pgo_interval=None if args.no_pgo else args.pgo_interval,
         enable_debug_ops=args.debug_ops,
+        idle_timeout=args.idle_timeout if args.idle_timeout > 0 else None,
+        replicate=args.replicate,
+        replica_of=replica_of,
+        node_id=args.node_id,
+        sync_replicas=args.sync_replicas,
+        replication_timeout=args.replication_timeout,
     )
     server = ReproServer(args.image, config)
     server.start()
@@ -445,7 +461,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
     from repro.server.client import ServerError, connect
 
     try:
-        with connect(args.port, host=args.host) as db:
+        with connect(args.port, host=args.host, deadline=args.deadline) as db:
             action = args.action
             if action == "ping":
                 result = db.ping()
@@ -474,13 +490,24 @@ def _cmd_client(args: argparse.Namespace) -> int:
             elif action == "set":
                 if len(args.operands) != 2:
                     raise SystemExit("error: set needs ROOT VALUE")
-                result = {"oid": db.set(args.operands[0], _parse_value(args.operands[1]))}
+                result = db.set(args.operands[0], _parse_value(args.operands[1]))
             elif action == "roots":
                 result = {"roots": db.roots()}
             elif action == "stats":
                 result = db.stats(metrics=args.metrics)
             elif action == "pgo":
                 result = db.pgo(top=int(args.operands[0]) if args.operands else None)
+            elif action == "repl-status":
+                result = db.repl_status(digest=True)
+            elif action == "promote":
+                result = db.promote(
+                    term=int(args.operands[0]) if args.operands else None
+                )
+            elif action == "follow":
+                if len(args.operands) != 1 or ":" not in args.operands[0]:
+                    raise SystemExit("error: follow needs HOST:PORT of the new primary")
+                host, _, port = args.operands[0].rpartition(":")
+                result = db.follow(host, int(port))
             elif action == "shutdown":
                 result = db.shutdown()
             else:  # pragma: no cover - argparse restricts choices
@@ -640,19 +667,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--debug-ops", action="store_true",
         help="enable debug protocol ops (sleep) — test use only",
     )
+    serve_p.add_argument(
+        "--idle-timeout", type=float, default=300.0,
+        help="seconds before an idle session is reaped (0 disables)",
+    )
+    serve_p.add_argument(
+        "--replicate", action="store_true",
+        help="primary role: keep a commit log and accept replica subscriptions",
+    )
+    serve_p.add_argument(
+        "--replica-of", metavar="HOST:PORT",
+        help="replica role: follow this primary's commit stream (read-only)",
+    )
+    serve_p.add_argument(
+        "--node-id", default="", help="replication node id (default host:port)"
+    )
+    serve_p.add_argument(
+        "--sync-replicas", type=int, default=0,
+        help="acknowledge writes only after N replicas applied them",
+    )
+    serve_p.add_argument(
+        "--replication-timeout", type=float, default=5.0,
+        help="seconds a sync write waits for its ack quorum",
+    )
     serve_p.set_defaults(handler=_cmd_serve)
 
     client_p = sub.add_parser("client", help="one-shot session against a daemon")
     client_p.add_argument(
         "action",
         choices=[
-            "ping", "call", "run", "get", "set", "roots", "stats", "pgo", "shutdown",
+            "ping", "call", "run", "get", "set", "roots", "stats", "pgo",
+            "repl-status", "promote", "follow", "shutdown",
         ],
     )
     client_p.add_argument("operands", nargs="*")
     client_p.add_argument("--port", type=int, required=True)
     client_p.add_argument("--host", default="127.0.0.1")
     client_p.add_argument("--step-limit", type=int, help="per-call instruction budget")
+    client_p.add_argument(
+        "--deadline", type=float,
+        help="per-request wall-clock budget in seconds (structured "
+        "deadline_exceeded once spent)",
+    )
     client_p.add_argument(
         "--metrics", action="store_true", help="include the metrics snapshot in stats"
     )

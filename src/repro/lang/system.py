@@ -49,6 +49,7 @@ class TycoonSystem:
         heap: ObjectHeap | None = None,
         options: CompileOptions | None = None,
         registry: PrimitiveRegistry | None = None,
+        persist_stdlib: bool = True,
     ):
         self.options = options or CompileOptions()
         if registry is None:
@@ -68,8 +69,12 @@ class TycoonSystem:
         self.foreign = default_foreign()
         self.interfaces: dict[str, ModuleInterface] = dict(stdlib_interfaces())
         self.compiled: dict[str, CompiledModule] = {}
+        # persist_stdlib=False links the stdlib purely in memory — replica
+        # daemons must not write locally (their heap state mirrors the
+        # primary's, object for object), so they skip the boot-time store
         self.linked: dict[str, ModuleValue] = link_stdlib(
-            self.options, heap=self.heap if heap is not None else None
+            self.options,
+            heap=self.heap if heap is not None and persist_stdlib else None,
         )
 
     # ----------------------------------------------------------- data modules

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import random
 import socket
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -49,12 +50,18 @@ from repro.server.protocol import from_jsonable, recv_frame, send_frame, to_json
 
 __all__ = [
     "Client",
+    "ClusterClient",
     "ClientError",
     "ConnectionLost",
     "ServerError",
     "BusyError",
     "BackpressureError",
     "ShuttingDownError",
+    "NotPrimaryError",
+    "StaleReadError",
+    "DeadlineExceeded",
+    "ReplicationTimeoutError",
+    "NoPrimaryError",
     "RetryPolicy",
     "connect",
 ]
@@ -71,7 +78,7 @@ _GAVE_UP = METRICS.counter(
 
 #: requests with no server-side effects: safe to replay even when the
 #: connection died mid-request and the first attempt's fate is unknown
-IDEMPOTENT_OPS = frozenset({"ping", "get", "roots", "stats"})
+IDEMPOTENT_OPS = frozenset({"ping", "get", "roots", "stats", "repl.status"})
 
 
 class ClientError(Exception):
@@ -114,10 +121,36 @@ class ShuttingDownError(ServerError):
     retryable = True
 
 
+class NotPrimaryError(ServerError):
+    """A mutating request reached a replica; details may name the primary."""
+
+
+class StaleReadError(ServerError):
+    """A bounded-staleness read's ``min_version`` is ahead of this replica."""
+
+
+class DeadlineExceeded(ServerError):
+    """The request's time budget ran out (client- or server-side)."""
+
+
+class ReplicationTimeoutError(ServerError):
+    """The write committed locally but the replica quorum did not ack in
+    time — ``details["committed"]`` is True; the data is durable on the
+    primary and will reach replicas when they catch up."""
+
+
+class NoPrimaryError(ClientError):
+    """No endpoint of the cluster currently reports the primary role."""
+
+
 _ERROR_TYPES: dict[str, type[ServerError]] = {
     protocol.E_BUSY: BusyError,
     protocol.E_BACKPRESSURE: BackpressureError,
     protocol.E_SHUTTING_DOWN: ShuttingDownError,
+    protocol.E_NOT_PRIMARY: NotPrimaryError,
+    protocol.E_STALE_READ: StaleReadError,
+    protocol.E_DEADLINE: DeadlineExceeded,
+    protocol.E_REPL_TIMEOUT: ReplicationTimeoutError,
 }
 
 
@@ -138,11 +171,14 @@ class RetryPolicy:
     jitter: float = 0.5
     #: also retry the initial TCP connect (daemon not yet listening)
     retry_connect: bool = True
+    #: jitter source — inject a seeded ``random.Random`` for reproducible
+    #: backoff sequences in tests; None uses the module-level RNG
+    rng: random.Random | None = None
 
     def delay(self, retry_index: int) -> float:
         """Sleep before retry number ``retry_index`` (1-based)."""
         raw = min(self.max_delay, self.base_delay * self.multiplier ** (retry_index - 1))
-        return raw * (1.0 - self.jitter * random.random())
+        return raw * (1.0 - self.jitter * (self.rng or random).random())
 
 
 class Client:
@@ -154,11 +190,16 @@ class Client:
         port: int = 0,
         timeout: float = 60.0,
         retry: RetryPolicy | None = None,
+        deadline: float | None = None,
     ):
         self._host = host
         self._port = port
         self._timeout = timeout
         self.retry = retry
+        #: default per-request time budget in seconds; each request carries
+        #: its *remaining* budget so the daemon can bound lock waits and
+        #: step counts to it (``deadline_exceeded`` when it runs out)
+        self.deadline = deadline
         self.sock: socket.socket | None = None
         self._next_id = 1
         self._closed = False
@@ -238,12 +279,28 @@ class Client:
         )
 
     def _invoke(self, op: str, idempotent: bool | None = None, **operands) -> dict:
-        """Issue a request under the retry policy (see module docstring)."""
+        """Issue a request under the retry policy (see module docstring).
+
+        When a deadline is configured (per-call ``deadline=`` operand or
+        the client-wide default) it is pinned when the request *starts*:
+        every attempt ships the remaining seconds, and both local waits
+        and retries stop once the budget is spent.
+        """
         if idempotent is None:
             idempotent = op in IDEMPOTENT_OPS
+        deadline = operands.pop("deadline", self.deadline)
+        deadline_at = None if deadline is None else time.monotonic() + float(deadline)
         policy = self.retry
         retries = 0
         while True:
+            if deadline_at is not None:
+                remaining = deadline_at - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlineExceeded(
+                        protocol.E_DEADLINE,
+                        f"deadline of {deadline}s expired before {op!r} completed",
+                    )
+                operands["deadline"] = round(remaining, 6)
             try:
                 return self.request(op, **operands)
             except (ServerError, ConnectionLost) as exc:
@@ -259,8 +316,17 @@ class Client:
                 if not can_retry or retries >= policy.max_attempts:
                     _GAVE_UP.inc()
                     raise
+                pause = policy.delay(retries)
+                if deadline_at is not None:
+                    budget = deadline_at - time.monotonic()
+                    if budget <= 0:
+                        raise DeadlineExceeded(
+                            protocol.E_DEADLINE,
+                            f"deadline of {deadline}s expired while retrying {op!r}",
+                        ) from exc
+                    pause = min(pause, budget)
                 _RETRIES.inc()
-                time.sleep(policy.delay(retries))
+                time.sleep(pause)
 
     def close(self) -> None:
         if not self._closed:
@@ -287,6 +353,7 @@ class Client:
         step_limit: int | None = None,
         mode: str = "read",
         full: bool = False,
+        deadline: float | None = None,
     ) -> Any:
         """Call a stored function; returns its value (or the full result)."""
         operands: dict[str, Any] = {
@@ -297,6 +364,8 @@ class Client:
         }
         if step_limit is not None:
             operands["step_limit"] = step_limit
+        if deadline is not None:
+            operands["deadline"] = deadline
         # a read-mode call has no server-side effects, so it is replayable
         result = self._invoke("call", idempotent=(mode == "read"), **operands)
         if full:
@@ -309,14 +378,36 @@ class Client:
         """Compile and persist TL source; returns the stored module names."""
         return self._invoke("run", source=source)["modules"]
 
-    def get(self, *roots: str) -> dict[str, Any]:
-        """Read root objects in one snapshot; name → value."""
-        result = self._invoke("get", roots=list(roots))
+    def get(
+        self,
+        *roots: str,
+        min_version: int | None = None,
+        deadline: float | None = None,
+    ) -> dict[str, Any]:
+        """Read root objects in one snapshot; name → value.
+
+        ``min_version`` bounds staleness on a replica: the read fails with
+        :class:`StaleReadError` unless the replica has applied at least
+        that replication version.
+        """
+        operands: dict[str, Any] = {"roots": list(roots)}
+        if min_version is not None:
+            operands["min_version"] = min_version
+        if deadline is not None:
+            operands["deadline"] = deadline
+        result = self._invoke("get", **operands)
         return {name: from_jsonable(v) for name, v in result["values"].items()}
 
-    def set(self, root: str, value: Any) -> int:
-        """Bind a root to a value (auto-commits outside a transaction)."""
-        return self._invoke("set", root=root, value=to_jsonable(value))["oid"]
+    def set(self, root: str, value: Any, deadline: float | None = None) -> dict:
+        """Bind a root to a value (auto-commits outside a transaction).
+
+        Returns the full result dict — ``oid`` plus, on a replicated
+        primary, the ``repl_version`` the commit produced.
+        """
+        operands: dict[str, Any] = {"root": root, "value": to_jsonable(value)}
+        if deadline is not None:
+            operands["deadline"] = deadline
+        return self._invoke("set", **operands)
 
     def roots(self) -> list[str]:
         return self._invoke("roots")["roots"]
@@ -361,8 +452,257 @@ class Client:
         operands = {} if top is None else {"top": top}
         return self._invoke("pgo", **operands)
 
+    def repl_status(self, digest: bool = False) -> dict:
+        """Replication role, term, version (and optionally a state digest)."""
+        return self._invoke("repl.status", digest=digest)
+
+    def promote(self, term: int | None = None) -> dict:
+        """Promote this node to primary (fencing term bumps past any seen)."""
+        operands = {} if term is None else {"term": term}
+        return self.request("promote", **operands)
+
+    def follow(self, host: str, port: int) -> dict:
+        """Re-point this node at a (new) upstream primary."""
+        return self.request("follow", host=host, port=port)
+
     def shutdown(self) -> dict:
         return self.request("shutdown")
+
+
+class ClusterClient:
+    """Failover-aware facade over a replicated cluster's endpoints.
+
+    Routing rules:
+
+    * **writes** go to whichever endpoint currently reports the ``primary``
+      role.  :class:`ConnectionLost`, :class:`NotPrimaryError` and
+      :class:`ShuttingDownError` trigger rediscovery under the retry
+      policy — a ``not_primary`` rejection that names the new primary is
+      followed directly, anything else re-pings every endpoint and picks
+      the primary with the highest term.  Replayed writes may execute
+      twice when the first attempt's ack was lost; root binds are
+      value-idempotent, so the state converges to the same image.
+    * **reads** round-robin across replicas with *bounded staleness*: each
+      read carries a ``min_version`` floor (default: the ``repl_version``
+      of this client's last write — read-your-writes), and a replica that
+      has not caught up answers ``stale_read``, upon which the next
+      candidate (ultimately the primary) is tried.
+
+    The facade holds one lazily (re)connected :class:`Client` per
+    endpoint; it is not thread-safe — use one per worker thread.
+    """
+
+    def __init__(
+        self,
+        endpoints: list[tuple[str, int]],
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+        deadline: float | None = None,
+    ):
+        if not endpoints:
+            raise ValueError("ClusterClient needs at least one endpoint")
+        self.endpoints: list[tuple[str, int]] = [
+            (str(h), int(p)) for h, p in endpoints
+        ]
+        self._timeout = timeout
+        self.retry = retry or RetryPolicy()
+        self.deadline = deadline
+        self._clients: dict[tuple[str, int], Client] = {}
+        self._primary: tuple[str, int] | None = None
+        self._replicas: list[tuple[str, int]] = []
+        self._rr = 0
+        #: highest repl_version any write through this client produced —
+        #: the default min_version floor for reads (read-your-writes)
+        self.last_write_version = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- topology
+
+    def _client(self, endpoint: tuple[str, int]) -> Client:
+        client = self._clients.get(endpoint)
+        if client is None or client.sock is None and client._closed:
+            client = Client(
+                host=endpoint[0],
+                port=endpoint[1],
+                timeout=self._timeout,
+                retry=None,  # the facade owns retries and rerouting
+                deadline=self.deadline,
+            )
+            self._clients[endpoint] = client
+        return client
+
+    def _drop(self, endpoint: tuple[str, int]) -> None:
+        client = self._clients.pop(endpoint, None)
+        if client is not None:
+            client.close()
+
+    def discover(self) -> dict:
+        """Ping every endpoint; elect the highest-term primary, list replicas."""
+        best: tuple[int, tuple[str, int]] | None = None
+        replicas: list[tuple[str, int]] = []
+        seen: dict[str, dict] = {}
+        for endpoint in list(self.endpoints):
+            try:
+                info = self._client(endpoint).ping()
+            except (ClientError, ServerError) as exc:
+                self._drop(endpoint)
+                seen[f"{endpoint[0]}:{endpoint[1]}"] = {"error": str(exc)}
+                continue
+            seen[f"{endpoint[0]}:{endpoint[1]}"] = info
+            role = info.get("role", "standalone")
+            term = int(info.get("term", 0))
+            if role == "replica":
+                replicas.append(endpoint)
+            elif best is None or term > best[0]:
+                best = (term, endpoint)
+        with self._lock:
+            self._primary = best[1] if best else None
+            self._replicas = replicas
+        return seen
+
+    # --------------------------------------------------------------- writes
+
+    def _on_primary(self, fn):
+        last_exc: Exception | None = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            endpoint = self._primary
+            if endpoint is None:
+                self.discover()
+                endpoint = self._primary
+            if endpoint is None:
+                last_exc = NoPrimaryError(
+                    f"no primary among {len(self.endpoints)} endpoints"
+                )
+            else:
+                try:
+                    return fn(self._client(endpoint))
+                except NotPrimaryError as exc:
+                    last_exc = exc
+                    self._primary = None
+                    hint = exc.details.get("primary")
+                    if hint:  # the replica told us who leads now
+                        target = (str(hint["host"]), int(hint["port"]))
+                        if target not in self.endpoints:
+                            self.endpoints.append(target)
+                        self._primary = target
+                        continue  # no backoff: we were redirected
+                except (ConnectionLost, ShuttingDownError) as exc:
+                    last_exc = exc
+                    self._drop(endpoint)
+                    self._primary = None
+            if attempt < self.retry.max_attempts:
+                _RETRIES.inc()
+                time.sleep(self.retry.delay(attempt))
+        _GAVE_UP.inc()
+        raise last_exc
+
+    def set(self, root: str, value: Any) -> dict:
+        result = self._on_primary(lambda c: c.set(root, value))
+        self._note_write(result)
+        return result
+
+    def run(self, source: str) -> list[str]:
+        return self._on_primary(lambda c: c.run(source))
+
+    def call(
+        self,
+        module: str,
+        function: str,
+        args: list | None = None,
+        step_limit: int | None = None,
+        mode: str = "read",
+        full: bool = False,
+    ) -> Any:
+        if mode == "write":
+            result = self._on_primary(
+                lambda c: c.call(module, function, args, step_limit, mode, full=True)
+            )
+            self._note_write(result)
+            return result if full else result["value"]
+        return self._on_replica(
+            lambda c: c.call(module, function, args, step_limit, mode, full)
+        )
+
+    def _note_write(self, result: dict) -> None:
+        version = result.get("repl_version")
+        if isinstance(version, int):
+            self.last_write_version = max(self.last_write_version, version)
+
+    # ---------------------------------------------------------------- reads
+
+    def _read_candidates(self) -> list[tuple[str, int]]:
+        with self._lock:
+            replicas = list(self._replicas)
+            primary = self._primary
+            if replicas:
+                self._rr = (self._rr + 1) % len(replicas)
+                replicas = replicas[self._rr :] + replicas[: self._rr]
+        if primary is not None:
+            replicas.append(primary)  # the primary is never stale
+        return replicas
+
+    def _on_replica(self, fn):
+        candidates = self._read_candidates()
+        if not candidates:
+            self.discover()
+            candidates = self._read_candidates()
+        last_exc: Exception | None = None
+        for endpoint in candidates:
+            try:
+                return fn(self._client(endpoint))
+            except StaleReadError as exc:
+                last_exc = exc  # next candidate may have caught up
+            except (ConnectionLost, ServerError) as exc:
+                last_exc = exc
+                self._drop(endpoint)
+        # every candidate failed: rediscover once and go through the
+        # primary write path, which retries with backoff
+        self.discover()
+        try:
+            return self._on_primary(fn)
+        except (ClientError, ServerError):
+            raise last_exc if last_exc is not None else NoPrimaryError("no endpoint")
+
+    def get(self, *roots: str, min_version: int | None = None) -> dict[str, Any]:
+        floor = self.last_write_version if min_version is None else min_version
+        return self._on_replica(
+            lambda c: c.get(*roots, min_version=floor if floor > 0 else None)
+        )
+
+    # ------------------------------------------------------------ utilities
+
+    def status(self) -> dict:
+        """``repl.status`` of every reachable endpoint, keyed by address."""
+        out: dict[str, dict] = {}
+        for endpoint in list(self.endpoints):
+            key = f"{endpoint[0]}:{endpoint[1]}"
+            try:
+                out[key] = self._client(endpoint).repl_status()
+            except (ClientError, ServerError) as exc:
+                self._drop(endpoint)
+                out[key] = {"error": str(exc)}
+        return out
+
+    def promote(self, endpoint: tuple[str, int], term: int | None = None) -> dict:
+        """Promote one endpoint to primary and re-route writes to it."""
+        endpoint = (str(endpoint[0]), int(endpoint[1]))
+        result = self._client(endpoint).promote(term)
+        with self._lock:
+            self._primary = endpoint
+            if endpoint in self._replicas:
+                self._replicas.remove(endpoint)
+        return result
+
+    def close(self) -> None:
+        for endpoint in list(self._clients):
+            self._drop(endpoint)
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
 
 def connect(
@@ -370,6 +710,7 @@ def connect(
     host: str = "127.0.0.1",
     timeout: float = 60.0,
     retry: RetryPolicy | None = None,
+    deadline: float | None = None,
 ) -> Client:
     """Open one session against a daemon listening on ``host:port``."""
-    return Client(host=host, port=port, timeout=timeout, retry=retry)
+    return Client(host=host, port=port, timeout=timeout, retry=retry, deadline=deadline)

@@ -52,6 +52,12 @@ from repro.server.codecache import CodeCache
 from repro.server.pgo import PgoWorker
 from repro.server.pool import Backpressure, WorkerPool
 from repro.server.protocol import from_jsonable, recv_frame, send_frame, to_jsonable
+from repro.server.replication import (
+    PrimaryReplication,
+    ReplicaFollower,
+    StaleTermError,
+    replication_state,
+)
 from repro.store.concurrency import LockTimeout, TransactionManager
 from repro.store.heap import HeapError, ObjectHeap
 
@@ -66,6 +72,9 @@ _ACTIVE_SESSIONS = METRICS.gauge("server.active_sessions", "connected sessions")
 _SESSIONS_OPENED = METRICS.counter("server.sessions_opened", "sessions accepted")
 _DRAIN_ABORTS = METRICS.counter(
     "server.drain_aborted_txns", "open transactions aborted by graceful shutdown"
+)
+_REAPED_SESSIONS = METRICS.counter(
+    "server.reaped_sessions", "sessions closed by the idle timeout/reaper"
 )
 
 
@@ -92,6 +101,33 @@ class ServerConfig:
     #: allow debug ops (``sleep``) — test/diagnostic use only
     enable_debug_ops: bool = False
     max_frame: int = protocol.MAX_FRAME
+    #: seconds a connection may sit idle (no frames) before the daemon
+    #: closes it, aborting any open transaction; None disables the timeout.
+    #: Without it, a silently dead client holding a write transaction wedges
+    #: every writer until lock_timeout.
+    idle_timeout: float | None = 300.0
+    #: period of the session reaper sweep (idle-timeout enforcement even
+    #: for sessions whose reader thread is not currently in recv)
+    reaper_interval: float = 5.0
+    #: conversion rate for request deadlines → instruction budgets: a
+    #: request arriving with ``deadline`` seconds remaining gets at most
+    #: ``deadline * steps_per_second`` TAM steps
+    steps_per_second: int = 2_000_000
+    #: produce a commit log and accept replica subscriptions (primary role)
+    replicate: bool = False
+    #: follow a primary at (host, port) instead of accepting writes
+    replica_of: tuple[str, int] | None = None
+    #: replication node id (defaults to host:port at start)
+    node_id: str = ""
+    #: starting fencing term for a replicating primary (None: from image)
+    term: int | None = None
+    #: writes are acknowledged only after this many replicas applied them
+    sync_replicas: int = 0
+    #: how long a sync write waits for its ack quorum
+    replication_timeout: float = 5.0
+    #: term fencing on (the only sane setting; the chaos harness disables
+    #: it as a negative control to prove fencing is load-bearing)
+    fence: bool = True
 
 
 class RequestError(Exception):
@@ -115,7 +151,24 @@ class Session:
         #: their submission order even if pool scheduling would race them)
         self.lock = threading.Lock()
         self._send_lock = threading.Lock()
+        self._txn_lock = threading.Lock()
         self.closed = False
+        #: monotonic timestamp of the last received frame (reaper input)
+        self.last_active = time.monotonic()
+        #: replication subscriber connections are long-lived and mostly
+        #: quiet — exempt from idle timeout and the reaper
+        self.subscriber = False
+
+    def take_txn(self):
+        """Atomically detach and return the open transaction (or None).
+
+        Both the connection thread's cleanup and the shutdown drain race to
+        release a session; whoever wins the swap aborts (and counts) the
+        transaction exactly once.
+        """
+        with self._txn_lock:
+            txn, self.txn = self.txn, None
+            return txn
 
     def send(self, message: dict) -> None:
         with self._send_lock:
@@ -138,8 +191,14 @@ class ReproServer:
 
     def __init__(self, image: str | None, config: ServerConfig | None = None):
         self.config = config or ServerConfig()
+        self.image_path = image
+        is_replica = self.config.replica_of is not None
+        if (is_replica or self.config.replicate) and image is None:
+            raise ValueError("replication needs a file-backed image")
         self.heap = ObjectHeap(image, cache_limit=self.config.heap_cache_limit)
-        self.system = TycoonSystem(heap=self.heap)
+        # a replica's heap state is the primary's, object for object — it
+        # must not write locally, so the stdlib links purely in memory
+        self.system = TycoonSystem(heap=self.heap, persist_stdlib=not is_replica)
         self.txns = TransactionManager(self.heap, default_timeout=self.config.lock_timeout)
         self.code_cache = CodeCache()
         self.pool = WorkerPool(
@@ -154,9 +213,17 @@ class ReproServer:
                 top=self.config.pgo_top,
                 min_instructions=self.config.pgo_min_instructions,
             )
-            if self.config.pgo_interval is not None
+            # PGO rewrites functions in the image: primary-only by nature
+            if self.config.pgo_interval is not None and not is_replica
             else None
         )
+        #: replication roles (at most one is non-None; both None when the
+        #: image is a plain standalone server).  _role_lock guards the
+        #: promote/follow transitions.
+        self.replication: PrimaryReplication | None = None
+        self.follower: ReplicaFollower | None = None
+        self._role_lock = threading.Lock()
+        self._reaper_thread: threading.Thread | None = None
         #: qualified function name -> current code-cache key
         self._keys: dict[str, str] = {}
         self._keys_lock = threading.Lock()
@@ -167,13 +234,53 @@ class ReproServer:
         self._sessions_lock = threading.Lock()
         self._next_session = 1
         self._listener: socket.socket | None = None
+        self._bound_port: int | None = None
         self._accept_thread: threading.Thread | None = None
         self._threads: list[threading.Thread] = []
         self._stopping = threading.Event()
         self._stopped = threading.Event()
         self._stop_once = threading.Lock()  # won exactly once, never released
         self._started_at = time.monotonic()
+        if self.config.replicate and not is_replica:
+            self.replication = PrimaryReplication(
+                self.heap,
+                self.txns,
+                self._log_path(),
+                node=self.config.node_id or "primary",
+                term=self.config.term,
+                fence=self.config.fence,
+            )
+            self.replication.attach()  # the boot commit is record #1
         self._boot()
+        if is_replica:
+            host, port = self.config.replica_of
+            self.follower = ReplicaFollower(
+                self.heap,
+                self.txns,
+                (host, port),
+                self._log_path(),
+                node=self.config.node_id or "replica",
+                fence=self.config.fence,
+            )
+
+    def _log_path(self) -> str:
+        return f"{self.image_path}.commitlog"
+
+    @property
+    def role(self) -> str:
+        if self.replication is not None:
+            return "primary"
+        if self.follower is not None:
+            return "replica"
+        return "standalone"
+
+    def repl_version(self) -> int:
+        """The replication version this node embodies (staleness floor)."""
+        if self.replication is not None:
+            return self.replication.version
+        if self.follower is not None:
+            return self.follower.version
+        return self.txns.version
 
     # ----------------------------------------------------------------- boot
 
@@ -211,6 +318,7 @@ class ReproServer:
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((self.config.host, self.config.port))
         self._listener.listen(64)
+        self._bound_port = self._listener.getsockname()[1]
         self.pool.start()
         if self.pgo_worker is not None:
             self.pgo_worker.start()
@@ -218,12 +326,21 @@ class ReproServer:
             target=self._accept_loop, name="repro-server-accept", daemon=True
         )
         self._accept_thread.start()
+        if self.follower is not None:
+            self.follower.start()
+        if self.config.idle_timeout is not None:
+            self._reaper_thread = threading.Thread(
+                target=self._reaper_loop, name="repro-server-reaper", daemon=True
+            )
+            self._reaper_thread.start()
 
     @property
     def port(self) -> int:
-        if self._listener is None:
+        # cached at bind time: still answerable after a stop/crash (a
+        # restarting node reuses its old port, clients retry against it)
+        if self._bound_port is None:
             raise RuntimeError("server is not started")
-        return self._listener.getsockname()[1]
+        return self._bound_port
 
     @property
     def address(self) -> tuple[str, int]:
@@ -271,6 +388,8 @@ class ReproServer:
         self.pool.stop(drain=True)
         if self.pgo_worker is not None:
             self.pgo_worker.stop()
+        if self.follower is not None:
+            self.follower.stop()
         with self._sessions_lock:
             sessions = list(self._sessions.values())
         # drain: an in-flight handler holds session.lock; wait (bounded) for
@@ -279,13 +398,53 @@ class ReproServer:
             if session.lock.acquire(timeout=5):
                 session.lock.release()
         for session in sessions:
-            if session.txn is not None:
-                _DRAIN_ABORTS.inc()
             self._release_session(session)
-        with self.txns.write():
-            self.code_cache.flush(self.heap)
+        if self.follower is None:
+            # a replica never writes locally — flushing the code cache
+            # would fork its heap state away from the primary's
+            with self.txns.write():
+                self.code_cache.flush(self.heap)
+        if self.replication is not None:
+            self.replication.stop()
         self.heap.close()
         TRACER.event("server.stop")
+        self._stopped.set()
+
+    def crash(self) -> None:
+        """Die like a SIGKILL: no drain, no flush, no heap close.
+
+        Test/chaos use only.  Every socket is torn down and the worker
+        threads stopped, but nothing is written: the image is left exactly
+        as the last durable commit published it, which is what a real
+        process kill leaves behind.
+        """
+        self._stopping.set()
+        if not self._stop_once.acquire(blocking=False):
+            return
+        if self._listener is not None:
+            # shutdown before close: the accept thread blocked in accept()
+            # holds the file description open, and close() alone would
+            # leave the port bound (EADDRINUSE on the restart that follows)
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.close()
+        self.pool.stop(drain=False)
+        if self.pgo_worker is not None:
+            self.pgo_worker.stop()
+        if self.follower is not None:
+            self.follower.stop()
+        if self.replication is not None:
+            self.replication.stop()
+        TRACER.event("server.crash")
         self._stopped.set()
 
     # ---------------------------------------------------------- connections
@@ -296,6 +455,10 @@ class ReproServer:
                 sock, addr = self._listener.accept()
             except OSError:
                 return  # listener closed: shutting down
+            if self.config.idle_timeout is not None:
+                # a dead client must not hold a session (and possibly a
+                # write transaction) forever: recv wakes up and gives up
+                sock.settimeout(self.config.idle_timeout)
             with self._sessions_lock:
                 session = Session(self._next_session, sock, addr)
                 self._next_session += 1
@@ -317,15 +480,48 @@ class ReproServer:
             while not self._stopping.is_set():
                 try:
                     request = recv_frame(session.sock, self.config.max_frame)
+                except socket.timeout:
+                    if session.subscriber:
+                        continue  # subscribers are quiet by design
+                    _REAPED_SESSIONS.inc()
+                    TRACER.event("server.session.idle_timeout", session=session.id)
+                    break
                 except protocol.ProtocolError:
                     break
                 except OSError:
                     break
                 if request is None:
                     break
+                session.last_active = time.monotonic()
                 self._admit(session, request)
         finally:
             self._release_session(session)
+
+    def _reaper_loop(self) -> None:
+        """Close sessions idle past the timeout even when recv won't wake.
+
+        The socket timeout covers a reader blocked in ``recv``; the reaper
+        covers the rest (e.g. a reader thread that died, or a half-open
+        connection detected only by time).  A session mid-request (its lock
+        held) is never reaped — only truly idle ones.
+        """
+        interval = self.config.reaper_interval
+        limit = self.config.idle_timeout
+        while not self._stopping.wait(interval):
+            now = time.monotonic()
+            with self._sessions_lock:
+                sessions = list(self._sessions.values())
+            for session in sessions:
+                if session.subscriber or now - session.last_active <= limit:
+                    continue
+                if not session.lock.acquire(blocking=False):
+                    continue  # a request is in flight: it is not idle
+                try:
+                    _REAPED_SESSIONS.inc()
+                    TRACER.event("server.session.reaped", session=session.id)
+                    self._release_session(session)
+                finally:
+                    session.lock.release()
 
     def _admit(self, session: Session, request: dict) -> None:
         """Admission control: pooled execution or immediate backpressure.
@@ -346,7 +542,13 @@ class ReproServer:
                 RequestError(protocol.E_SHUTTING_DOWN, "server is shutting down"),
             )
             return
-        if request.get("op") == "begin" or session.txn is not None:
+        if (
+            request.get("op") in ("begin", "repl.subscribe")
+            or session.txn is not None
+        ):
+            # begin may block on the txn lock; repl.subscribe turns the
+            # connection into a long-lived stream — neither may eat a
+            # pool worker
             self._handle(session, request)
             return
         try:
@@ -360,12 +562,20 @@ class ReproServer:
             )
 
     def _release_session(self, session: Session) -> None:
-        if session.txn is not None:
+        txn = session.take_txn()
+        if txn is not None:
             try:
-                session.txn.abort()
-            finally:
-                session.txn = None
+                # during shutdown both the drain and the connection thread
+                # race to release; take_txn hands the transaction to exactly
+                # one of them, so the drain-abort count is deterministic
+                if self._stopping.is_set():
+                    _DRAIN_ABORTS.inc()
+                txn.abort()
+            except HeapError:
+                pass  # the heap may already be closed mid-teardown
         session.close()
+        if session.subscriber and self.replication is not None:
+            self.replication.drop_subscriber(session.id)
         with self._sessions_lock:
             if self._sessions.pop(session.id, None) is not None:
                 _ACTIVE_SESSIONS.set(len(self._sessions))
@@ -379,12 +589,21 @@ class ReproServer:
         start = time.perf_counter()
         span = TRACER.span("server.request", session=session.id, op=op)
         try:
+            deadline = request.get("deadline")
+            if deadline is not None:
+                # the client sends remaining time; the absolute deadline is
+                # pinned at arrival and every budget below derives from it
+                request["_deadline_at"] = time.monotonic() + float(deadline)
             with session.lock:
                 handler = self._OPS.get(op)
                 if handler is None:
                     raise RequestError(protocol.E_BAD_REQUEST, f"unknown op {op!r}")
+                self._check_deadline(request)
                 result = handler(self, session, request)
-            session.send({"id": request_id, "ok": True, "result": result})
+            try:
+                session.send({"id": request_id, "ok": True, "result": result})
+            except OSError:
+                pass  # client vanished before the answer; work is done
             span.set(status="ok")
         except RequestError as exc:
             span.set(status=exc.code)
@@ -409,20 +628,53 @@ class ReproServer:
         except OSError:
             pass  # peer is gone; nothing to report to
 
+    # ----------------------------------------------------- deadline budgets
+
+    @staticmethod
+    def _remaining(request: dict) -> float | None:
+        """Seconds left of the request's deadline (None: no deadline)."""
+        deadline_at = request.get("_deadline_at")
+        if deadline_at is None:
+            return None
+        return deadline_at - time.monotonic()
+
+    def _check_deadline(self, request: dict) -> None:
+        remaining = self._remaining(request)
+        if remaining is not None and remaining <= 0:
+            raise RequestError(
+                protocol.E_DEADLINE,
+                "request deadline exceeded before execution",
+                deadline=request.get("deadline"),
+            )
+
+    def _lock_budget(self, request: dict) -> float:
+        """Lock timeout for this request: config cap, shrunk to the
+        remaining deadline."""
+        budget = self.config.lock_timeout
+        remaining = self._remaining(request)
+        if remaining is not None:
+            budget = max(0.001, min(budget, remaining))
+        return budget
+
     # ----------------------------------------------------- transaction glue
 
-    def _run_read(self, session: Session, body):
+    def _run_read(self, session: Session, request: dict, body):
         """Run ``body()`` under the session's txn or an implicit read txn."""
         if session.txn is not None:
             return body()
         try:
-            with self.txns.read():
+            with self.txns.read(timeout=self._lock_budget(request)):
                 return body()
         except LockTimeout as exc:
+            if self._remaining(request) is not None and self._remaining(request) <= 0:
+                raise RequestError(
+                    protocol.E_DEADLINE, "deadline exceeded waiting for the lock"
+                ) from exc
             raise RequestError(protocol.E_BUSY, str(exc)) from exc
 
-    def _run_write(self, session: Session, body):
+    def _run_write(self, session: Session, request: dict, body):
         """Run ``body()`` under the session's write txn or auto-commit."""
+        self._check_writable()
         if session.txn is not None:
             if session.txn.mode != "write":
                 raise RequestError(
@@ -431,10 +683,57 @@ class ReproServer:
                 )
             return body()
         try:
-            with self.txns.write():
-                return body()
+            with self.txns.write(timeout=self._lock_budget(request)):
+                result = body()
         except LockTimeout as exc:
+            if self._remaining(request) is not None and self._remaining(request) <= 0:
+                raise RequestError(
+                    protocol.E_DEADLINE, "deadline exceeded waiting for the lock"
+                ) from exc
             raise RequestError(protocol.E_BUSY, str(exc)) from exc
+        if isinstance(result, dict):
+            # the auto-commit has published: report the version it produced
+            result.setdefault("repl_version", self.repl_version())
+        self._after_write_commit(result)
+        return result
+
+    def _check_writable(self) -> None:
+        follower = self.follower
+        if follower is not None:
+            host, port = follower.upstream
+            raise RequestError(
+                protocol.E_NOT_PRIMARY,
+                "this node is a read replica; write to the primary",
+                primary={"host": host, "port": port},
+            )
+
+    def _after_write_commit(self, result) -> None:
+        """Sync replication: hold the response until the ack quorum is in.
+
+        The write is already durable locally; with ``sync_replicas=N`` a
+        success response additionally guarantees N replicas applied it —
+        the no-acknowledged-write-lost half of failover.
+        """
+        replication = self.replication
+        required = self.config.sync_replicas
+        if replication is None or required <= 0:
+            return
+        version = replication.version
+        acked = replication.wait_for_acks(
+            version, required, self.config.replication_timeout
+        )
+        if acked < required:
+            raise RequestError(
+                protocol.E_REPL_TIMEOUT,
+                f"committed locally (v{version}) but only {acked}/{required} "
+                f"replica(s) acknowledged within "
+                f"{self.config.replication_timeout}s",
+                committed=True,
+                version=version,
+                acked=acked,
+            )
+        if isinstance(result, dict):
+            result.setdefault("acked_replicas", acked)
 
     # ------------------------------------------------------------ execution
 
@@ -482,10 +781,16 @@ class ReproServer:
         with self._profile_lock:
             self._profile.merge(profiler)
 
-    def _execute(self, closure, args, step_limit: int | None):
+    def _execute(self, closure, args, step_limit: int | None, request: dict | None = None):
         limit = self.config.step_limit
         if step_limit is not None:
             limit = max(1, min(int(step_limit), limit))
+        if request is not None:
+            remaining = self._remaining(request)
+            if remaining is not None:
+                # convert the remaining wall-clock budget to instructions,
+                # so a deadlined request cannot overstay inside the VM
+                limit = max(1, min(limit, int(remaining * self.config.steps_per_second)))
         profiler = VMProfiler() if self.config.profile else None
         vm = VM(
             store=self.heap,
@@ -519,14 +824,21 @@ class ReproServer:
 
     def _op_ping(self, session, request):
         """Liveness + identity: protocol, drain status, image facts, uptime."""
-        return {
+        reply = {
             "pong": True,
             "protocol": protocol.PROTOCOL_VERSION,
             "session": session.id,
             "status": "draining" if self._stopping.is_set() else "ok",
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "image": self.heap.image_info(),
+            "role": self.role,
+            "repl_version": self.repl_version(),
         }
+        if self.replication is not None:
+            reply["term"] = self.replication.term
+        elif self.follower is not None:
+            reply["term"] = self.follower.term
+        return reply
 
     def _op_call(self, session, request):
         module = request.get("module")
@@ -539,7 +851,7 @@ class ReproServer:
 
         def body():
             closure, hit = self._resolve(module, function)
-            result = self._execute(closure, args, step_limit)
+            result = self._execute(closure, args, step_limit, request)
             return {
                 "value": to_jsonable(result.value),
                 "instructions": result.instructions,
@@ -548,8 +860,8 @@ class ReproServer:
             }
 
         if mode == "write":
-            return self._run_write(session, body)
-        return self._run_read(session, body)
+            return self._run_write(session, request, body)
+        return self._run_read(session, request, body)
 
     def _op_run(self, session, request):
         source = request.get("source")
@@ -571,23 +883,40 @@ class ReproServer:
                     self.invalidate_function(module.name, function)
             return {"modules": names}
 
-        return self._run_write(session, body)
+        return self._run_write(session, request, body)
 
     def _op_get(self, session, request):
         roots = request.get("roots")
         if not isinstance(roots, list) or not roots:
             raise RequestError(protocol.E_BAD_REQUEST, "get needs a list of roots")
+        min_version = request.get("min_version")
 
         def body():
+            if min_version is not None:
+                # bounded staleness: refuse to serve a snapshot older than
+                # the client's floor (typically its last write's version)
+                current = self.repl_version()
+                if current < int(min_version):
+                    raise RequestError(
+                        protocol.E_STALE_READ,
+                        f"replica is at version {current}, "
+                        f"read requires {min_version}",
+                        version=current,
+                        min_version=int(min_version),
+                    )
             values = {}
             for name in roots:
                 try:
                     values[name] = to_jsonable(self.heap.load_root(name))
                 except HeapError as exc:
                     raise RequestError(protocol.E_NOT_FOUND, str(exc)) from exc
-            return {"values": values, "version": self.txns.version}
+            return {
+                "values": values,
+                "version": self.txns.version,
+                "repl_version": self.repl_version(),
+            }
 
-        return self._run_read(session, body)
+        return self._run_read(session, request, body)
 
     def _op_set(self, session, request):
         root = request.get("root")
@@ -606,13 +935,13 @@ class ReproServer:
                 self.heap.update(oid, value)
             return {"root": root, "oid": int(oid)}
 
-        return self._run_write(session, body)
+        return self._run_write(session, request, body)
 
     def _op_roots(self, session, request):
         def body():
             return {"roots": self.heap.root_names(), "version": self.txns.version}
 
-        return self._run_read(session, body)
+        return self._run_read(session, request, body)
 
     def _op_begin(self, session, request):
         if session.txn is not None:
@@ -620,6 +949,8 @@ class ReproServer:
         mode = request.get("mode", "write")
         if mode not in ("read", "write"):
             raise RequestError(protocol.E_BAD_REQUEST, f"unknown txn mode {mode!r}")
+        if mode == "write":
+            self._check_writable()
         try:
             session.txn = self.txns.begin(mode, timeout=request.get("timeout"))
         except LockTimeout as exc:
@@ -627,19 +958,22 @@ class ReproServer:
         return {"mode": mode, "version": session.txn.version}
 
     def _op_commit(self, session, request):
-        if session.txn is None:
+        txn = session.take_txn()
+        if txn is None:
             raise RequestError(protocol.E_TXN_STATE, "no open transaction")
-        txn, session.txn = session.txn, None
         try:
             txn.commit()
         except HeapError as exc:
             raise RequestError(protocol.E_EXEC, f"commit failed: {exc}") from exc
-        return {"version": self.txns.version}
+        result = {"version": self.txns.version, "repl_version": self.repl_version()}
+        if txn.mode == "write":
+            self._after_write_commit(result)
+        return result
 
     def _op_abort(self, session, request):
-        if session.txn is None:
+        txn = session.take_txn()
+        if txn is None:
             raise RequestError(protocol.E_TXN_STATE, "no open transaction")
-        txn, session.txn = session.txn, None
         txn.abort()
         return {"version": self.txns.version}
 
@@ -654,6 +988,10 @@ class ReproServer:
         }
         if self.pgo_worker is not None:
             report["pgo"] = self.pgo_worker.stats()
+        if self.replication is not None:
+            report["replication"] = self.replication.status()
+        elif self.follower is not None:
+            report["replication"] = self.follower.status()
         if request.get("metrics"):
             report["metrics"] = METRICS.snapshot()
         return report
@@ -697,6 +1035,138 @@ class ReproServer:
         threading.Thread(target=self.stop, name="repro-server-stop", daemon=True).start()
         return {"stopping": True}
 
+    # ------------------------------------------------------ replication ops
+
+    def _op_repl_status(self, session, request):
+        """Role, coordinates, lag/subscribers — optionally the state digest."""
+        if self.replication is not None:
+            status = self.replication.status()
+        elif self.follower is not None:
+            status = self.follower.status()
+        else:
+            status = {
+                "role": "standalone",
+                "term": replication_state(self.heap)["term"],
+                "version": self.repl_version(),
+            }
+        if request.get("digest"):
+            try:
+                with self.txns.read(timeout=self.config.lock_timeout):
+                    status["digest"] = self.heap.logical_digest()
+            except LockTimeout as exc:
+                raise RequestError(protocol.E_BUSY, str(exc)) from exc
+        return status
+
+    def _op_repl_subscribe(self, session, request):
+        """Turn this connection into a change-record stream (replica side
+        connects and calls this; records are pushed, acks flow back)."""
+        replication = self.replication
+        if replication is None:
+            raise RequestError(
+                protocol.E_NOT_PRIMARY,
+                f"this node is a {self.role}, it does not serve the "
+                "replication stream",
+            )
+        node = str(request.get("node", f"session-{session.id}"))
+        try:
+            from_version = int(request.get("from_version", 0))
+            last_term = int(request.get("last_term", 0))
+        except (TypeError, ValueError) as exc:
+            raise RequestError(protocol.E_BAD_REQUEST, str(exc)) from exc
+        try:
+            result = replication.subscribe(
+                session.id, node, from_version, last_term, session.send
+            )
+        except StaleTermError as exc:
+            raise RequestError(
+                protocol.E_STALE_TERM, str(exc), term=exc.term
+            ) from exc
+        session.subscriber = True
+        session.sock.settimeout(None)  # subscribers are quiet between commits
+        return result
+
+    def _op_repl_ack(self, session, request):
+        if self.replication is None or not session.subscriber:
+            raise RequestError(protocol.E_BAD_REQUEST, "not a subscriber session")
+        try:
+            version = int(request["version"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RequestError(protocol.E_BAD_REQUEST, "ack needs a version") from exc
+        self.replication.ack(session.id, version)
+        return {"acked": version}
+
+    def _op_promote(self, session, request):
+        """Make this node the primary, fencing the old one out by term."""
+        requested = request.get("term")
+        term = self.become_primary(int(requested) if requested is not None else None)
+        return {
+            "role": "primary",
+            "term": term,
+            "version": self.replication.version if self.replication else 0,
+        }
+
+    def _op_follow(self, session, request):
+        """(Re-)point this node at a primary — demotion or upstream change."""
+        host = request.get("host")
+        port = request.get("port")
+        if not isinstance(host, str) or not isinstance(port, int):
+            raise RequestError(protocol.E_BAD_REQUEST, "follow needs host and port")
+        self.become_replica((host, port))
+        return {"role": "replica", "upstream": {"host": host, "port": port}}
+
+    def become_primary(self, term: int | None = None) -> int:
+        """Promote: stop following, bump the term, commit the promotion.
+
+        The promotion commit stamps the new term into the image (and the
+        commit log) so it is durable and every subscriber learns it — a
+        deposed primary's records are rejected from that point on.
+        """
+        with self._role_lock:
+            if self.replication is not None:
+                return self.replication.term  # already primary
+            if self.follower is not None:
+                # strictly above every term this node ever accepted
+                new_term = self.follower.promote(term)
+                self.follower = None
+            else:
+                base = replication_state(self.heap)["term"]
+                new_term = max(base + 1, term if term is not None else 0, 1)
+            self.replication = PrimaryReplication(
+                self.heap,
+                self.txns,
+                self._log_path(),
+                node=self.config.node_id or "promoted",
+                term=new_term,
+                fence=self.config.fence,
+            )
+            self.replication.attach()
+            # the promotion commit: forces a record under the new term even
+            # with no data change, so the term takes effect durably now
+            with self.txns.write(timeout=self.config.lock_timeout):
+                pass
+            TRACER.event("server.repl.promote", term=new_term)
+            return new_term
+
+    def become_replica(self, upstream: tuple[str, int]) -> None:
+        with self._role_lock:
+            if self.replication is not None:
+                self.replication.stop()
+                self.replication = None
+            if self.follower is not None:
+                self.follower.stop()
+            self.follower = ReplicaFollower(
+                self.heap,
+                self.txns,
+                upstream,
+                self._log_path(),
+                node=self.config.node_id or "replica",
+                fence=self.config.fence,
+            )
+            self.follower.start()
+            TRACER.event(
+                "server.repl.follow", host=upstream[0], port=int(upstream[1])
+            )
+
     _OPS = {
         "ping": _op_ping,
         "call": _op_call,
@@ -711,4 +1181,9 @@ class ReproServer:
         "pgo": _op_pgo,
         "sleep": _op_sleep,
         "shutdown": _op_shutdown,
+        "repl.status": _op_repl_status,
+        "repl.subscribe": _op_repl_subscribe,
+        "repl.ack": _op_repl_ack,
+        "promote": _op_promote,
+        "follow": _op_follow,
     }

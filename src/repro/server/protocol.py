@@ -16,6 +16,17 @@ timeout), ``step_limit`` (instruction budget exhausted,
 exception), ``bad_request``, ``txn_state``, ``not_found``, ``internal``,
 ``shutting_down``.
 
+Version 2 adds the replication vocabulary (:mod:`repro.server.replication`)
+and request deadlines: ``not_primary`` (a mutating request reached a
+replica; details carry the upstream primary's address), ``stale_term``
+(fencing rejected a deposed primary's stream), ``stale_read`` (a bounded-
+staleness read's ``min_version`` floor is ahead of this replica), and
+``deadline_exceeded`` (the request's remaining time budget ran out before
+it could execute).  ``replication_timeout`` reports a write that committed
+locally but was not acknowledged by the required number of replicas in
+time (details carry ``committed: true``).  Framing is unchanged, so v1
+clients interoperate for the v1 op set.
+
 TML runtime values cross the wire as JSON with tagged escapes for the
 types JSON cannot express directly (see :func:`to_jsonable` /
 :func:`from_jsonable`).
@@ -48,9 +59,14 @@ __all__ = [
     "E_NOT_FOUND",
     "E_INTERNAL",
     "E_SHUTTING_DOWN",
+    "E_NOT_PRIMARY",
+    "E_STALE_TERM",
+    "E_STALE_READ",
+    "E_DEADLINE",
+    "E_REPL_TIMEOUT",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 #: refuse frames above this size — a corrupt length prefix must not make
 #: the peer allocate gigabytes
 MAX_FRAME = 16 * 1024 * 1024
@@ -65,6 +81,11 @@ E_TXN_STATE = "txn_state"
 E_NOT_FOUND = "not_found"
 E_INTERNAL = "internal"
 E_SHUTTING_DOWN = "shutting_down"
+E_NOT_PRIMARY = "not_primary"
+E_STALE_TERM = "stale_term"
+E_STALE_READ = "stale_read"
+E_DEADLINE = "deadline_exceeded"
+E_REPL_TIMEOUT = "replication_timeout"
 
 
 class ProtocolError(Exception):

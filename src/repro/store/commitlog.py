@@ -1,0 +1,289 @@
+"""Durable, checksummed commit log — the shipping unit of replication.
+
+Every committed transaction of a replicated image is captured as one
+logical :class:`ChangeRecord`: the serialized payload of each object the
+commit wrote (exactly the bytes :meth:`repro.store.heap.ObjectHeap.commit`
+put on disk), the full root directory after the commit, the OID counter,
+and the replication coordinates — a monotone ``version`` and the fencing
+``term`` of the primary that produced it.  Records are what a primary
+appends locally and streams to replicas, and what a replica applies inside
+a write transaction (:mod:`repro.server.replication`).
+
+On disk a :class:`CommitLog` is an append-only file of framed records::
+
+    magic "TYLG" | u32 format
+    [ u32 payload_len | u32 crc32(payload) | payload ]*
+
+The CRC (reused from :mod:`repro.store.checksum`) makes a torn tail
+self-describing: opening the log stops at the first frame that fails to
+verify and truncates it away, so a crash mid-append costs at most the
+record being appended — which the image itself still has (the log append
+happens *after* the heap's commit point), so nothing durable is lost.
+
+Appends are fsynced before :meth:`CommitLog.append` returns; a record a
+primary has streamed is therefore always recoverable locally for
+followers that reconnect and catch up from an older version.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import METRICS
+from repro.store.checksum import crc32
+from repro.store.serialize import Decoder, Encoder, SerializeError
+
+__all__ = ["CommitLogError", "ChangeRecord", "CommitLog"]
+
+_APPENDS = METRICS.counter("store.commitlog.appends", "records appended")
+_APPEND_BYTES = METRICS.counter("store.commitlog.bytes", "record payload bytes appended")
+_TRUNCATIONS = METRICS.counter(
+    "store.commitlog.truncations", "opens that dropped a torn record tail"
+)
+
+MAGIC = b"TYLG"
+LOG_FORMAT = 1
+_HEADER = struct.Struct("<4sI")
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+
+
+class CommitLogError(Exception):
+    """Corrupt commit log or invalid log operation."""
+
+
+@dataclass(frozen=True)
+class ChangeRecord:
+    """One committed transaction in shippable form."""
+
+    #: replication version this commit produced (monotone, contiguous)
+    version: int
+    #: fencing term of the primary that produced the commit
+    term: int
+    #: OID counter after the commit (replicas allocate above it)
+    oid_counter: int
+    #: ``(oid, serialized payload)`` for every object the commit wrote
+    objects: tuple[tuple[int, bytes], ...]
+    #: the full root directory after the commit
+    roots: dict[str, int] = field(default_factory=dict)
+    #: node id of the producing primary (diagnostic, not part of fencing)
+    node: str = ""
+
+    def encode(self) -> bytes:
+        enc = Encoder()
+        enc.uvarint(self.version)
+        enc.uvarint(self.term)
+        enc.uvarint(self.oid_counter)
+        enc.text(self.node)
+        enc.uvarint(len(self.objects))
+        for oid, payload in self.objects:
+            enc.uvarint(oid)
+            enc.raw(payload)
+        enc.uvarint(len(self.roots))
+        for name in sorted(self.roots):
+            enc.text(name)
+            enc.uvarint(self.roots[name])
+        return enc.getvalue()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "ChangeRecord":
+        try:
+            dec = Decoder(payload)
+            version = dec.uvarint()
+            term = dec.uvarint()
+            oid_counter = dec.uvarint()
+            node = dec.text()
+            objects = tuple(
+                (dec.uvarint(), dec.raw()) for _ in range(dec.uvarint())
+            )
+            roots = {dec.text(): dec.uvarint() for _ in range(dec.uvarint())}
+        except SerializeError as exc:
+            raise CommitLogError(f"corrupt change record: {exc}") from exc
+        return cls(
+            version=version,
+            term=term,
+            oid_counter=oid_counter,
+            objects=objects,
+            roots=roots,
+            node=node,
+        )
+
+    # wire form (the replication stream ships records as JSON frames) -------
+
+    def as_wire(self) -> dict:
+        return {
+            "version": self.version,
+            "term": self.term,
+            "oid_counter": self.oid_counter,
+            "node": self.node,
+            "objects": [[oid, payload.hex()] for oid, payload in self.objects],
+            "roots": dict(self.roots),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "ChangeRecord":
+        try:
+            return cls(
+                version=int(wire["version"]),
+                term=int(wire["term"]),
+                oid_counter=int(wire["oid_counter"]),
+                node=str(wire.get("node", "")),
+                objects=tuple(
+                    (int(oid), bytes.fromhex(payload))
+                    for oid, payload in wire["objects"]
+                ),
+                roots={str(k): int(v) for k, v in wire["roots"].items()},
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CommitLogError(f"malformed wire record: {exc!r}") from exc
+
+
+class CommitLog:
+    """Append-only, checksummed, crash-truncating record log."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        self._lock = threading.Lock()
+        #: version -> byte offset of the frame (catch-up reads seek here)
+        self._index: dict[int, int] = {}
+        #: version -> term (fencing lineage checks without re-reading frames)
+        self._terms: dict[int, int] = {}
+        self.first_version: int | None = None
+        self.last_version: int | None = None
+        self.last_term: int = 0
+        existed = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        self._file = open(self.path, "r+b" if existed else "w+b")
+        if existed:
+            self._recover()
+        else:
+            self._file.write(_HEADER.pack(MAGIC, LOG_FORMAT))
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    # ------------------------------------------------------------- recovery
+
+    def _recover(self) -> None:
+        self._file.seek(0)
+        head = self._file.read(_HEADER.size)
+        if len(head) < _HEADER.size or head[:4] != MAGIC:
+            raise CommitLogError(f"{self.path!r} is not a commit log")
+        (_, fmt) = _HEADER.unpack(head)
+        if fmt != LOG_FORMAT:
+            raise CommitLogError(f"unsupported commit-log format {fmt}")
+        offset = _HEADER.size
+        good_end = offset
+        while True:
+            frame = self._file.read(_FRAME.size)
+            if len(frame) < _FRAME.size:
+                break
+            length, stored_crc = _FRAME.unpack(frame)
+            payload = self._file.read(length)
+            if len(payload) < length or crc32(payload) != stored_crc:
+                break  # torn tail: everything from here on is garbage
+            try:
+                record = ChangeRecord.decode(payload)
+            except CommitLogError:
+                break
+            self._note(record, offset)
+            offset += _FRAME.size + length
+            good_end = offset
+        self._file.seek(0, os.SEEK_END)
+        if self._file.tell() > good_end:
+            _TRUNCATIONS.inc()
+            self._file.truncate(good_end)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def _note(self, record: ChangeRecord, offset: int) -> None:
+        self._index[record.version] = offset
+        self._terms[record.version] = record.term
+        if self.first_version is None:
+            self.first_version = record.version
+        self.last_version = record.version
+        self.last_term = record.term
+
+    # --------------------------------------------------------------- writes
+
+    def append(self, record: ChangeRecord) -> None:
+        """Append one record and make it durable before returning."""
+        with self._lock:
+            if self.last_version is not None and record.version != self.last_version + 1:
+                raise CommitLogError(
+                    f"non-contiguous append: version {record.version} "
+                    f"after {self.last_version}"
+                )
+            payload = record.encode()
+            self._file.seek(0, os.SEEK_END)
+            offset = self._file.tell()
+            self._file.write(_FRAME.pack(len(payload), crc32(payload)) + payload)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._note(record, offset)
+            _APPENDS.inc()
+            _APPEND_BYTES.inc(len(payload))
+
+    def reset(self) -> None:
+        """Discard every record, keeping only the file header.
+
+        Used when the log and its image disagree at boot (a crash landed
+        between the image commit and the log append) and after a snapshot
+        resync replaced the image's history: followers that would have
+        needed the dropped records are served a snapshot instead.
+        """
+        with self._lock:
+            self._file.truncate(_HEADER.size)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._index.clear()
+            self._terms.clear()
+            self.first_version = None
+            self.last_version = None
+            self.last_term = 0
+            _TRUNCATIONS.inc()
+
+    # ---------------------------------------------------------------- reads
+
+    def term_at(self, version: int) -> int | None:
+        """The term of the record at ``version`` (lineage/fencing checks)."""
+        with self._lock:
+            return self._terms.get(version)
+
+    def has(self, version: int) -> bool:
+        with self._lock:
+            return version in self._index
+
+    def read_from(self, version: int) -> list[ChangeRecord]:
+        """All records with ``record.version >= version``, in order."""
+        with self._lock:
+            start = self._index.get(version)
+            if start is None:
+                if self.last_version is None or version > self.last_version:
+                    return []
+                raise CommitLogError(
+                    f"version {version} predates this log "
+                    f"(first is {self.first_version})"
+                )
+            self._file.seek(start)
+            records: list[ChangeRecord] = []
+            while True:
+                frame = self._file.read(_FRAME.size)
+                if len(frame) < _FRAME.size:
+                    break
+                length, stored_crc = _FRAME.unpack(frame)
+                payload = self._file.read(length)
+                if len(payload) < length or crc32(payload) != stored_crc:
+                    raise CommitLogError("corrupt record mid-log")
+                records.append(ChangeRecord.decode(payload))
+            return records
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "CommitLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

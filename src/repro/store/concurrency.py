@@ -204,6 +204,17 @@ class TransactionManager:
         """Monotonic counter of committed write transactions."""
         return self._version
 
+    def bump(self) -> None:
+        """Advance the committed version for an externally applied commit.
+
+        Replication applies records through :meth:`ObjectHeap.apply_changes`
+        (no ``heap.commit``), so the replica bumps the version itself while
+        holding the write lock — snapshot readers then observe the new
+        state under a new version number, exactly as after a local commit.
+        """
+        with self._version_lock:
+            self._version += 1
+
     # ------------------------------------------------------------ explicit
 
     def begin(self, mode: str = "read", timeout: float | None = None) -> Txn:

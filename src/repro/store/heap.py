@@ -21,8 +21,10 @@ for scratch images in the code-shipping example.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
-from typing import Any, Iterator
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.core.syntax import Oid, Unit
 from repro.obs.metrics import METRICS
@@ -30,7 +32,7 @@ from repro.obs.trace import TRACER
 from repro.store.pager import Pager
 from repro.store.serialize import Decoder, Encoder, decode_value, encode_value
 
-__all__ = ["HeapError", "ObjectHeap", "Transaction"]
+__all__ = ["HeapError", "ChangeSet", "ObjectHeap", "Transaction"]
 
 _HEAP_LOADS = METRICS.counter("store.heap.loads", "object loads (incl. cache hits)")
 _HEAP_FAULTS = METRICS.counter(
@@ -64,6 +66,20 @@ def _tracks_identity(obj: Any) -> bool:
 
 class HeapError(Exception):
     """Invalid heap operation (unknown OID, closed heap, ...)."""
+
+
+@dataclass(frozen=True)
+class ChangeSet:
+    """What one commit wrote, in shippable form (see ``change_sink``).
+
+    ``objects`` holds the exact serialized payloads the commit put on
+    disk, so a replica applying them reproduces the primary's logical
+    state byte-for-byte per object.
+    """
+
+    objects: tuple[tuple[int, bytes], ...]
+    roots: dict[str, int]
+    oid_counter: int
 
 
 class ObjectHeap:
@@ -111,6 +127,12 @@ class ObjectHeap:
         self._dirty: set[int] = set()
         self._next_oid = 1
         self._closed = False
+        #: called at the top of every commit() — replication uses it to fold
+        #: its version/term state into the same atomic commit
+        self.pre_commit: Callable[["ObjectHeap"], None] | None = None
+        #: called after every successful commit() with the ChangeSet the
+        #: commit wrote — the primary's change-capture point
+        self.change_sink: Callable[[ChangeSet], None] | None = None
         if self._pager is not None:
             self._recover()
 
@@ -244,6 +266,8 @@ class ObjectHeap:
         state untouched and the dirty set intact.
         """
         self._check_open()
+        if self.pre_commit is not None:
+            self.pre_commit(self)
         _HEAP_COMMITS.inc()
         missing = sorted(
             key for key in self._dirty if self._cache.get(key, _MISSING) is _MISSING
@@ -253,13 +277,22 @@ class ObjectHeap:
                 f"dirty oid(s) {missing} have no cached object to serialize; "
                 "pass the object to update(oid, obj) before committing"
             )
+        sink = self.change_sink
         if self._pager is None:
+            changes = (
+                tuple((key, encode_value(self._cache[key])) for key in sorted(self._dirty))
+                if sink is not None
+                else ()
+            )
             self._dirty.clear()
             self._committed_roots = dict(self._roots)
+            if sink is not None:
+                sink(ChangeSet(changes, dict(self._roots), self._next_oid))
             return
         span = TRACER.span("store.commit", dirty=len(self._dirty))
         released: list[tuple[int, int]] = []
         written = bytes_out = 0
+        captured: list[tuple[int, bytes]] = []
         for key in sorted(self._dirty):
             obj = self._cache[key]
             payload = encode_value(obj)
@@ -268,12 +301,28 @@ class ObjectHeap:
                 released.append(old)
             head = self._pager.write_chain(payload)
             self._table[key] = (head, len(payload))
+            if sink is not None:
+                captured.append((key, payload))
             written += 1
             bytes_out += len(payload)
         self._dirty.clear()
         _HEAP_OBJECTS_WRITTEN.inc(written)
         _HEAP_BYTES_COMMITTED.inc(bytes_out)
 
+        self._publish(released)
+        span.set(objects_written=written, bytes_written=bytes_out).finish()
+        self._evict()  # freshly committed objects are clean, thus evictable
+        if sink is not None:
+            sink(ChangeSet(tuple(captured), dict(self._roots), self._next_oid))
+
+    def _publish(self, released: list[tuple[int, int]]) -> None:
+        """Write a fresh object table and sync — the durable commit tail.
+
+        Shared by :meth:`commit` (local writes) and :meth:`apply_changes`
+        (replicated writes): encode the table + roots, point the header at
+        it, sync (the commit point), then reclaim superseded chains and
+        sync again so the free list is durable too.
+        """
         table = Encoder()
         table.uvarint(len(self._table))
         for oid_key, (head, length) in self._table.items():
@@ -301,8 +350,133 @@ class ObjectHeap:
         for head, length in released:
             self._pager.release_chain(head, length)
         self._pager.sync_header()
-        span.set(objects_written=written, bytes_written=bytes_out).finish()
-        self._evict()  # freshly committed objects are clean, thus evictable
+
+    # ---------------------------------------------------------- replication
+
+    def apply_changes(
+        self,
+        objects: Sequence[tuple[int, bytes]],
+        roots: dict[str, int],
+        oid_counter: int,
+    ) -> None:
+        """Apply a replicated commit: raw payloads, wholesale root directory.
+
+        The replica-side mirror of one primary commit (the payloads come
+        from a :class:`ChangeSet` / change record): each object's serialized
+        bytes are written verbatim under the primary's OID, the root
+        directory is replaced, and the result is published with the same
+        atomic commit tail local writes use — so a crash mid-apply recovers
+        to the previous applied version, never a torn one.
+
+        Only file-backed heaps can host a replica (payloads must decode
+        lazily through the table so intra-record references resolve), and
+        the heap must have no uncommitted local writes — a replica is
+        read-only by construction.
+        """
+        self._check_open()
+        if self._pager is None:
+            raise HeapError("apply_changes needs a file-backed heap")
+        if self._dirty:
+            raise HeapError(
+                f"cannot apply replicated changes over {len(self._dirty)} "
+                "uncommitted local write(s)"
+            )
+        _HEAP_COMMITS.inc()
+        span = TRACER.span("store.apply", objects=len(objects))
+        released: list[tuple[int, int]] = []
+        bytes_in = 0
+        for oid, payload in objects:
+            key = int(oid)
+            old = self._table.get(key)
+            if old is not None:
+                released.append(old)
+            # drop any cached (now stale) copy; the next load re-decodes
+            stale = self._cache.pop(key, _MISSING)
+            if stale is not _MISSING and _tracks_identity(stale):
+                self._oid_by_identity.pop(id(stale), None)
+            head = self._pager.write_chain(payload)
+            self._table[key] = (head, len(payload))
+            bytes_in += len(payload)
+        self._roots = dict(roots)
+        self._next_oid = max(self._next_oid, oid_counter)
+        _HEAP_OBJECTS_WRITTEN.inc(len(objects))
+        _HEAP_BYTES_COMMITTED.inc(bytes_in)
+        self._publish(released)
+        span.set(bytes_written=bytes_in).finish()
+        self._evict()
+
+    def reset_state(
+        self,
+        objects: Sequence[tuple[int, bytes]],
+        roots: dict[str, int],
+        oid_counter: int,
+    ) -> None:
+        """Replace the entire committed state (replica snapshot resync).
+
+        Every existing table entry is dropped (its chains released) and the
+        snapshot's objects and roots installed in one atomic publish — used
+        when a replica's history diverged from the primary it follows and
+        incremental records can no longer reconcile them.
+        """
+        self._check_open()
+        if self._pager is None:
+            raise HeapError("reset_state needs a file-backed heap")
+        if self._dirty:
+            raise HeapError("cannot reset state over uncommitted local writes")
+        released = list(self._table.values())
+        self._table.clear()
+        self._cache.clear()
+        self._oid_by_identity.clear()
+        self._roots = {}
+        self._next_oid = max(1, oid_counter)
+        for oid, payload in objects:
+            head = self._pager.write_chain(payload)
+            self._table[int(oid)] = (head, len(payload))
+        self._roots = dict(roots)
+        self._publish(released)
+        self._evict()
+
+    def snapshot_state(self) -> tuple[list[tuple[int, bytes]], dict[str, int], int]:
+        """The full committed state as ``(objects, roots, oid_counter)``.
+
+        The bootstrap payload a primary ships to a joining replica whose
+        version its commit log can no longer serve incrementally.
+        """
+        self._check_open()
+        if self._pager is None:
+            raise HeapError("snapshot_state needs a file-backed heap")
+        objects = [
+            (oid, self._pager.read_chain(head, length))
+            for oid, (head, length) in sorted(self._table.items())
+        ]
+        return objects, dict(self._committed_roots), self._next_oid
+
+    def logical_digest(self) -> str:
+        """SHA-256 over the committed logical state (oids, payloads, roots).
+
+        Two heaps whose digests match hold identical objects under
+        identical OIDs with identical root bindings — the replication
+        harness's convergence check (page *layout* may differ between a
+        primary and a replica; logical state must not).
+        """
+        self._check_open()
+        h = hashlib.sha256()
+        enc = Encoder()
+        if self._pager is not None:
+            for oid in sorted(self._table):
+                head, length = self._table[oid]
+                enc.uvarint(oid)
+                enc.raw(self._pager.read_chain(head, length))
+        else:
+            committed = set(self._cache) - self._dirty
+            for oid in sorted(committed):
+                enc.uvarint(oid)
+                enc.raw(encode_value(self._cache[oid]))
+        for name in sorted(self._committed_roots):
+            enc.text(name)
+            enc.uvarint(self._committed_roots[name])
+        h.update(enc.getvalue())
+        return h.hexdigest()
 
     def abort(self) -> None:
         """Discard uncommitted objects, modifications and root edits."""

@@ -1,0 +1,234 @@
+"""End-to-end replication tests: commit-log shipping, read replicas,
+promotion with fencing, and the failover-aware cluster client.
+
+Everything runs in-process on loopback sockets (like test_server.py), so
+these exercise the exact wire path — subscribe handshake, record push,
+acks, snapshot resync — without subprocess orchestration.
+"""
+
+import time
+
+import pytest
+
+from repro.server import ReproServer, ServerConfig, connect
+from repro.server.client import (
+    ClusterClient,
+    NotPrimaryError,
+    RetryPolicy,
+    StaleReadError,
+)
+
+
+def wait_until(predicate, timeout=20.0, interval=0.02, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+def make_primary(tmp_path, name="primary", **overrides):
+    config = ServerConfig(
+        workers=2,
+        queue_size=32,
+        lock_timeout=10.0,
+        pgo_interval=None,
+        replicate=True,
+        node_id=name,
+        **overrides,
+    )
+    server = ReproServer(str(tmp_path / f"{name}.tyc"), config)
+    server.start()
+    return server
+
+
+def make_replica(tmp_path, upstream, name, **overrides):
+    config = ServerConfig(
+        workers=2,
+        queue_size=32,
+        lock_timeout=10.0,
+        pgo_interval=None,
+        replica_of=("127.0.0.1", upstream.port),
+        node_id=name,
+        **overrides,
+    )
+    server = ReproServer(str(tmp_path / f"{name}.tyc"), config)
+    server.start()
+    return server
+
+
+def converged(primary, replica):
+    with connect(primary.port) as a, connect(replica.port) as b:
+        sa = a.repl_status(digest=True)
+        sb = b.repl_status(digest=True)
+    return (
+        sa["version"] == sb["version"]
+        and sa.get("digest") == sb.get("digest")
+    )
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    primary = make_primary(tmp_path)
+    r1 = make_replica(tmp_path, primary, "r1")
+    r2 = make_replica(tmp_path, primary, "r2")
+    servers = [primary, r1, r2]
+    yield primary, r1, r2
+    for server in servers:
+        try:
+            server.stop()
+        except Exception:
+            pass
+
+
+class TestShipping:
+    def test_writes_reach_replicas_and_digests_match(self, cluster):
+        primary, r1, r2 = cluster
+        with connect(primary.port) as db:
+            for i in range(5):
+                db.set(f"k{i}", i * 11)
+        wait_until(lambda: converged(primary, r1), message="r1 convergence")
+        wait_until(lambda: converged(primary, r2), message="r2 convergence")
+        with connect(r1.port) as db:
+            values = db.get("k0", "k4")
+        assert values == {"k0": 0, "k4": 44}
+
+    def test_replica_rejects_writes_with_primary_hint(self, cluster):
+        primary, r1, _ = cluster
+        with connect(r1.port) as db:
+            with pytest.raises(NotPrimaryError) as err:
+                db.set("nope", 1)
+        assert err.value.details["primary"]["port"] == primary.port
+
+    def test_bounded_staleness_read(self, cluster):
+        primary, r1, _ = cluster
+        with connect(primary.port) as db:
+            result = db.set("fresh", 123)
+        version = result["repl_version"]
+        with connect(r1.port) as db:
+            # far-future floor: must fail no matter how fast the replica is
+            with pytest.raises(StaleReadError):
+                db.get("fresh", min_version=version + 1000)
+            # and once caught up, the same floor succeeds
+            wait_until(
+                lambda: db.repl_status()["version"] >= version,
+                message="replica catch-up",
+            )
+            assert db.get("fresh", min_version=version) == {"fresh": 123}
+
+    def test_replica_restart_catches_up(self, tmp_path):
+        primary = make_primary(tmp_path)
+        r1 = make_replica(tmp_path, primary, "r1")
+        try:
+            with connect(primary.port) as db:
+                db.set("before", 1)
+            wait_until(lambda: converged(primary, r1), message="initial sync")
+            r1.stop()
+            with connect(primary.port) as db:
+                db.set("while-down", 2)
+            r1 = make_replica(tmp_path, primary, "r1")
+            wait_until(lambda: converged(primary, r1), message="catch-up")
+            with connect(r1.port) as db:
+                assert db.get("while-down") == {"while-down": 2}
+        finally:
+            for server in (primary, r1):
+                try:
+                    server.stop()
+                except Exception:
+                    pass
+
+    def test_sync_write_waits_for_ack(self, tmp_path):
+        primary = make_primary(tmp_path, sync_replicas=1, replication_timeout=20.0)
+        r1 = make_replica(tmp_path, primary, "r1")
+        try:
+            with connect(primary.port) as db:
+                result = db.set("synced", 7)
+            assert result["acked_replicas"] >= 1
+            with connect(r1.port) as db:
+                assert db.get("synced") == {"synced": 7}
+        finally:
+            for server in (primary, r1):
+                try:
+                    server.stop()
+                except Exception:
+                    pass
+
+
+class TestFailover:
+    def test_promote_bumps_term_and_accepts_writes(self, cluster):
+        primary, r1, r2 = cluster
+        with connect(primary.port) as db:
+            db.set("a", 1)
+        wait_until(lambda: converged(primary, r1), message="r1 sync")
+        old_term = primary.replication.term
+        primary.stop()
+        with connect(r1.port) as db:
+            promoted = db.promote()
+        assert promoted["role"] == "primary"
+        assert promoted["term"] > old_term
+        # re-point the surviving replica at the new primary
+        with connect(r2.port) as db:
+            db.follow("127.0.0.1", r1.port)
+        with connect(r1.port) as db:
+            db.set("b", 2)
+        wait_until(lambda: converged(r1, r2), message="r2 follows new primary")
+        with connect(r2.port) as db:
+            assert db.get("a", "b") == {"a": 1, "b": 2}
+
+    def test_deposed_primary_stream_is_fenced(self, tmp_path):
+        """A replica that accepted a higher term refuses the old stream."""
+        primary = make_primary(tmp_path)
+        r1 = make_replica(tmp_path, primary, "r1")
+        try:
+            with connect(primary.port) as db:
+                db.set("x", 1)
+            wait_until(lambda: converged(primary, r1), message="sync")
+            with connect(r1.port) as db:
+                promoted = db.promote()
+            new_term = promoted["term"]
+            # old primary keeps committing in its stale term
+            with connect(primary.port) as db:
+                db.set("stale", 99)
+            # point the promoted node back at the deposed primary: fencing
+            # must reject the stale-term stream, not regress the state
+            with connect(r1.port) as db:
+                db.follow("127.0.0.1", primary.port)
+            time.sleep(1.0)
+            with connect(r1.port) as db:
+                status = db.repl_status()
+                assert status["term"] >= new_term
+                assert "stale" not in db.roots()
+        finally:
+            for server in (primary, r1):
+                try:
+                    server.stop()
+                except Exception:
+                    pass
+
+
+class TestClusterClient:
+    def test_writes_route_to_primary_reads_see_them(self, cluster):
+        primary, r1, r2 = cluster
+        endpoints = [("127.0.0.1", s.port) for s in (primary, r1, r2)]
+        with ClusterClient(endpoints, retry=RetryPolicy(base_delay=0.02)) as db:
+            db.set("routed", 5)
+            # read-your-writes: the floor is the write's repl_version, so
+            # this returns 5 whether a replica or the primary answers
+            assert db.get("routed") == {"routed": 5}
+
+    def test_failover_rediscovers_new_primary(self, cluster):
+        primary, r1, r2 = cluster
+        endpoints = [("127.0.0.1", s.port) for s in (primary, r1, r2)]
+        with ClusterClient(
+            endpoints, retry=RetryPolicy(base_delay=0.02, max_attempts=8)
+        ) as db:
+            db.set("pre", 1)
+            wait_until(lambda: converged(primary, r1), message="sync")
+            primary.stop()
+            with connect(r1.port) as admin:
+                admin.promote()
+            with connect(r2.port) as admin:
+                admin.follow("127.0.0.1", r1.port)
+            db.set("post", 2)  # must reroute to the promoted node
+            assert db.get("pre", "post") == {"pre": 1, "post": 2}

@@ -18,6 +18,7 @@ from repro.server.client import (
     BusyError,
     ConnectionLost,
     RetryPolicy,
+    ServerError,
     ShuttingDownError,
     connect as connect_client,
 )
@@ -218,3 +219,72 @@ class TestClientReconnect:
         finally:
             starter.join()
             late.stop()
+
+
+class TestIdleTimeout:
+    def test_idle_session_holding_write_lock_is_reaped(self, tmp_path):
+        """The fixed daemon bug: accepted connections never got a socket
+        timeout, so a silently dead client holding a write transaction
+        wedged every writer until lock_timeout.  The reaper frees it."""
+        server = ReproServer(
+            str(tmp_path / "idle.tyc"),
+            _config(idle_timeout=0.4, reaper_interval=0.1, lock_timeout=2.0),
+        )
+        server.start()
+        try:
+            zombie = connect(server.port)
+            zombie.begin("write")
+            zombie.set("stuck", 1)
+            # the zombie now goes silent, holding the write lock
+            deadline = time.monotonic() + 10
+            with connect(server.port) as db:
+                while True:
+                    try:
+                        db.begin("write", timeout=0.3)
+                        break
+                    except (BusyError, ShuttingDownError):
+                        assert time.monotonic() < deadline, "never reaped"
+                db.abort()
+            zombie.close()
+        finally:
+            server.stop()
+
+    def test_active_sessions_are_not_reaped(self, tmp_path):
+        server = ReproServer(
+            str(tmp_path / "active.tyc"),
+            _config(idle_timeout=0.4, reaper_interval=0.1),
+        )
+        server.start()
+        try:
+            with connect(server.port) as db:
+                for _ in range(8):  # keeps traffic well inside the timeout
+                    assert db.ping()["pong"] is True
+                    time.sleep(0.1)
+        finally:
+            server.stop()
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_a_structured_error(self, server):
+        with connect(server.port) as db:
+            with pytest.raises(ServerError) as err:
+                db.request("ping", deadline=0.0)
+        assert err.value.code == "deadline_exceeded"
+
+    def test_deadline_bounds_the_lock_wait(self, tmp_path):
+        """lock_timeout is 30s; a 0.3s deadline must fail in ~0.3s."""
+        server = ReproServer(str(tmp_path / "dl.tyc"), _config(lock_timeout=30.0))
+        server.start()
+        try:
+            with connect(server.port) as holder, connect(server.port) as waiter:
+                holder.begin("write")
+                holder.set("held", 1)
+                started = time.monotonic()
+                with pytest.raises(ServerError) as err:
+                    waiter.set("blocked", 2, deadline=0.3)
+                elapsed = time.monotonic() - started
+                holder.abort()
+            assert err.value.code == "deadline_exceeded"
+            assert elapsed < 5.0
+        finally:
+            server.stop()

@@ -1,0 +1,137 @@
+"""RetryPolicy unit tests: backoff/jitter bounds and idempotent-only
+replay, deterministic via an injected seeded RNG.
+
+The replay tests drive :meth:`Client._invoke` against a stubbed
+``request`` so the retry decision logic is exercised without sockets.
+"""
+
+import random
+
+import pytest
+
+from repro.server import protocol
+from repro.server.client import (
+    BusyError,
+    Client,
+    ConnectionLost,
+    DeadlineExceeded,
+    RetryPolicy,
+)
+
+
+def make_client(policy):
+    """A Client with no socket — only the retry layer is under test."""
+    client = Client.__new__(Client)
+    client.retry = policy
+    client.deadline = None
+    client._closed = False
+    client._in_txn = False
+    client.sock = object()  # non-None: request() is stubbed anyway
+    return client
+
+
+class TestBackoffBounds:
+    def test_delay_is_within_jitter_envelope(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=1.0, jitter=0.5,
+            rng=random.Random(42),
+        )
+        for attempt in range(1, 12):
+            raw = min(1.0, 0.1 * 2.0 ** (attempt - 1))
+            delay = policy.delay(attempt)
+            # full-jitter envelope: [raw * (1 - jitter), raw]
+            assert raw * 0.5 <= delay <= raw
+
+    def test_delay_caps_at_max_delay(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=10.0, max_delay=0.7, jitter=0.0,
+            rng=random.Random(7),
+        )
+        assert policy.delay(50) == pytest.approx(0.7)
+
+    def test_seeded_rng_makes_delays_reproducible(self):
+        a = RetryPolicy(jitter=0.5, rng=random.Random(123))
+        b = RetryPolicy(jitter=0.5, rng=random.Random(123))
+        assert [a.delay(i) for i in range(1, 8)] == [
+            b.delay(i) for i in range(1, 8)
+        ]
+
+    def test_zero_jitter_is_deterministic_without_rng(self):
+        policy = RetryPolicy(base_delay=0.05, multiplier=2.0, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.05)
+        assert policy.delay(2) == pytest.approx(0.1)
+
+
+class TestIdempotentReplay:
+    FAST = dict(base_delay=0.0, max_delay=0.0, jitter=0.0)
+
+    def test_connection_lost_replays_only_idempotent_ops(self):
+        policy = RetryPolicy(max_attempts=4, rng=random.Random(1), **self.FAST)
+        client = make_client(policy)
+        calls = []
+
+        def flaky(op, **operands):
+            calls.append(op)
+            raise ConnectionLost("link died mid-request")
+
+        client.request = flaky
+        # idempotent: replayed until the budget is exhausted
+        with pytest.raises(ConnectionLost):
+            client._invoke("get", roots=["x"])
+        assert calls == ["get"] * 4
+        # mutating: the first attempt may have committed — never replayed
+        calls.clear()
+        with pytest.raises(ConnectionLost):
+            client._invoke("set", root="x", value=1)
+        assert calls == ["set"]
+
+    def test_rejections_are_replayed_even_for_writes(self):
+        policy = RetryPolicy(max_attempts=3, rng=random.Random(1), **self.FAST)
+        client = make_client(policy)
+        calls = []
+
+        def busy_then_ok(op, **operands):
+            calls.append(op)
+            if len(calls) < 3:
+                raise BusyError(protocol.E_BUSY, "lock timeout")
+            return {"oid": 5}
+
+        client.request = busy_then_ok
+        # busy is a pre-execution rejection: side-effect-free to retry
+        assert client._invoke("set", root="x", value=1) == {"oid": 5}
+        assert calls == ["set"] * 3
+
+    def test_no_replay_inside_explicit_transaction(self):
+        policy = RetryPolicy(max_attempts=5, rng=random.Random(1), **self.FAST)
+        client = make_client(policy)
+        client._in_txn = True
+        calls = []
+
+        def flaky(op, **operands):
+            calls.append(op)
+            raise ConnectionLost("link died")
+
+        client.request = flaky
+        with pytest.raises(ConnectionLost):
+            client._invoke("get", roots=["x"])
+        assert calls == ["get"]  # replay would drop earlier txn effects
+
+    def test_client_side_deadline_stops_retries(self):
+        policy = RetryPolicy(
+            max_attempts=50, base_delay=0.02, max_delay=0.02, jitter=0.0,
+            multiplier=1.0, rng=random.Random(1),
+        )
+        client = make_client(policy)
+        seen = []
+
+        def flaky(op, **operands):
+            seen.append(operands.get("deadline"))
+            raise BusyError(protocol.E_BUSY, "lock timeout")
+
+        client.request = flaky
+        with pytest.raises(DeadlineExceeded):
+            client._invoke("get", roots=["x"], deadline=0.05)
+        # far fewer than 50 attempts: the 50ms budget ran out first,
+        # and every attempt shipped its remaining budget to the server
+        assert 1 <= len(seen) < 50
+        assert all(d is not None and d <= 0.05 for d in seen)

@@ -18,6 +18,7 @@ from repro.server.protocol import (
     E_NOT_FOUND,
     E_STEP_LIMIT,
     E_TXN_STATE,
+    PROTOCOL_VERSION,
 )
 
 BENCH = """
@@ -50,7 +51,7 @@ class TestBasics:
     def test_ping(self, client):
         result = client.ping()
         assert result["pong"] is True
-        assert result["protocol"] == 1
+        assert result["protocol"] == PROTOCOL_VERSION
 
     def test_run_and_call(self, client):
         assert client.run(BENCH) == ["bench"]
