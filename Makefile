@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast properties lint ruff bench server-smoke crash-sim replication-sim fsck-smoke all
+.PHONY: test test-fast properties lint ruff bench server-smoke crash-sim replication-sim fsck-smoke audit all
 
 all: test lint
 
@@ -52,10 +52,19 @@ replication-sim:
 fsck-smoke: server-smoke
 	$(PYTHON) -m repro fsck server-smoke.tyc --json fsck-report.json -v
 
+# whole-image semantic audit of the server-smoke image: verify + abstractly
+# interpret every stored code object over the call graph and refresh the
+# persisted analysis-fact cache (see docs/analysis.md); then the negative
+# control — a bit-flipped stored opcode must turn the audit red
+audit: server-smoke
+	$(PYTHON) -m repro audit server-smoke.tyc --json audit-report.json -v
+	$(PYTHON) scripts/audit_negative_control.py --json audit-negative-control.json
+
 # experiment benchmarks, then the machine-readable artifacts
-# (BENCH_vm.json / BENCH_opt.json / BENCH_server.json, schema docs in
-# docs/observability.md)
+# (BENCH_vm.json / BENCH_opt.json / BENCH_server.json / BENCH_analysis.json,
+# schema docs in docs/observability.md and docs/analysis.md)
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 	$(PYTHON) -m repro bench --scale 0.3 --artifacts .
 	$(PYTHON) scripts/server_bench.py --json BENCH_server.json
+	$(PYTHON) scripts/analysis_bench.py --json BENCH_analysis.json

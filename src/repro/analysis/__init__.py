@@ -20,8 +20,38 @@ mechanically; this package does:
 * :mod:`repro.analysis.checked` — invariant re-verification after every
   optimizer pass (``optimize(..., check=True)``);
 * :mod:`repro.analysis.lint` — the aggregate entry point behind
-  ``python -m repro lint``.
+  ``python -m repro lint``;
+* :mod:`repro.analysis.absint` — fixpoint abstract interpretation over TAM
+  code families (value kinds, effects, handler depth, escapes);
+* :mod:`repro.analysis.callgraph` — the image-wide call graph over frozen
+  inter-module bindings;
+* :mod:`repro.analysis.facts` — the persisted analysis-fact cache under
+  heap root ``analysis:facts``;
+* :mod:`repro.analysis.audit` — the whole-image audit behind
+  ``python -m repro audit``;
+* :mod:`repro.analysis.fusion` — the fusion-safety certifier for VM
+  superinstruction candidates.
 """
+
+from repro.analysis.absint import (
+    AbsVal,
+    FunctionAnalysis,
+    Kind,
+    Summary,
+    analyze_code,
+    handler_diagnostics,
+    kind_of_value,
+    summarize_graph,
+)
+from repro.analysis.audit import AuditReport, audit_heap, audit_image
+from repro.analysis.callgraph import FunctionNode, ImageGraph
+from repro.analysis.facts import FACTS_ROOT, FactRecord, FactStore
+from repro.analysis.fusion import (
+    FusionReport,
+    certify_pair,
+    certify_pairs,
+    certify_profile,
+)
 
 from repro.analysis.diagnostics import (
     AnalysisError,
@@ -60,4 +90,25 @@ __all__ = [
     "lint_term",
     "severity_counts",
     "verify_code",
+    # image-wide analysis (absint / callgraph / facts / audit / fusion)
+    "AbsVal",
+    "AuditReport",
+    "FACTS_ROOT",
+    "FactRecord",
+    "FactStore",
+    "FunctionAnalysis",
+    "FunctionNode",
+    "FusionReport",
+    "ImageGraph",
+    "Kind",
+    "Summary",
+    "analyze_code",
+    "audit_heap",
+    "audit_image",
+    "certify_pair",
+    "certify_pairs",
+    "certify_profile",
+    "handler_diagnostics",
+    "kind_of_value",
+    "summarize_graph",
 ]

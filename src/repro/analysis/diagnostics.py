@@ -169,5 +169,18 @@ DIAGNOSTIC_CODES: dict[str, str] = {
     "TAM009": "control can fall off the end of the instruction stream",
     "TAM010": "register read before any definition reaches it",
     "TAM011": "code object metadata inconsistent (params vs nregs)",
-    "TAM020": "popHandler with no matching pushHandler in this code object",
+    "TAM020": "popHandler provably executable at handler depth <= 0: it pops "
+    "a handler installed by a caller",
+    # --- abstract interpretation (repro.analysis.absint) ---
+    "TAM101": "instruction applied to a value of a provably wrong kind: "
+    "guaranteed trap if it executes",
+    "TAM102": "call to a resolved function with the wrong argument count: "
+    "guaranteed arityError",
+    # --- whole-image audit (repro.analysis.audit) ---
+    "TAM105": "stored code's effect class exceeds what its persistent TML "
+    "admits: the code does not implement its own source",
+    "TAM110": "stored function unreachable from every module's export surface",
+    "TAM111": "frozen external reference into a stored module that does not "
+    "define the member: linking fails",
+    "TAM112": "stale analysis fact dropped: a dependency's PTML hash moved",
 }

@@ -32,9 +32,28 @@ def lint_term(
     return found
 
 
-def lint_code(code: CodeObject, name: str | None = None) -> list[Diagnostic]:
-    """All bytecode-verifier diagnostics for a code object tree."""
-    return verify_code(code, name=name)
+def lint_code(
+    code: CodeObject,
+    name: str | None = None,
+    registry: "PrimitiveRegistry | None" = None,
+) -> list[Diagnostic]:
+    """All bytecode-level diagnostics for a code object tree.
+
+    Structural verification first; when it finds no errors, the abstract
+    interpreter (:mod:`repro.analysis.absint`) runs over the family with
+    worst-case free-variable bindings and contributes the TAM1xx findings
+    (guaranteed-trap sites, arity mismatches).  Interprocedural precision —
+    resolved callees, effect conformance, reachability — needs the whole
+    image and lives in ``python -m repro audit``.
+    """
+    found = verify_code(code, name=name)
+    if not any(d.is_error for d in found):
+        from repro.analysis.absint import analyze_code
+
+        analysis = analyze_code(code, name=name or code.name, registry=registry)
+        # verify_code already reported the handler-depth findings
+        found.extend(d for d in analysis.diagnostics if d.code != "TAM020")
+    return found
 
 
 def lint_function(

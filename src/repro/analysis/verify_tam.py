@@ -26,6 +26,7 @@ The verifier accepts exactly what :mod:`repro.machine.codegen` emits and what
 
 from __future__ import annotations
 
+from repro.analysis.absint import handler_diagnostics
 from repro.analysis.diagnostics import (
     AnalysisError,
     Diagnostic,
@@ -53,6 +54,15 @@ def verify_code(root: CodeObject, name: str | None = None) -> list[Diagnostic]:
     """All verifier diagnostics for ``root`` and its nested code objects."""
     found: list[Diagnostic] = []
     _verify_one(root, name or root.name, found)
+    if not any(d.is_error for d in found):
+        # handler-depth discipline (TAM020) is a *family-level* property:
+        # a continuation materialized into its own code object legitimately
+        # pops a handler its parent pushed, so per-code-object counting
+        # cannot be precise.  The abstract interpreter tracks depth across
+        # closure creation and continuation invocation and reports only
+        # provable underflows (structurally-broken code is skipped — the
+        # errors above already gate linking).
+        found.extend(handler_diagnostics(root, name or root.name))
     return found
 
 
@@ -121,7 +131,6 @@ def _verify_one(code: CodeObject, path: str, found: list[Diagnostic]) -> None:
     structural_ok = _check_instructions(code, path, found) and len(found) == before
     if structural_ok:
         _check_dataflow(code, path, found)
-        _check_handlers(code, path, found)
     for index, nested in enumerate(code.codes):
         _verify_one(nested, f"{path}.codes[{index}]", found)
 
@@ -550,47 +559,3 @@ def _check_dataflow(code: CodeObject, path: str, found: list[Diagnostic]) -> Non
             )
 
 
-def _check_handlers(code: CodeObject, path: str, found: list[Diagnostic]) -> None:
-    """Best-effort handler-depth analysis (INFO only).
-
-    Depth is tracked intra-code-object with min-join at merges; a ``poph`` at
-    local depth 0 pops a handler installed by some caller — legitimate when a
-    handler-scoped continuation was materialized into its own closure, so
-    this never errors.
-    """
-    limit = len(code.instrs)
-    depth_in: list[int | None] = [None] * limit
-    depth_in[0] = 0
-    worklist = [0]
-    reported = False
-    while worklist and not reported:
-        pc = worklist.pop()
-        depth = depth_in[pc]
-        instr = code.instrs[pc]
-        op = instr[0]
-        if op == "pushh":
-            depth += 1
-        elif op == "poph":
-            if depth == 0:
-                _err(
-                    found,
-                    "TAM020",
-                    "popHandler without a matching pushHandler in this code "
-                    "object (handler installed by a caller)",
-                    path,
-                    pc,
-                    severity=Severity.INFO,
-                )
-                reported = True
-                break
-            depth -= 1
-        _uses, _defs, branches, falls_through = _instr_flow(instr)
-        targets = [target for target, _ in branches]
-        if falls_through and pc + 1 < limit:
-            targets.append(pc + 1)
-        for target in targets:
-            existing = depth_in[target]
-            updated = depth if existing is None else min(existing, depth)
-            if updated != existing:
-                depth_in[target] = updated
-                worklist.append(target)

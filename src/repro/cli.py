@@ -28,8 +28,15 @@ Commands:
   bounds each request's wall-clock budget;
 * ``lint [FILE] [--stdlib] [--store PATH --oid N]`` — run the static
   analyses (constraints 1-5, usage, effect/registry lint, TAM bytecode
-  verifier) over compiled TL functions or a stored PTML/code object; exits
-  nonzero when any error-severity diagnostic is found (see docs/analysis.md);
+  verifier, abstract interpretation) over compiled TL functions or a stored
+  PTML/code object; exits nonzero when any error-severity diagnostic is
+  found, or — with ``--strict`` — when any warning is (see docs/analysis.md);
+* ``audit IMAGE [--json OUT] [--no-update] [--strict]`` — whole-image
+  interprocedural audit: verify and abstractly interpret every stored code
+  object over the image call graph, report type-error sites, broken frozen
+  references, effect violations and unreachable functions, and refresh the
+  persisted analysis-fact cache under the ``analysis:facts`` root; exits
+  nonzero on any error finding (see docs/analysis.md);
 * ``profile FILE [--entry m.f] [--pgo]`` — run under the VM profiler and
   print per-closure invocation/instruction counts plus per-opcode totals;
   ``--pgo`` then feeds the profile into ``reflect.optimize`` and reports the
@@ -341,7 +348,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         f"linted {len(targets)} object(s): {errors} error(s), "
         f"{warnings} warning(s), {infos} info(s)"
     )
-    return 1 if errors else 0
+    # exit-code contract (docs/analysis.md): errors always fail, warnings
+    # fail only under --strict, info never does
+    if errors:
+        return 1
+    if args.strict and warnings:
+        return 1
+    return 0
 
 
 def _stored_targets(store_path: str, oid: int):
@@ -404,6 +417,39 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     if result.repaired:
         return 0
     return 1 if result.errors else 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.analysis import Severity, audit_image
+
+    report = audit_image(args.image, update_facts=not args.no_update)
+    ordered = sorted(
+        report.diagnostics, key=lambda d: (-int(d.severity), d.code, d.path)
+    )
+    for diagnostic in ordered:
+        if diagnostic.severity == Severity.INFO and not args.verbose:
+            continue
+        print(str(diagnostic))
+    counts = report.counts
+    print(
+        f"audit {args.image}: {report.modules} module(s), "
+        f"{report.functions} function(s), {report.analyzed} analyzed, "
+        f"{report.reused} fact(s) reused, {counts['error']} error(s), "
+        f"{counts['warning']} warning(s), {counts['info']} info(s) "
+        f"in {report.wall_s * 1000:.1f} ms"
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fp:
+            _json.dump(report.as_dict(), fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+    if not report.ok:
+        return 1
+    if args.strict and counts["warning"]:
+        return 1
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -639,9 +685,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-usage", action="store_true", help="skip dead-binding/unused-parameter lint"
     )
     lint_p.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on warnings too, not just errors",
+    )
+    lint_p.add_argument(
         "-v", "--verbose", action="store_true", help="also print info-severity findings"
     )
     lint_p.set_defaults(handler=_cmd_lint)
+
+    audit_p = sub.add_parser(
+        "audit", help="whole-image interprocedural analysis of stored code"
+    )
+    audit_p.add_argument("image", help="persistent store image to audit")
+    audit_p.add_argument("--json", metavar="OUT", help="write the report as JSON")
+    audit_p.add_argument(
+        "--no-update", action="store_true",
+        help="read-only: do not refresh the persisted analysis-fact cache",
+    )
+    audit_p.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on warnings too, not just errors",
+    )
+    audit_p.add_argument(
+        "-v", "--verbose", action="store_true", help="also print info findings"
+    )
+    audit_p.set_defaults(handler=_cmd_audit)
 
     serve_p = sub.add_parser(
         "serve", help="run the multi-session database server over an image"
@@ -715,7 +783,9 @@ def build_parser() -> argparse.ArgumentParser:
     client_p.set_defaults(handler=_cmd_client)
 
     # --trace OUT.ndjson on every subcommand that executes/optimizes code
-    for sub_parser in (run_p, tml_p, dis_p, bench_p, prof_p, stats_p, lint_p, serve_p):
+    for sub_parser in (
+        run_p, tml_p, dis_p, bench_p, prof_p, stats_p, lint_p, audit_p, serve_p,
+    ):
         sub_parser.add_argument(
             "--trace",
             metavar="OUT.ndjson",

@@ -391,6 +391,19 @@ def store_module(heap: ObjectHeap, compiled: CompiledModule) -> Any:
     return oid
 
 
+def _fact_verified(heap: ObjectHeap, code: CodeObject, facts) -> bool:
+    """True when a verified analysis fact vouches for this code's PTML."""
+    if facts is None:
+        return False
+    from repro.store.ptml import ptml_key
+
+    key = ptml_key(code, heap)
+    if key is None:
+        return False
+    record = facts.lookup(key)
+    return record is not None and record.verified
+
+
 def _store_ptml_refs(heap: ObjectHeap, code: CodeObject) -> None:
     if isinstance(code.ptml_ref, Blob):
         code.ptml_ref = heap.store(code.ptml_ref)
@@ -398,19 +411,27 @@ def _store_ptml_refs(heap: ObjectHeap, code: CodeObject) -> None:
         _store_ptml_refs(heap, nested)
 
 
-def load_module(heap: ObjectHeap, name: str, verify: bool = True) -> CompiledModule:
+def load_module(
+    heap: ObjectHeap,
+    name: str,
+    verify: bool = True,
+    facts=None,
+) -> CompiledModule:
     """Recover a compiled module from the store (interface is signature-less).
 
     Stored bytecode is untrusted — it may come from an older writer or a
     corrupted heap — so each code object is re-verified before it can be
-    linked (``verify=False`` opts out, e.g. for forensic inspection).
+    linked (``verify=False`` opts out, e.g. for forensic inspection).  A
+    :class:`~repro.analysis.facts.FactStore` passed as ``facts`` lets a
+    code object whose PTML hash carries a ``verified`` analysis fact skip
+    re-verification: byte-identical PTML means the verdict transfers.
     """
     stored = heap.load_root(f"module:{name}")
     if not isinstance(stored, StoredModule):
         raise TLError(f"root module:{name} is not a stored module")
     functions: dict[str, CompiledFunction] = {}
     for fn_name, code, externals in stored.functions:
-        if verify:
+        if verify and not _fact_verified(heap, code, facts):
             assert_verified(code, name=f"{name}.{fn_name}")
         functions[fn_name] = CompiledFunction(
             name=fn_name,

@@ -59,7 +59,97 @@ from typing import Any
 
 from repro.core.names import Name
 
-__all__ = ["Label", "CodeObject", "VMClosure", "code_size", "flatten_codes"]
+__all__ = [
+    "Label",
+    "CodeObject",
+    "VMClosure",
+    "OpTraits",
+    "OPCODE_TRAITS",
+    "code_size",
+    "flatten_codes",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class OpTraits:
+    """Static execution properties of one opcode, as the VM implements it.
+
+    The single authoritative description of each instruction's control and
+    observability behavior, shared by the abstract interpreter
+    (:mod:`repro.analysis.absint`), the fusion-safety certifier
+    (:mod:`repro.analysis.fusion`) and the bytecode verifier.  Every claim
+    here is checkable against :meth:`repro.machine.vm.VM._execute`; the
+    fusion test suite re-derives the safety-relevant bits empirically.
+    """
+
+    #: control never falls through to pc+1 (tailcall, halt, raise, ...)
+    terminal: bool = False
+    #: has a pc operand it may transfer to (comparisons, error edges, case)
+    branches: bool = False
+    #: may leave the instruction stream via a TML trap (typeError,
+    #: boundsError, ...) or a MachineError — i.e. executing it can observe
+    #: machine state other than its own operands
+    can_trap: bool = False
+    #: mutates heap-visible state (arrays / byte arrays) other sessions or
+    #: later instructions can read
+    writes_memory: bool = False
+    #: emits to an observable channel (the output list)
+    observable: bool = False
+    #: net change to the dynamic handler-stack depth
+    handler_delta: int = 0
+
+
+#: opcode -> :class:`OpTraits`.  ``const`` may load from the store but can
+#: neither trap nor branch; ``poph`` on an empty stack is a MachineError, so
+#: it counts as trapping.  Terminal opcodes are trivially "branching" for the
+#: purposes of fusion (control leaves the pair), so certifiers must check
+#: both flags.
+OPCODE_TRAITS: dict[str, OpTraits] = {
+    "const": OpTraits(),
+    "move": OpTraits(),
+    "free": OpTraits(),
+    "closure": OpTraits(),
+    "fix": OpTraits(),
+    "jump": OpTraits(terminal=True, branches=True),
+    "add": OpTraits(branches=True, can_trap=True),
+    "sub": OpTraits(branches=True, can_trap=True),
+    "mul": OpTraits(branches=True, can_trap=True),
+    "div": OpTraits(branches=True, can_trap=True),
+    "rem": OpTraits(branches=True, can_trap=True),
+    "lt": OpTraits(branches=True, can_trap=True),
+    "gt": OpTraits(branches=True, can_trap=True),
+    "le": OpTraits(branches=True, can_trap=True),
+    "ge": OpTraits(branches=True, can_trap=True),
+    "band": OpTraits(can_trap=True),
+    "bor": OpTraits(can_trap=True),
+    "bxor": OpTraits(can_trap=True),
+    "shl": OpTraits(can_trap=True),
+    "shr": OpTraits(can_trap=True),
+    "bnot": OpTraits(can_trap=True),
+    "c2i": OpTraits(can_trap=True),
+    "i2c": OpTraits(can_trap=True),
+    "arr": OpTraits(),
+    "vec": OpTraits(),
+    "anew": OpTraits(can_trap=True),
+    "bnew": OpTraits(can_trap=True),
+    "aget": OpTraits(can_trap=True),
+    "aset": OpTraits(can_trap=True, writes_memory=True),
+    "bget": OpTraits(can_trap=True),
+    "bset": OpTraits(can_trap=True, writes_memory=True),
+    "asize": OpTraits(can_trap=True),
+    "amove": OpTraits(can_trap=True, writes_memory=True),
+    "bmove": OpTraits(can_trap=True, writes_memory=True),
+    "case": OpTraits(terminal=True, branches=True, can_trap=True),
+    "tailcall": OpTraits(terminal=True, can_trap=True),
+    "pushh": OpTraits(handler_delta=1),
+    "poph": OpTraits(can_trap=True, handler_delta=-1),
+    "raise": OpTraits(terminal=True, can_trap=True),
+    "ccall": OpTraits(branches=True, can_trap=True, observable=True),
+    "extcall": OpTraits(branches=True, can_trap=True, observable=True),
+    "print": OpTraits(observable=True),
+    "halt": OpTraits(terminal=True),
+    "trapc": OpTraits(terminal=True, can_trap=True),
+}
 
 
 class Label:

@@ -223,7 +223,9 @@ class VM:
         profiler = self.profiler
         if profiler is not None:
             profile_ops = profiler.opcodes
+            profile_pairs = profiler.pairs
             closure_stats = profiler.enter(code.name)
+            prev_pc = -2  # no fall-through into pc 0
 
         while True:
             instr = instrs[pc]
@@ -239,6 +241,12 @@ class VM:
             if profiler is not None:
                 profile_ops[op] += 1
                 closure_stats.instructions += 1
+                # adjacent-pair counts feed the fusion certifier; only
+                # fall-through adjacency counts — a taken branch or error
+                # edge is not a statically fusable boundary
+                if pc == prev_pc + 1:
+                    profile_pairs[(instrs[prev_pc][0], op)] += 1
+                prev_pc = pc
 
             if op == "const":
                 value = consts[instr[2]]

@@ -115,6 +115,7 @@ def optimize_hot(
     min_instructions: int = 0,
     config=None,
     relink: bool = True,
+    facts=None,
 ) -> PgoReport:
     """Reflectively re-optimize the measured-hottest compiled functions.
 
@@ -124,6 +125,12 @@ def optimize_hot(
     each regenerated closure replaces the export binding in the running
     image, so later ``system.call``/``system.closure`` lookups — though not
     closures other modules captured earlier — use the optimized code.
+
+    ``facts`` (a :class:`~repro.analysis.facts.FactStore`) closes the loop
+    with the whole-image analysis: the candidate's stored summary (effect
+    class, result kind) is consulted and attached to the trace evidence,
+    and the rewritten function's *old* PTML hash is invalidated so the next
+    audit recomputes facts only for the regenerated slice of the graph.
     """
     from repro.reflect import optimize_result  # lazy: avoid import cycle
 
@@ -132,6 +139,7 @@ def optimize_hot(
     for candidate in ranking[:top]:
         if candidate.instructions < min_instructions:
             continue
+        old_fact = _candidate_fact(system, candidate, facts)
         result = optimize_result(
             system, candidate.module, candidate.function, config or DYNAMIC_CONFIG
         )
@@ -139,6 +147,10 @@ def optimize_hot(
         report.results[candidate.qualified] = result
         if relink:
             system.link(candidate.module).exports[candidate.function] = result.closure
+            if facts is not None and old_fact is not None:
+                # the binding moved to new code: the old hash's fact is
+                # about a function the image no longer serves
+                facts.invalidate(old_fact.key)
         TRACER.event(
             "reflect.pgo",
             function=candidate.qualified,
@@ -148,5 +160,23 @@ def optimize_hot(
             cost_after=result.cost_after,
             estimated_speedup=result.estimated_speedup,
             relinked=relink,
+            effect=None if old_fact is None else old_fact.summary.effect,
+            result_kind=None if old_fact is None else old_fact.summary.result,
         )
     return report
+
+
+def _candidate_fact(system, candidate: HotCandidate, facts):
+    """The stored analysis fact for a candidate's current code, if any."""
+    if facts is None:
+        return None
+    from repro.store.ptml import ptml_key
+
+    try:
+        closure = system.closure(candidate.module, candidate.function)
+    except Exception:
+        return None
+    key = ptml_key(closure.code, getattr(system, "heap", None))
+    if key is None:
+        return None
+    return facts.lookup(key)

@@ -24,13 +24,11 @@ Two tiers:
 
 from __future__ import annotations
 
-import hashlib
 import threading
 
-from repro.core.syntax import Oid
 from repro.machine.isa import CodeObject, VMClosure
 from repro.obs.metrics import METRICS
-from repro.store.serialize import Blob
+from repro.store.ptml import ptml_key
 
 __all__ = ["CodeCache", "CACHE_ROOT"]
 
@@ -58,16 +56,7 @@ class CodeCache:
     @staticmethod
     def key_of(code: CodeObject, heap=None) -> str | None:
         """Content hash of the code's PTML blob (None when none attached)."""
-        ref = code.ptml_ref
-        if ref is None:
-            return None
-        if isinstance(ref, Oid):
-            if heap is None:
-                return None
-            ref = heap.load(ref)
-        if not isinstance(ref, Blob):
-            return None
-        return hashlib.sha256(ref.data).hexdigest()
+        return ptml_key(code, heap)
 
     # ------------------------------------------------------------- lookup
 

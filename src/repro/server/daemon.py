@@ -38,6 +38,7 @@ import time
 import traceback
 from dataclasses import dataclass
 
+from repro.analysis.facts import FactStore
 from repro.lang import TycoonSystem
 from repro.lang.errors import TLError
 from repro.lang.parser import parse_modules
@@ -201,6 +202,7 @@ class ReproServer:
         self.system = TycoonSystem(heap=self.heap, persist_stdlib=not is_replica)
         self.txns = TransactionManager(self.heap, default_timeout=self.config.lock_timeout)
         self.code_cache = CodeCache()
+        self.fact_store = FactStore()
         self.pool = WorkerPool(
             workers=self.config.workers,
             queue_size=self.config.queue_size,
@@ -292,6 +294,9 @@ class ReproServer:
         establishing the baseline.
         """
         loaded = []
+        # attach facts first: verified records let module loading skip the
+        # per-code re-verification for unchanged PTML hashes
+        warm_facts = self.fact_store.attach(self.heap)
         for root in self.heap.root_names():
             if not root.startswith("module:"):
                 continue
@@ -299,7 +304,7 @@ class ReproServer:
             if name in STDLIB_MODULE_NAMES:
                 continue
             try:
-                self.system.load(name)
+                self.system.load(name, facts=self.fact_store)
                 loaded.append(name)
             except (TLError, HeapError) as exc:
                 print(f"repro-server: skipping module {name!r}: {exc}", file=sys.stderr)
@@ -307,7 +312,7 @@ class ReproServer:
         self.heap.commit()
         TRACER.event(
             "server.boot", modules=loaded, warm_code_entries=warm,
-            roots=len(self.heap.root_names()),
+            warm_fact_entries=warm_facts, roots=len(self.heap.root_names()),
         )
 
     # ------------------------------------------------------------ lifecycle
@@ -400,10 +405,11 @@ class ReproServer:
         for session in sessions:
             self._release_session(session)
         if self.follower is None:
-            # a replica never writes locally — flushing the code cache
-            # would fork its heap state away from the primary's
+            # a replica never writes locally — flushing the caches would
+            # fork its heap state away from the primary's
             with self.txns.write():
                 self.code_cache.flush(self.heap)
+                self.fact_store.flush(self.heap)
         if self.replication is not None:
             self.replication.stop()
         self.heap.close()
@@ -763,12 +769,17 @@ class ReproServer:
         return closure, False
 
     def invalidate_function(self, module: str, function: str) -> None:
-        """Drop the cache entry for a rewritten function (PGO/recompile)."""
+        """Drop the cache entries for a rewritten function (PGO/recompile).
+
+        Both caches key by PTML hash, so one redefinition drops the stale
+        compiled code *and* the stale analysis fact together.
+        """
         qualified = f"{module}.{function}"
         with self._keys_lock:
             key = self._keys.pop(qualified, None)
         if key is not None:
             self.code_cache.invalidate(key)
+            self.fact_store.invalidate(key)
 
     def take_profile(self) -> VMProfiler:
         """Hand the aggregated profile to the caller, starting a fresh one."""
@@ -984,6 +995,7 @@ class ReproServer:
             "sessions": active,
             "version": self.txns.version,
             "codecache": self.code_cache.stats(),
+            "facts": self.fact_store.stats(),
             "roots": len(self.heap.root_names()),
         }
         if self.pgo_worker is not None:

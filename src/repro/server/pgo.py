@@ -124,10 +124,12 @@ class PgoWorker:
                             else self.min_instructions
                         ),
                         relink=True,
+                        facts=server.fact_store,
                     )
                     for candidate in report.selected:
                         server.invalidate_function(candidate.module, candidate.function)
                     server.code_cache.flush(server.heap)
+                    server.fact_store.flush(server.heap)
             except Exception:
                 self.errors += 1
                 _ERRORS.inc()

@@ -31,7 +31,14 @@ from repro.core.syntax import Abs, App, Lit, PrimApp, Term, Var
 from repro.obs.metrics import METRICS
 from repro.store.serialize import Blob, Decoder, Encoder, SerializeError
 
-__all__ = ["PtmlError", "DecodedPtml", "encode_ptml", "decode_ptml", "ptml_size"]
+__all__ = [
+    "PtmlError",
+    "DecodedPtml",
+    "encode_ptml",
+    "decode_ptml",
+    "ptml_key",
+    "ptml_size",
+]
 
 _PTML_ENCODES = METRICS.counter("store.ptml.encodes", "TML→PTML encodings")
 _PTML_DECODES = METRICS.counter("store.ptml.decodes", "PTML→TML decodings")
@@ -247,3 +254,32 @@ def decode_ptml(blob: Blob | bytes) -> DecodedPtml:
 def ptml_size(term: Term) -> int:
     """Byte size of the PTML encoding (the E3 experiment's measure)."""
     return len(encode_ptml(term).data)
+
+
+def ptml_key(ref, heap=None) -> str | None:
+    """The PTML content identity: ``sha256`` of the encoded blob bytes.
+
+    ``ref`` may be a :class:`Blob`, a store OID (resolved through ``heap``),
+    or any object with a ``ptml_ref`` attribute (a
+    :class:`~repro.machine.isa.CodeObject`).  Two functions with the same
+    key have byte-identical PTML and therefore identical observable
+    behavior — the keying invariant shared by the server's compiled-code
+    cache and the persisted analysis-fact cache.  Returns None when no PTML
+    is attached or the reference cannot be resolved.
+    """
+    import hashlib
+
+    if ref is not None and not isinstance(ref, Blob) and hasattr(ref, "ptml_ref"):
+        ref = ref.ptml_ref
+    if ref is None:
+        return None
+    if not isinstance(ref, Blob):
+        if heap is None:
+            return None
+        try:
+            ref = heap.load(ref)
+        except Exception:
+            return None
+        if not isinstance(ref, Blob):
+            return None
+    return hashlib.sha256(ref.data).hexdigest()

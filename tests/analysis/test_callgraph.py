@@ -1,0 +1,105 @@
+"""Tests for the image-wide call graph over frozen module bindings."""
+
+import pytest
+
+from repro.analysis.absint import closure_kind
+from repro.analysis.callgraph import ImageGraph
+from repro.lang import TycoonSystem
+from repro.store.heap import ObjectHeap
+
+SRC = """
+module geo
+export area unused_helper
+let square(x: Int): Int = x * x
+let area(side: Int): Int = square(side)
+let unused_helper(x: Int): Int = x
+end
+"""
+
+
+@pytest.fixture()
+def system(tmp_path):
+    system = TycoonSystem(heap=ObjectHeap(str(tmp_path / "img.db")))
+    system.compile(SRC)
+    system.persist("geo")
+    system.heap.commit()
+    yield system
+    system.heap.close()
+
+
+def test_from_heap_sees_every_stored_module(system):
+    graph = ImageGraph.from_heap(system.heap)
+    # user module plus the persisted stdlib
+    assert "geo.area" in graph.nodes
+    assert "geo.square" in graph.nodes
+    assert any(q.startswith("int.") for q in graph.nodes)
+
+
+def test_sibling_edges_resolved(system):
+    graph = ImageGraph.from_heap(system.heap)
+    assert "geo.square" in graph.edges.get("geo.area", set())
+
+
+def test_import_edges_point_into_stdlib(system):
+    # library_ops compiles `*` into a frozen reference to int.mul
+    graph = ImageGraph.from_heap(system.heap)
+    assert "int.mul" in graph.edges.get("geo.square", set())
+
+
+def test_export_bit_and_hashes(system):
+    graph = ImageGraph.from_heap(system.heap)
+    assert graph.nodes["geo.area"].exported
+    assert not graph.nodes["geo.square"].exported
+    hashes = graph.current_hashes()
+    assert hashes["geo.area"] is not None
+    assert hashes["geo.area"] != hashes["geo.square"]
+
+
+def test_bindings_carry_closure_kinds(system):
+    graph = ImageGraph.from_heap(system.heap)
+    node = graph.nodes["geo.area"]
+    bindings = graph.bindings_for("geo.area")
+    assert set(bindings) == set(node.externals)
+    target = next(
+        val for val in bindings.values() if val.callee == "geo.square"
+    )
+    arity = len(graph.nodes["geo.square"].code.params)
+    assert target.kind == closure_kind(arity)
+
+
+def test_reachability_from_exports(system):
+    graph = ImageGraph.from_heap(system.heap)
+    reachable = graph.reachable_from_exports()
+    assert "geo.area" in reachable
+    assert "geo.square" in reachable  # through area
+    assert "geo.unused_helper" in reachable  # exported itself
+
+
+def test_broken_reference_detected(system):
+    graph = ImageGraph.from_heap(system.heap)
+    assert graph.broken == set()
+    # surgically retarget a frozen external at a missing member
+    node = graph.nodes["geo.area"]
+    name, ref = next(iter(node.externals.items()))
+    node.externals[name] = type(ref)(
+        kind="sibling", module="geo", member="no_such_member"
+    )
+    graph.edges.clear()
+    graph.unresolved.clear()
+    graph.broken.clear()
+    graph._resolve_edges()
+    assert any(target == "geo.no_such_member" for _, _, target in graph.broken)
+
+
+def test_reference_into_absent_module_is_unresolved(system):
+    graph = ImageGraph.from_heap(system.heap)
+    node = graph.nodes["geo.area"]
+    name, ref = next(iter(node.externals.items()))
+    node.externals[name] = type(ref)(
+        kind="import", module="ghost", member="f"
+    )
+    graph.edges.clear()
+    graph.unresolved.clear()
+    graph.broken.clear()
+    graph._resolve_edges()
+    assert ("geo.area", str(name)) in {(q, str(n)) for q, n in graph.unresolved}

@@ -42,6 +42,38 @@ def test_lint_oid_without_store_refused():
 
 
 @pytest.fixture
+def warn_file(tmp_path):
+    path = tmp_path / "warn.tl"
+    path.write_text(
+        "module w export f let f(x: Int, y: Int): Int = x end"
+    )
+    return str(path)
+
+
+class TestExitCodeDiscipline:
+    """Pinned contract: errors exit 1, warnings exit 0 unless --strict."""
+
+    def test_warnings_exit_zero_by_default(self, warn_file, capsys):
+        assert main(["lint", warn_file]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+        assert "1 warning(s)" in out
+
+    def test_strict_promotes_warnings_to_failure(self, warn_file, capsys):
+        assert main(["lint", warn_file, "--strict"]) == 1
+        assert "warning" in capsys.readouterr().out
+
+    def test_strict_on_clean_target_still_exits_zero(self, capsys):
+        assert main(["lint", "examples/sumto.tl", "--strict"]) == 0
+        assert "0 warning(s)" in capsys.readouterr().out
+
+    def test_info_never_fails_even_strict(self, capsys):
+        # the stdlib lint reports info findings only
+        assert main(["lint", "--stdlib", "--strict"]) == 0
+        capsys.readouterr()
+
+
+@pytest.fixture
 def store(tmp_path):
     return str(tmp_path / "lint.heap")
 

@@ -180,3 +180,70 @@ class TestNestedCodes:
         bad = dataclasses.replace(code, codes=nested)
         found = errors(verify_code(bad, name="branchy"))
         assert found and all("codes[0]" in d.path for d in found)
+
+
+class TestHandlerDepthPrecision:
+    """TAM020 is a per-path proof over the whole code family.
+
+    Regression suite for the materialized-continuation pattern: a nested
+    closure that pops a handler its *parent* pushed is balanced — the old
+    per-code heuristic could not see across the family boundary.
+    """
+
+    @staticmethod
+    def _family(pops_in_child):
+        from repro.core.names import NameSupply
+        from repro.machine.isa import CodeObject
+
+        supply = NameSupply()
+        cc_free = supply.fresh_cont("cc")
+        child_instrs = [("poph",)] * pops_in_child
+        child_instrs += [("free", 1, 0), ("tailcall", 1, (0,))]
+        child = CodeObject(
+            name="k",
+            params=(supply.fresh_val("v"),),
+            nregs=4,
+            instrs=child_instrs,
+            free_names=(cc_free,),
+        )
+        f = supply.fresh_val("f")
+        return CodeObject(
+            name="with_handler",
+            params=(
+                supply.fresh_val("x"),
+                supply.fresh_cont("ce"),
+                supply.fresh_cont("cc"),
+            ),
+            nregs=8,
+            instrs=[
+                ("pushh", 0),
+                ("closure", 3, 0, (("r", 2),)),  # k captures cc
+                ("free", 4, 0),
+                ("tailcall", 4, (0, 1, 3)),  # f(x, ce, k): k pops later
+            ],
+            codes=[child],
+            free_names=(f,),
+            is_proc=True,
+        )
+
+    def test_materialized_continuation_pop_is_balanced(self):
+        # the child pops the handler the parent pushed before calling out:
+        # depth at the child's poph is provably 1, so no finding
+        code = self._family(pops_in_child=1)
+        assert verify_code(code, name="with_handler") == []
+
+    def test_double_pop_through_continuation_fires(self):
+        # a second poph in the child provably reaches depth 0: it would pop
+        # a handler installed by with_handler's own caller
+        code = self._family(pops_in_child=2)
+        found = verify_code(code, name="with_handler")
+        assert [d.code for d in found] == ["TAM020"]
+        assert not any(d.is_error for d in found)  # warning severity
+
+    def test_pop_without_any_push_fires_at_root(self):
+        import dataclasses as dc
+
+        code = self._family(pops_in_child=1)
+        bare = dc.replace(code, instrs=[("poph",)] + list(code.instrs[1:]))
+        found = verify_code(bare, name="with_handler")
+        assert "TAM020" in {d.code for d in found}

@@ -1,0 +1,78 @@
+"""Differential soundness of the abstract interpreter (hypothesis).
+
+The contract under test: whatever kind of value the *live VM* actually
+delivers for a program, the abstract interpreter's summary must predict a
+kind at least that high in the lattice (``observed <= predicted``).  A
+negative control proves the harness would catch an unsound summary.
+"""
+
+from hypothesis import given, settings
+
+from repro.analysis.absint import (
+    Summary,
+    analyze_code,
+    kind_le,
+    kind_of_value,
+)
+from repro.analysis.effects import EFFECT_RANK, infer_effect
+from repro.core.syntax import Lit, PrimApp
+from repro.machine.codegen import compile_function
+from repro.machine.vm import VM, instantiate
+from repro.primitives.effects import EffectClass
+from repro.primitives.registry import default_registry
+
+from tests.properties.test_prop_analysis import _wrap_proc
+from tests.properties.test_prop_core import straightline_terms
+
+_REGISTRY = default_registry()
+
+
+def _compile_and_analyze(term):
+    code = compile_function(_wrap_proc(term), _REGISTRY, name="prop")
+    return code, analyze_code(code, name="prop", registry=_REGISTRY)
+
+
+@given(straightline_terms())
+@settings(max_examples=120)
+def test_vm_result_kind_is_below_the_predicted_kind(term):
+    """Soundness: observed result kind <= summary's observable kind."""
+    code, analysis = _compile_and_analyze(term)
+    result = VM().call(instantiate(code), [])
+    observed = kind_of_value(result.value)
+    predicted = analysis.summary.observable
+    assert kind_le(observed, predicted), (
+        f"VM delivered {observed} but the summary only admits {predicted}"
+    )
+
+
+@given(straightline_terms())
+@settings(max_examples=120)
+def test_absint_never_flags_honest_codegen_output(term):
+    _, analysis = _compile_and_analyze(term)
+    assert [d for d in analysis.diagnostics if d.is_error] == []
+
+
+@given(straightline_terms())
+@settings(max_examples=100)
+def test_code_effect_never_exceeds_term_effect(term):
+    """The TAM105 relation holds on honestly-compiled code."""
+    _, analysis = _compile_and_analyze(term)
+    code_effect = EffectClass(analysis.summary.effect)
+    term_effect = infer_effect(term, _REGISTRY)
+    assert EFFECT_RANK[code_effect] <= EFFECT_RANK[term_effect]
+
+
+def test_negative_control_unsound_summary_is_caught():
+    """The differential harness has teeth: a lying summary fails it."""
+    term = PrimApp("halt", (Lit(7),))
+    code = compile_function(_wrap_proc(term), _REGISTRY, name="ctrl")
+    result = VM().call(instantiate(code), [])
+    observed = kind_of_value(result.value)
+    lying = Summary(
+        name="ctrl", arity=2, is_proc=True,
+        result="bot", halts="str", raises="bot", effect="pure",
+    )
+    assert not kind_le(observed, lying.observable)
+    # while the real analysis passes the same check
+    honest = analyze_code(code, name="ctrl", registry=_REGISTRY).summary
+    assert kind_le(observed, honest.observable)
