@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast properties lint ruff bench server-smoke crash-sim replication-sim fsck-smoke audit all
+.PHONY: test test-fast properties lint ruff bench obs-bench server-smoke crash-sim replication-sim fsck-smoke audit all
 
 all: test lint
 
@@ -31,9 +31,10 @@ ruff:
 	fi
 
 # boot the daemon as a subprocess and drive it with concurrent clients
-# (transactional commits, code-cache hits, one PGO round, graceful shutdown)
+# (transactional commits, code-cache hits, one PGO round, graceful shutdown);
+# scratch outputs land in the ignored artifacts/ directory
 server-smoke:
-	$(PYTHON) scripts/server_smoke.py --image server-smoke.tyc --trace server-smoke-trace.ndjson
+	$(PYTHON) scripts/server_smoke.py --image artifacts/server-smoke.tyc --trace artifacts/server-smoke-trace.ndjson
 
 # exhaustive crash-point sweep: simulate power loss at every I/O operation
 # of a multi-commit workload, in four failure models, and require recovery
@@ -50,21 +51,27 @@ replication-sim:
 
 # integrity-check the image the server smoke test leaves behind
 fsck-smoke: server-smoke
-	$(PYTHON) -m repro fsck server-smoke.tyc --json fsck-report.json -v
+	$(PYTHON) -m repro fsck artifacts/server-smoke.tyc --json fsck-report.json -v
 
 # whole-image semantic audit of the server-smoke image: verify + abstractly
 # interpret every stored code object over the call graph and refresh the
 # persisted analysis-fact cache (see docs/analysis.md); then the negative
 # control — a bit-flipped stored opcode must turn the audit red
 audit: server-smoke
-	$(PYTHON) -m repro audit server-smoke.tyc --json audit-report.json -v
+	$(PYTHON) -m repro audit artifacts/server-smoke.tyc --json audit-report.json -v
 	$(PYTHON) scripts/audit_negative_control.py --json audit-negative-control.json
 
 # experiment benchmarks, then the machine-readable artifacts
-# (BENCH_vm.json / BENCH_opt.json / BENCH_server.json / BENCH_analysis.json,
-# schema docs in docs/observability.md and docs/analysis.md)
+# (BENCH_vm.json / BENCH_opt.json / BENCH_server.json / BENCH_analysis.json /
+# BENCH_obs.json, schema docs in docs/observability.md and docs/analysis.md)
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 	$(PYTHON) -m repro bench --scale 0.3 --artifacts .
 	$(PYTHON) scripts/server_bench.py --json BENCH_server.json
 	$(PYTHON) scripts/analysis_bench.py --json BENCH_analysis.json
+	$(PYTHON) scripts/obs_bench.py --json BENCH_obs.json
+
+# the observability gate on its own: fails when always-on metrics cost
+# more than 5% over metrics-disabled (see docs/observability.md)
+obs-bench:
+	$(PYTHON) scripts/obs_bench.py --json BENCH_obs.json

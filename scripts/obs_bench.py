@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Observability overhead benchmark → ``BENCH_obs.json`` (``make bench``).
+
+Quantifies what watching the system costs, in two places:
+
+* **Stanford suite** (pure VM work, no wire): wall time with the metrics
+  registry disabled entirely vs the always-on default vs a full NDJSON
+  trace recorder attached.  The always-on delta is the *gate*: CI fails
+  when enabled-metrics overhead exceeds ``--max-overhead`` (default 5%),
+  because "observability is always on" is only tenable while it is cheap.
+* **Server round-trips** (loopback TCP): µs per request with no tracing,
+  with clients stamping trace context on every request (ids only, no
+  recorder), with the daemon recording at 10% sampling, and with a full
+  recorder at 100% — the tiers an operator actually chooses between.
+
+The artifact shares the ``BENCH_server.json`` envelope style (schema +
+meta + results) so CI uploads it alongside the other benchmarks.
+
+Usage: python scripts/obs_bench.py [--scale F] [--repeats N]
+       [--server-ops N] [--max-overhead F] [--json OUT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.harness import CONFIG_STATIC  # noqa: E402
+from repro.bench.stanford import PROGRAMS  # noqa: E402
+from repro.lang import TycoonSystem  # noqa: E402
+from repro.obs import NdjsonRecorder, TRACER  # noqa: E402
+from repro.obs.metrics import metrics_disabled  # noqa: E402
+from repro.server import ReproServer, ServerConfig, connect  # noqa: E402
+
+#: a CPU-bound subset: enough work per call that per-call noise is small
+STANFORD_SUBSET = ("bubblesort", "intmm", "perm", "queens")
+
+
+def _stanford_pass(system, closures, scale: float) -> float:
+    """One full pass over the subset; returns elapsed seconds."""
+    start = time.perf_counter()
+    for name, closure in closures:
+        n = max(1, int(PROGRAMS[name].bench_n * scale))
+        system.vm().call(closure, [n])
+    return time.perf_counter() - start
+
+
+def bench_stanford(scale: float, repeats: int, trace_dir: str) -> dict:
+    system = TycoonSystem(options=CONFIG_STATIC)
+    names = [n for n in STANFORD_SUBSET if n in PROGRAMS]
+    for name in names:
+        system.compile(PROGRAMS[name].source)
+    closures = [(name, system.closure(name, "run")) for name in names]
+
+    def best_of(run) -> float:
+        best = math.inf
+        for _ in range(repeats):
+            best = min(best, run())
+        return best
+
+    # warm-up: fault in code paths and caches before any timed pass
+    _stanford_pass(system, closures, scale)
+
+    with metrics_disabled():
+        t_off = best_of(lambda: _stanford_pass(system, closures, scale))
+    t_on = best_of(lambda: _stanford_pass(system, closures, scale))
+    trace_path = os.path.join(trace_dir, "obs-bench-stanford.ndjson")
+    with NdjsonRecorder(trace_path) as recorder:
+        with TRACER.recording(recorder):
+            t_traced = best_of(lambda: _stanford_pass(system, closures, scale))
+    return {
+        "programs": names,
+        "scale": scale,
+        "repeats": repeats,
+        "metrics_off_s": round(t_off, 6),
+        "metrics_on_s": round(t_on, 6),
+        "tracing_full_s": round(t_traced, 6),
+        "metrics_overhead": round(t_on / t_off - 1.0, 4) if t_off else 0.0,
+        "tracing_overhead": round(t_traced / t_off - 1.0, 4) if t_off else 0.0,
+    }
+
+
+def _rtt_us(port: int, ops: int, trace_sample: float) -> float:
+    """Best-of-3 mean round-trip time of a get over loopback, in µs."""
+    best = math.inf
+    with connect(port) as db:
+        db.trace_sample = trace_sample
+        for _ in range(ops // 4):  # warm-up
+            db.get("x")
+        for _ in range(3):
+            start = time.perf_counter()
+            for _ in range(ops):
+                db.get("x")
+            best = min(best, (time.perf_counter() - start) / ops)
+    return best * 1e6
+
+
+def bench_server(ops: int, root: str) -> dict:
+    server = ReproServer(
+        os.path.join(root, "obs-bench.tyc"),
+        ServerConfig(
+            workers=2, queue_size=64, pgo_interval=None, history_interval=None,
+        ),
+    )
+    server.start()
+    try:
+        with connect(server.port) as db:
+            db.set("x", 1)
+        off = _rtt_us(server.port, ops, trace_sample=0.0)
+        stamped = _rtt_us(server.port, ops, trace_sample=1.0)
+        trace_path = os.path.join(root, "obs-bench-server.ndjson")
+        with connect(server.port) as ctl:
+            ctl.trace_ctl("start", path=trace_path)
+            ctl.trace_ctl("sample", rate=0.1)
+        sampled = _rtt_us(server.port, ops, trace_sample=0.1)
+        with connect(server.port) as ctl:
+            ctl.trace_ctl("sample", rate=1.0)
+        full = _rtt_us(server.port, ops, trace_sample=1.0)
+        with connect(server.port) as ctl:
+            ctl.trace_ctl("stop")
+        return {
+            "ops": ops,
+            "rtt_us": {
+                "off": round(off, 1),
+                "stamped": round(stamped, 1),
+                "sampled_10pct": round(sampled, 1),
+                "full": round(full, 1),
+            },
+            "overhead_vs_off": {
+                "stamped": round(stamped / off - 1.0, 4) if off else 0.0,
+                "sampled_10pct": round(sampled / off - 1.0, 4) if off else 0.0,
+                "full": round(full / off - 1.0, 4) if off else 0.0,
+            },
+        }
+    finally:
+        server.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.2, help="stanford n scale")
+    parser.add_argument("--repeats", type=int, default=5, help="best-of passes")
+    parser.add_argument("--server-ops", type=int, default=400)
+    parser.add_argument(
+        "--max-overhead", type=float, default=0.05,
+        help="fail when always-on metrics cost more than this fraction "
+        "over metrics-disabled on the Stanford suite",
+    )
+    parser.add_argument(
+        "--json", metavar="OUT", default="BENCH_obs.json",
+        help="artifact path (default: BENCH_obs.json)",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="obs-bench-") as root:
+        stanford = bench_stanford(args.scale, args.repeats, root)
+        server = bench_server(args.server_ops, root)
+
+    overhead = stanford["metrics_overhead"]
+    gate_pass = overhead <= args.max_overhead
+    payload = {
+        "schema": "repro.bench.obs/v1",
+        "meta": {
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "python": platform.python_version(),
+            "platform": sys.platform,
+        },
+        "stanford": stanford,
+        "server": server,
+        "gate": {
+            "max_metrics_overhead": args.max_overhead,
+            "metrics_overhead": overhead,
+            "pass": gate_pass,
+        },
+    }
+    with open(args.json, "w", encoding="utf-8") as fp:
+        json.dump(payload, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    rtt = server["rtt_us"]
+    print(
+        f"obs-bench: always-on metrics {overhead * 100:+.2f}% vs disabled "
+        f"(gate {args.max_overhead * 100:.0f}%); tracing "
+        f"{stanford['tracing_overhead'] * 100:+.2f}%; server rtt "
+        f"off {rtt['off']}us / stamped {rtt['stamped']}us / "
+        f"10% {rtt['sampled_10pct']}us / full {rtt['full']}us "
+        f"-> wrote {args.json}"
+    )
+    if not gate_pass:
+        print(
+            f"obs-bench: FAIL — always-on metrics overhead "
+            f"{overhead * 100:.2f}% exceeds the {args.max_overhead * 100:.0f}% gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,8 @@ then drives it the way the docs promise it works:
 4. a ``shutdown`` request stops the daemon gracefully (exit code 0).
 
 Exits nonzero on the first violated expectation.  The trace file
-(``server-smoke-trace.ndjson`` by default) is uploaded as a CI artifact.
+(``artifacts/server-smoke-trace.ndjson`` by default) is uploaded as a
+CI artifact; all scratch outputs stay out of the repo root.
 """
 
 from __future__ import annotations
@@ -55,9 +56,14 @@ def check(condition: bool, message: str) -> None:
 
 def main() -> int:
     parser = argparse.ArgumentParser()
-    parser.add_argument("--image", default="server-smoke.tyc")
-    parser.add_argument("--trace", default="server-smoke-trace.ndjson")
+    parser.add_argument("--image", default="artifacts/server-smoke.tyc")
+    parser.add_argument("--trace", default="artifacts/server-smoke-trace.ndjson")
     args = parser.parse_args()
+
+    for path in (args.image, args.trace):
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
 
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(ROOT, "src") + os.pathsep + env.get(

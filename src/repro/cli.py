@@ -53,6 +53,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 
 from repro.bench.harness import format_table, run_stanford
 from repro.core.pretty import PrettyOptions, pretty
@@ -239,6 +240,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.history:
+        return _cmd_stats_history(args)
     from repro.obs import METRICS, write_metrics_json
 
     # importing the instrumented layers registers their metric catalog even
@@ -277,6 +280,57 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         write_metrics_json(args.json)
         print(f"wrote {args.json}", file=sys.stderr)
     return 0
+
+
+def _cmd_stats_history(args: argparse.Namespace) -> int:
+    """Offline read of the in-image metrics-history ring (``obs:history``).
+
+    The daemon persists periodic metric snapshots into the image it
+    serves; this reads them back with no server running — the positional
+    argument is the store image, not a TL file.
+    """
+    import json as _json
+
+    from repro.obs.history import read_history
+
+    if args.file is None:
+        raise SystemExit("error: stats --history needs a store image path")
+    heap = ObjectHeap(args.file)
+    try:
+        entries = read_history(heap)
+    finally:
+        heap.close()
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(entries, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}", file=sys.stderr)
+        return 0
+    if not entries:
+        print("(no persisted metric snapshots)")
+        return 0
+    print(f"{'seq':>5} {'timestamp':<24} {'role':<10} {'version':>8} {'requests':>9}")
+    print("-" * 60)
+    for entry in entries:
+        meta = entry.get("meta", {})
+        metrics = entry.get("metrics", {})
+        requests = metrics.get("server.requests", {}).get("value", "-")
+        ts = time.strftime(
+            "%Y-%m-%dT%H:%M:%S", time.localtime(entry.get("ts_ms", 0) / 1000)
+        )
+        print(
+            f"{entry.get('seq', 0):>5} {ts:<24} {str(meta.get('role', '-')):<10} "
+            f"{str(meta.get('version', '-')):>8} {str(requests):>9}"
+        )
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.server.top import run_top
+
+    host, _, port = args.target.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit("error: top expects HOST:PORT")
+    return run_top(host, int(port), interval=args.interval, count=args.count)
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
@@ -478,6 +532,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         node_id=args.node_id,
         sync_replicas=args.sync_replicas,
         replication_timeout=args.replication_timeout,
+        trace_sample=args.trace_sample,
+        history_interval=args.history_interval if args.history_interval > 0 else None,
+        slowlog_capacity=args.slowlog_capacity,
     )
     server = ReproServer(args.image, config)
     server.start()
@@ -541,6 +598,24 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 result = {"roots": db.roots()}
             elif action == "stats":
                 result = db.stats(metrics=args.metrics)
+            elif action == "slowlog":
+                result = db.slowlog(
+                    n=int(args.operands[0]) if args.operands else None
+                )
+            elif action == "trace":
+                trace_action = args.operands[0] if args.operands else "status"
+                trace_path = trace_rate = None
+                if trace_action == "start":
+                    if len(args.operands) != 2:
+                        raise SystemExit(
+                            "error: trace start needs a server-side output path"
+                        )
+                    trace_path = args.operands[1]
+                elif trace_action == "sample":
+                    if len(args.operands) != 2:
+                        raise SystemExit("error: trace sample needs a rate in [0, 1]")
+                    trace_rate = float(args.operands[1])
+                result = db.trace_ctl(trace_action, path=trace_path, rate=trace_rate)
             elif action == "pgo":
                 result = db.pgo(top=int(args.operands[0]) if args.operands else None)
             elif action == "repl-status":
@@ -651,6 +726,11 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p.add_argument("--opt", choices=["none", "static"], default="static")
     stats_p.add_argument("--store", help="persistent store file to attach")
     stats_p.add_argument("--json", metavar="OUT", help="write the snapshot as JSON")
+    stats_p.add_argument(
+        "--history", action="store_true",
+        help="read the in-image metrics-history ring instead (FILE is a "
+        "store image; works offline, no server needed)",
+    )
     stats_p.set_defaults(handler=_cmd_stats)
 
     store_p = sub.add_parser("store", help="inspect a persistent store image")
@@ -758,14 +838,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--replication-timeout", type=float, default=5.0,
         help="seconds a sync write waits for its ack quorum",
     )
+    serve_p.add_argument(
+        "--trace-sample", type=float, default=1.0,
+        help="probability an unstamped request roots a new trace when a "
+        "recorder is attached (stamped requests always honor the stamp)",
+    )
+    serve_p.add_argument(
+        "--history-interval", type=float, default=60.0,
+        help="seconds between in-image metric snapshots (0 disables)",
+    )
+    serve_p.add_argument(
+        "--slowlog-capacity", type=int, default=32,
+        help="slowest requests kept in the in-memory slowlog ring",
+    )
     serve_p.set_defaults(handler=_cmd_serve)
+
+    top_p = sub.add_parser(
+        "top", help="live terminal dashboard over a running daemon's stats"
+    )
+    top_p.add_argument("target", metavar="HOST:PORT", help="daemon to watch")
+    top_p.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between polls"
+    )
+    top_p.add_argument(
+        "--count", type=int, default=None,
+        help="render N frames then exit (default: until interrupted)",
+    )
+    top_p.set_defaults(handler=_cmd_top)
 
     client_p = sub.add_parser("client", help="one-shot session against a daemon")
     client_p.add_argument(
         "action",
         choices=[
-            "ping", "call", "run", "get", "set", "roots", "stats", "pgo",
-            "repl-status", "promote", "follow", "shutdown",
+            "ping", "call", "run", "get", "set", "roots", "stats", "slowlog",
+            "trace", "pgo", "repl-status", "promote", "follow", "shutdown",
         ],
     )
     client_p.add_argument("operands", nargs="*")

@@ -26,9 +26,34 @@ from repro.obs.exporters import (
     validate_event,
     write_metrics_json,
 )
-from repro.obs.metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.history import (
+    HISTORY_ROOT,
+    MetricsHistory,
+    read_history,
+    sanitize_snapshot,
+)
+from repro.obs.metrics import (
+    METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics_disabled,
+    metrics_enabled,
+    set_metrics_enabled,
+)
 from repro.obs.profile import ClosureStats, VMProfiler, profile_call
-from repro.obs.trace import NULL_SPAN, Span, TraceEvent, Tracer, TRACER
+from repro.obs.slowlog import SlowLog
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    TraceContext,
+    TraceEvent,
+    Tracer,
+    TRACER,
+    new_span_id,
+    new_trace_id,
+)
 
 __all__ = [
     "METRICS",
@@ -36,11 +61,22 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "metrics_enabled",
+    "set_metrics_enabled",
+    "metrics_disabled",
     "TRACER",
     "Tracer",
     "TraceEvent",
+    "TraceContext",
     "Span",
     "NULL_SPAN",
+    "new_trace_id",
+    "new_span_id",
+    "SlowLog",
+    "MetricsHistory",
+    "HISTORY_ROOT",
+    "read_history",
+    "sanitize_snapshot",
     "ListRecorder",
     "NdjsonRecorder",
     "SCHEMA_VERSION",

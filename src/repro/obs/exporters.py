@@ -1,18 +1,28 @@
 """Recorders and file exporters: NDJSON traces, JSON metrics/bench dumps.
 
-NDJSON trace schema (version 1) — one JSON object per line::
+NDJSON trace schema (version 2) — one JSON object per line::
 
-    {"v": 1, "name": "rewrite.pass", "kind": "span",
-     "ts": 1722860000.123, "dur": 0.0004, "attrs": {"fired": 3}}
+    {"v": 2, "name": "server.request", "kind": "span",
+     "ts": 1722860000.123, "dur": 0.0004,
+     "trace_id": "9f86d081884c7d65", "span_id": "a4c349cd51b1cf5b",
+     "parent_id": null, "attrs": {"op": "set"}}
+
+Version 2 adds the distributed trace context: every event carries
+``trace_id``, ``span_id`` and ``parent_id`` keys (values may be ``null``
+on point events or spans recorded outside any trace — but the *keys* are
+required, so a v2 consumer can always join events into traces).  Version 1
+events (``"v": 1``, no context keys) are rejected by ``validate_event``;
+re-record old traces rather than relabeling them.
 
 ``validate_event`` / ``read_ndjson`` enforce the schema so traces stay
 machine-consumable; round-trip behavior is pinned by
-``tests/obs/test_trace.py``.
+``tests/obs/test_trace.py`` and ``tests/obs/test_trace_context.py``.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from typing import Any
 
 from repro.obs.metrics import METRICS, MetricsRegistry
@@ -30,9 +40,12 @@ __all__ = [
     "write_metrics_json",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _KINDS = ("span", "event")
+
+#: trace-context keys every v2 event must carry (nullable values)
+_CONTEXT_KEYS = ("trace_id", "span_id", "parent_id")
 
 
 class TraceSchemaError(ValueError):
@@ -57,6 +70,9 @@ def event_to_dict(event: TraceEvent) -> dict:
         "kind": event.kind,
         "ts": event.ts,
         "dur": event.dur,
+        "trace_id": event.trace_id,
+        "span_id": event.span_id,
+        "parent_id": event.parent_id,
         "attrs": {str(k): _safe_attr(v) for k, v in event.attrs.items()},
     }
 
@@ -66,7 +82,10 @@ def validate_event(data: dict) -> dict:
     if not isinstance(data, dict):
         raise TraceSchemaError(f"event is {type(data).__name__}, not an object")
     if data.get("v") != SCHEMA_VERSION:
-        raise TraceSchemaError(f"unsupported schema version {data.get('v')!r}")
+        raise TraceSchemaError(
+            f"unsupported schema version {data.get('v')!r} "
+            f"(this exporter reads v{SCHEMA_VERSION})"
+        )
     name = data.get("name")
     if not isinstance(name, str) or not name:
         raise TraceSchemaError("event name must be a non-empty string")
@@ -82,6 +101,14 @@ def validate_event(data: dict) -> dict:
             raise TraceSchemaError("span events must carry a numeric dur")
     elif dur is not None:
         raise TraceSchemaError("point events must have dur = null")
+    for key in _CONTEXT_KEYS:
+        if key not in data:
+            raise TraceSchemaError(f"v2 events must carry the {key} key")
+        value = data[key]
+        if value is not None and (
+            not isinstance(value, str) or len(value) != 16
+        ):
+            raise TraceSchemaError(f"{key} must be null or a 16-hex string")
     attrs = data.get("attrs")
     if not isinstance(attrs, dict):
         raise TraceSchemaError("attrs must be an object")
@@ -90,7 +117,16 @@ def validate_event(data: dict) -> dict:
 
 def event_from_dict(data: dict) -> TraceEvent:
     validate_event(data)
-    return TraceEvent(data["name"], data["kind"], data["ts"], data["dur"], data["attrs"])
+    return TraceEvent(
+        data["name"],
+        data["kind"],
+        data["ts"],
+        data["dur"],
+        data["attrs"],
+        trace_id=data["trace_id"],
+        span_id=data["span_id"],
+        parent_id=data["parent_id"],
+    )
 
 
 class ListRecorder:
@@ -105,9 +141,18 @@ class ListRecorder:
     def named(self, name: str) -> list[TraceEvent]:
         return [e for e in self.events if e.name == name]
 
+    def traced(self, trace_id: str) -> list[TraceEvent]:
+        """Every event belonging to one distributed trace."""
+        return [e for e in self.events if e.trace_id == trace_id]
+
 
 class NdjsonRecorder:
-    """Streams events to an NDJSON file, one schema-valid object per line."""
+    """Streams events to an NDJSON file, one schema-valid object per line.
+
+    Thread-safe: the daemon records from worker, connection and
+    replication threads concurrently; each event is written as one
+    atomic line.
+    """
 
     def __init__(self, target):
         if hasattr(target, "write"):
@@ -116,15 +161,19 @@ class NdjsonRecorder:
         else:
             self._fp = open(target, "w", encoding="utf-8")
             self._owns = True
+        self._lock = threading.Lock()
 
     def record(self, event: TraceEvent) -> None:
-        self._fp.write(json.dumps(event_to_dict(event), sort_keys=True))
-        self._fp.write("\n")
+        line = json.dumps(event_to_dict(event), sort_keys=True)
+        with self._lock:
+            self._fp.write(line)
+            self._fp.write("\n")
 
     def close(self) -> None:
-        self._fp.flush()
-        if self._owns:
-            self._fp.close()
+        with self._lock:
+            self._fp.flush()
+            if self._owns:
+                self._fp.close()
 
     def __enter__(self) -> "NdjsonRecorder":
         return self

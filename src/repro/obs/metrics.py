@@ -25,6 +25,7 @@ instrumented operation performs — so the single-threaded paths stay cheap
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 
 __all__ = [
     "Counter",
@@ -32,7 +33,36 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "METRICS",
+    "metrics_enabled",
+    "set_metrics_enabled",
+    "metrics_disabled",
 ]
+
+#: global kill switch — normally True (metrics are the always-on half of
+#: observability); ``scripts/obs_bench.py`` flips it off to measure what
+#: "always on" actually costs.  The guard is one global load + branch on
+#: each mutation, far below the lock acquire that follows it.
+_ENABLED = True
+
+
+def metrics_enabled() -> bool:
+    return _ENABLED
+
+
+def set_metrics_enabled(flag: bool) -> None:
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+@contextmanager
+def metrics_disabled():
+    """Suspend every instrument mutation for a ``with`` block (bench use)."""
+    previous = _ENABLED
+    set_metrics_enabled(False)
+    try:
+        yield
+    finally:
+        set_metrics_enabled(previous)
 
 
 class Counter:
@@ -47,6 +77,8 @@ class Counter:
         self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
+        if not _ENABLED:
+            return
         with self._lock:
             self.value += amount
 
@@ -71,14 +103,20 @@ class Gauge:
         self._lock = threading.Lock()
 
     def set(self, value) -> None:
+        if not _ENABLED:
+            return
         with self._lock:
             self.value = value
 
     def inc(self, amount=1) -> None:
+        if not _ENABLED:
+            return
         with self._lock:
             self.value += amount
 
     def dec(self, amount=1) -> None:
+        if not _ENABLED:
+            return
         with self._lock:
             self.value -= amount
 
@@ -91,16 +129,53 @@ class Gauge:
             self.value = 0
 
 
-#: Histogram bucket upper bounds: powers of two from 1 to 2**30, fixed so
-#: that two runs observing the same values produce identical snapshots.
-_BUCKET_BOUNDS = tuple(1 << i for i in range(31))
+#: log-linear bucket geometry: values below 2**_SUB_BITS are exact (one
+#: bucket per integer); above, each power-of-two octave is split into
+#: 2**_SUB_BITS linear sub-buckets, bounding the relative quantization
+#: error of any bucket at 1/2**_SUB_BITS (6.25%) across the whole range —
+#: microseconds to hours in a few hundred buckets.
+_SUB_BITS = 4
+_SUB_COUNT = 1 << _SUB_BITS
+#: values past this go to the +inf overflow bucket (µs → ~35 minutes)
+_MAX_TRACKED = (1 << 31) - 1
+
+
+def _bucket_index(value: int) -> int:
+    """Index of the log-linear bucket holding ``value`` (>= 0)."""
+    if value < _SUB_COUNT:
+        return value
+    octave = value.bit_length() - 1
+    sub = (value >> (octave - _SUB_BITS)) & (_SUB_COUNT - 1)
+    return ((octave - _SUB_BITS + 1) << _SUB_BITS) + sub
+
+
+def _bucket_upper(index: int) -> int:
+    """Inclusive upper bound of the bucket at ``index`` (inverse of above)."""
+    if index < _SUB_COUNT:
+        return index
+    octave = (index >> _SUB_BITS) + _SUB_BITS - 1
+    sub = index & (_SUB_COUNT - 1)
+    return (1 << octave) + ((sub + 1) << (octave - _SUB_BITS)) - 1
+
+
+_NBUCKETS = _bucket_index(_MAX_TRACKED) + 1
 
 
 class Histogram:
-    """A distribution summary with fixed power-of-two buckets.
+    """A distribution summary over fixed log-linear buckets.
 
-    Designed for sizes and counts (bytes encoded, term sizes, latencies in
-    microseconds); ``observe`` takes any non-negative number.
+    Designed for latencies in microseconds as well as sizes and counts:
+    one bucket per integer below 16, then 16 linear sub-buckets per
+    power-of-two octave, so every bucket is at most 6.25% wide relative to
+    its value.  ``observe`` takes any non-negative number (floats are
+    bucketed by their integer part; ``total`` keeps the exact sum).
+
+    ``percentile(q)`` extracts quantiles by exact rank over the bucket
+    counts: it walks the cumulative distribution to the bucket containing
+    the rank ``ceil(q * count)`` and returns that bucket's upper bound
+    (clamped to the observed min/max) — so p50/p99/p999 are exact up to
+    the 6.25% bucket resolution even for microsecond latencies, where the
+    old power-of-two buckets lumped 1.1ms and 2ms together.
     """
 
     __slots__ = ("name", "help", "count", "total", "min", "max", "buckets", "_lock")
@@ -112,10 +187,12 @@ class Histogram:
         self.total = 0
         self.min = None
         self.max = None
-        self.buckets = [0] * (len(_BUCKET_BOUNDS) + 1)  # last = overflow
+        self.buckets = [0] * (_NBUCKETS + 1)  # last = overflow
         self._lock = threading.Lock()
 
     def observe(self, value) -> None:
+        if not _ENABLED:
+            return
         with self._lock:
             self.count += 1
             self.total += value
@@ -123,28 +200,55 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
-            for index, bound in enumerate(_BUCKET_BOUNDS):
-                if value <= bound:
-                    self.buckets[index] += 1
-                    return
-            self.buckets[-1] += 1
+            index = _bucket_index(max(0, int(value)))
+            if index >= _NBUCKETS:
+                self.buckets[-1] += 1
+            else:
+                self.buckets[index] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def _percentile_locked(self, q: float):
+        if not self.count:
+            return None
+        rank = max(1, -(-int(q * 1000) * self.count // 1000))  # ceil at 0.1% grain
+        seen = 0
+        for index, filled in enumerate(self.buckets):
+            if not filled:
+                continue
+            seen += filled
+            if seen >= rank:
+                if index >= _NBUCKETS:
+                    return self.max
+                bound = _bucket_upper(index)
+                return max(self.min, min(self.max, bound))
+        return self.max
+
+    def percentile(self, q: float):
+        """Value at quantile ``q`` in (0, 1] by exact rank (None if empty)."""
+        with self._lock:
+            return self._percentile_locked(q)
+
+    def percentiles(self, *qs: float) -> dict:
+        """Several quantiles under one lock, keyed ``p50``/``p999``-style."""
+        with self._lock:
+            return {
+                "p" + format(q * 100, "g").replace(".", ""): self._percentile_locked(q)
+                for q in qs
+            }
+
     def snapshot(self) -> dict:
         # only non-empty buckets, keyed by their upper bound — compact and
-        # stable across runs
+        # stable across runs; p50/p99/p999 ride along for consumers that
+        # do not want to re-derive ranks (shape is a superset of the v1
+        # snapshot: count/total/min/max/buckets are unchanged keys)
         with self._lock:
             buckets = {}
             for index, filled in enumerate(self.buckets):
                 if filled:
-                    key = (
-                        str(_BUCKET_BOUNDS[index])
-                        if index < len(_BUCKET_BOUNDS)
-                        else "+inf"
-                    )
+                    key = str(_bucket_upper(index)) if index < _NBUCKETS else "+inf"
                     buckets[key] = filled
             return {
                 "type": "histogram",
@@ -153,6 +257,9 @@ class Histogram:
                 "min": self.min,
                 "max": self.max,
                 "buckets": buckets,
+                "p50": self._percentile_locked(0.50),
+                "p99": self._percentile_locked(0.99),
+                "p999": self._percentile_locked(0.999),
             }
 
     def reset(self) -> None:
@@ -161,7 +268,7 @@ class Histogram:
             self.total = 0
             self.min = None
             self.max = None
-            self.buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+            self.buckets = [0] * (_NBUCKETS + 1)
 
 
 class MetricsRegistry:

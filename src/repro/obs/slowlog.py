@@ -1,0 +1,102 @@
+"""Bounded slow-request log — the daemon's "what was slow, and why" ring.
+
+A :class:`SlowLog` keeps the N slowest requests seen so far (a min-heap on
+latency: a new request enters only by evicting a faster one), each entry
+carrying what an operator needs to chase it: the distributed ``trace_id``
+(join key into the NDJSON export), the op, VM step count, lock-wait time
+and the outcome (``ok`` or the structured error code).  It is part of the
+always-on metrics half: recording is one lock + heap push, independent of
+whether tracing is enabled — so the slowlog is populated even for requests
+that were never sampled, and a trace id is present exactly when the
+request was.
+
+Served over the wire by the daemon's ``slowlog`` op and rendered by
+``python -m repro top``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+
+__all__ = ["SlowLog"]
+
+
+class SlowLog:
+    """Thread-safe bounded collection of the slowest request records."""
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError("slowlog capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        #: (latency_us, tiebreak, entry) min-heap — root is the fastest of
+        #: the kept slow requests, i.e. the next eviction candidate
+        self._heap: list[tuple[int, int, dict]] = []
+        self._tiebreak = itertools.count()
+        self._recorded = 0
+
+    def record(
+        self,
+        op: str,
+        latency_us: int,
+        outcome: str = "ok",
+        trace_id: str | None = None,
+        session: int | None = None,
+        steps: int | None = None,
+        lock_wait_us: int | None = None,
+        **extra,
+    ) -> bool:
+        """Offer one finished request; True when it entered the log."""
+        entry = {
+            "op": op,
+            "latency_us": int(latency_us),
+            "outcome": outcome,
+            "trace_id": trace_id,
+            "session": session,
+            "steps": steps,
+            "lock_wait_us": lock_wait_us,
+        }
+        entry.update(extra)
+        with self._lock:
+            self._recorded += 1
+            item = (entry["latency_us"], next(self._tiebreak), entry)
+            if len(self._heap) < self.capacity:
+                heapq.heappush(self._heap, item)
+                return True
+            if item[0] <= self._heap[0][0]:
+                return False
+            heapq.heapreplace(self._heap, item)
+            return True
+
+    def entries(self, n: int | None = None) -> list[dict]:
+        """The kept requests, slowest first (at most ``n``)."""
+        with self._lock:
+            ordered = sorted(self._heap, key=lambda it: (-it[0], -it[1]))
+        entries = [dict(entry) for _, _, entry in ordered]
+        return entries if n is None else entries[: max(0, n)]
+
+    def threshold_us(self) -> int | None:
+        """Latency a request must beat to enter a full log (None: not full)."""
+        with self._lock:
+            if len(self._heap) < self.capacity:
+                return None
+            return self._heap[0][0]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "kept": len(self._heap),
+                "recorded": self._recorded,
+            }
+
+    def clear(self) -> None:
+        """Drop the kept entries; the lifetime ``recorded`` count stays."""
+        with self._lock:
+            self._heap.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)

@@ -13,22 +13,66 @@ Attach a recorder (see :mod:`repro.obs.exporters`) to start collecting::
     with TRACER.recording(ListRecorder()) as rec:
         ...  # spans/events from every layer land in rec.events
 
-Event model (the NDJSON schema, version 1):
+Event model (the NDJSON schema, version 2):
 
 * ``name`` — dotted event name (``rewrite.pass``, ``query.rule``, ...);
 * ``kind`` — ``"span"`` (has a duration) or ``"event"`` (a point);
 * ``ts``   — wall-clock seconds since the epoch;
 * ``dur``  — span duration in seconds (``None`` for point events);
-* ``attrs`` — flat JSON-safe key/value payload.
+* ``attrs`` — flat JSON-safe key/value payload;
+* ``trace_id`` / ``span_id`` / ``parent_id`` — distributed trace context
+  (16-hex ids); recorded spans always carry ``trace_id`` and ``span_id``,
+  and nest under whatever context is active on the recording thread.
+
+**Trace context.**  Each thread carries an implicit current
+:class:`TraceContext`.  A recorded span inherits its ``trace_id`` from the
+context (minting a fresh one at a trace root) and links ``parent_id`` to
+the context's span; entering a span via ``with`` makes it the context for
+its body, so nested spans form a tree.  Context crosses process
+boundaries explicitly: the repro wire protocol ships ``trace_id``/
+``span_id`` on each request and on each replication record, and the
+receiving side re-activates them via :meth:`Tracer.activate` — one write
+can be followed client → primary → replica in a single merged trace.
+
+**Sampling.**  ``Tracer.sample_rate`` (default 1.0) governs *new* trace
+roots: :meth:`Tracer.should_sample` rolls the dice once per root, and an
+unsampled request simply produces no ids (span creation under an already
+sampled incoming context is never re-rolled — the root's decision sticks
+end to end).
 """
 
 from __future__ import annotations
 
+import random
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
-__all__ = ["TraceEvent", "Span", "Tracer", "TRACER", "NULL_SPAN"]
+__all__ = [
+    "TraceEvent",
+    "TraceContext",
+    "Span",
+    "Tracer",
+    "TRACER",
+    "NULL_SPAN",
+    "new_trace_id",
+    "new_span_id",
+]
+
+#: dedicated RNG for id generation — never seeded, so forked test
+#: environments that seed ``random`` still get unique ids
+_ID_RNG = random.Random()
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex trace id."""
+    return f"{_ID_RNG.getrandbits(64):016x}"
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex span id."""
+    return f"{_ID_RNG.getrandbits(64):016x}"
 
 
 @dataclass(slots=True)
@@ -40,6 +84,21 @@ class TraceEvent:
     ts: float
     dur: float | None
     attrs: dict
+    trace_id: str | None = None
+    span_id: str | None = None
+    parent_id: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """The (trace, span) a thread is currently executing under."""
+
+    trace_id: str
+    span_id: str | None = None
+
+    def child_ids(self) -> tuple[str, str, str | None]:
+        """(trace_id, fresh span_id, parent_id) for a span opened here."""
+        return (self.trace_id, new_span_id(), self.span_id)
 
 
 class _NullSpan:
@@ -50,6 +109,10 @@ class _NullSpan:
     """
 
     __slots__ = ()
+
+    trace_id = None
+    span_id = None
+    parent_id = None
 
     def __enter__(self) -> "_NullSpan":
         return self
@@ -68,14 +131,34 @@ NULL_SPAN = _NullSpan()
 
 
 class Span:
-    """A live span: use as a context manager, enrich with ``set(...)``."""
+    """A live span: use as a context manager, enrich with ``set(...)``.
 
-    __slots__ = ("_tracer", "name", "attrs", "_ts", "_t0")
+    Created with the thread's current :class:`TraceContext` folded in;
+    entering the span (``with``) activates it as the context for its body
+    so spans opened inside become children.
+    """
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+    __slots__ = (
+        "_tracer", "name", "attrs", "_ts", "_t0",
+        "trace_id", "span_id", "parent_id", "_restore",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: dict,
+        trace_id: str | None = None,
+        span_id: str | None = None,
+        parent_id: str | None = None,
+    ):
         self._tracer = tracer
         self.name = name
         self.attrs = attrs
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self._restore = None
         self._ts = time.time()
         self._t0 = time.perf_counter()
 
@@ -84,10 +167,21 @@ class Span:
         self.attrs.update(attrs)
         return self
 
+    def context(self) -> TraceContext | None:
+        if self.trace_id is None or self.span_id is None:
+            return None
+        return TraceContext(self.trace_id, self.span_id)
+
     def __enter__(self) -> "Span":
+        ctx = self.context()
+        if ctx is not None:
+            self._restore = self._tracer._swap_context(ctx)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.trace_id is not None:
+            self._tracer._set_context(self._restore)
+            self._restore = None
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
         self.finish()
@@ -96,33 +190,111 @@ class Span:
     def finish(self) -> None:
         dur = time.perf_counter() - self._t0
         self._tracer._emit(
-            TraceEvent(self.name, "span", self._ts, dur, self.attrs)
+            TraceEvent(
+                self.name, "span", self._ts, dur, self.attrs,
+                trace_id=self.trace_id,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+            )
         )
 
 
 class Tracer:
     """Routes spans/events to the attached recorder; no-op when detached."""
 
-    __slots__ = ("recorder",)
+    __slots__ = ("recorder", "sample_rate", "rng", "_local")
 
-    def __init__(self, recorder=None):
+    def __init__(self, recorder=None, sample_rate: float = 1.0):
         self.recorder = recorder
+        #: probability a *new* trace root is sampled (1.0 = every one);
+        #: incoming contexts were sampled upstream and bypass the roll
+        self.sample_rate = sample_rate
+        #: sampling-decision RNG — injectable for deterministic tests
+        self.rng: random.Random = random.Random()
+        self._local = threading.local()
 
     @property
     def enabled(self) -> bool:
         return self.recorder is not None
 
+    # ------------------------------------------------------------- context
+
+    def current(self) -> TraceContext | None:
+        """The thread's active trace context (None outside any trace)."""
+        return getattr(self._local, "ctx", None)
+
+    def _set_context(self, ctx: TraceContext | None) -> None:
+        self._local.ctx = ctx
+
+    def _swap_context(self, ctx: TraceContext | None) -> TraceContext | None:
+        previous = self.current()
+        self._local.ctx = ctx
+        return previous
+
+    @contextmanager
+    def activate(self, trace_id: str | None, span_id: str | None = None):
+        """Run a block under an explicitly supplied trace context.
+
+        This is the cross-boundary half of propagation: a daemon activates
+        the ids shipped on an incoming request, a replica activates the
+        ids carried by a replication record.  ``trace_id=None`` clears the
+        context for the block.
+        """
+        ctx = TraceContext(trace_id, span_id) if trace_id else None
+        previous = self._swap_context(ctx)
+        try:
+            yield ctx
+        finally:
+            self._set_context(previous)
+
+    def should_sample(self) -> bool:
+        """Roll the sampling dice for a new trace root."""
+        rate = self.sample_rate
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        return self.rng.random() < rate
+
+    # --------------------------------------------------------------- spans
+
     def span(self, name: str, **attrs):
-        """Open a span; returns :data:`NULL_SPAN` while disabled."""
+        """Open a span; returns :data:`NULL_SPAN` while disabled.
+
+        Recorded spans always carry ids: the trace id comes from the
+        thread's current context (a fresh one is minted at a root), the
+        parent is the context's span.
+        """
         if self.recorder is None:
             return NULL_SPAN
-        return Span(self, name, attrs)
+        ctx = self.current()
+        if ctx is not None:
+            trace_id, span_id, parent_id = ctx.child_ids()
+        else:
+            trace_id, span_id, parent_id = new_trace_id(), new_span_id(), None
+        return Span(
+            self, name, attrs,
+            trace_id=trace_id, span_id=span_id, parent_id=parent_id,
+        )
 
     def event(self, name: str, **attrs) -> None:
-        """Record a point event (dropped while disabled)."""
+        """Record a point event (dropped while disabled).
+
+        Point events attach to the current context: they carry its trace
+        id and point ``parent_id`` at the enclosing span, but have no span
+        id of their own.
+        """
         if self.recorder is None:
             return
-        self._emit(TraceEvent(name, "event", time.time(), None, attrs))
+        ctx = self.current()
+        self._emit(
+            TraceEvent(
+                name, "event", time.time(), None, attrs,
+                trace_id=ctx.trace_id if ctx is not None else None,
+                span_id=None,
+                parent_id=ctx.span_id if ctx is not None else None,
+            )
+        )
 
     def _emit(self, event: TraceEvent) -> None:
         recorder = self.recorder

@@ -26,6 +26,14 @@ disconnected session's transaction, so replaying mid-transaction requests
 would silently drop the transaction's earlier effects).  The default
 (``retry=None``) keeps the historical fail-fast behavior.
 
+Every request issued through the public operations carries a trace stamp
+(``trace_sample`` governs how often a new trace is rooted; requests made
+inside an active :data:`repro.obs.trace.TRACER` context always join it),
+so the daemon's server span — and, through the replication stream, the
+replica's apply span — share the client's trace id.  The stamp is pinned
+before the retry loop: retries and :class:`ClusterClient` failover reuse
+one trace id per logical operation.
+
 >>> with connect(port, retry=RetryPolicy()) as db:   # doctest: +SKIP
 ...     db.set("counter", 0)
 ...     with db.transaction():
@@ -45,6 +53,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACER, new_span_id, new_trace_id
 from repro.server import protocol
 from repro.server.protocol import from_jsonable, recv_frame, send_frame, to_jsonable
 
@@ -78,7 +87,7 @@ _GAVE_UP = METRICS.counter(
 
 #: requests with no server-side effects: safe to replay even when the
 #: connection died mid-request and the first attempt's fate is unknown
-IDEMPOTENT_OPS = frozenset({"ping", "get", "roots", "stats", "repl.status"})
+IDEMPOTENT_OPS = frozenset({"ping", "get", "roots", "stats", "slowlog", "repl.status"})
 
 
 class ClientError(Exception):
@@ -191,6 +200,7 @@ class Client:
         timeout: float = 60.0,
         retry: RetryPolicy | None = None,
         deadline: float | None = None,
+        trace_sample: float = 1.0,
     ):
         self._host = host
         self._port = port
@@ -200,6 +210,11 @@ class Client:
         #: its *remaining* budget so the daemon can bound lock waits and
         #: step counts to it (``deadline_exceeded`` when it runs out)
         self.deadline = deadline
+        #: probability a request *outside* any active trace roots a new
+        #: one (stamps ``trace`` on the wire); requests inside an active
+        #: context always join it — the upstream decision sticks
+        self.trace_sample = trace_sample
+        self._trace_rng = random.Random()
         self.sock: socket.socket | None = None
         self._next_id = 1
         self._closed = False
@@ -278,55 +293,108 @@ class Client:
             code, error.get("message", "unknown server error"), details
         )
 
+    def _trace_roll(self) -> bool:
+        rate = self.trace_sample
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        return self._trace_rng.random() < rate
+
+    def _trace_stamp(self, op: str):
+        """Trace stamp for one logical operation — ``(wire dict, span)``.
+
+        A request inside an active trace context always joins it (the
+        upstream sampling decision sticks); outside any context the
+        client rolls its own ``trace_sample`` to root a new trace.  A
+        real ``client.request`` span is opened only when a recorder is
+        attached locally; without one the stamp is bare ids — which is
+        all a daemon-side recorder needs to trace the server half.
+        """
+        ctx = TRACER.current()
+        if ctx is None and not self._trace_roll():
+            return None, None
+        if TRACER.enabled:
+            span = TRACER.span(
+                "client.request", op=op, host=self._host, port=self._port
+            )
+            return {"trace_id": span.trace_id, "span_id": span.span_id}, span
+        if ctx is not None:
+            trace_id, span_id, _parent = ctx.child_ids()
+        else:
+            trace_id, span_id = new_trace_id(), new_span_id()
+        return {"trace_id": trace_id, "span_id": span_id}, None
+
     def _invoke(self, op: str, idempotent: bool | None = None, **operands) -> dict:
         """Issue a request under the retry policy (see module docstring).
 
         When a deadline is configured (per-call ``deadline=`` operand or
         the client-wide default) it is pinned when the request *starts*:
         every attempt ships the remaining seconds, and both local waits
-        and retries stop once the budget is spent.
+        and retries stop once the budget is spent.  The trace stamp is
+        likewise pinned up front, so every retry — and, via
+        :class:`ClusterClient`, every failover attempt — carries the
+        same trace id.
         """
         if idempotent is None:
             idempotent = op in IDEMPOTENT_OPS
+        stamp, span = self._trace_stamp(op)
+        if stamp is not None:
+            operands["trace"] = stamp
         deadline = operands.pop("deadline", self.deadline)
         deadline_at = None if deadline is None else time.monotonic() + float(deadline)
         policy = self.retry
         retries = 0
-        while True:
-            if deadline_at is not None:
-                remaining = deadline_at - time.monotonic()
-                if remaining <= 0:
-                    raise DeadlineExceeded(
-                        protocol.E_DEADLINE,
-                        f"deadline of {deadline}s expired before {op!r} completed",
-                    )
-                operands["deadline"] = round(remaining, 6)
-            try:
-                return self.request(op, **operands)
-            except (ServerError, ConnectionLost) as exc:
-                if policy is None or self._in_txn:
-                    raise
-                if isinstance(exc, ServerError):
-                    can_retry = exc.retryable  # rejected, never executed
-                else:
-                    # the request may have executed before the link died:
-                    # only replay requests with no server-side effects
-                    can_retry = idempotent
-                retries += 1
-                if not can_retry or retries >= policy.max_attempts:
-                    _GAVE_UP.inc()
-                    raise
-                pause = policy.delay(retries)
+        try:
+            while True:
                 if deadline_at is not None:
-                    budget = deadline_at - time.monotonic()
-                    if budget <= 0:
+                    remaining = deadline_at - time.monotonic()
+                    if remaining <= 0:
                         raise DeadlineExceeded(
                             protocol.E_DEADLINE,
-                            f"deadline of {deadline}s expired while retrying {op!r}",
-                        ) from exc
-                    pause = min(pause, budget)
-                _RETRIES.inc()
-                time.sleep(pause)
+                            f"deadline of {deadline}s expired before {op!r} completed",
+                        )
+                    operands["deadline"] = round(remaining, 6)
+                try:
+                    result = self.request(op, **operands)
+                    if span is not None:
+                        span.set(status="ok")
+                    return result
+                except (ServerError, ConnectionLost) as exc:
+                    if span is not None:
+                        span.set(
+                            status=exc.code
+                            if isinstance(exc, ServerError)
+                            else "connection_lost"
+                        )
+                    if policy is None or self._in_txn:
+                        raise
+                    if isinstance(exc, ServerError):
+                        can_retry = exc.retryable  # rejected, never executed
+                    else:
+                        # the request may have executed before the link died:
+                        # only replay requests with no server-side effects
+                        can_retry = idempotent
+                    retries += 1
+                    if not can_retry or retries >= policy.max_attempts:
+                        _GAVE_UP.inc()
+                        raise
+                    pause = policy.delay(retries)
+                    if deadline_at is not None:
+                        budget = deadline_at - time.monotonic()
+                        if budget <= 0:
+                            raise DeadlineExceeded(
+                                protocol.E_DEADLINE,
+                                f"deadline of {deadline}s expired while retrying {op!r}",
+                            ) from exc
+                        pause = min(pause, budget)
+                    _RETRIES.inc()
+                    time.sleep(pause)
+        finally:
+            if span is not None:
+                if retries:
+                    span.set(retries=retries)
+                span.finish()
 
     def close(self) -> None:
         if not self._closed:
@@ -444,8 +512,45 @@ class Client:
         else:
             self.commit()
 
-    def stats(self, metrics: bool = False) -> dict:
-        return self._invoke("stats", metrics=metrics)
+    def stats(self, metrics: bool = False, history: int | bool | None = None) -> dict:
+        """Live introspection snapshot (see the daemon's ``stats`` op).
+
+        ``history`` asks for the in-image metrics-history ring as well:
+        True for all kept entries, an int for the most recent N.
+        """
+        operands: dict[str, Any] = {"metrics": metrics}
+        if history is not None:
+            operands["history"] = history
+        return self._invoke("stats", **operands)
+
+    def slowlog(self, n: int | None = None, clear: bool = False) -> dict:
+        """The daemon's ring of slowest requests, slowest first."""
+        operands: dict[str, Any] = {}
+        if n is not None:
+            operands["n"] = n
+        if clear:
+            operands["clear"] = True
+        return self._invoke("slowlog", **operands)
+
+    def trace_ctl(
+        self,
+        action: str = "status",
+        path: str | None = None,
+        rate: float | None = None,
+    ) -> dict:
+        """Control the daemon's NDJSON trace export at runtime.
+
+        ``trace_ctl("start", path=...)`` attaches a recorder writing to a
+        *server-side* path, ``trace_ctl("stop")`` detaches it,
+        ``trace_ctl("sample", rate=0.1)`` adjusts root sampling, and the
+        default ``status`` just reports.
+        """
+        operands: dict[str, Any] = {"action": action}
+        if path is not None:
+            operands["path"] = path
+        if rate is not None:
+            operands["rate"] = rate
+        return self._invoke("trace", idempotent=(action == "status"), **operands)
 
     def pgo(self, top: int | None = None) -> dict:
         """Ask the server to run one PGO round right now."""
@@ -498,6 +603,7 @@ class ClusterClient:
         timeout: float = 30.0,
         retry: RetryPolicy | None = None,
         deadline: float | None = None,
+        trace_sample: float = 1.0,
     ):
         if not endpoints:
             raise ValueError("ClusterClient needs at least one endpoint")
@@ -507,6 +613,12 @@ class ClusterClient:
         self._timeout = timeout
         self.retry = retry or RetryPolicy()
         self.deadline = deadline
+        #: the facade makes the sampling decision once per *logical*
+        #: operation and activates the resulting context around routing,
+        #: so retries and failover reuse one trace id; the per-endpoint
+        #: clients are built with ``trace_sample=0.0`` and never self-root
+        self.trace_sample = trace_sample
+        self._trace_rng = random.Random()
         self._clients: dict[tuple[str, int], Client] = {}
         self._primary: tuple[str, int] | None = None
         self._replicas: list[tuple[str, int]] = []
@@ -527,6 +639,7 @@ class ClusterClient:
                 timeout=self._timeout,
                 retry=None,  # the facade owns retries and rerouting
                 deadline=self.deadline,
+                trace_sample=0.0,  # the facade owns the sampling decision
             )
             self._clients[endpoint] = client
         return client
@@ -560,9 +673,35 @@ class ClusterClient:
             self._replicas = replicas
         return seen
 
+    # -------------------------------------------------------------- tracing
+
+    @contextmanager
+    def _trace_root(self):
+        """One trace context per logical operation, spanning failover.
+
+        Activated *around* the routing loop: every endpoint attempt's
+        stamp derives from the same trace id, so a write that retried
+        through a failover is still one trace in the NDJSON export.
+        Inside an already-active context this is a pass-through.
+        """
+        if TRACER.current() is not None:
+            yield
+            return
+        rate = self.trace_sample
+        sampled = rate >= 1.0 or (rate > 0.0 and self._trace_rng.random() < rate)
+        if not sampled:
+            yield
+            return
+        with TRACER.activate(new_trace_id(), new_span_id()):
+            yield
+
     # --------------------------------------------------------------- writes
 
     def _on_primary(self, fn):
+        with self._trace_root():
+            return self._route_primary(fn)
+
+    def _route_primary(self, fn):
         last_exc: Exception | None = None
         for attempt in range(1, self.retry.max_attempts + 1):
             endpoint = self._primary
@@ -642,6 +781,10 @@ class ClusterClient:
         return replicas
 
     def _on_replica(self, fn):
+        with self._trace_root():
+            return self._route_replica(fn)
+
+    def _route_replica(self, fn):
         candidates = self._read_candidates()
         if not candidates:
             self.discover()

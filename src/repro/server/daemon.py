@@ -45,9 +45,12 @@ from repro.lang.parser import parse_modules
 from repro.lang.stdlib import STDLIB_MODULE_NAMES
 from repro.machine.runtime import MachineError, UncaughtTmlException, show_value
 from repro.machine.vm import VM, StepLimitExceeded
+from repro.obs.exporters import NdjsonRecorder
+from repro.obs.history import MetricsHistory
 from repro.obs.metrics import METRICS
 from repro.obs.profile import VMProfiler
-from repro.obs.trace import TRACER
+from repro.obs.slowlog import SlowLog
+from repro.obs.trace import NULL_SPAN, TRACER, new_trace_id
 from repro.server import protocol
 from repro.server.codecache import CodeCache
 from repro.server.pgo import PgoWorker
@@ -129,6 +132,16 @@ class ServerConfig:
     #: term fencing on (the only sane setting; the chaos harness disables
     #: it as a negative control to prove fencing is load-bearing)
     fence: bool = True
+    #: sampling rate for trace roots the daemon itself opens (requests
+    #: arriving without a client-stamped trace context); stamped requests
+    #: were sampled upstream and are always honored
+    trace_sample: float = 1.0
+    #: slots in the slow-request log served by the ``slowlog`` op
+    slowlog_capacity: int = 32
+    #: seconds between in-image metrics-history snapshots (None disables)
+    history_interval: float | None = 60.0
+    #: snapshots the ``obs:history`` ring retains
+    history_capacity: int = 256
 
 
 class RequestError(Exception):
@@ -203,6 +216,15 @@ class ReproServer:
         self.txns = TransactionManager(self.heap, default_timeout=self.config.lock_timeout)
         self.code_cache = CodeCache()
         self.fact_store = FactStore()
+        self.slowlog = SlowLog(self.config.slowlog_capacity)
+        self.history = MetricsHistory(self.config.history_capacity)
+        #: NDJSON recorder installed by the ``trace`` op (daemon-managed;
+        #: a recorder attached by the embedding process is never touched)
+        self._trace_recorder: NdjsonRecorder | None = None
+        self._trace_path: str | None = None
+        self._trace_lock = threading.Lock()
+        TRACER.sample_rate = self.config.trace_sample
+        self._history_thread: threading.Thread | None = None
         self.pool = WorkerPool(
             workers=self.config.workers,
             queue_size=self.config.queue_size,
@@ -309,10 +331,14 @@ class ReproServer:
             except (TLError, HeapError) as exc:
                 print(f"repro-server: skipping module {name!r}: {exc}", file=sys.stderr)
         warm = self.code_cache.attach(self.heap)
+        # the persisted metrics history survives restarts: reload the ring
+        # so `stats --history` sees across-restart continuity
+        warm_history = self.history.attach(self.heap)
         self.heap.commit()
         TRACER.event(
             "server.boot", modules=loaded, warm_code_entries=warm,
-            warm_fact_entries=warm_facts, roots=len(self.heap.root_names()),
+            warm_fact_entries=warm_facts, warm_history=warm_history,
+            roots=len(self.heap.root_names()),
         )
 
     # ------------------------------------------------------------ lifecycle
@@ -338,6 +364,40 @@ class ReproServer:
                 target=self._reaper_loop, name="repro-server-reaper", daemon=True
             )
             self._reaper_thread.start()
+        if self.config.history_interval is not None:
+            self._history_thread = threading.Thread(
+                target=self._history_loop, name="repro-server-history", daemon=True
+            )
+            self._history_thread.start()
+
+    def _history_loop(self) -> None:
+        """Periodically snapshot the metrics registry into ``obs:history``.
+
+        Replicas record in memory only — they must never write their image
+        locally (it would fork away from the primary's) — so only primary
+        and standalone daemons persist the ring.
+        """
+        interval = self.config.history_interval
+        while not self._stopping.wait(interval):
+            self.record_history_snapshot()
+            if self.follower is None:
+                try:
+                    with self.txns.write(timeout=1.0):
+                        self.history.flush(self.heap)
+                except LockTimeout:
+                    pass  # contended image: the next tick retries
+
+    def record_history_snapshot(self, **meta) -> dict:
+        """Append one metrics snapshot to the in-memory history ring."""
+        return self.history.record(
+            METRICS,
+            role=self.role,
+            version=self.txns.version,
+            repl_version=self.repl_version(),
+            uptime_ms=int((time.monotonic() - self._started_at) * 1000),
+            sessions=len(self._sessions),
+            **meta,
+        )
 
     @property
     def port(self) -> int:
@@ -407,13 +467,17 @@ class ReproServer:
         if self.follower is None:
             # a replica never writes locally — flushing the caches would
             # fork its heap state away from the primary's
+            if self.config.history_interval is not None:
+                self.record_history_snapshot(reason="shutdown")
             with self.txns.write():
                 self.code_cache.flush(self.heap)
                 self.fact_store.flush(self.heap)
+                self.history.flush(self.heap)
         if self.replication is not None:
             self.replication.stop()
         self.heap.close()
         TRACER.event("server.stop")
+        self._detach_trace_recorder()
         self._stopped.set()
 
     def crash(self) -> None:
@@ -589,48 +653,138 @@ class ReproServer:
 
     # ------------------------------------------------------------- handling
 
+    @staticmethod
+    def _incoming_trace(request: dict) -> tuple[str | None, str | None]:
+        """The client-stamped (trace_id, span_id), or (None, None)."""
+        stamped = request.get("trace")
+        if not isinstance(stamped, dict):
+            return None, None
+        trace_id = stamped.get("trace_id")
+        if not isinstance(trace_id, str) or len(trace_id) != 16:
+            return None, None
+        span_id = stamped.get("span_id")
+        if not isinstance(span_id, str) or len(span_id) != 16:
+            span_id = None
+        return trace_id, span_id
+
     def _handle(self, session: Session, request: dict) -> None:
         request_id = request.get("id")
         op = request.get("op")
         start = time.perf_counter()
-        span = TRACER.span("server.request", session=session.id, op=op)
-        try:
-            deadline = request.get("deadline")
-            if deadline is not None:
-                # the client sends remaining time; the absolute deadline is
-                # pinned at arrival and every budget below derives from it
-                request["_deadline_at"] = time.monotonic() + float(deadline)
-            with session.lock:
-                handler = self._OPS.get(op)
-                if handler is None:
-                    raise RequestError(protocol.E_BAD_REQUEST, f"unknown op {op!r}")
-                self._check_deadline(request)
-                result = handler(self, session, request)
+        # trace context: honor the client's stamp (its sampling decision
+        # sticks end to end); unstamped requests become new roots at the
+        # daemon's own sampling rate when a recorder is attached
+        trace_id, client_span = self._incoming_trace(request)
+        if trace_id is None and TRACER.enabled and TRACER.should_sample():
+            trace_id = new_trace_id()
+        outcome = "ok"
+        with TRACER.activate(trace_id, client_span):
+            span = (
+                TRACER.span("server.request", session=session.id, op=op)
+                if trace_id is not None
+                else NULL_SPAN
+            )
+            reply = None
             try:
-                session.send({"id": request_id, "ok": True, "result": result})
+                deadline = request.get("deadline")
+                if deadline is not None:
+                    # the client sends remaining time; the absolute deadline
+                    # is pinned at arrival and every budget below derives
+                    # from it
+                    request["_deadline_at"] = time.monotonic() + float(deadline)
+                with session.lock:
+                    handler = self._OPS.get(op)
+                    if handler is None:
+                        raise RequestError(
+                            protocol.E_BAD_REQUEST, f"unknown op {op!r}"
+                        )
+                    self._check_deadline(request)
+                    # run the body under the server span's context so the
+                    # spans it opens (store.commit, ...) nest beneath it —
+                    # and the replication sink stamps its records with it
+                    with TRACER.activate(span.trace_id or trace_id, span.span_id):
+                        result = handler(self, session, request)
+                span.set(status="ok")
+                reply = {"id": request_id, "ok": True, "result": result}
+            except RequestError as exc:
+                outcome = exc.code
+                span.set(status=exc.code)
+                if trace_id is not None:
+                    TRACER.event(
+                        "server.request.error", op=op, code=exc.code,
+                        session=session.id,
+                    )
+                reply = self._error_reply(request_id, exc, trace_id=trace_id)
+            except Exception as exc:  # anything else is an internal error
+                traceback.print_exc(file=sys.stderr)
+                outcome = "internal"
+                span.set(status="internal")
+                if trace_id is not None:
+                    TRACER.event(
+                        "server.request.error", op=op, code="internal",
+                        session=session.id,
+                    )
+                reply = self._error_reply(
+                    request_id,
+                    RequestError(
+                        protocol.E_INTERNAL, f"{type(exc).__name__}: {exc}"
+                    ),
+                    trace_id=trace_id,
+                )
+            finally:
+                # bookkeeping runs BEFORE the reply frame leaves: a client
+                # that reacts to the response by asking for stats/slowlog
+                # must see this request already accounted for
+                steps = request.get("_steps")
+                lock_wait_us = request.get("_lock_wait_us")
+                if steps is not None:
+                    span.set(steps=steps)
+                if lock_wait_us is not None:
+                    span.set(lock_wait_us=lock_wait_us)
+                span.finish()
+                latency_us = int((time.perf_counter() - start) * 1e6)
+                _LATENCY.observe(latency_us)
+                if isinstance(op, str) and op in self._OPS:
+                    METRICS.histogram(
+                        f"server.op.{op}.latency_us",
+                        f"latency of the {op} op (microseconds)",
+                    ).observe(latency_us)
+                self.slowlog.record(
+                    op if isinstance(op, str) else "?",
+                    latency_us,
+                    outcome=outcome,
+                    trace_id=trace_id,
+                    session=session.id,
+                    steps=steps,
+                    lock_wait_us=lock_wait_us,
+                )
+        if reply is not None:
+            try:
+                session.send(reply)
             except OSError:
                 pass  # client vanished before the answer; work is done
-            span.set(status="ok")
-        except RequestError as exc:
-            span.set(status=exc.code)
-            self._send_error(session, request_id, exc)
-        except Exception as exc:  # anything else is an internal error
-            traceback.print_exc(file=sys.stderr)
-            span.set(status="internal")
-            self._send_error(
-                session, request_id,
-                RequestError(protocol.E_INTERNAL, f"{type(exc).__name__}: {exc}"),
-            )
-        finally:
-            span.finish()
-            _LATENCY.observe(int((time.perf_counter() - start) * 1e6))
 
-    def _send_error(self, session: Session, request_id, error: RequestError) -> None:
+    def _error_reply(
+        self, request_id, error: RequestError, trace_id: str | None = None
+    ) -> dict:
         _REQUEST_ERRORS.inc()
         payload = {"code": error.code, "message": str(error)}
+        if trace_id is not None:
+            # the join key into the NDJSON export and the slowlog: a client
+            # holding a failed response can find the server-side story
+            payload["trace_id"] = trace_id
         payload.update(error.details)
+        return {"id": request_id, "ok": False, "error": payload}
+
+    def _send_error(
+        self,
+        session: Session,
+        request_id,
+        error: RequestError,
+        trace_id: str | None = None,
+    ) -> None:
         try:
-            session.send({"id": request_id, "ok": False, "error": payload})
+            session.send(self._error_reply(request_id, error, trace_id=trace_id))
         except OSError:
             pass  # peer is gone; nothing to report to
 
@@ -668,8 +822,10 @@ class ReproServer:
         """Run ``body()`` under the session's txn or an implicit read txn."""
         if session.txn is not None:
             return body()
+        waited = time.perf_counter()
         try:
             with self.txns.read(timeout=self._lock_budget(request)):
+                request["_lock_wait_us"] = int((time.perf_counter() - waited) * 1e6)
                 return body()
         except LockTimeout as exc:
             if self._remaining(request) is not None and self._remaining(request) <= 0:
@@ -688,8 +844,10 @@ class ReproServer:
                     "mutating request inside a read transaction",
                 )
             return body()
+        waited = time.perf_counter()
         try:
             with self.txns.write(timeout=self._lock_budget(request)):
+                request["_lock_wait_us"] = int((time.perf_counter() - waited) * 1e6)
                 result = body()
         except LockTimeout as exc:
             if self._remaining(request) is not None and self._remaining(request) <= 0:
@@ -814,6 +972,8 @@ class ReproServer:
         except StepLimitExceeded as exc:
             if profiler is not None:
                 self._merge_profile(profiler)  # truncated runs are evidence too
+            if request is not None:
+                request["_steps"] = exc.instructions
             raise RequestError(
                 protocol.E_STEP_LIMIT,
                 str(exc),
@@ -829,6 +989,8 @@ class ReproServer:
             raise RequestError(protocol.E_EXEC, str(exc)) from exc
         if profiler is not None:
             self._merge_profile(profiler)
+        if request is not None:
+            request["_steps"] = result.instructions
         return result
 
     # ------------------------------------------------------------- operators
@@ -849,7 +1011,22 @@ class ReproServer:
             reply["term"] = self.replication.term
         elif self.follower is not None:
             reply["term"] = self.follower.term
+        code = self.code_cache.stats()
+        facts = self.fact_store.stats()
+        reply["caches"] = {
+            "code": self._hit_rate(code["hits"], code["misses"]),
+            "facts": self._hit_rate(facts["hits"], facts["misses"]),
+        }
         return reply
+
+    @staticmethod
+    def _hit_rate(hits: int, misses: int) -> dict:
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / total, 4) if total else None,
+        }
 
     def _op_call(self, session, request):
         module = request.get("module")
@@ -988,25 +1165,154 @@ class ReproServer:
         txn.abort()
         return {"version": self.txns.version}
 
+    @staticmethod
+    def _latency_summary(histogram) -> dict:
+        """count/mean plus exact-rank p50/p99/p999 of one latency histogram."""
+        summary = {
+            "count": histogram.count,
+            "mean": round(histogram.mean, 1),
+            "min": histogram.min,
+            "max": histogram.max,
+        }
+        summary.update(histogram.percentiles(0.5, 0.99, 0.999))
+        return summary
+
     def _op_stats(self, session, request):
         with self._sessions_lock:
             active = len(self._sessions)
+        per_op = {}
+        prefix, suffix = "server.op.", ".latency_us"
+        for name in METRICS.names():
+            if name.startswith(prefix) and name.endswith(suffix):
+                per_op[name[len(prefix):-len(suffix)]] = self._latency_summary(
+                    METRICS.get(name)
+                )
         report = {
             "sessions": active,
             "version": self.txns.version,
+            "role": self.role,
+            "repl_version": self.repl_version(),
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "requests": {
+                "total": _REQUESTS.value,
+                "errors": _REQUEST_ERRORS.value,
+            },
+            "latency_us": self._latency_summary(_LATENCY),
+            "ops": per_op,
             "codecache": self.code_cache.stats(),
             "facts": self.fact_store.stats(),
             "roots": len(self.heap.root_names()),
+            "slowlog": self.slowlog.stats(),
+            "trace": self._trace_status(),
+            "history": self.history.stats(),
         }
         if self.pgo_worker is not None:
             report["pgo"] = self.pgo_worker.stats()
         if self.replication is not None:
             report["replication"] = self.replication.status()
+            apply_lag = METRICS.get("server.repl.apply_latency_us")
+            if apply_lag is not None and apply_lag.count:
+                report["replication"]["apply_latency_us"] = self._latency_summary(
+                    apply_lag
+                )
         elif self.follower is not None:
             report["replication"] = self.follower.status()
+            apply_lag = METRICS.get("server.repl.apply_latency_us")
+            if apply_lag is not None and apply_lag.count:
+                report["replication"]["apply_latency_us"] = self._latency_summary(
+                    apply_lag
+                )
         if request.get("metrics"):
             report["metrics"] = METRICS.snapshot()
+        if request.get("history"):
+            count = request["history"]
+            report["history_entries"] = self.history.entries(
+                int(count) if count is not True else None
+            )
         return report
+
+    def _op_slowlog(self, session, request):
+        """The ring of slowest requests (trace ids are NDJSON join keys)."""
+        if request.get("clear"):
+            self.slowlog.clear()
+        count = request.get("n")
+        return {
+            "entries": self.slowlog.entries(int(count) if count is not None else None),
+            **self.slowlog.stats(),
+        }
+
+    # ------------------------------------------------------------- trace op
+
+    def _trace_status(self) -> dict:
+        return {
+            "recording": TRACER.enabled,
+            "managed": self._trace_recorder is not None,
+            "path": self._trace_path,
+            "sample_rate": TRACER.sample_rate,
+        }
+
+    def _detach_trace_recorder(self) -> None:
+        with self._trace_lock:
+            recorder = self._trace_recorder
+            self._trace_recorder = None
+            self._trace_path = None
+            if recorder is None:
+                return
+            if TRACER.recorder is recorder:
+                TRACER.recorder = None
+            recorder.close()
+
+    def _op_trace(self, session, request):
+        """Runtime control of the daemon's NDJSON export.
+
+        ``action``: ``status`` (default) | ``start`` (attach a recorder
+        writing to a server-side ``path``) | ``stop`` (detach and close the
+        daemon-managed recorder) | ``sample`` (set the root sampling
+        ``rate`` in [0, 1]).
+        """
+        action = request.get("action", "status")
+        if action == "start":
+            path = request.get("path")
+            if not isinstance(path, str) or not path:
+                raise RequestError(
+                    protocol.E_BAD_REQUEST, "trace start needs a server-side path"
+                )
+            with self._trace_lock:
+                if TRACER.enabled:
+                    raise RequestError(
+                        protocol.E_BAD_REQUEST,
+                        "a trace recorder is already attached"
+                        + (f" (writing {self._trace_path})" if self._trace_path else ""),
+                    )
+                try:
+                    recorder = NdjsonRecorder(path)
+                except OSError as exc:
+                    raise RequestError(
+                        protocol.E_BAD_REQUEST, f"cannot open {path!r}: {exc}"
+                    ) from exc
+                self._trace_recorder = recorder
+                self._trace_path = path
+                TRACER.recorder = recorder
+        elif action == "stop":
+            if self._trace_recorder is None and TRACER.enabled:
+                raise RequestError(
+                    protocol.E_BAD_REQUEST,
+                    "the attached recorder is not managed by the trace op",
+                )
+            self._detach_trace_recorder()
+        elif action == "sample":
+            try:
+                rate = float(request["rate"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise RequestError(
+                    protocol.E_BAD_REQUEST, "trace sample needs a numeric rate"
+                ) from exc
+            TRACER.sample_rate = min(1.0, max(0.0, rate))
+        elif action != "status":
+            raise RequestError(
+                protocol.E_BAD_REQUEST, f"unknown trace action {action!r}"
+            )
+        return self._trace_status()
 
     def _op_pgo(self, session, request):
         """Run one PGO round now (admin/diagnostic; tests and smoke use it)."""
@@ -1190,6 +1496,8 @@ class ReproServer:
         "commit": _op_commit,
         "abort": _op_abort,
         "stats": _op_stats,
+        "slowlog": _op_slowlog,
+        "trace": _op_trace,
         "pgo": _op_pgo,
         "sleep": _op_sleep,
         "shutdown": _op_shutdown,

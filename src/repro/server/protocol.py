@@ -27,6 +27,18 @@ locally but was not acknowledged by the required number of replicas in
 time (details carry ``committed: true``).  Framing is unchanged, so v1
 clients interoperate for the v1 op set.
 
+Version 3 adds the observability vocabulary: any request may carry a
+``trace`` operand — ``{"trace_id": "<16-hex>", "span_id": "<16-hex>"}`` —
+and the daemon opens its server span under that context, so one logical
+operation is followable client → primary → replica in a single
+distributed trace; error payloads carry the active ``trace_id`` when the
+request was traced.  Three introspection ops join the set: ``stats``
+(extended with per-op latency percentiles, slowlog/trace/history status
+and replication lag), ``slowlog`` (the ring of slowest requests) and
+``trace`` (runtime start/stop/sampling control of the daemon's NDJSON
+export).  All are additive: unstamped requests and v2 clients are served
+unchanged.
+
 TML runtime values cross the wire as JSON with tagged escapes for the
 types JSON cannot express directly (see :func:`to_jsonable` /
 :func:`from_jsonable`).
@@ -66,7 +78,7 @@ __all__ = [
     "E_REPL_TIMEOUT",
 ]
 
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 #: refuse frames above this size — a corrupt length prefix must not make
 #: the peer allocate gigabytes
 MAX_FRAME = 16 * 1024 * 1024

@@ -74,6 +74,13 @@ _FENCED = METRICS.counter(
 _ACK_TIMEOUTS = METRICS.counter(
     "server.repl.ack_timeouts", "sync writes that missed their ack quorum"
 )
+_LAG_VERSIONS = METRICS.gauge(
+    "server.repl.lag_versions", "versions this follower is behind its primary"
+)
+_APPLY_LATENCY = METRICS.histogram(
+    "server.repl.apply_latency_us",
+    "primary commit → local apply latency (microseconds)",
+)
 
 #: root holding ``{"term", "version", "node"}`` — committed atomically with
 #: every transaction, making the image self-describing for replication
@@ -195,6 +202,10 @@ class PrimaryReplication:
 
     def _change_sink(self, changes: ChangeSet) -> None:
         self.version = self._pending
+        # the sink runs on the committing request's thread: whatever trace
+        # context the daemon activated for that request is current here, so
+        # the record carries the originating trace end-to-end
+        ctx = TRACER.current()
         record = ChangeRecord(
             version=self.version,
             term=self.term,
@@ -202,6 +213,8 @@ class PrimaryReplication:
             objects=changes.objects,
             roots=dict(changes.roots),
             node=self.node,
+            trace_id=ctx.trace_id if ctx is not None else "",
+            committed_ts_us=int(time.time() * 1_000_000),
         )
         try:
             self.log.append(record)
@@ -342,6 +355,7 @@ class PrimaryReplication:
                     "node": s.node,
                     "acked": s.acked,
                     "lag": max(0, self.version - s.acked),
+                    "bytes_behind": self.log.bytes_since(s.acked),
                 }
                 for s in self._subs.values()
             ]
@@ -489,6 +503,7 @@ class ReplicaFollower:
                 )
                 return
             self.primary_version = int(result.get("version", self.version))
+            _LAG_VERSIONS.set(self.lag)
             if result.get("resync"):
                 self._apply_snapshot(ChangeRecord.from_wire(result["snapshot"]))
             self.connected = True
@@ -543,6 +558,7 @@ class ReplicaFollower:
             self.version = snapshot.version
             self.term = max(self.term, snapshot.term)
             self.log.reset()
+        _LAG_VERSIONS.set(self.lag)
         TRACER.event(
             "server.repl.resync", version=snapshot.version, term=snapshot.term,
             objects=len(snapshot.objects),
@@ -563,11 +579,20 @@ class ReplicaFollower:
                     f"v{self.version}; renegotiating"
                 )
                 return False
-            with self.txns.lock.write_locked(timeout=self.connect_timeout):
-                self.heap.apply_changes(
-                    list(record.objects), dict(record.roots), record.oid_counter
-                )
-                self.txns.bump()
+            # re-activate the originating trace so the apply span joins the
+            # same distributed trace the primary's commit belongs to
+            with TRACER.activate(record.trace_id or None):
+                with TRACER.span(
+                    "server.repl.apply", version=record.version,
+                    term=record.term, origin=record.node,
+                ):
+                    with self.txns.lock.write_locked(timeout=self.connect_timeout):
+                        self.heap.apply_changes(
+                            list(record.objects),
+                            dict(record.roots),
+                            record.oid_counter,
+                        )
+                        self.txns.bump()
             self.version = record.version
             self.term = max(self.term, record.term)
             self.primary_version = max(self.primary_version, record.version)
@@ -577,6 +602,11 @@ class ReplicaFollower:
                 self.log.reset()
                 self.log.append(record)
         _RECORDS_APPLIED.inc()
+        if record.committed_ts_us:
+            _APPLY_LATENCY.observe(
+                max(0, int(time.time() * 1_000_000) - record.committed_ts_us)
+            )
+        _LAG_VERSIONS.set(self.lag)
         return True
 
     # --------------------------------------------------------------- status

@@ -1,0 +1,194 @@
+"""``repro top`` — a live terminal dashboard over the ``stats`` op.
+
+The daemon side is :meth:`repro.server.daemon.ReproServer._op_stats`; this
+module is the presentation half: :func:`render` turns one ``stats`` reply
+(plus, optionally, the previous one for rates) into a fixed-width text
+frame, and :func:`run_top` polls a daemon and repaints the terminal.
+
+``render`` is a pure function of its inputs so the layout is testable
+without a server or a TTY.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["render", "run_top"]
+
+#: ANSI: cursor home + clear-to-end — repaint without scrollback spam
+_CLEAR = "\x1b[H\x1b[J"
+
+
+def _fmt_us(value) -> str:
+    """Microseconds, humanized (``-`` when unknown)."""
+    if value is None:
+        return "-"
+    value = float(value)
+    if value < 1_000:
+        return f"{value:.0f}us"
+    if value < 1_000_000:
+        return f"{value / 1_000:.1f}ms"
+    return f"{value / 1_000_000:.2f}s"
+
+
+def _fmt_count(value) -> str:
+    if value is None:
+        return "-"
+    value = int(value)
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.1f}M"
+    if value >= 10_000:
+        return f"{value / 1_000:.1f}k"
+    return str(value)
+
+
+def _fmt_rate(hit_rate) -> str:
+    return "-" if hit_rate is None else f"{hit_rate * 100:.1f}%"
+
+
+def _latency_cells(summary: dict) -> str:
+    return (
+        f"p50={_fmt_us(summary.get('p50')):<8} "
+        f"p99={_fmt_us(summary.get('p99')):<8} "
+        f"p999={_fmt_us(summary.get('p999')):<8} "
+        f"max={_fmt_us(summary.get('max'))}"
+    )
+
+
+def render(stats: dict, prev: dict | None = None, elapsed: float | None = None) -> str:
+    """One dashboard frame from a ``stats`` reply.
+
+    ``prev``/``elapsed`` (the previous reply and the seconds between the
+    two polls) turn the monotone request counters into req/s and err/s.
+    """
+    lines: list[str] = []
+    requests = stats.get("requests", {})
+    total = requests.get("total", 0)
+    errors = requests.get("errors", 0)
+    rate = ""
+    if prev is not None and elapsed:
+        prev_requests = prev.get("requests", {})
+        dt_total = total - prev_requests.get("total", 0)
+        dt_errors = errors - prev_requests.get("errors", 0)
+        rate = f"  {dt_total / elapsed:7.1f} req/s  {dt_errors / elapsed:.1f} err/s"
+    uptime = stats.get("uptime_s", 0.0)
+    lines.append(
+        f"repro {stats.get('role', '?'):<10} "
+        f"up {uptime:8.1f}s  v{stats.get('version', 0)} "
+        f"(repl v{stats.get('repl_version', 0)})  "
+        f"sessions={stats.get('sessions', 0)}"
+    )
+    lines.append(
+        f"requests {_fmt_count(total):>8} total  "
+        f"{_fmt_count(errors):>6} errors{rate}"
+    )
+    latency = stats.get("latency_us")
+    if latency:
+        lines.append(f"latency  {_latency_cells(latency)}")
+    caches = []
+    code = stats.get("codecache", {})
+    facts = stats.get("facts", {})
+    for label, cache in (("code", code), ("facts", facts)):
+        hits, misses = cache.get("hits", 0), cache.get("misses", 0)
+        seen = hits + misses
+        caches.append(
+            f"{label}={_fmt_rate(hits / seen if seen else None)}"
+            f" ({_fmt_count(hits)}/{_fmt_count(seen)})"
+        )
+    lines.append(f"caches   {'  '.join(caches)}")
+
+    replication = stats.get("replication")
+    if replication:
+        role = replication.get("role", "?")
+        if role == "primary":
+            for sub in replication.get("subscribers", ()):
+                lines.append(
+                    f"replica  {sub.get('node', '?'):<20} "
+                    f"acked v{sub.get('acked', 0)}  "
+                    f"behind {_fmt_count(sub.get('bytes_behind', 0))}B"
+                )
+            if not replication.get("subscribers"):
+                lines.append("replica  (none subscribed)")
+        else:
+            lines.append(
+                f"lag      versions={replication.get('lag', '?')}  "
+                f"primary v{replication.get('primary_version', '?')}  "
+                f"applied v{replication.get('version', '?')}"
+            )
+        apply_lat = replication.get("apply_latency_us")
+        if apply_lat:
+            lines.append(f"apply    {_latency_cells(apply_lat)}")
+
+    trace = stats.get("trace", {})
+    lines.append(
+        f"trace    recording={'on' if trace.get('recording') else 'off'}  "
+        f"sample={trace.get('sample_rate', 1.0):g}  "
+        f"history={stats.get('history', {}).get('kept', 0)} snapshots"
+    )
+
+    ops = stats.get("ops", {})
+    if ops:
+        lines.append("")
+        lines.append(f"{'op':<12} {'count':>8}  latency")
+        for name in sorted(ops, key=lambda n: -ops[n].get("count", 0)):
+            summary = ops[name]
+            lines.append(
+                f"{name:<12} {_fmt_count(summary.get('count')):>8}  "
+                f"{_latency_cells(summary)}"
+            )
+
+    slowlog = stats.get("slowlog_entries")
+    if slowlog:
+        lines.append("")
+        lines.append(f"{'slowest':<12} {'latency':>9}  {'outcome':<12} trace")
+        for entry in slowlog[:8]:
+            lines.append(
+                f"{entry.get('op', '?'):<12} "
+                f"{_fmt_us(entry.get('latency_us')):>9}  "
+                f"{entry.get('outcome', '?'):<12} "
+                f"{entry.get('trace_id') or '-'}"
+            )
+    return "\n".join(lines)
+
+
+def run_top(
+    host: str,
+    port: int,
+    interval: float = 2.0,
+    count: int | None = None,
+    out=None,
+) -> int:
+    """Poll ``stats`` every ``interval`` seconds and repaint the terminal.
+
+    ``count`` bounds the number of frames (None = until interrupted);
+    returns a process exit status.
+    """
+    from repro.server.client import ClientError, ServerError, connect
+
+    out = out or sys.stdout
+    clear = _CLEAR if out.isatty() else ""
+    prev: dict | None = None
+    prev_at: float | None = None
+    frames = 0
+    try:
+        with connect(port, host=host) as db:
+            while count is None or frames < count:
+                try:
+                    stats = db.stats()
+                    stats["slowlog_entries"] = db.slowlog(n=8)["entries"]
+                except (ClientError, ServerError) as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 1
+                now = time.monotonic()
+                elapsed = None if prev_at is None else now - prev_at
+                out.write(clear + render(stats, prev, elapsed) + "\n")
+                out.flush()
+                prev, prev_at = stats, now
+                frames += 1
+                if count is not None and frames >= count:
+                    break
+                time.sleep(interval)
+    except KeyboardInterrupt:
+        pass
+    return 0

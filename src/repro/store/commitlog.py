@@ -45,7 +45,13 @@ _TRUNCATIONS = METRICS.counter(
 )
 
 MAGIC = b"TYLG"
-LOG_FORMAT = 1
+#: format 2 appends the originating trace context (``trace_id``) and the
+#: commit wall-clock timestamp (µs) to every record, so one write is
+#: followable primary → replica in a single distributed trace and
+#: replicas can report commit-to-apply latency.  Format-1 logs are reset
+#: on open: the log is a sidecar of the image (the image is the truth),
+#: so dropping it only costs followers a snapshot resync.
+LOG_FORMAT = 2
 _HEADER = struct.Struct("<4sI")
 _FRAME = struct.Struct("<II")  # payload length, crc32(payload)
 
@@ -70,6 +76,13 @@ class ChangeRecord:
     roots: dict[str, int] = field(default_factory=dict)
     #: node id of the producing primary (diagnostic, not part of fencing)
     node: str = ""
+    #: trace id of the request whose commit produced this record ("" when
+    #: the commit ran outside any sampled trace) — replicas re-activate it
+    #: so primary and replica spans join into one distributed trace
+    trace_id: str = ""
+    #: wall-clock µs at which the primary committed (commit-to-apply
+    #: latency source on replicas; 0 when unknown)
+    committed_ts_us: int = 0
 
     def encode(self) -> bytes:
         enc = Encoder()
@@ -77,6 +90,8 @@ class ChangeRecord:
         enc.uvarint(self.term)
         enc.uvarint(self.oid_counter)
         enc.text(self.node)
+        enc.text(self.trace_id)
+        enc.uvarint(max(0, self.committed_ts_us))
         enc.uvarint(len(self.objects))
         for oid, payload in self.objects:
             enc.uvarint(oid)
@@ -95,6 +110,8 @@ class ChangeRecord:
             term = dec.uvarint()
             oid_counter = dec.uvarint()
             node = dec.text()
+            trace_id = dec.text()
+            committed_ts_us = dec.uvarint()
             objects = tuple(
                 (dec.uvarint(), dec.raw()) for _ in range(dec.uvarint())
             )
@@ -108,6 +125,8 @@ class ChangeRecord:
             objects=objects,
             roots=roots,
             node=node,
+            trace_id=trace_id,
+            committed_ts_us=committed_ts_us,
         )
 
     # wire form (the replication stream ships records as JSON frames) -------
@@ -118,6 +137,8 @@ class ChangeRecord:
             "term": self.term,
             "oid_counter": self.oid_counter,
             "node": self.node,
+            "trace_id": self.trace_id,
+            "committed_ts_us": self.committed_ts_us,
             "objects": [[oid, payload.hex()] for oid, payload in self.objects],
             "roots": dict(self.roots),
         }
@@ -130,6 +151,8 @@ class ChangeRecord:
                 term=int(wire["term"]),
                 oid_counter=int(wire["oid_counter"]),
                 node=str(wire.get("node", "")),
+                trace_id=str(wire.get("trace_id") or ""),
+                committed_ts_us=int(wire.get("committed_ts_us", 0)),
                 objects=tuple(
                     (int(oid), bytes.fromhex(payload))
                     for oid, payload in wire["objects"]
@@ -170,6 +193,17 @@ class CommitLog:
         if len(head) < _HEADER.size or head[:4] != MAGIC:
             raise CommitLogError(f"{self.path!r} is not a commit log")
         (_, fmt) = _HEADER.unpack(head)
+        if fmt < LOG_FORMAT:
+            # older record encoding: the image is the truth, the log just a
+            # catch-up sidecar — restart it empty under the current format
+            # (followers older than this point resync via snapshot)
+            self._file.seek(0)
+            self._file.truncate(0)
+            self._file.write(_HEADER.pack(MAGIC, LOG_FORMAT))
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            _TRUNCATIONS.inc()
+            return
         if fmt != LOG_FORMAT:
             raise CommitLogError(f"unsupported commit-log format {fmt}")
         offset = _HEADER.size
@@ -253,6 +287,23 @@ class CommitLog:
     def has(self, version: int) -> bool:
         with self._lock:
             return version in self._index
+
+    def bytes_since(self, version: int) -> int:
+        """Payload bytes logged after ``version`` (replication byte-lag).
+
+        A follower acked up to ``version``; everything appended after it is
+        data that follower has not applied yet.  0 when it is caught up;
+        the whole log when ``version`` predates it (the follower will be
+        resynced anyway).
+        """
+        with self._lock:
+            if self.last_version is None or version >= self.last_version:
+                return 0
+            start = self._index.get(version + 1)
+            if start is None:
+                start = _HEADER.size
+            self._file.seek(0, os.SEEK_END)
+            return max(0, self._file.tell() - start)
 
     def read_from(self, version: int) -> list[ChangeRecord]:
         """All records with ``record.version >= version``, in order."""

@@ -1,0 +1,148 @@
+"""MetricsHistory: the in-image ring of metric snapshots (``obs:history``)."""
+
+from repro.obs.history import (
+    HISTORY_ROOT,
+    MetricsHistory,
+    read_history,
+    sanitize_snapshot,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.store.heap import ObjectHeap
+
+
+def make_registry():
+    registry = MetricsRegistry()
+    registry.counter("test.requests").inc(5)
+    registry.gauge("test.depth").set(3)
+    registry.histogram("test.latency_us").observe(120)
+    return registry
+
+
+# ------------------------------------------------------------- sanitizing
+
+
+def test_sanitize_rounds_floats_and_freezes_lists():
+    value = {
+        "mean": 12.7,
+        "tags": ["a", "b"],
+        "nested": {"p99": 1500.2, "ok": True, "none": None},
+        7: "int-key",
+    }
+    clean = sanitize_snapshot(value)
+    assert clean["mean"] == 13
+    assert clean["tags"] == ("a", "b")
+    assert clean["nested"] == {"p99": 1500, "ok": True, "none": None}
+    assert clean["7"] == "int-key"  # keys become strings
+
+
+def test_sanitize_degrades_unknown_types_to_repr():
+    class Odd:
+        def __repr__(self):
+            return "<odd>"
+
+    assert sanitize_snapshot({"x": Odd()}) == {"x": "<odd>"}
+
+
+# -------------------------------------------------------------- the ring
+
+
+def test_record_assigns_monotone_seq_and_keeps_meta():
+    history = MetricsHistory(capacity=8)
+    registry = make_registry()
+    first = history.record(registry, ts_ms=1000, role="primary")
+    second = history.record(registry, ts_ms=2000, role="primary")
+    assert (first["seq"], second["seq"]) == (0, 1)
+    assert first["metrics"]["test.requests"]["value"] == 5
+    assert first["meta"]["role"] == "primary"
+    assert len(history) == 2
+
+
+def test_ring_trims_to_capacity():
+    history = MetricsHistory(capacity=3)
+    registry = make_registry()
+    for i in range(7):
+        history.record(registry, ts_ms=i)
+    kept = history.entries()
+    assert [e["seq"] for e in kept] == [4, 5, 6]
+    stats = history.stats()
+    assert stats["kept"] == 3
+    assert stats["recorded"] == 7
+
+
+def test_entries_n_returns_most_recent():
+    history = MetricsHistory(capacity=8)
+    registry = make_registry()
+    for i in range(4):
+        history.record(registry, ts_ms=i)
+    assert [e["seq"] for e in history.entries(2)] == [2, 3]
+
+
+# ------------------------------------------------------------ persistence
+
+
+def test_flush_and_read_round_trip(tmp_path):
+    path = str(tmp_path / "history.tyc")
+    history = MetricsHistory(capacity=8)
+    registry = make_registry()
+    history.record(registry, ts_ms=1111, role="primary", version=4)
+    with ObjectHeap(path) as heap:
+        history.flush(heap)
+        heap.commit()
+    with ObjectHeap(path) as heap:
+        assert heap.root(HISTORY_ROOT) is not None
+        stored = read_history(heap)
+    assert len(stored) == 1
+    entry = stored[0]
+    assert entry["seq"] == 0
+    assert entry["ts_ms"] == 1111
+    assert entry["meta"] == {"role": "primary", "version": 4}
+    assert entry["metrics"]["test.requests"]["value"] == 5
+
+
+def test_flush_is_noop_when_clean(tmp_path):
+    path = str(tmp_path / "clean.tyc")
+    history = MetricsHistory()
+    with ObjectHeap(path) as heap:
+        history.flush(heap)  # never recorded: nothing to persist
+        heap.commit()
+    with ObjectHeap(path) as heap:
+        assert heap.root(HISTORY_ROOT) is None
+        assert read_history(heap) == []
+
+
+def test_attach_continues_seq_across_restart(tmp_path):
+    path = str(tmp_path / "restart.tyc")
+    registry = make_registry()
+    first = MetricsHistory(capacity=8)
+    first.record(registry, ts_ms=1)
+    first.record(registry, ts_ms=2)
+    with ObjectHeap(path) as heap:
+        first.flush(heap)
+        heap.commit()
+
+    # "restart": a fresh ring attaches to the same image
+    second = MetricsHistory(capacity=8)
+    with ObjectHeap(path) as heap:
+        assert second.attach(heap) == 2
+        entry = second.record(registry, ts_ms=3)
+        assert entry["seq"] == 2  # continues after the persisted ring
+        second.flush(heap)
+        heap.commit()
+    with ObjectHeap(path) as heap:
+        stored = read_history(heap)
+    assert [e["seq"] for e in stored] == [0, 1, 2]
+
+
+def test_attach_respects_capacity(tmp_path):
+    path = str(tmp_path / "cap.tyc")
+    registry = make_registry()
+    big = MetricsHistory(capacity=16)
+    for i in range(6):
+        big.record(registry, ts_ms=i)
+    with ObjectHeap(path) as heap:
+        big.flush(heap)
+        heap.commit()
+    small = MetricsHistory(capacity=2)
+    with ObjectHeap(path) as heap:
+        assert small.attach(heap) == 2
+    assert [e["seq"] for e in small.entries()] == [4, 5]

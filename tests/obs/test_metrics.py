@@ -47,9 +47,10 @@ def test_histogram_buckets_power_of_two():
     assert snap["min"] == 0
     assert snap["max"] == 1 << 40
     assert snap["total"] == sum(values)
-    # 0 and 1 land in the first bucket (upper bound 1); a value past the
-    # last fixed bound goes to the +inf overflow bucket
-    assert snap["buckets"]["1"] == 2
+    # small values get exact one-integer buckets; a value past the last
+    # fixed bound goes to the +inf overflow bucket
+    assert snap["buckets"]["0"] == 1
+    assert snap["buckets"]["1"] == 1
     assert snap["buckets"]["+inf"] == 1
     assert h.mean == sum(values) / len(values)
 

@@ -1,0 +1,81 @@
+"""SlowLog: a bounded ring that keeps only the slowest requests."""
+
+from repro.obs.slowlog import SlowLog
+
+
+def test_records_until_capacity():
+    log = SlowLog(capacity=4)
+    for i in range(4):
+        assert log.record("get", latency_us=100 + i)
+    assert len(log) == 4
+    assert log.stats() == {"capacity": 4, "kept": 4, "recorded": 4}
+
+
+def test_keeps_only_the_slowest():
+    log = SlowLog(capacity=3)
+    for latency in (10, 500, 20, 900, 30, 700):
+        log.record("call", latency_us=latency)
+    kept = [entry["latency_us"] for entry in log.entries()]
+    assert kept == [900, 700, 500]  # slowest first
+    assert log.stats()["recorded"] == 6
+    assert log.stats()["kept"] == 3
+
+
+def test_fast_requests_do_not_evict_slow_ones():
+    log = SlowLog(capacity=2)
+    log.record("set", latency_us=1000)
+    log.record("set", latency_us=2000)
+    assert not log.record("set", latency_us=5)  # below the floor: dropped
+    assert [e["latency_us"] for e in log.entries()] == [2000, 1000]
+
+
+def test_threshold_tracks_the_ring_floor():
+    log = SlowLog(capacity=2)
+    assert log.threshold_us() is None  # not full: everything enters
+    log.record("get", latency_us=50)
+    log.record("get", latency_us=80)
+    assert log.threshold_us() == 50
+
+
+def test_entry_carries_request_context():
+    log = SlowLog(capacity=8)
+    log.record(
+        "call",
+        latency_us=1234,
+        outcome="step_limit",
+        trace_id="deadbeefdeadbeef",
+        session=7,
+        steps=10_000,
+        lock_wait_us=55,
+    )
+    (entry,) = log.entries()
+    assert entry["op"] == "call"
+    assert entry["latency_us"] == 1234
+    assert entry["outcome"] == "step_limit"
+    assert entry["trace_id"] == "deadbeefdeadbeef"
+    assert entry["session"] == 7
+    assert entry["steps"] == 10_000
+    assert entry["lock_wait_us"] == 55
+
+
+def test_entries_n_limits_from_the_slow_end():
+    log = SlowLog(capacity=8)
+    for latency in (10, 80, 40, 90):
+        log.record("get", latency_us=latency)
+    assert [e["latency_us"] for e in log.entries(2)] == [90, 80]
+
+
+def test_clear_resets_the_ring_but_not_the_counter():
+    log = SlowLog(capacity=4)
+    log.record("get", latency_us=10)
+    log.clear()
+    assert len(log) == 0
+    assert log.entries() == []
+    assert log.stats()["recorded"] == 1
+
+
+def test_equal_latencies_all_kept_in_insertion_tiebreak():
+    log = SlowLog(capacity=3)
+    for _ in range(3):
+        log.record("get", latency_us=42)
+    assert [e["latency_us"] for e in log.entries()] == [42, 42, 42]

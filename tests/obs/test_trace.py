@@ -73,7 +73,11 @@ def test_recording_restores_previous_recorder():
 def test_ndjson_round_trip(tmp_path):
     path = tmp_path / "trace.ndjson"
     events = [
-        TraceEvent("rewrite.pass", "span", 100.5, 0.002, {"fired": 3, "rules": {"beta": 2}}),
+        TraceEvent(
+            "rewrite.pass", "span", 100.5, 0.002,
+            {"fired": 3, "rules": {"beta": 2}},
+            trace_id="a1" * 8, span_id="b2" * 8, parent_id="c3" * 8,
+        ),
         TraceEvent("query.rule", "event", 101.0, None, {"rule": "index-select"}),
     ]
     with NdjsonRecorder(str(path)) as recorder:
@@ -99,7 +103,8 @@ def test_event_to_dict_coerces_unsafe_attrs():
 @pytest.mark.parametrize(
     "mutation, message",
     [
-        ({"v": 2}, "version"),
+        ({"v": 1}, "version"),
+        ({"v": 3}, "version"),
         ({"name": ""}, "name"),
         ({"kind": "metric"}, "kind"),
         ({"ts": "soon"}, "ts"),
@@ -152,7 +157,10 @@ end"""
     assert "rewrite.optimize" in names
     assert "rewrite.pass" in names
     for event in events:
-        assert event["v"] == 1
+        assert event["v"] == 2
+    # every span in the file belongs to a trace
+    spans = [e for e in events if e["kind"] == "span"]
+    assert spans and all(e["trace_id"] and e["span_id"] for e in spans)
 
 
 def test_write_metrics_json(tmp_path):

@@ -1,0 +1,147 @@
+"""Trace-context propagation: ids, sampling, activation, schema v2."""
+
+import random
+
+import pytest
+
+from repro.obs.exporters import (
+    SCHEMA_VERSION,
+    ListRecorder,
+    TraceSchemaError,
+    event_to_dict,
+    validate_event,
+)
+from repro.obs.trace import (
+    TRACER,
+    TraceContext,
+    Tracer,
+    new_span_id,
+    new_trace_id,
+)
+
+
+def test_ids_are_16_hex():
+    for make in (new_trace_id, new_span_id):
+        value = make()
+        assert len(value) == 16
+        int(value, 16)  # parses as hex
+    assert new_trace_id() != new_trace_id()
+
+
+def test_child_ids_keep_trace_and_parent():
+    ctx = TraceContext("a" * 16, "b" * 16)
+    trace_id, span_id, parent_id = ctx.child_ids()
+    assert trace_id == "a" * 16
+    assert parent_id == "b" * 16
+    assert span_id != "b" * 16 and len(span_id) == 16
+
+
+def test_spans_nest_into_one_trace():
+    tracer = Tracer(recorder=ListRecorder())
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            assert inner.trace_id == outer.trace_id
+            assert inner.parent_id == outer.span_id
+    events = tracer.recorder.events
+    assert [e.name for e in events] == ["inner", "outer"]
+    assert len({e.trace_id for e in events}) == 1
+
+
+def test_activate_adopts_foreign_context():
+    tracer = Tracer(recorder=ListRecorder())
+    with tracer.activate("c" * 16, "d" * 16):
+        with tracer.span("adopted") as span:
+            assert span.trace_id == "c" * 16
+            assert span.parent_id == "d" * 16
+    assert tracer.current() is None  # restored after the block
+
+
+def test_activate_none_clears_context():
+    tracer = Tracer(recorder=ListRecorder())
+    with tracer.activate("e" * 16, "f" * 16):
+        with tracer.activate(None):
+            assert tracer.current() is None
+        assert tracer.current().trace_id == "e" * 16
+
+
+def test_events_attach_to_the_enclosing_span():
+    tracer = Tracer(recorder=ListRecorder())
+    with tracer.span("work") as span:
+        tracer.event("milestone", detail=1)
+    (event,) = tracer.recorder.named("milestone")
+    assert event.trace_id == span.trace_id
+    assert event.parent_id == span.span_id
+    assert event.span_id is None
+
+
+def test_sampling_honors_rate():
+    tracer = Tracer(recorder=ListRecorder(), sample_rate=0.0)
+    assert not tracer.should_sample()
+    tracer.sample_rate = 1.0
+    assert tracer.should_sample()
+    tracer.sample_rate = 0.5
+    tracer.rng = random.Random(7)
+    rolls = [tracer.should_sample() for _ in range(200)]
+    assert 60 < sum(rolls) < 140  # ~100 expected, loose bounds
+
+
+def test_span_events_serialize_as_schema_v2():
+    tracer = Tracer(recorder=ListRecorder())
+    with tracer.span("s"):
+        pass
+    (event,) = tracer.recorder.events
+    data = event_to_dict(event)
+    assert data["v"] == SCHEMA_VERSION == 2
+    validate_event(data)
+    assert data["trace_id"] and data["span_id"]
+    assert data["parent_id"] is None
+
+
+def test_validate_rejects_v1_events():
+    tracer = Tracer(recorder=ListRecorder())
+    with tracer.span("s"):
+        pass
+    data = event_to_dict(tracer.recorder.events[0])
+    data["v"] = 1
+    with pytest.raises(TraceSchemaError, match="version"):
+        validate_event(data)
+
+
+def test_validate_rejects_missing_context_keys():
+    tracer = Tracer(recorder=ListRecorder())
+    with tracer.span("s"):
+        pass
+    for key in ("trace_id", "span_id", "parent_id"):
+        data = event_to_dict(tracer.recorder.events[0])
+        del data[key]
+        with pytest.raises(TraceSchemaError, match=key):
+            validate_event(data)
+        data = event_to_dict(tracer.recorder.events[0])
+        data[key] = "short"
+        with pytest.raises(TraceSchemaError, match=key):
+            validate_event(data)
+
+
+def test_listrecorder_traced_filters_one_trace():
+    tracer = Tracer(recorder=ListRecorder())
+    with tracer.span("a") as a:
+        pass
+    with tracer.span("b"):
+        pass
+    assert [e.name for e in tracer.recorder.traced(a.trace_id)] == ["a"]
+
+
+def test_global_tracer_context_is_isolated_per_thread():
+    import threading
+
+    seen = {}
+    with TRACER.activate("9" * 16, "8" * 16):
+
+        def probe():
+            seen["other"] = TRACER.current()
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join()
+        assert TRACER.current().trace_id == "9" * 16
+    assert seen["other"] is None

@@ -24,6 +24,8 @@ def make_client(policy):
     client = Client.__new__(Client)
     client.retry = policy
     client.deadline = None
+    client.trace_sample = 0.0  # keep retry-layer tests stamp-free
+    client._trace_rng = random.Random(0)
     client._closed = False
     client._in_txn = False
     client.sock = object()  # non-None: request() is stubbed anyway
