@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast properties lint ruff bench obs-bench server-smoke crash-sim replication-sim fsck-smoke audit all
+.PHONY: test test-fast properties lint ruff bench obs-bench server-smoke crash-sim replication-sim sharding-sim fsck-smoke audit all
 
 all: test lint
 
@@ -49,6 +49,13 @@ crash-sim:
 replication-sim:
 	$(PYTHON) scripts/replication_sim.py --json replication-sim-report.json
 
+# sharding chaos sweep: coordinator-link faults, shard failover and
+# coordinator failpoint crashes inside the 2PC commit window across two
+# shard groups; asserts no acked cross-shard write lost or half-applied
+# and no staging/decision residue (see docs/sharding.md)
+sharding-sim:
+	$(PYTHON) scripts/sharding_sim.py --json sharding-sim-report.json
+
 # integrity-check the image the server smoke test leaves behind
 fsck-smoke: server-smoke
 	$(PYTHON) -m repro fsck artifacts/server-smoke.tyc --json fsck-report.json -v
@@ -62,12 +69,14 @@ audit: server-smoke
 	$(PYTHON) scripts/audit_negative_control.py --json audit-negative-control.json
 
 # experiment benchmarks, then the machine-readable artifacts
-# (BENCH_vm.json / BENCH_opt.json / BENCH_server.json / BENCH_analysis.json /
-# BENCH_obs.json, schema docs in docs/observability.md and docs/analysis.md)
+# (BENCH_vm.json / BENCH_opt.json / BENCH_server.json / BENCH_shard.json /
+# BENCH_analysis.json / BENCH_obs.json, schema docs in docs/observability.md,
+# docs/analysis.md and docs/sharding.md)
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 	$(PYTHON) -m repro bench --scale 0.3 --artifacts .
 	$(PYTHON) scripts/server_bench.py --json BENCH_server.json
+	$(PYTHON) scripts/shard_bench.py --json BENCH_shard.json
 	$(PYTHON) scripts/analysis_bench.py --json BENCH_analysis.json
 	$(PYTHON) scripts/obs_bench.py --json BENCH_obs.json
 

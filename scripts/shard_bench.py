@@ -1,0 +1,274 @@
+#!/usr/bin/env python
+"""Sharding benchmark → ``BENCH_shard.json`` (``make bench``).
+
+Measures, over the real wire path (loopback TCP, JSON frames):
+
+* **write throughput vs shard count** — single-root sets of ring-spread
+  roots through a ring-aware :class:`ClusterClient` against 1-, 2- and
+  4-shard deployments (each shard a standalone group, no replicas — the
+  point is the horizontal axis, not the replication tax, which
+  ``BENCH_server.json`` already covers);
+* **cross-shard mset latency** — the 2PC premium over a single-shard
+  atomic mset of the same width;
+* **scatter-gather latency** — a full-keyspace ``scatter`` (union of
+  values) and a ``merge=sum`` fold against each deployment, versus the
+  same query answered by one single-node daemon holding the whole
+  keyspace.
+
+The artifact shares the ``BENCH_vm.json`` envelope style (schema + meta
++ results) so CI uploads it alongside the other benchmarks.
+
+Usage: python scripts/shard_bench.py [--ops N] [--threads N] [--roots N]
+                                     [--json OUT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.server import ReproServer, ServerConfig, connect  # noqa: E402
+from repro.server.client import ClusterClient, RetryPolicy  # noqa: E402
+
+SUM_MODULE = """
+module benchsum export fold
+let fold(v: Array(Int)): Int =
+  var s := 0 in var i := 0 in
+  begin while i < size(v) do begin s := s + v[i]; i := i + 1 end end; s end
+end"""
+
+
+class Deployment:
+    """N standalone shard daemons + one coordinator (N>1), or one plain
+    daemon (N=1) — the same client-visible surface either way."""
+
+    def __init__(self, root: str, shards: int):
+        os.makedirs(root, exist_ok=True)
+        self.shards = shards
+        self.servers: list[ReproServer] = []
+        base = dict(workers=4, queue_size=128, pgo_interval=None)
+        if shards == 1:
+            server = ReproServer(
+                os.path.join(root, "single.tyc"),
+                ServerConfig(node_id="single", **base),
+            )
+            server.start()
+            self.servers.append(server)
+            self.coordinator = server
+            return
+        groups = []
+        for sid in range(shards):
+            server = ReproServer(
+                os.path.join(root, f"shard{sid}.tyc"),
+                ServerConfig(node_id=f"shard{sid}", replicate=True, **base),
+            )
+            server.start()
+            self.servers.append(server)
+            groups.append([("127.0.0.1", server.port)])
+        self.coordinator = ReproServer(
+            os.path.join(root, "coordinator.tyc"),
+            ServerConfig(
+                node_id="coordinator", coordinator=True, shards=groups, **base
+            ),
+        )
+        self.coordinator.start()
+        self.servers.append(self.coordinator)
+        # wait for boot recovery so 2PC msets are admitted
+        deadline = time.monotonic() + 20
+        with connect(self.coordinator.port) as db:
+            while not db.topology().get("recovered", True):
+                if time.monotonic() > deadline:
+                    raise RuntimeError("coordinator never recovered")
+                time.sleep(0.05)
+
+    def client(self) -> ClusterClient:
+        client = ClusterClient(
+            [("127.0.0.1", self.coordinator.port)], retry=RetryPolicy()
+        )
+        if self.shards > 1:
+            client.discover_topology()
+        return client
+
+    def teardown(self) -> None:
+        for server in reversed(self.servers):
+            try:
+                server.stop()
+            except Exception:
+                pass
+
+
+def _drive(threads: int, ops: int, make_client, op) -> float:
+    clients = [make_client() for _ in range(threads)]
+    barrier = threading.Barrier(threads + 1)
+    errors: list[Exception] = []
+
+    def worker(client, wid):
+        try:
+            barrier.wait()
+            for i in range(ops):
+                op(client, wid, i)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    workers = [
+        threading.Thread(target=worker, args=(c, wid))
+        for wid, c in enumerate(clients)
+    ]
+    for t in workers:
+        t.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for t in workers:
+        t.join()
+    elapsed = time.perf_counter() - started
+    for client in clients:
+        client.close()
+    if errors:
+        raise errors[0]
+    return (threads * ops) / elapsed if elapsed > 0 else 0.0
+
+
+def _latency_ms(repeats: int, op) -> dict:
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        op()
+        samples.append((time.perf_counter() - started) * 1000)
+    samples.sort()
+    return {
+        "p50_ms": round(statistics.median(samples), 3),
+        "p95_ms": round(samples[int(0.95 * (len(samples) - 1))], 3),
+    }
+
+
+def bench_deployment(root: str, shards: int, threads: int, ops: int,
+                     roots: int) -> dict:
+    dep = Deployment(root, shards)
+    try:
+        out: dict = {"shards": shards}
+        # write throughput: ring-spread roots, each thread its own slice
+        out["write_rps"] = round(
+            _drive(
+                threads, ops, dep.client,
+                lambda c, wid, i: c.set(f"k{wid}x{i % 64}", i),
+            ),
+            1,
+        )
+        # seed a keyspace for the scatter comparison + the sum fold
+        with connect(dep.coordinator.port, timeout=60.0) as db:
+            db.run(SUM_MODULE)
+            for base in range(0, roots, 32):
+                db.mset({
+                    f"v{i}": i for i in range(base, min(base + 32, roots))
+                })
+        client = dep.client()
+        try:
+            if shards > 1:
+                def values_query():
+                    return client.scatter(prefix="v")
+
+                def sum_query():
+                    return client.scatter(
+                        prefix="v", module="benchsum", function="fold",
+                        merge="sum",
+                    )["value"]
+            else:
+                # the single-node oracle answers the same question with a
+                # local prefix query — no coordinator in the path
+                def values_query():
+                    return client.op_replica("query", prefix="v")
+
+                def sum_query():
+                    return client.op_replica(
+                        "query", prefix="v", module="benchsum", function="fold"
+                    )["value"]
+
+            out["scatter_values"] = _latency_ms(20, values_query)
+            out["scatter_sum"] = _latency_ms(20, sum_query)
+            expect = sum(range(roots))
+            got = sum_query()
+            if got != expect:
+                raise RuntimeError(f"scatter sum {got} != {expect}")
+        finally:
+            client.close()
+        # 2PC premium: wide msets through the coordinator
+        if shards > 1:
+            with connect(dep.coordinator.port, timeout=60.0) as db:
+                out["mset_cross_shard"] = _latency_ms(
+                    20,
+                    lambda: db.mset({f"m{i}": i for i in range(8)}),
+                )
+        else:
+            with connect(dep.coordinator.port, timeout=60.0) as db:
+                out["mset_single"] = _latency_ms(
+                    20,
+                    lambda: db.mset({f"m{i}": i for i in range(8)}),
+                )
+        return out
+    finally:
+        dep.teardown()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ops", type=int, default=200, help="ops per thread")
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument(
+        "--roots", type=int, default=256, help="keyspace size for scatter"
+    )
+    parser.add_argument(
+        "--json", metavar="OUT", default="BENCH_shard.json",
+        help="artifact path (default: BENCH_shard.json)",
+    )
+    args = parser.parse_args(argv)
+
+    results = []
+    with tempfile.TemporaryDirectory(prefix="shard-bench-") as root:
+        for shards in (1, 2, 4):
+            results.append(
+                bench_deployment(
+                    os.path.join(root, f"n{shards}"), shards,
+                    args.threads, args.ops, args.roots,
+                )
+            )
+
+    single = results[0]
+    scaling = {
+        str(r["shards"]): round(r["write_rps"] / single["write_rps"], 3)
+        for r in results
+        if single["write_rps"]
+    }
+    payload = {
+        "schema": "repro.bench.shard/v1",
+        "meta": {
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "ops_per_thread": args.ops,
+            "threads": args.threads,
+            "scatter_roots": args.roots,
+        },
+        "deployments": results,
+        "write_scaling_vs_single": scaling,
+    }
+    with open(args.json, "w", encoding="utf-8") as fp:
+        json.dump(payload, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    line = ", ".join(
+        f"{r['shards']}-shard {r['write_rps']} rps" for r in results
+    )
+    print(f"shard-bench: {line}; scaling {scaling} -> wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,10 +20,14 @@ Commands:
   ``listening on HOST:PORT`` once ready and serves until interrupted or a
   client sends ``shutdown``; ``--replicate`` makes it a commit-log-shipping
   primary, ``--replica-of HOST:PORT`` a read replica following that
-  primary (see docs/replication.md);
+  primary (see docs/replication.md); ``--coordinator`` with repeated
+  ``--shard HOST:PORT[,HOST:PORT]`` groups makes it a shard coordinator
+  routing over the consistent-hash ring, and ``--shard-id N`` marks a
+  participant daemon's own position (see docs/sharding.md);
 * ``client --port N ACTION [...]`` — one-shot session against a running
   daemon: ``ping``, ``call m.f [args]``, ``run FILE``, ``get ROOT...``,
-  ``set ROOT VALUE``, ``roots``, ``stats``, ``pgo``, ``repl-status``,
+  ``set ROOT VALUE``, ``mset ROOT=VALUE...``, ``scatter [PREFIX [m.f]]``,
+  ``topology``, ``roots``, ``stats``, ``pgo``, ``repl-status``,
   ``promote [TERM]``, ``follow HOST:PORT``, ``shutdown``; ``--deadline S``
   bounds each request's wall-clock budget;
 * ``lint [FILE] [--stdlib] [--store PATH --oid N]`` — run the static
@@ -517,6 +521,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if not host or not port.isdigit():
             raise SystemExit("error: --replica-of expects HOST:PORT")
         replica_of = (host, int(port))
+    shards = None
+    if args.shard:
+        shards = []
+        for group in args.shard:
+            endpoints = []
+            for part in group.split(","):
+                host, _, port = part.strip().rpartition(":")
+                if not host or not port.isdigit():
+                    raise SystemExit(
+                        "error: --shard expects HOST:PORT[,HOST:PORT...] "
+                        "per group"
+                    )
+                endpoints.append((host, int(port)))
+            shards.append(endpoints)
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -535,6 +553,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_sample=args.trace_sample,
         history_interval=args.history_interval if args.history_interval > 0 else None,
         slowlog_capacity=args.slowlog_capacity,
+        coordinator=args.coordinator,
+        shards=shards,
+        shard_id=args.shard_id,
+        shard_vnodes=args.vnodes,
+        durable_decisions=not args.no_durable_decisions,
     )
     server = ReproServer(args.image, config)
     server.start()
@@ -594,6 +617,24 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 if len(args.operands) != 2:
                     raise SystemExit("error: set needs ROOT VALUE")
                 result = db.set(args.operands[0], _parse_value(args.operands[1]))
+            elif action == "mset":
+                if not args.operands or any("=" not in o for o in args.operands):
+                    raise SystemExit("error: mset needs ROOT=VALUE pairs")
+                writes = {}
+                for operand in args.operands:
+                    root, _, raw = operand.partition("=")
+                    writes[root] = _parse_value(raw)
+                result = db.mset(writes)
+            elif action == "scatter":
+                prefix = args.operands[0] if args.operands else ""
+                module = function = None
+                if len(args.operands) > 1:
+                    module, function = _split_qualified(args.operands[1])
+                result = db.scatter(
+                    prefix, module=module, function=function, merge=args.merge
+                )
+            elif action == "topology":
+                result = db.topology()
             elif action == "roots":
                 result = {"roots": db.roots()}
             elif action == "stats":
@@ -851,6 +892,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--slowlog-capacity", type=int, default=32,
         help="slowest requests kept in the in-memory slowlog ring",
     )
+    serve_p.add_argument(
+        "--coordinator", action="store_true",
+        help="shard coordinator role: route by the consistent-hash ring, "
+        "run cross-shard writes as 2PC, serve scatter-gather "
+        "(see docs/sharding.md)",
+    )
+    serve_p.add_argument(
+        "--shard", action="append", metavar="HOST:PORT[,HOST:PORT...]",
+        help="one shard group's endpoints (primary plus replicas); repeat "
+        "per group — group order defines shard ids",
+    )
+    serve_p.add_argument(
+        "--shard-id", type=int, default=None,
+        help="this daemon's own shard id within --shard (participants "
+        "enforce ring ownership and answer wrong_shard with a hint)",
+    )
+    serve_p.add_argument(
+        "--vnodes", type=int, default=64,
+        help="virtual nodes per shard on the hash ring",
+    )
+    serve_p.add_argument(
+        "--no-durable-decisions", action="store_true",
+        help="skip the 2PC decision-record fsync (UNSAFE: loses "
+        "cross-shard atomicity on coordinator crash; negative-control "
+        "testing only)",
+    )
     serve_p.set_defaults(handler=_cmd_serve)
 
     top_p = sub.add_parser(
@@ -870,8 +937,9 @@ def build_parser() -> argparse.ArgumentParser:
     client_p.add_argument(
         "action",
         choices=[
-            "ping", "call", "run", "get", "set", "roots", "stats", "slowlog",
-            "trace", "pgo", "repl-status", "promote", "follow", "shutdown",
+            "ping", "call", "run", "get", "set", "mset", "scatter",
+            "topology", "roots", "stats", "slowlog", "trace", "pgo",
+            "repl-status", "promote", "follow", "shutdown",
         ],
     )
     client_p.add_argument("operands", nargs="*")
@@ -885,6 +953,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client_p.add_argument(
         "--metrics", action="store_true", help="include the metrics snapshot in stats"
+    )
+    client_p.add_argument(
+        "--merge", choices=["concat", "sum", "values"], default="concat",
+        help="scatter merge strategy (scatter action only)",
     )
     client_p.set_defaults(handler=_cmd_client)
 

@@ -56,6 +56,7 @@ from repro.obs.metrics import METRICS
 from repro.obs.trace import TRACER, new_span_id, new_trace_id
 from repro.server import protocol
 from repro.server.protocol import from_jsonable, recv_frame, send_frame, to_jsonable
+from repro.server.sharding.ring import RingError, ShardTopology, is_system_root
 
 __all__ = [
     "Client",
@@ -70,6 +71,8 @@ __all__ = [
     "StaleReadError",
     "DeadlineExceeded",
     "ReplicationTimeoutError",
+    "WrongShardError",
+    "TwopcAbortedError",
     "NoPrimaryError",
     "RetryPolicy",
     "connect",
@@ -148,6 +151,18 @@ class ReplicationTimeoutError(ServerError):
     primary and will reach replicas when they catch up."""
 
 
+class WrongShardError(ServerError):
+    """The root hashes to another shard group; ``details`` carry the
+    owning ``shard`` id and its ``endpoints`` — a ring-aware client
+    follows the hint (see :meth:`ClusterClient.use_topology`)."""
+
+
+class TwopcAbortedError(ServerError):
+    """A cross-shard write's two-phase commit could not reach its commit
+    point; the transaction is rolled back on every participant, so the
+    operation may be retried as a whole."""
+
+
 class NoPrimaryError(ClientError):
     """No endpoint of the cluster currently reports the primary role."""
 
@@ -160,6 +175,8 @@ _ERROR_TYPES: dict[str, type[ServerError]] = {
     protocol.E_STALE_READ: StaleReadError,
     protocol.E_DEADLINE: DeadlineExceeded,
     protocol.E_REPL_TIMEOUT: ReplicationTimeoutError,
+    protocol.E_WRONG_SHARD: WrongShardError,
+    protocol.E_TWOPC: TwopcAbortedError,
 }
 
 
@@ -214,7 +231,14 @@ class Client:
         #: one (stamps ``trace`` on the wire); requests inside an active
         #: context always join it — the upstream decision sticks
         self.trace_sample = trace_sample
-        self._trace_rng = random.Random()
+        # a seeded RetryPolicy RNG makes the *whole* client deterministic:
+        # sampling decisions must draw from the same source as backoff
+        # jitter, or chaos-sim runs diverge despite the seed
+        self._trace_rng = (
+            retry.rng
+            if retry is not None and retry.rng is not None
+            else random.Random()
+        )
         self.sock: socket.socket | None = None
         self._next_id = 1
         self._closed = False
@@ -480,6 +504,86 @@ class Client:
     def roots(self) -> list[str]:
         return self._invoke("roots")["roots"]
 
+    def mset(self, writes: dict[str, Any], deadline: float | None = None) -> dict:
+        """Bind several roots in one atomic commit.
+
+        Against a plain daemon all roots must live there; against a
+        coordinator the roots may span shards — the coordinator runs the
+        write as a two-phase commit and a success response means every
+        shard applied it (:class:`TwopcAbortedError` means none did).
+        """
+        operands: dict[str, Any] = {
+            "writes": {str(root): to_jsonable(v) for root, v in writes.items()}
+        }
+        if deadline is not None:
+            operands["deadline"] = deadline
+        return self._invoke("mset", **operands)
+
+    def query(
+        self,
+        prefix: str = "",
+        module: str | None = None,
+        function: str | None = None,
+        min_version: int | None = None,
+        deadline: float | None = None,
+    ) -> dict:
+        """Prefix-scan the daemon's owned roots; optionally fold the
+        matching values through a stored function (shard-local half of
+        scatter-gather).  Read-only, hence replayable."""
+        operands: dict[str, Any] = {"prefix": prefix}
+        if module is not None and function is not None:
+            operands["module"] = module
+            operands["function"] = function
+        if min_version is not None:
+            operands["min_version"] = min_version
+        if deadline is not None:
+            operands["deadline"] = deadline
+        result = self._invoke("query", idempotent=True, **operands)
+        if "values" in result:
+            result = dict(result)
+            result["values"] = {
+                name: from_jsonable(v) for name, v in result["values"].items()
+            }
+        elif "value" in result:
+            result = dict(result)
+            result["value"] = from_jsonable(result["value"])
+        return result
+
+    def scatter(
+        self,
+        prefix: str = "",
+        module: str | None = None,
+        function: str | None = None,
+        merge: str = "concat",
+        deadline: float | None = None,
+    ) -> dict:
+        """Coordinator-side scatter-gather: fan a query out to every shard
+        and merge (``concat`` | ``sum`` | ``values``)."""
+        operands: dict[str, Any] = {"prefix": prefix, "merge": merge}
+        if module is not None and function is not None:
+            operands["module"] = module
+            operands["function"] = function
+        if deadline is not None:
+            operands["deadline"] = deadline
+        result = self._invoke("scatter", idempotent=True, **operands)
+        result = dict(result)
+        if "values" in result:
+            result["values"] = {
+                name: from_jsonable(v) for name, v in result["values"].items()
+            }
+        if "value" in result:
+            result["value"] = from_jsonable(result["value"])
+        if "partials" in result:
+            result["partials"] = [
+                {**p, "value": from_jsonable(p.get("value"))}
+                for p in result["partials"]
+            ]
+        return result
+
+    def topology(self) -> dict:
+        """The shard topology this daemon operates under (wire form)."""
+        return self._invoke("topology", idempotent=True)
+
     def begin(self, mode: str = "write", timeout: float | None = None) -> dict:
         operands: dict[str, Any] = {"mode": mode}
         if timeout is not None:
@@ -604,6 +708,7 @@ class ClusterClient:
         retry: RetryPolicy | None = None,
         deadline: float | None = None,
         trace_sample: float = 1.0,
+        topology: dict | ShardTopology | None = None,
     ):
         if not endpoints:
             raise ValueError("ClusterClient needs at least one endpoint")
@@ -618,7 +723,12 @@ class ClusterClient:
         #: so retries and failover reuse one trace id; the per-endpoint
         #: clients are built with ``trace_sample=0.0`` and never self-root
         self.trace_sample = trace_sample
-        self._trace_rng = random.Random()
+        # reuse the seeded RetryPolicy RNG (when one is injected) so that
+        # rediscovery backoff and trace sampling replay identically under
+        # the chaos harness's seed
+        self._trace_rng = (
+            self.retry.rng if self.retry.rng is not None else random.Random()
+        )
         self._clients: dict[tuple[str, int], Client] = {}
         self._primary: tuple[str, int] | None = None
         self._replicas: list[tuple[str, int]] = []
@@ -627,6 +737,15 @@ class ClusterClient:
         #: the default min_version floor for reads (read-your-writes)
         self.last_write_version = 0
         self._lock = threading.Lock()
+        #: ring-aware mode: when a topology is adopted, sharded roots are
+        #: routed directly to their owning shard group through one child
+        #: ClusterClient per shard (each child keeps its own
+        #: read-your-writes floor); the seed ``endpoints`` then serve as
+        #: the coordinator for cross-shard writes and system roots
+        self.topology: ShardTopology | None = None
+        self._shard_routers: dict[int, "ClusterClient"] = {}
+        if topology is not None:
+            self.use_topology(topology)
 
     # ------------------------------------------------------------- topology
 
@@ -648,6 +767,115 @@ class ClusterClient:
         client = self._clients.pop(endpoint, None)
         if client is not None:
             client.close()
+
+    # ------------------------------------------------------------- sharding
+
+    def use_topology(self, topology: dict | ShardTopology) -> "ClusterClient":
+        """Adopt a shard topology and route ring-aware from now on."""
+        if not isinstance(topology, ShardTopology):
+            topology = ShardTopology.from_dict(topology)
+        with self._lock:
+            stale = dict(self._shard_routers)
+            self._shard_routers = {}
+            self.topology = topology
+        for router in stale.values():
+            router.close()
+        return self
+
+    def discover_topology(self) -> dict | None:
+        """Ask the cluster for its topology and adopt it when present."""
+        try:
+            result = self._on_replica(
+                lambda c: c._invoke("topology", idempotent=True)
+            )
+        except (ClientError, ServerError):
+            return None
+        wire = result.get("topology")
+        if isinstance(wire, dict):
+            try:
+                self.use_topology(wire)
+            except RingError:
+                return None
+        return wire
+
+    def _shard_of(self, root: str) -> int | None:
+        """Owning shard id, or None when the root routes to the seed
+        endpoints (no topology adopted, or a system root)."""
+        topology = self.topology
+        if topology is None or is_system_root(root):
+            return None
+        return topology.shard_for(root)
+
+    def _shard_router(self, sid: int) -> "ClusterClient":
+        with self._lock:
+            router = self._shard_routers.get(sid)
+        if router is None:
+            router = ClusterClient(
+                self.topology.endpoints(sid),
+                timeout=self._timeout,
+                retry=self.retry,  # shares the (possibly seeded) RNG
+                deadline=self.deadline,
+                trace_sample=0.0,  # the parent owns the sampling decision
+            )
+            with self._lock:
+                self._shard_routers[sid] = router
+        return router
+
+    def _follow_wrong_shard(self, exc: WrongShardError, fn):
+        """Follow a ``wrong_shard`` hint: rebuild the named shard's router
+        from the hinted endpoints, refresh the ring from there, and retry
+        the operation once against the right group."""
+        sid = exc.details.get("shard")
+        hinted = exc.details.get("endpoints")
+        if not isinstance(sid, int) or not hinted:
+            raise exc
+        endpoints = [(str(e["host"]), int(e["port"])) for e in hinted]
+        router = ClusterClient(
+            endpoints,
+            timeout=self._timeout,
+            retry=self.retry,
+            deadline=self.deadline,
+            trace_sample=0.0,
+        )
+        with self._lock:
+            old = self._shard_routers.get(sid)
+            self._shard_routers[sid] = router
+        if old is not None:
+            old.close()
+        # the hinted shard knows the (possibly newer) ring we mis-route by
+        wire = None
+        try:
+            wire = router._on_replica(
+                lambda c: c._invoke("topology", idempotent=True)
+            ).get("topology")
+        except (ClientError, ServerError):
+            pass
+        if isinstance(wire, dict):
+            try:
+                fresh = ShardTopology.from_dict(wire)
+                if self.topology is None or fresh.epoch > self.topology.epoch:
+                    with self._lock:
+                        self.topology = fresh
+            except RingError:
+                pass
+        return fn(router)
+
+    # ------------------------------------------------------- generic op glue
+
+    def op_primary(self, op: str, idempotent: bool = False, **operands) -> dict:
+        """Issue an arbitrary op against the current primary (failover-
+        aware); write-producing results feed the read-your-writes floor."""
+        result = self._on_primary(
+            lambda c: c._invoke(op, idempotent=idempotent, **operands)
+        )
+        if isinstance(result, dict):
+            self._note_write(result)
+        return result
+
+    def op_replica(self, op: str, **operands) -> dict:
+        """Issue an idempotent op via the replica read path (primary as
+        the last resort)."""
+        return self._on_replica(lambda c: c._invoke(op, idempotent=True, **operands))
 
     def discover(self) -> dict:
         """Ping every endpoint; elect the highest-term primary, list replicas."""
@@ -736,9 +964,54 @@ class ClusterClient:
         raise last_exc
 
     def set(self, root: str, value: Any) -> dict:
+        sid = self._shard_of(root)
+        if sid is not None:
+            # per-shard floor lives on the child router; shard repl
+            # versions are not comparable across groups, so the parent's
+            # global floor is deliberately left alone here
+            router = self._shard_router(sid)
+            try:
+                return router.set(root, value)
+            except WrongShardError as exc:
+                return self._follow_wrong_shard(exc, lambda r: r.set(root, value))
         result = self._on_primary(lambda c: c.set(root, value))
         self._note_write(result)
         return result
+
+    def mset(self, writes: dict[str, Any], deadline: float | None = None) -> dict:
+        """Atomic multi-root bind.  Single-shard batches go straight to the
+        owning group; cross-shard batches (or any batch before a topology
+        is adopted) go to the seed endpoints — against a sharded
+        deployment those are the coordinator, which runs 2PC."""
+        shards = {self._shard_of(root) for root in writes}
+        if len(shards) == 1 and None not in shards:
+            (sid,) = shards
+            router = self._shard_router(sid)
+            try:
+                return router.mset(writes, deadline=deadline)
+            except WrongShardError as exc:
+                return self._follow_wrong_shard(
+                    exc, lambda r: r.mset(writes, deadline=deadline)
+                )
+        result = self._on_primary(lambda c: c.mset(writes, deadline=deadline))
+        if isinstance(result, dict):
+            self._note_write(result)
+            self._note_shard_versions(result.get("shards"))
+        return result
+
+    def _note_shard_versions(self, shards) -> None:
+        """Feed per-shard repl versions from a coordinator 2PC result into
+        the child routers' read-your-writes floors."""
+        if not isinstance(shards, dict) or self.topology is None:
+            return
+        for sid, version in shards.items():
+            try:
+                sid = int(sid)
+            except (TypeError, ValueError):
+                continue
+            if isinstance(version, int) and sid in self.topology.shard_ids():
+                router = self._shard_router(sid)
+                router.last_write_version = max(router.last_write_version, version)
 
     def run(self, source: str) -> list[str]:
         return self._on_primary(lambda c: c.run(source))
@@ -807,10 +1080,58 @@ class ClusterClient:
             raise last_exc if last_exc is not None else NoPrimaryError("no endpoint")
 
     def get(self, *roots: str, min_version: int | None = None) -> dict[str, Any]:
+        if self.topology is not None:
+            groups: dict[int | None, list[str]] = {}
+            for root in roots:
+                groups.setdefault(self._shard_of(root), []).append(root)
+            if groups and (len(groups) > 1 or None not in groups):
+                out: dict[str, Any] = {}
+                for sid, names in groups.items():
+                    if sid is None:
+                        out.update(self._get_local(names, min_version))
+                        continue
+                    router = self._shard_router(sid)
+                    try:
+                        out.update(router.get(*names, min_version=min_version))
+                    except WrongShardError as exc:
+                        out.update(
+                            self._follow_wrong_shard(
+                                exc,
+                                lambda r, names=names: r.get(
+                                    *names, min_version=min_version
+                                ),
+                            )
+                        )
+                return out
+        return self._get_local(list(roots), min_version)
+
+    def _get_local(
+        self, roots: list[str], min_version: int | None
+    ) -> dict[str, Any]:
         floor = self.last_write_version if min_version is None else min_version
         return self._on_replica(
             lambda c: c.get(*roots, min_version=floor if floor > 0 else None)
         )
+
+    def scatter(
+        self,
+        prefix: str = "",
+        module: str | None = None,
+        function: str | None = None,
+        merge: str = "concat",
+        deadline: float | None = None,
+    ) -> dict:
+        """Scatter-gather through the seed endpoints (the coordinator)."""
+        return self._on_replica(
+            lambda c: c.scatter(
+                prefix, module=module, function=function, merge=merge,
+                deadline=deadline,
+            )
+        )
+
+    def topology_info(self) -> dict:
+        """The deployment's topology, from whichever endpoint answers."""
+        return self._on_replica(lambda c: c.topology())
 
     # ------------------------------------------------------------ utilities
 
@@ -839,6 +1160,11 @@ class ClusterClient:
     def close(self) -> None:
         for endpoint in list(self._clients):
             self._drop(endpoint)
+        with self._lock:
+            routers = list(self._shard_routers.values())
+            self._shard_routers = {}
+        for router in routers:
+            router.close()
 
     def __enter__(self) -> "ClusterClient":
         return self

@@ -31,6 +31,7 @@ aggregated profile feeds the background PGO worker
 
 from __future__ import annotations
 
+import json
 import socket
 import sys
 import threading
@@ -43,7 +44,12 @@ from repro.lang import TycoonSystem
 from repro.lang.errors import TLError
 from repro.lang.parser import parse_modules
 from repro.lang.stdlib import STDLIB_MODULE_NAMES
-from repro.machine.runtime import MachineError, UncaughtTmlException, show_value
+from repro.machine.runtime import (
+    MachineError,
+    TmlVector,
+    UncaughtTmlException,
+    show_value,
+)
 from repro.machine.vm import VM, StepLimitExceeded
 from repro.obs.exporters import NdjsonRecorder
 from repro.obs.history import MetricsHistory
@@ -61,6 +67,20 @@ from repro.server.replication import (
     ReplicaFollower,
     StaleTermError,
     replication_state,
+)
+from repro.server.sharding.ring import (
+    RingError,
+    ShardTopology,
+    SHARD_ROOT,
+    TOPOLOGY_ROOT,
+    is_system_root,
+)
+from repro.server.sharding.twopc import (
+    STAGING_PREFIX,
+    TwopcError,
+    make_staging,
+    parse_staging,
+    staging_root,
 )
 from repro.store.concurrency import LockTimeout, TransactionManager
 from repro.store.heap import HeapError, ObjectHeap
@@ -142,6 +162,28 @@ class ServerConfig:
     history_interval: float | None = 60.0
     #: snapshots the ``obs:history`` ring retains
     history_capacity: int = 256
+    #: act as a sharding coordinator: consult the coordinator op table
+    #: first, routing data ops across the shard groups of the topology
+    coordinator: bool = False
+    #: shard groups, one endpoint list per shard id — building a topology
+    #: directly from config (coordinator and hand-assembled participants)
+    shards: list[list[tuple[str, int]]] | None = None
+    #: this daemon's shard id within the topology; participants use it to
+    #: enforce ownership (``wrong_shard`` for roots hashing elsewhere)
+    shard_id: int | None = None
+    #: virtual nodes per shard on the consistent-hash ring
+    shard_vnodes: int = 64
+    #: overall time budget for one cross-shard operation (2PC, scatter)
+    twopc_timeout: float = 15.0
+    #: period of the coordinator's in-doubt resolver (None: boot pass only)
+    resolver_interval: float | None = 2.0
+    #: durably record the 2PC commit decision before phase two (the only
+    #: sane setting; the sharding chaos harness disables it as the
+    #: negative control that proves the decision fsync is load-bearing)
+    durable_decisions: bool = True
+    #: crash the coordinator at a named 2PC point — ``after-prepare``,
+    #: ``after-decision`` or ``mid-decide`` (test/chaos use only)
+    twopc_failpoint: str | None = None
 
 
 class RequestError(Exception):
@@ -286,6 +328,20 @@ class ReproServer:
                 node=self.config.node_id or "replica",
                 fence=self.config.fence,
             )
+        #: the sharding topology this node operates under: explicit config
+        #: wins, else whatever ``__topology__`` the image carries
+        self.topology: ShardTopology | None = None
+        if self.config.shards:
+            self.topology = ShardTopology.build(
+                self.config.shards, vnodes=self.config.shard_vnodes
+            )
+        else:
+            self._load_topology()
+        self.coordinator = None
+        if self.config.coordinator:
+            from repro.server.sharding.coordinator import Coordinator
+
+            self.coordinator = Coordinator(self)
 
     def _log_path(self) -> str:
         return f"{self.image_path}.commitlog"
@@ -369,6 +425,9 @@ class ReproServer:
                 target=self._history_loop, name="repro-server-history", daemon=True
             )
             self._history_thread.start()
+        if self.coordinator is not None:
+            # topology push + in-doubt recovery + the periodic resolver
+            self.coordinator.start()
 
     def _history_loop(self) -> None:
         """Periodically snapshot the metrics registry into ``obs:history``.
@@ -464,6 +523,10 @@ class ReproServer:
                 session.lock.release()
         for session in sessions:
             self._release_session(session)
+        if self.coordinator is not None:
+            # after the drain: an in-flight cross-shard request may still
+            # need the shard routers to finish its phase two
+            self.coordinator.stop()
         if self.follower is None:
             # a replica never writes locally — flushing the caches would
             # fork its heap state away from the primary's
@@ -512,6 +575,8 @@ class ReproServer:
             self.pgo_worker.stop()
         if self.follower is not None:
             self.follower.stop()
+        if self.coordinator is not None:
+            self.coordinator.stop()
         if self.replication is not None:
             self.replication.stop()
         TRACER.event("server.crash")
@@ -667,6 +732,24 @@ class ReproServer:
             span_id = None
         return trace_id, span_id
 
+    def _dispatch(self, op):
+        """Resolve an op name to its handler.
+
+        A coordinator daemon consults the coordinator's op table first —
+        it overrides the data plane (get/set/mset/run/scatter/topology)
+        and augments stats; every other op falls through to the base
+        table, so a coordinator is still a full daemon (ping, call,
+        transactions, replication ops) over its own image.
+        """
+        coordinator = self.coordinator
+        if coordinator is not None and isinstance(op, str):
+            override = coordinator.OPS.get(op)
+            if override is not None:
+                return lambda _server, session, request: override(
+                    coordinator, session, request
+                )
+        return self._OPS.get(op)
+
     def _handle(self, session: Session, request: dict) -> None:
         request_id = request.get("id")
         op = request.get("op")
@@ -678,6 +761,7 @@ class ReproServer:
         if trace_id is None and TRACER.enabled and TRACER.should_sample():
             trace_id = new_trace_id()
         outcome = "ok"
+        handled = False
         with TRACER.activate(trace_id, client_span):
             span = (
                 TRACER.span("server.request", session=session.id, op=op)
@@ -693,11 +777,12 @@ class ReproServer:
                     # from it
                     request["_deadline_at"] = time.monotonic() + float(deadline)
                 with session.lock:
-                    handler = self._OPS.get(op)
+                    handler = self._dispatch(op)
                     if handler is None:
                         raise RequestError(
                             protocol.E_BAD_REQUEST, f"unknown op {op!r}"
                         )
+                    handled = True
                     self._check_deadline(request)
                     # run the body under the server span's context so the
                     # spans it opens (store.commit, ...) nest beneath it —
@@ -744,7 +829,7 @@ class ReproServer:
                 span.finish()
                 latency_us = int((time.perf_counter() - start) * 1e6)
                 _LATENCY.observe(latency_us)
-                if isinstance(op, str) and op in self._OPS:
+                if isinstance(op, str) and handled:
                     METRICS.histogram(
                         f"server.op.{op}.latency_us",
                         f"latency of the {op} op (microseconds)",
@@ -993,6 +1078,69 @@ class ReproServer:
             request["_steps"] = result.instructions
         return result
 
+    # -------------------------------------------------------------- sharding
+
+    def _load_topology(self) -> ShardTopology | None:
+        """Adopt the topology persisted under ``__topology__`` (JSON text).
+
+        The root replicates through ordinary commit-log shipping, so a
+        shard replica learns the ring without ever being told directly.
+        """
+        oid = self.heap.root(TOPOLOGY_ROOT)
+        if oid is None:
+            return None
+        try:
+            wire = self.heap.load(oid)
+            if isinstance(wire, str):
+                self.topology = ShardTopology.from_dict(json.loads(wire))
+        except (HeapError, RingError, json.JSONDecodeError) as exc:
+            print(f"repro-server: ignoring bad __topology__: {exc}", file=sys.stderr)
+        if self.config.shard_id is None:
+            sid_oid = self.heap.root(SHARD_ROOT)
+            if sid_oid is not None:
+                try:
+                    sid = self.heap.load(sid_oid)
+                    if isinstance(sid, int):
+                        self.config.shard_id = sid
+                except HeapError:
+                    pass
+        return self.topology
+
+    def _current_topology(self) -> ShardTopology | None:
+        """The active topology, re-reading the image when none is adopted
+        yet (a replica that received ``__topology__`` after its boot)."""
+        if self.topology is None:
+            self._load_topology()
+        return self.topology
+
+    def _check_owned(self, names) -> None:
+        """Ownership gate for sharded daemons: every *user* root must hash
+        to this shard.  System roots are image-local and always pass; a
+        daemon with no topology or no shard id serves everything."""
+        shard_id = self.config.shard_id
+        if shard_id is None:
+            return
+        topology = self._current_topology()
+        if topology is None:
+            return
+        for name in names:
+            name = str(name)
+            if is_system_root(name):
+                continue
+            owner = topology.shard_for(name)
+            if owner != shard_id:
+                raise RequestError(
+                    protocol.E_WRONG_SHARD,
+                    f"root {name!r} belongs to shard {owner}, "
+                    f"this daemon is shard {shard_id}",
+                    shard=owner,
+                    endpoints=[
+                        {"host": host, "port": port}
+                        for host, port in topology.endpoints(owner)
+                    ],
+                    epoch=topology.epoch,
+                )
+
     # ------------------------------------------------------------- operators
 
     def _op_ping(self, session, request):
@@ -1011,6 +1159,12 @@ class ReproServer:
             reply["term"] = self.replication.term
         elif self.follower is not None:
             reply["term"] = self.follower.term
+        if self.coordinator is not None:
+            reply["coordinator"] = True
+        topology = self._current_topology()
+        if topology is not None and self.config.shard_id is not None:
+            # shard identity: id, ring position and owned keyspace share
+            reply["shard"] = topology.describe_shard(self.config.shard_id)
         code = self.code_cache.stats()
         facts = self.fact_store.stats()
         reply["caches"] = {
@@ -1080,6 +1234,7 @@ class ReproServer:
         min_version = request.get("min_version")
 
         def body():
+            self._check_owned(roots)
             if min_version is not None:
                 # bounded staleness: refuse to serve a snapshot older than
                 # the client's floor (typically its last write's version)
@@ -1113,6 +1268,7 @@ class ReproServer:
         value = from_jsonable(request.get("value"))
 
         def body():
+            self._check_owned([root])
             oid = self.heap.root(root)
             # update(oid, None) means "mark dirty", so binding a root to the
             # null value always goes through a fresh store + rebind
@@ -1128,6 +1284,247 @@ class ReproServer:
     def _op_roots(self, session, request):
         def body():
             return {"roots": self.heap.root_names(), "version": self.txns.version}
+
+        return self._run_read(session, request, body)
+
+    def _bind_root(self, root: str, value) -> int:
+        """Bind one root to a decoded value (shared by set/mset/decide)."""
+        oid = self.heap.root(root)
+        # update(oid, None) means "mark dirty", so binding a root to the
+        # null value always goes through a fresh store + rebind
+        if oid is None or value is None:
+            oid = self.heap.store(value)
+            self.heap.set_root(root, oid)
+        else:
+            self.heap.update(oid, value)
+        return int(oid)
+
+    def _op_mset(self, session, request):
+        """Bind several roots in one atomic commit.
+
+        On a plain daemon every root must be local (owned or system); on a
+        coordinator the writes may span shards, in which case the
+        coordinator override runs them as a 2PC instead of this handler.
+        """
+        writes = request.get("writes")
+        if not isinstance(writes, dict) or not writes:
+            raise RequestError(protocol.E_BAD_REQUEST, "mset needs a writes object")
+
+        def body():
+            self._check_owned(writes.keys())
+            oids = {
+                str(root): self._bind_root(str(root), from_jsonable(wire))
+                for root, wire in writes.items()
+            }
+            return {"roots": oids, "count": len(oids)}
+
+        return self._run_write(session, request, body)
+
+    def _op_query(self, session, request):
+        """Prefix-scan this daemon's owned user roots, optionally folding
+        them through a stored function — the shard-local half of
+        scatter-gather.  The fold function receives one vector of the
+        matching values (in root-name order) and its result is the
+        shard's partial, merged coordinator-side."""
+        prefix = request.get("prefix", "")
+        if not isinstance(prefix, str):
+            raise RequestError(protocol.E_BAD_REQUEST, "query prefix must be a string")
+        module = request.get("module")
+        function = request.get("function")
+        min_version = request.get("min_version")
+
+        def body():
+            if min_version is not None:
+                current = self.repl_version()
+                if current < int(min_version):
+                    raise RequestError(
+                        protocol.E_STALE_READ,
+                        f"replica is at version {current}, "
+                        f"read requires {min_version}",
+                        version=current,
+                        min_version=int(min_version),
+                    )
+            topology = self._current_topology()
+            shard_id = self.config.shard_id
+            names = []
+            for name in self.heap.root_names():
+                if not name.startswith(prefix) or is_system_root(name):
+                    continue
+                if (
+                    topology is not None
+                    and shard_id is not None
+                    and topology.shard_for(name) != shard_id
+                ):
+                    continue  # not owned (stale leftovers mid-rebalance)
+                names.append(name)
+            values = {name: self.heap.load_root(name) for name in names}
+            reply = {
+                "count": len(names),
+                "version": self.txns.version,
+                "repl_version": self.repl_version(),
+            }
+            if module and function:
+                closure, hit = self._resolve(module, function)
+                result = self._execute(
+                    closure,
+                    [TmlVector([values[name] for name in names])],
+                    request.get("step_limit"),
+                    request,
+                )
+                reply["value"] = to_jsonable(result.value)
+                reply["cache"] = "hit" if hit else "miss"
+            else:
+                reply["values"] = {
+                    name: to_jsonable(value) for name, value in values.items()
+                }
+            return reply
+
+        return self._run_read(session, request, body)
+
+    def _op_topology(self, session, request):
+        """The adopted ring (a coordinator override reports its own)."""
+        def body():
+            topology = self._current_topology()
+            if topology is None:
+                raise RequestError(
+                    protocol.E_NOT_FOUND, "this daemon has no shard topology"
+                )
+            reply = {"topology": topology.as_dict()}
+            if self.config.shard_id is not None:
+                reply["shard"] = self.config.shard_id
+            return reply
+
+        return self._run_read(session, request, body)
+
+    # ----------------------------------------------------- 2PC participant
+
+    def _op_shard_adopt(self, session, request):
+        """Persist a topology pushed by a coordinator (and this daemon's
+        shard id within it).  The commit replicates the ring to the whole
+        shard group."""
+        try:
+            topology = ShardTopology.from_dict(request.get("topology"))
+        except RingError as exc:
+            raise RequestError(protocol.E_BAD_REQUEST, str(exc)) from exc
+        shard = request.get("shard")
+        if shard is not None and not isinstance(shard, int):
+            raise RequestError(protocol.E_BAD_REQUEST, "shard must be an int id")
+
+        def body():
+            text = json.dumps(
+                topology.as_dict(), sort_keys=True, separators=(",", ":")
+            )
+            self._bind_root(TOPOLOGY_ROOT, text)
+            if shard is not None:
+                self._bind_root(SHARD_ROOT, shard)
+            return {"epoch": topology.epoch, "shards": len(topology.shards)}
+
+        result = self._run_write(session, request, body)
+        self.topology = topology
+        if shard is not None:
+            self.config.shard_id = shard
+        return result
+
+    def _op_shard_prepare(self, session, request):
+        """Phase one: durably stage a transaction's writes for this shard.
+
+        The staging commit flows through the fenced commit log and the
+        replica quorum like any write — once acknowledged, this shard is
+        in doubt for the transaction until a decision (or presumed-abort
+        recovery) resolves it.  Idempotent per transaction id.
+        """
+        txn = request.get("txn")
+        writes = request.get("writes")
+        if not isinstance(txn, str) or not txn:
+            raise RequestError(protocol.E_BAD_REQUEST, "prepare needs a txn id")
+        if not isinstance(writes, dict) or not writes:
+            raise RequestError(protocol.E_BAD_REQUEST, "prepare needs writes")
+        expected = request.get("term")
+        if expected is not None and self.replication is not None:
+            if int(expected) != self.replication.term:
+                # fencing: the coordinator prepared against a deposed view
+                # of this shard group
+                raise RequestError(
+                    protocol.E_STALE_TERM,
+                    f"shard primary is at term {self.replication.term}, "
+                    f"prepare expected term {expected}",
+                    term=self.replication.term,
+                )
+        coordinator_node = str(request.get("coordinator", ""))
+        participants = request.get("participants", [])
+        if not isinstance(participants, list):
+            raise RequestError(protocol.E_BAD_REQUEST, "participants must be a list")
+
+        def body():
+            self._check_owned(writes.keys())
+            root = staging_root(txn)
+            if self.heap.root(root) is not None:
+                return {"txn": txn, "prepared": True, "already": True}
+            for wire in writes.values():
+                from_jsonable(wire)  # reject undecodable values pre-stage
+            record = make_staging(txn, coordinator_node, participants, writes)
+            self.heap.set_root(root, self.heap.store(record))
+            reply = {"txn": txn, "prepared": True}
+            if self.replication is not None:
+                reply["term"] = self.replication.term
+            return reply
+
+        return self._run_write(session, request, body)
+
+    def _op_shard_decide(self, session, request):
+        """Phase two: apply (commit) or discard (abort) staged writes and
+        retire the staging root, all in one atomic commit.  Replaying a
+        decision for an already-retired transaction is a no-op — the
+        coordinator's recovery may deliver duplicates."""
+        txn = request.get("txn")
+        decision = request.get("decision")
+        if not isinstance(txn, str) or not txn:
+            raise RequestError(protocol.E_BAD_REQUEST, "decide needs a txn id")
+        if decision not in ("commit", "abort"):
+            raise RequestError(
+                protocol.E_BAD_REQUEST, f"decision must be commit|abort, got {decision!r}"
+            )
+
+        def body():
+            root = staging_root(txn)
+            oid = self.heap.root(root)
+            if oid is None:
+                return {"txn": txn, "decision": decision, "already": True}
+            try:
+                staged = parse_staging(self.heap.load(oid))
+            except TwopcError as exc:
+                raise RequestError(
+                    protocol.E_INTERNAL, f"corrupt staging for {txn}: {exc}"
+                ) from exc
+            if decision == "commit":
+                for name, wire in staged["writes"].items():
+                    self._bind_root(name, from_jsonable(wire))
+            self.heap.remove_root(root)
+            return {"txn": txn, "decision": decision, "applied": decision == "commit"}
+
+        return self._run_write(session, request, body)
+
+    def _op_shard_indoubt(self, session, request):
+        """List prepared-but-undecided transactions on this shard — the
+        coordinator's recovery input."""
+        def body():
+            indoubt = []
+            for name in self.heap.root_names():
+                if not name.startswith(STAGING_PREFIX):
+                    continue
+                try:
+                    staged = parse_staging(self.heap.load_root(name))
+                except (TwopcError, HeapError):
+                    continue
+                indoubt.append(
+                    {
+                        "txn": staged["txn"],
+                        "coordinator": staged["coordinator"],
+                        "participants": staged["participants"],
+                        "roots": sorted(staged["writes"]),
+                    }
+                )
+            return {"indoubt": indoubt, "count": len(indoubt)}
 
         return self._run_read(session, request, body)
 
@@ -1206,6 +1603,14 @@ class ReproServer:
             "trace": self._trace_status(),
             "history": self.history.stats(),
         }
+        topology = self._current_topology()
+        if topology is not None and self.config.shard_id is not None:
+            report["shard"] = topology.describe_shard(self.config.shard_id)
+            report["shard"]["staging"] = sum(
+                1
+                for name in self.heap.root_names()
+                if name.startswith(STAGING_PREFIX)
+            )
         if self.pgo_worker is not None:
             report["pgo"] = self.pgo_worker.stats()
         if self.replication is not None:
@@ -1491,6 +1896,9 @@ class ReproServer:
         "run": _op_run,
         "get": _op_get,
         "set": _op_set,
+        "mset": _op_mset,
+        "query": _op_query,
+        "topology": _op_topology,
         "roots": _op_roots,
         "begin": _op_begin,
         "commit": _op_commit,
@@ -1506,4 +1914,8 @@ class ReproServer:
         "repl.ack": _op_repl_ack,
         "promote": _op_promote,
         "follow": _op_follow,
+        "shard.adopt": _op_shard_adopt,
+        "shard.prepare": _op_shard_prepare,
+        "shard.decide": _op_shard_decide,
+        "shard.indoubt": _op_shard_indoubt,
     }

@@ -39,6 +39,21 @@ and replication lag), ``slowlog`` (the ring of slowest requests) and
 export).  All are additive: unstamped requests and v2 clients are served
 unchanged.
 
+Version 4 adds the sharding vocabulary (:mod:`repro.server.sharding`):
+``wrong_shard`` rejects a data operation whose root hashes to another
+shard group — details carry the owning ``shard`` id and its ``endpoints``
+so a ring-aware client can follow the hint — and ``twopc_aborted``
+reports a cross-shard write whose two-phase commit could not reach a
+commit decision (the transaction is guaranteed rolled back everywhere).
+New ops: ``mset`` (bind several roots in one atomic commit; on a
+coordinator the roots may span shards and run as 2PC), ``query``
+(prefix-scan of a shard's owned roots, optionally folded through a stored
+function — the executable half of scatter-gather), ``scatter``
+(coordinator fan-out of a query to every shard with a merge step),
+``topology`` (read the consistent-hash ring) and the participant ops
+``shard.prepare`` / ``shard.decide`` / ``shard.indoubt`` / ``shard.adopt``
+(see docs/sharding.md).  All additive; v3 clients are served unchanged.
+
 TML runtime values cross the wire as JSON with tagged escapes for the
 types JSON cannot express directly (see :func:`to_jsonable` /
 :func:`from_jsonable`).
@@ -76,9 +91,11 @@ __all__ = [
     "E_STALE_READ",
     "E_DEADLINE",
     "E_REPL_TIMEOUT",
+    "E_WRONG_SHARD",
+    "E_TWOPC",
 ]
 
-PROTOCOL_VERSION = 3
+PROTOCOL_VERSION = 4
 #: refuse frames above this size — a corrupt length prefix must not make
 #: the peer allocate gigabytes
 MAX_FRAME = 16 * 1024 * 1024
@@ -98,6 +115,8 @@ E_STALE_TERM = "stale_term"
 E_STALE_READ = "stale_read"
 E_DEADLINE = "deadline_exceeded"
 E_REPL_TIMEOUT = "replication_timeout"
+E_WRONG_SHARD = "wrong_shard"
+E_TWOPC = "twopc_aborted"
 
 
 class ProtocolError(Exception):

@@ -86,6 +86,35 @@ _APPLY_LATENCY = METRICS.histogram(
 #: every transaction, making the image self-describing for replication
 REPL_ROOT = "__replication__"
 
+#: prefix of two-phase-commit staging roots (:mod:`repro.server.sharding`).
+#: A commit that creates or retires one is a 2PC phase transition; the
+#: change sink stamps the phase into the record's ``meta`` so the commit
+#: log itself shows which transactions were in doubt at any point.
+TWOPC_STAGING_PREFIX = "__2pc__:"
+
+
+def _twopc_meta(changes: ChangeSet, before: set[str]) -> dict:
+    """Commit-log ``meta`` for a 2PC phase transition (empty otherwise).
+
+    ``before`` is the staging-root set of the previous record; comparing
+    it with the committed root directory classifies the commit: a staging
+    root appearing is a *prepare*, one disappearing is a *decide* (the
+    participant applied or rolled back and retired the staging record).
+    """
+    after = {
+        name for name in changes.roots if name.startswith(TWOPC_STAGING_PREFIX)
+    }
+    prepared = sorted(n[len(TWOPC_STAGING_PREFIX):] for n in after - before)
+    decided = sorted(n[len(TWOPC_STAGING_PREFIX):] for n in before - after)
+    meta: dict = {}
+    if prepared:
+        meta["twopc"] = prepared[0] if len(prepared) == 1 else prepared
+        meta["phase"] = "prepare"
+    elif decided:
+        meta["twopc"] = decided[0] if len(decided) == 1 else decided
+        meta["phase"] = "decide"
+    return meta
+
 
 class ReplicationError(Exception):
     """Replication protocol violation or invalid role operation."""
@@ -170,6 +199,11 @@ class PrimaryReplication:
             )
         self.log = _open_log(log_path, self.version, state["term"])
         self._pending = self.version
+        #: staging roots present in the committed image — the baseline the
+        #: next commit's 2PC phase classification diffs against
+        self._staging = {
+            n for n in heap.root_names() if n.startswith(TWOPC_STAGING_PREFIX)
+        }
         #: serializes fan-out vs. subscriber registration, so a subscriber
         #: never misses the records committed while it was catching up
         self._fanout = threading.Lock()
@@ -202,6 +236,10 @@ class PrimaryReplication:
 
     def _change_sink(self, changes: ChangeSet) -> None:
         self.version = self._pending
+        meta = _twopc_meta(changes, self._staging)
+        self._staging = {
+            n for n in changes.roots if n.startswith(TWOPC_STAGING_PREFIX)
+        }
         # the sink runs on the committing request's thread: whatever trace
         # context the daemon activated for that request is current here, so
         # the record carries the originating trace end-to-end
@@ -215,6 +253,7 @@ class PrimaryReplication:
             node=self.node,
             trace_id=ctx.trace_id if ctx is not None else "",
             committed_ts_us=int(time.time() * 1_000_000),
+            meta=meta,
         )
         try:
             self.log.append(record)

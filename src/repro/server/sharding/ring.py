@@ -1,0 +1,239 @@
+"""Consistent-hash ring: root names → shard groups.
+
+Placement must be a pure function of the topology — every coordinator,
+shard and client that holds the same topology must route a root to the
+same shard group with no coordination.  A consistent-hash ring gives
+that, plus minimal movement when the shard set changes: each shard
+projects ``vnodes`` points onto a 2^64 ring (SHA-256 of ``"s<id>:<v>"``),
+a root name hashes to a point the same way, and the first shard point at
+or clockwise-after the root's point owns it.  Adding a shard steals
+roughly ``1/(N+1)`` of each existing shard's keyspace instead of
+reshuffling everything.
+
+*System* roots (:func:`is_system_root`) are exempt from placement: names
+like ``module:*``, ``server:*``, ``__replication__`` or the 2PC staging
+roots are per-image infrastructure that every image owns locally — they
+are deliberately outside the sharded keyspace, and ``__topology__``
+itself must be readable before any routing can happen.
+
+The topology is persisted under the ``__topology__`` root of every image
+in wire form (:meth:`ShardTopology.as_dict`), so it replicates through
+the ordinary commit-log shipping and survives restarts; coordinators push
+it to shards via the ``shard.adopt`` op when a deployment is first
+assembled.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = [
+    "TOPOLOGY_ROOT",
+    "SHARD_ROOT",
+    "RingError",
+    "is_system_root",
+    "ring_hash",
+    "HashRing",
+    "ShardTopology",
+]
+
+#: replicated root holding the serialized topology on every image
+TOPOLOGY_ROOT = "__topology__"
+
+#: replicated root holding this shard group's integer id, so a restarted
+#: daemon re-enforces ownership without waiting to be re-adopted
+SHARD_ROOT = "__shard__"
+
+#: default virtual nodes per shard — enough that keyspace shares stay
+#: within a few percent of equal for small shard counts
+DEFAULT_VNODES = 64
+
+_RING_BITS = 64
+_RING_SIZE = 1 << _RING_BITS
+
+
+class RingError(Exception):
+    """Malformed topology or a placement query it cannot answer."""
+
+
+def is_system_root(name: str) -> bool:
+    """True for per-image infrastructure roots exempt from placement.
+
+    Covers the dunder roots (``__replication__``, ``__topology__``, the
+    ``__2pc__:`` staging namespace) and every namespaced root
+    (``module:``, ``server:``, ``analysis:``, ``obs:``, ``2pc:`` …) — the
+    colon convention is what the rest of the codebase already uses for
+    image-local bookkeeping.
+    """
+    return name.startswith("__") or ":" in name
+
+
+def ring_hash(key: str) -> int:
+    """Position of ``key`` on the 2^64 ring (first 8 bytes of SHA-256)."""
+    return int.from_bytes(
+        hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """The pure placement function: shard ids + vnodes → ring points."""
+
+    def __init__(self, shard_ids: list[int], vnodes: int = DEFAULT_VNODES):
+        if not shard_ids:
+            raise RingError("a ring needs at least one shard")
+        if len(set(shard_ids)) != len(shard_ids):
+            raise RingError(f"duplicate shard ids: {shard_ids}")
+        if vnodes < 1:
+            raise RingError(f"vnodes must be >= 1, got {vnodes}")
+        self.shard_ids = sorted(int(s) for s in shard_ids)
+        self.vnodes = int(vnodes)
+        points: list[tuple[int, int]] = []
+        for sid in self.shard_ids:
+            for v in range(self.vnodes):
+                points.append((ring_hash(f"s{sid}:{v}"), sid))
+        # ties are astronomically unlikely but must still be deterministic:
+        # sort on (point, shard) so every process builds the same ring
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def shard_for(self, name: str) -> int:
+        """Owning shard id: first ring point clockwise from the key."""
+        idx = bisect.bisect_left(self._points, ring_hash(name))
+        if idx == len(self._points):
+            idx = 0  # wrap: the lowest point owns the top arc
+        return self._owners[idx]
+
+    def owned_ranges(self, shard_id: int) -> list[tuple[int, int]]:
+        """The [start, end] arcs of the ring owned by ``shard_id``.
+
+        Each arc is ``(predecessor_point + 1, point)`` inclusive, with the
+        top-of-ring wrap folded into two arcs.  Used for introspection
+        (``ping``/``stats`` report the owned keyspace), not routing.
+        """
+        if shard_id not in self.shard_ids:
+            raise RingError(f"unknown shard id {shard_id}")
+        ranges: list[tuple[int, int]] = []
+        for i, point in enumerate(self._points):
+            if self._owners[i] != shard_id:
+                continue
+            if i == 0:
+                # the lowest point also owns the arc above the highest point
+                ranges.append((self._points[-1] + 1, _RING_SIZE - 1))
+                ranges.append((0, point))
+            else:
+                ranges.append((self._points[i - 1] + 1, point))
+        return sorted(ranges)
+
+    def share(self, shard_id: int) -> float:
+        """Fraction of the ring owned by ``shard_id`` (introspection)."""
+        total = 0
+        for start, end in self.owned_ranges(shard_id):
+            total += end - start + 1
+        return total / _RING_SIZE
+
+
+@dataclass(frozen=True)
+class ShardTopology:
+    """The deployment map: one endpoint list per shard group + the ring.
+
+    ``shards[i]`` is shard group ``i``'s endpoints ``[(host, port), ...]``
+    — primary first by convention, but clients rediscover roles, so order
+    is only a hint.  ``epoch`` increments on every topology change so a
+    node can tell a newer map from the one it holds.
+    """
+
+    shards: tuple[tuple[tuple[str, int], ...], ...]
+    vnodes: int = DEFAULT_VNODES
+    epoch: int = 1
+    _ring: HashRing = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        if not self.shards:
+            raise RingError("topology needs at least one shard group")
+        object.__setattr__(
+            self, "_ring", HashRing(list(range(len(self.shards))), self.vnodes)
+        )
+
+    # ------------------------------------------------------------- placement
+
+    @property
+    def ring(self) -> HashRing:
+        return self._ring
+
+    def shard_for(self, name: str) -> int:
+        """Owning shard id for a *user* root (system roots have no owner)."""
+        if is_system_root(name):
+            raise RingError(f"system root {name!r} is not placed on the ring")
+        return self._ring.shard_for(name)
+
+    def shard_ids(self) -> list[int]:
+        return list(range(len(self.shards)))
+
+    def endpoints(self, shard_id: int) -> list[tuple[str, int]]:
+        try:
+            group = self.shards[shard_id]
+        except IndexError:
+            raise RingError(f"unknown shard id {shard_id}") from None
+        return [(h, p) for h, p in group]
+
+    # ------------------------------------------------------------- wire form
+
+    def as_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "vnodes": self.vnodes,
+            "shards": [
+                [[host, port] for host, port in group] for group in self.shards
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, wire) -> "ShardTopology":
+        if not isinstance(wire, dict):
+            raise RingError(f"topology wire form must be a dict, got {wire!r}")
+        try:
+            shards = tuple(
+                tuple((str(host), int(port)) for host, port in group)
+                for group in wire["shards"]
+            )
+            return cls(
+                shards=shards,
+                vnodes=int(wire.get("vnodes", DEFAULT_VNODES)),
+                epoch=int(wire.get("epoch", 1)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RingError(f"malformed topology: {exc}") from exc
+
+    @classmethod
+    def build(
+        cls,
+        groups: list[list[tuple[str, int]]],
+        vnodes: int = DEFAULT_VNODES,
+        epoch: int = 1,
+    ) -> "ShardTopology":
+        return cls(
+            shards=tuple(tuple((h, int(p)) for h, p in g) for g in groups),
+            vnodes=vnodes,
+            epoch=epoch,
+        )
+
+    # --------------------------------------------------------- introspection
+
+    def describe_shard(self, shard_id: int) -> dict:
+        """Ring placement summary for ``ping``/``stats``."""
+        ranges = self._ring.owned_ranges(shard_id)
+        # the widest arc, as hex endpoints — a human-readable anchor for
+        # "which keyspace does this node own"
+        widest = max(ranges, key=lambda r: r[1] - r[0])
+        return {
+            "shard": shard_id,
+            "shards": len(self.shards),
+            "epoch": self.epoch,
+            "vnodes": self.vnodes,
+            "share": round(self._ring.share(shard_id), 4),
+            "ranges": len(ranges),
+            "widest_range": [f"{widest[0]:016x}", f"{widest[1]:016x}"],
+        }

@@ -1,0 +1,154 @@
+"""Two-phase-commit record formats, layered on the persistent store.
+
+2PC here owns no storage of its own: both phases are ordinary durable
+commits of ordinary roots, so every guarantee the fenced commit log gives
+single-shard writes (fsync before ack, replication to the shard group,
+fencing against deposed primaries) extends to the cross-shard protocol
+without new machinery.
+
+**Prepare** — the participant shard commits a *staging root*
+``__2pc__:<txn>`` holding the transaction's writes for that shard plus
+the participant list.  The commit flows through the shard's commit log
+and replicas like any write; once it is acked, the shard is *in doubt*
+for that transaction and will apply or discard the staged writes only on
+a coordinator decision (or presumed-abort recovery).
+
+**Decision** — the coordinator commits a *decision root* ``2pc:<txn>`` on
+its own image recording ``commit`` plus the participants still pending
+the phase-two message.  The decision commit's fsync is the transaction's
+commit point.  As phase-two ``shard.decide`` calls succeed, participants
+are removed from ``pending``; when the list drains, the decision root is
+retired (:meth:`repro.store.heap.ObjectHeap.remove_root`).
+
+**Presumed abort** — a participant in doubt whose coordinator has *no*
+decision root for the transaction learns the transaction never reached
+its commit point and rolls the staging root back.  This is safe precisely
+because the decision is durable *before* any phase-two message: absence
+of the record proves absence of a commit decision.
+
+The failure matrix lives in docs/sharding.md; the edge-case tests in
+tests/server/test_twopc_edge.py.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "STAGING_PREFIX",
+    "DECISION_PREFIX",
+    "TwopcError",
+    "staging_root",
+    "decision_root",
+    "make_staging",
+    "make_decision",
+    "parse_staging",
+    "parse_decision",
+]
+
+#: participant-side staging roots — dunder prefix keeps them out of the
+#: sharded keyspace (see :func:`repro.server.sharding.ring.is_system_root`)
+#: and lets the replication sink stamp 2PC phases into commit-log ``meta``
+STAGING_PREFIX = "__2pc__:"
+
+#: coordinator-side decision roots — the ``name:space`` convention also
+#: classifies them as system roots
+DECISION_PREFIX = "2pc:"
+
+
+class TwopcError(Exception):
+    """Malformed 2PC record or an illegal state transition."""
+
+
+def staging_root(txn: str) -> str:
+    return STAGING_PREFIX + txn
+
+
+def decision_root(txn: str) -> str:
+    return DECISION_PREFIX + txn
+
+
+def make_staging(
+    txn: str, coordinator: str, participants: list[int], writes: dict
+) -> dict:
+    """Participant staging record, in heap-storable form.
+
+    ``writes`` maps root name → value in JSON wire form
+    (:func:`repro.server.protocol.to_jsonable`); it is persisted as
+    canonical JSON *text* — the store's serializer has no plain-list tag,
+    and the text form also means the decide step reconstructs exactly the
+    bytes the client sent, independent of object identity.  Sequence
+    fields are tuples for the same serializer reason.
+    """
+    return {
+        "txn": str(txn),
+        "coordinator": str(coordinator),
+        "participants": tuple(int(p) for p in participants),
+        "writes": json.dumps(dict(writes), sort_keys=True, separators=(",", ":")),
+        "state": "prepared",
+    }
+
+
+def make_decision(
+    txn: str, decision: str, participants: list[int], pending=None
+) -> dict:
+    """Coordinator decision record; ``pending`` starts as all participants
+    and drains as phase-two acknowledgements arrive."""
+    if decision not in ("commit", "abort"):
+        raise TwopcError(f"decision must be commit|abort, got {decision!r}")
+    return {
+        "txn": str(txn),
+        "decision": decision,
+        "participants": tuple(int(p) for p in participants),
+        "pending": tuple(
+            int(p) for p in (participants if pending is None else pending)
+        ),
+    }
+
+
+def _require(record, key: str, kind, what: str):
+    value = record.get(key)
+    if not isinstance(value, kind):
+        raise TwopcError(f"{what} record missing/malformed {key!r}: {value!r}")
+    return value
+
+
+def parse_staging(record) -> dict:
+    """Validate a staging record loaded from an image (raises TwopcError);
+    ``writes`` comes back as the root → wire-value dict."""
+    if not isinstance(record, dict):
+        raise TwopcError(f"staging record is not a dict: {record!r}")
+    writes_text = _require(record, "writes", str, "staging")
+    try:
+        writes = json.loads(writes_text)
+    except json.JSONDecodeError as exc:
+        raise TwopcError(f"staging writes are not valid JSON: {exc}") from exc
+    if not isinstance(writes, dict):
+        raise TwopcError(f"staging writes must be an object: {writes!r}")
+    return {
+        "txn": _require(record, "txn", str, "staging"),
+        "coordinator": _require(record, "coordinator", str, "staging"),
+        "participants": [
+            int(p) for p in _require(record, "participants", (list, tuple), "staging")
+        ],
+        "writes": writes,
+        "state": str(record.get("state", "prepared")),
+    }
+
+
+def parse_decision(record) -> dict:
+    """Validate a decision record loaded from an image (raises TwopcError)."""
+    if not isinstance(record, dict):
+        raise TwopcError(f"decision record is not a dict: {record!r}")
+    decision = _require(record, "decision", str, "decision")
+    if decision not in ("commit", "abort"):
+        raise TwopcError(f"decision record has bad decision {decision!r}")
+    return {
+        "txn": _require(record, "txn", str, "decision"),
+        "decision": decision,
+        "participants": [
+            int(p)
+            for p in _require(record, "participants", (list, tuple), "decision")
+        ],
+        "pending": [int(p) for p in record.get("pending", [])],
+    }

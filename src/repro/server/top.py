@@ -120,6 +120,50 @@ def render(stats: dict, prev: dict | None = None, elapsed: float | None = None) 
         if apply_lat:
             lines.append(f"apply    {_latency_cells(apply_lat)}")
 
+    coordinator = stats.get("coordinator")
+    if coordinator:
+        lines.append(
+            f"coord    node={coordinator.get('node', '?'):<16} "
+            f"recovered={'yes' if coordinator.get('recovered') else 'NO'}  "
+            f"inflight={coordinator.get('inflight', 0)}  "
+            f"in-doubt={coordinator.get('indoubt_decisions', 0)}  "
+            f"epoch={coordinator.get('epoch', '?')}"
+        )
+    shards = stats.get("shards")
+    if shards:
+        lines.append("")
+        lines.append(
+            f"{'shard':<6} {'role':<9} {'v':>8} {'term':>5} "
+            f"{'repl':>5} {'lag':>6} {'p99':>9} {'in-doubt':>8}  endpoints"
+        )
+        for sid in sorted(shards, key=lambda s: int(s)):
+            row = shards[sid]
+            if "error" in row:
+                lines.append(
+                    f"{sid:<6} {'DOWN':<9} {row['error'][:52]}"
+                )
+                continue
+            indoubt = row.get("indoubt")
+            lines.append(
+                f"{sid:<6} {str(row.get('role', '?')):<9} "
+                f"{_fmt_count(row.get('repl_version')):>8} "
+                f"{str(row.get('term', '-')):>5} "
+                f"{str(row.get('replicas', 0)):>5} "
+                f"{_fmt_count(row.get('lag')):>6} "
+                f"{_fmt_us(row.get('p99_us')):>9} "
+                f"{('-' if indoubt is None else str(indoubt)):>8}  "
+                + ",".join(row.get("endpoints", ()))
+            )
+    shard = stats.get("shard")
+    if shard:
+        lines.append(
+            f"shard    id={shard.get('shard', '?')}/{shard.get('shards', '?')} "
+            f"epoch={shard.get('epoch', '?')}  "
+            f"share={shard.get('share', 0) * 100:.1f}%  "
+            f"arcs={shard.get('ranges', '?')}  "
+            f"staging={shard.get('staging', 0)}"
+        )
+
     trace = stats.get("trace", {})
     lines.append(
         f"trace    recording={'on' if trace.get('recording') else 'off'}  "

@@ -27,6 +27,7 @@ followers that reconnect and catch up from an older version.
 
 from __future__ import annotations
 
+import json
 import os
 import struct
 import threading
@@ -48,10 +49,13 @@ MAGIC = b"TYLG"
 #: format 2 appends the originating trace context (``trace_id``) and the
 #: commit wall-clock timestamp (µs) to every record, so one write is
 #: followable primary → replica in a single distributed trace and
-#: replicas can report commit-to-apply latency.  Format-1 logs are reset
-#: on open: the log is a sidecar of the image (the image is the truth),
-#: so dropping it only costs followers a snapshot resync.
-LOG_FORMAT = 2
+#: replicas can report commit-to-apply latency.  Format 3 adds ``meta``,
+#: a small JSON annotation layer the sharding subsystem stamps two-phase
+#: commit phases into (``{"twopc": "<txn>", "phase": "prepare"}``), making
+#: in-doubt transactions visible from the log alone.  Older-format logs
+#: are reset on open: the log is a sidecar of the image (the image is the
+#: truth), so dropping it only costs followers a snapshot resync.
+LOG_FORMAT = 3
 _HEADER = struct.Struct("<4sI")
 _FRAME = struct.Struct("<II")  # payload length, crc32(payload)
 
@@ -83,6 +87,9 @@ class ChangeRecord:
     #: wall-clock µs at which the primary committed (commit-to-apply
     #: latency source on replicas; 0 when unknown)
     committed_ts_us: int = 0
+    #: small JSON-able annotations about the commit (e.g. the 2PC phase a
+    #: sharded write is in); empty for ordinary commits
+    meta: dict = field(default_factory=dict)
 
     def encode(self) -> bytes:
         enc = Encoder()
@@ -92,6 +99,11 @@ class ChangeRecord:
         enc.text(self.node)
         enc.text(self.trace_id)
         enc.uvarint(max(0, self.committed_ts_us))
+        enc.text(
+            json.dumps(self.meta, sort_keys=True, separators=(",", ":"))
+            if self.meta
+            else ""
+        )
         enc.uvarint(len(self.objects))
         for oid, payload in self.objects:
             enc.uvarint(oid)
@@ -112,12 +124,17 @@ class ChangeRecord:
             node = dec.text()
             trace_id = dec.text()
             committed_ts_us = dec.uvarint()
+            meta_text = dec.text()
             objects = tuple(
                 (dec.uvarint(), dec.raw()) for _ in range(dec.uvarint())
             )
             roots = {dec.text(): dec.uvarint() for _ in range(dec.uvarint())}
         except SerializeError as exc:
             raise CommitLogError(f"corrupt change record: {exc}") from exc
+        try:
+            meta = json.loads(meta_text) if meta_text else {}
+        except json.JSONDecodeError as exc:
+            raise CommitLogError(f"corrupt change record meta: {exc}") from exc
         return cls(
             version=version,
             term=term,
@@ -127,12 +144,13 @@ class ChangeRecord:
             node=node,
             trace_id=trace_id,
             committed_ts_us=committed_ts_us,
+            meta=meta if isinstance(meta, dict) else {},
         )
 
     # wire form (the replication stream ships records as JSON frames) -------
 
     def as_wire(self) -> dict:
-        return {
+        wire = {
             "version": self.version,
             "term": self.term,
             "oid_counter": self.oid_counter,
@@ -142,6 +160,9 @@ class ChangeRecord:
             "objects": [[oid, payload.hex()] for oid, payload in self.objects],
             "roots": dict(self.roots),
         }
+        if self.meta:
+            wire["meta"] = dict(self.meta)
+        return wire
 
     @classmethod
     def from_wire(cls, wire: dict) -> "ChangeRecord":
@@ -158,6 +179,7 @@ class ChangeRecord:
                     for oid, payload in wire["objects"]
                 ),
                 roots={str(k): int(v) for k, v in wire["roots"].items()},
+                meta=dict(wire.get("meta") or {}),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CommitLogError(f"malformed wire record: {exc!r}") from exc

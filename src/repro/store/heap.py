@@ -254,6 +254,20 @@ class ObjectHeap:
     def root_names(self) -> list[str]:
         return sorted(self._roots)
 
+    def remove_root(self, name: str) -> bool:
+        """Unbind a root name; True when it was bound.
+
+        Removal is transactional like :meth:`set_root`: it only becomes
+        durable at the next :meth:`commit` and :meth:`abort` restores the
+        binding.  The value object itself is not reclaimed — it merely
+        becomes unreachable (fsck reports it as a warning; ``fsck
+        --repair`` quarantines it).  The sharding subsystem uses this to
+        retire two-phase-commit staging roots once a transaction is
+        decided.
+        """
+        self._check_open()
+        return self._roots.pop(name, None) is not None
+
     # --------------------------------------------------------- transactions
 
     def commit(self) -> None:

@@ -1,0 +1,334 @@
+"""End-to-end sharding tests: ring routing over the wire, cross-shard
+mset through the coordinator, scatter-gather vs a single-node oracle,
+and the ring-aware ClusterClient.
+
+Everything runs in-process on loopback sockets (like test_server.py and
+test_replication.py); shard groups are single-daemon primaries here —
+group-internal replication and failover are covered by
+test_replication.py and the sharding chaos sweep.
+"""
+
+import hashlib
+import json
+import random
+import time
+
+import pytest
+
+from repro.server import ReproServer, ServerConfig, connect
+from repro.server.client import (
+    ClusterClient,
+    RetryPolicy,
+    ServerError,
+    WrongShardError,
+)
+from repro.server.protocol import to_jsonable
+from repro.server.sharding.ring import TOPOLOGY_ROOT, ShardTopology
+
+SUM_MODULE = """
+module shardsum export fold
+let fold(v: Array(Int)): Int =
+  var s := 0 in var i := 0 in
+  begin while i < size(v) do begin s := s + v[i]; i := i + 1 end end; s end
+end"""
+
+
+def _config(**overrides):
+    defaults = dict(
+        workers=2, queue_size=32, lock_timeout=10.0, pgo_interval=None
+    )
+    defaults.update(overrides)
+    return ServerConfig(**defaults)
+
+
+class Deployment:
+    def __init__(self, tmp_path, shards=2):
+        self.shards = []
+        groups = []
+        for sid in range(shards):
+            server = ReproServer(
+                str(tmp_path / f"shard{sid}.tyc"),
+                _config(replicate=True, node_id=f"shard{sid}"),
+            )
+            server.start()
+            self.shards.append(server)
+            groups.append([("127.0.0.1", server.port)])
+        self.coordinator = ReproServer(
+            str(tmp_path / "coordinator.tyc"),
+            _config(
+                coordinator=True, shards=groups, node_id="coordinator",
+                resolver_interval=0.2,
+            ),
+        )
+        self.coordinator.start()
+        deadline = time.monotonic() + 20
+        with connect(self.coordinator.port) as db:
+            while not db.topology()["recovered"]:
+                assert time.monotonic() < deadline, "coordinator never recovered"
+                time.sleep(0.05)
+
+    def stop(self):
+        for server in (self.coordinator, *self.shards):
+            try:
+                server.stop()
+            except Exception:
+                pass
+
+
+@pytest.fixture
+def deployment(tmp_path):
+    dep = Deployment(tmp_path)
+    yield dep
+    dep.stop()
+
+
+class TestRouting:
+    def test_set_routes_and_reports_shard(self, deployment):
+        with connect(deployment.coordinator.port) as db:
+            topology = ShardTopology.from_dict(db.topology()["topology"])
+            for name in ("alpha", "bravo", "charlie"):
+                result = db.set(name, {"n": name})
+                assert result["shard"] == topology.shard_for(name)
+            got = db.get("alpha", "bravo", "charlie")
+            assert got == {n: {"n": n} for n in ("alpha", "bravo", "charlie")}
+
+    def test_wrong_shard_rejection_carries_hint(self, deployment):
+        with connect(deployment.coordinator.port) as db:
+            topology = ShardTopology.from_dict(db.topology()["topology"])
+        # find a root owned by shard 1, offer it to shard 0 directly
+        name = next(
+            f"k{i}" for i in range(1000) if topology.shard_for(f"k{i}") == 1
+        )
+        with connect(deployment.shards[0].port) as db:
+            with pytest.raises(WrongShardError) as info:
+                db.set(name, 1)
+        assert info.value.details["shard"] == 1
+        endpoints = info.value.details["endpoints"]
+        assert endpoints[0]["port"] == deployment.shards[1].port
+
+    def test_system_roots_stay_local(self, deployment):
+        # a namespaced root is owned by whichever daemon it is written to
+        for server in deployment.shards:
+            with connect(server.port) as db:
+                db.set("server:note", "local")
+                assert db.get("server:note") == {"server:note": "local"}
+
+    def test_mixed_get_rejected(self, deployment):
+        with connect(deployment.coordinator.port) as db:
+            db.set("plain", 1)
+            with pytest.raises(ServerError) as info:
+                db.get("plain", "server:note")
+        assert info.value.code == "bad_request"
+
+    def test_ping_reports_shard_position(self, deployment):
+        for sid, server in enumerate(deployment.shards):
+            with connect(server.port) as db:
+                info = db.ping()["shard"]
+            assert info["shard"] == sid
+            assert info["shards"] == 2
+            assert 0 < info["share"] < 1
+        with connect(deployment.coordinator.port) as db:
+            assert db.ping()["coordinator"] is True
+
+    def test_topology_persists_across_shard_restart(self, deployment, tmp_path):
+        server = deployment.shards[0]
+        port = server.port
+        server.stop()
+        reborn = ReproServer(
+            str(tmp_path / "shard0.tyc"),
+            _config(replicate=True, node_id="shard0", port=port),
+        )
+        reborn.start()
+        deployment.shards[0] = reborn
+        with connect(reborn.port) as db:
+            values = db.get(TOPOLOGY_ROOT)
+            topology = ShardTopology.from_dict(
+                json.loads(values[TOPOLOGY_ROOT])
+            )
+            assert len(topology.shards) == 2
+            # ownership is enforced again without any re-adoption
+            info = db.ping()["shard"]
+            assert info["shard"] == 0
+
+
+class TestCrossShardMset:
+    def test_cross_shard_mset_commits_everywhere(self, deployment):
+        with connect(deployment.coordinator.port) as db:
+            topology = ShardTopology.from_dict(db.topology()["topology"])
+            writes = {f"m{i}": i * 7 for i in range(12)}
+            owners = {topology.shard_for(name) for name in writes}
+            assert owners == {0, 1}, "want a genuinely cross-shard batch"
+            result = db.mset(writes)
+            assert result["committed"] is True
+            assert result["participants"] == [0, 1]
+            assert db.get(*writes.keys()) == writes
+        # applied on the owning shards, visible in direct reads too
+        for sid, server in enumerate(deployment.shards):
+            mine = [n for n in writes if topology.shard_for(n) == sid]
+            with connect(server.port) as db:
+                assert db.get(*mine) == {n: writes[n] for n in mine}
+
+    def test_single_shard_mset_fast_path(self, deployment):
+        with connect(deployment.coordinator.port) as db:
+            topology = ShardTopology.from_dict(db.topology()["topology"])
+            names = [
+                f"s{i}" for i in range(200)
+                if topology.shard_for(f"s{i}") == 0
+            ][:5]
+            result = db.mset({n: 1 for n in names})
+            assert result["committed"] is True
+            assert result["txn"] is None  # no 2PC needed
+            assert list(result["shards"].keys()) == ["0"]
+
+    def test_no_staging_left_behind(self, deployment):
+        with connect(deployment.coordinator.port) as db:
+            db.mset({f"q{i}": i for i in range(8)})
+        for server in deployment.shards:
+            with connect(server.port) as db:
+                staged = [
+                    r for r in db.roots() if r.startswith("__2pc__:")
+                ]
+                assert staged == []
+        with connect(deployment.coordinator.port) as db:
+            assert [r for r in db.roots() if r.startswith("2pc:")] == []
+
+    def test_stats_report_coordinator_and_shards(self, deployment):
+        with connect(deployment.coordinator.port) as db:
+            db.mset({f"t{i}": i for i in range(6)})
+            stats = db.stats()
+        assert stats["coordinator"]["recovered"] is True
+        assert stats["coordinator"]["indoubt_decisions"] == 0
+        assert set(stats["shards"].keys()) == {"0", "1"}
+        for row in stats["shards"].values():
+            assert row["role"] == "primary"
+            assert row["indoubt"] == 0
+
+
+class TestScatterGather:
+    SEED = {f"v{i}": (i, f"name{i}", i % 2 == 0) for i in range(40)}
+
+    def _digest(self, values: dict) -> str:
+        payload = json.dumps(
+            sorted((k, to_jsonable(v)) for k, v in values.items()),
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def test_scatter_matches_single_node_oracle(self, deployment, tmp_path):
+        # the same keyspace in one unsharded image is the oracle
+        oracle = ReproServer(str(tmp_path / "oracle.tyc"), _config())
+        oracle.start()
+        try:
+            with connect(oracle.port) as db:
+                db.mset(self.SEED)
+                oracle_values = {
+                    k: v for k, v in db.query(prefix="v")["values"].items()
+                }
+            with connect(deployment.coordinator.port) as db:
+                db.mset(self.SEED)
+                scattered = db.scatter(prefix="v")
+            assert scattered["count"] == len(self.SEED)
+            assert self._digest(scattered["values"]) == self._digest(
+                oracle_values
+            )
+        finally:
+            oracle.stop()
+
+    def test_scatter_sum_matches_oracle_fold(self, deployment, tmp_path):
+        seed = {f"n{i}": i * 3 for i in range(30)}
+        oracle = ReproServer(str(tmp_path / "oracle.tyc"), _config())
+        oracle.start()
+        try:
+            with connect(oracle.port) as db:
+                db.run(SUM_MODULE)
+                db.mset(seed)
+                want = db.query(
+                    prefix="n", module="shardsum", function="fold"
+                )["value"]
+            with connect(deployment.coordinator.port) as db:
+                db.run(SUM_MODULE)  # broadcast to every shard
+                db.mset(seed)
+                result = db.scatter(
+                    prefix="n", module="shardsum", function="fold",
+                    merge="sum",
+                )
+            assert result["value"] == want == sum(seed.values())
+        finally:
+            oracle.stop()
+
+    def test_scatter_concat_partials_per_shard(self, deployment):
+        seed = {f"p{i}": i for i in range(10)}
+        with connect(deployment.coordinator.port) as db:
+            db.run(SUM_MODULE)
+            db.mset(seed)
+            result = db.scatter(
+                prefix="p", module="shardsum", function="fold"
+            )
+        partials = {p["shard"]: p["value"] for p in result["partials"]}
+        assert set(partials) == {0, 1}
+        assert sum(partials.values()) == sum(seed.values())
+
+    def test_scatter_rejects_unknown_merge(self, deployment):
+        with connect(deployment.coordinator.port) as db:
+            with pytest.raises(ServerError) as info:
+                db.scatter(prefix="v", merge="median")
+        assert info.value.code == "bad_request"
+
+
+class TestRingAwareClient:
+    def test_client_routes_after_discovery(self, deployment):
+        client = ClusterClient(
+            [("127.0.0.1", deployment.coordinator.port)],
+            retry=RetryPolicy(max_attempts=3),
+        )
+        try:
+            assert client.discover_topology() is not None
+            assert client.topology is not None
+            client.set("direct", 5)
+            assert client.get("direct") == {"direct": 5}
+            writes = {f"c{i}": i for i in range(8)}
+            result = client.mset(writes)
+            assert result.get("committed", True)
+            assert client.get(*writes.keys()) == writes
+            # child routers were built for the shards actually used
+            assert set(client._shard_routers) <= {0, 1}
+            assert len(client._shard_routers) >= 1
+        finally:
+            client.close()
+
+    def test_client_follows_wrong_shard_hint(self, deployment):
+        # seed the client with ONLY shard 0 and a stale single-shard ring:
+        # writes owned by shard 1 bounce with a hint it must follow
+        stale = ShardTopology.build(
+            [[("127.0.0.1", deployment.shards[0].port)]]
+        )
+        with connect(deployment.coordinator.port) as db:
+            real = ShardTopology.from_dict(db.topology()["topology"])
+        name = next(
+            f"h{i}" for i in range(1000) if real.shard_for(f"h{i}") == 1
+        )
+        client = ClusterClient(
+            [("127.0.0.1", deployment.shards[0].port)],
+            retry=RetryPolicy(max_attempts=3),
+            topology=stale,
+        )
+        try:
+            client.set(name, 77)
+            # the hint also taught the client the fresher ring
+            assert client.topology.epoch >= real.epoch
+            assert 1 in client._shard_routers
+            assert client.get(name) == {name: 77}
+        finally:
+            client.close()
+
+    def test_seeded_retry_rng_is_reused(self):
+        """Rediscovery/trace sampling reuse the injected RetryPolicy RNG,
+        so chaos-sim runs replay identically under one seed."""
+        rng = random.Random(1234)
+        retry = RetryPolicy(rng=rng)
+        client = ClusterClient([("127.0.0.1", 1)], retry=retry)
+        assert client._trace_rng is rng
+        # and without an injected RNG each client gets a private one
+        other = ClusterClient([("127.0.0.1", 1)])
+        assert other._trace_rng is not random
+        assert other._trace_rng is not client._trace_rng

@@ -1,0 +1,140 @@
+"""Unit tests for the consistent-hash ring and topology (no sockets)."""
+
+import json
+
+import pytest
+
+from repro.server.sharding.ring import (
+    DEFAULT_VNODES,
+    HashRing,
+    RingError,
+    ShardTopology,
+    is_system_root,
+    ring_hash,
+)
+
+
+class TestHashRing:
+    def test_deterministic_placement(self):
+        a = HashRing([0, 1, 2])
+        b = HashRing([0, 1, 2])
+        for i in range(200):
+            name = f"root{i}"
+            assert a.shard_for(name) == b.shard_for(name)
+
+    def test_placement_covers_all_shards(self):
+        ring = HashRing([0, 1, 2, 3])
+        owners = {ring.shard_for(f"root{i}") for i in range(500)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_minimal_movement_on_grow(self):
+        """Adding a shard moves roughly 1/(N+1) of the keyspace, not all."""
+        before = HashRing([0, 1])
+        after = HashRing([0, 1, 2])
+        names = [f"root{i}" for i in range(1000)]
+        moved = sum(
+            1 for n in names if before.shard_for(n) != after.shard_for(n)
+        )
+        # every moved key must have moved TO the new shard
+        for n in names:
+            if before.shard_for(n) != after.shard_for(n):
+                assert after.shard_for(n) == 2
+        assert 150 < moved < 550  # ~1/3 expected; generous bounds
+
+    def test_shares_roughly_equal(self):
+        ring = HashRing([0, 1, 2, 3])
+        for sid in (0, 1, 2, 3):
+            assert 0.1 < ring.share(sid) < 0.45
+        assert sum(ring.share(s) for s in (0, 1, 2, 3)) == pytest.approx(1.0)
+
+    def test_owned_ranges_partition_the_ring(self):
+        ring = HashRing([0, 1], vnodes=8)
+        arcs = sorted(
+            arc for sid in (0, 1) for arc in ring.owned_ranges(sid)
+        )
+        # contiguous, non-overlapping, full coverage of [0, 2^64)
+        assert arcs[0][0] == 0
+        for (s1, e1), (s2, e2) in zip(arcs, arcs[1:]):
+            assert s2 == e1 + 1
+        assert arcs[-1][1] == (1 << 64) - 1
+
+    def test_ownership_matches_ranges(self):
+        ring = HashRing([0, 1, 2], vnodes=16)
+        for i in range(100):
+            name = f"k{i}"
+            sid = ring.shard_for(name)
+            point = ring_hash(name)
+            assert any(
+                start <= point <= end
+                for start, end in ring.owned_ranges(sid)
+            )
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(RingError):
+            HashRing([])
+        with pytest.raises(RingError):
+            HashRing([0, 0])
+        with pytest.raises(RingError):
+            HashRing([0], vnodes=0)
+
+
+class TestSystemRoots:
+    def test_dunder_and_namespaced_are_system(self):
+        for name in (
+            "__replication__", "__topology__", "__2pc__:t1",
+            "module:bench", "server:history", "2pc:t1", "analysis:facts",
+        ):
+            assert is_system_root(name)
+
+    def test_user_roots_are_not(self):
+        for name in ("x", "counter", "w12", "alpha_beta"):
+            assert not is_system_root(name)
+
+
+class TestShardTopology:
+    def _topology(self):
+        return ShardTopology.build(
+            [
+                [("127.0.0.1", 7001), ("127.0.0.1", 7002)],
+                [("127.0.0.1", 7003)],
+            ]
+        )
+
+    def test_wire_roundtrip(self):
+        topology = self._topology()
+        wire = topology.as_dict()
+        # wire form is JSON-clean (it is persisted as canonical text)
+        reloaded = ShardTopology.from_dict(json.loads(json.dumps(wire)))
+        assert reloaded == topology
+        assert reloaded.shard_for("x") == topology.shard_for("x")
+
+    def test_endpoints_and_ids(self):
+        topology = self._topology()
+        assert topology.shard_ids() == [0, 1]
+        assert topology.endpoints(0) == [("127.0.0.1", 7001), ("127.0.0.1", 7002)]
+        with pytest.raises(RingError):
+            topology.endpoints(7)
+
+    def test_system_roots_refuse_placement(self):
+        topology = self._topology()
+        with pytest.raises(RingError):
+            topology.shard_for("__topology__")
+        with pytest.raises(RingError):
+            topology.shard_for("module:bench")
+
+    def test_describe_shard(self):
+        info = self._topology().describe_shard(0)
+        assert info["shard"] == 0
+        assert info["shards"] == 2
+        assert info["vnodes"] == DEFAULT_VNODES
+        assert 0 < info["share"] < 1
+        assert len(info["widest_range"]) == 2
+        int(info["widest_range"][0], 16)  # hex endpoints
+
+    def test_malformed_wire_raises(self):
+        with pytest.raises(RingError):
+            ShardTopology.from_dict({"shards": "nope"})
+        with pytest.raises(RingError):
+            ShardTopology.from_dict([])
+        with pytest.raises(RingError):
+            ShardTopology.build([])
