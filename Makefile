@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast properties lint ruff bench obs-bench server-smoke crash-sim replication-sim sharding-sim fsck-smoke audit all
+.PHONY: test test-fast properties lint ruff bench obs-bench server-smoke crash-sim replication-sim sharding-sim exhaustion-sim fsck-smoke audit all
 
 all: test lint
 
@@ -55,6 +55,14 @@ replication-sim:
 # and no staging/decision residue (see docs/sharding.md)
 sharding-sim:
 	$(PYTHON) scripts/sharding_sim.py --json sharding-sim-report.json
+
+# resource-exhaustion chaos sweep: ENOSPC/EDQUOT/EIO write and fsync
+# failures (one-shot and persistent) against a live multi-session daemon,
+# plus memory-ceiling and open-loop-overload scenarios; asserts the daemon
+# never dies, reads keep answering, degraded read-only mode is entered and
+# auto-recovered, and no acked write is lost (see docs/durability.md)
+exhaustion-sim:
+	$(PYTHON) scripts/exhaustion_sim.py --json exhaustion-sim-report.json
 
 # integrity-check the image the server smoke test leaves behind
 fsck-smoke: server-smoke

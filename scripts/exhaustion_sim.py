@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""CI driver for the resource-exhaustion chaos sweep (``make exhaustion-sim``).
+
+Runs :func:`repro.store.exhaustsim.run_sweep` — live daemons over
+fault-planned images, with ENOSPC/EDQUOT/EIO write and fsync failures
+injected one-shot at successive I/O ops and as persistent outages, plus
+the memory-ceiling and open-loop-overload scenarios — and exits nonzero
+if any scenario violated an invariant:
+
+* the daemon never dies (ping answers throughout, degraded or not),
+* reads keep succeeding while the disk is gone (degraded = read-only,
+  not down),
+* degraded mode is entered on the failure and exited by the recovery
+  probe once the fault clears — no restart,
+* the image passes fsck and no acknowledged write is lost (and no
+  rolled-back write resurrected).
+
+``--negative-control`` runs the sweep's detector check with degraded
+mode disabled (``unsafe_no_degraded``): the torn-table resurrection MUST
+be detected (exit nonzero), which CI asserts by inverting the invocation.
+
+Usage: python scripts/exhaustion_sim.py [--quick] [--negative-control]
+                                        [--json OUT] [--verbose]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.store.exhaustsim import run_sweep  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced fault grid for local iteration and CI",
+    )
+    parser.add_argument(
+        "--negative-control", action="store_true",
+        help="run with degraded mode disabled; MUST exit nonzero",
+    )
+    parser.add_argument("--json", metavar="OUT", help="write the report as JSON")
+    parser.add_argument(
+        "--verbose", action="store_true", help="print every scenario result"
+    )
+    args = parser.parse_args(argv)
+
+    started = time.monotonic()
+
+    def progress(done, total, result):
+        if args.verbose or not result.ok:
+            mark = "ok  " if result.ok else "FAIL"
+            print(
+                f"  [{done:3d}/{total}] {mark} {result.name} "
+                f"({result.elapsed_s:.2f}s)"
+                + ("" if result.ok else f" — {result.detail}")
+            )
+        elif done % 10 == 0:
+            print(f"  [{done:3d}/{total}] ...")
+
+    with tempfile.TemporaryDirectory(prefix="exhaustion-sim-") as workdir:
+        report = run_sweep(
+            workdir,
+            quick=args.quick,
+            negative_control=args.negative_control,
+            progress=progress,
+        )
+    report["duration_s"] = round(time.monotonic() - started, 2)
+    report["mode"] = (
+        "negative-control" if args.negative_control
+        else ("quick" if args.quick else "full")
+    )
+
+    print(
+        f"exhaustion-sim [{report['mode']}]: {report['scenarios']} scenarios "
+        f"in {report['duration_s']}s -> "
+        + ("OK" if not report["failed"] else f"{report['failed']} FAILURES")
+    )
+    for failure in report["failures"]:
+        print(f"  FAIL {failure['name']}: {failure['detail']}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fp:
+            json.dump(report, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if not report["failed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

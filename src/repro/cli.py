@@ -558,6 +558,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shard_id=args.shard_id,
         shard_vnodes=args.vnodes,
         durable_decisions=not args.no_durable_decisions,
+        read_only=args.read_only,
+        degraded_probe_interval=(
+            args.degraded_probe_interval
+            if args.degraded_probe_interval > 0 else None
+        ),
+        mem_budget_bytes=args.mem_budget if args.mem_budget > 0 else None,
+        mem_txn_budget_objects=(
+            args.mem_txn_budget if args.mem_txn_budget > 0 else None
+        ),
+        queue_wait_limit=(
+            args.queue_wait_limit if args.queue_wait_limit > 0 else None
+        ),
+        send_timeout=args.send_timeout if args.send_timeout > 0 else None,
     )
     server = ReproServer(args.image, config)
     server.start()
@@ -676,6 +689,25 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 raise SystemExit(f"unknown client action {action!r}")
     except ServerError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        if exc.code == "read_only":
+            # degraded mode: tell the operator what to do, not just "no"
+            reason = exc.details.get("reason") or "unknown reason"
+            if exc.details.get("manual"):
+                remedy = (
+                    "it was started with --read-only; restart without "
+                    "the flag to re-enable writes"
+                )
+            else:
+                remedy = (
+                    "it re-probes the disk and recovers on its own once "
+                    "the fault clears"
+                )
+            print(
+                f"hint: the daemon is in degraded read-only mode "
+                f"({reason}); reads still work.  {remedy.capitalize()} — "
+                "see 'disk full / degraded mode' in docs/durability.md",
+                file=sys.stderr,
+            )
         return 1
     print(_json.dumps(result, indent=2, sort_keys=True, default=str))
     return 0
@@ -917,6 +949,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the 2PC decision-record fsync (UNSAFE: loses "
         "cross-shard atomicity on coordinator crash; negative-control "
         "testing only)",
+    )
+    serve_p.add_argument(
+        "--read-only", action="store_true",
+        help="start in degraded read-only mode (manual operator override; "
+        "never auto-recovers — see docs/durability.md)",
+    )
+    serve_p.add_argument(
+        "--degraded-probe-interval", type=float, default=2.0,
+        help="seconds between writability re-probes while degraded after "
+        "a disk fault (0 disables auto-recovery)",
+    )
+    serve_p.add_argument(
+        "--mem-budget", type=int, default=0, metavar="BYTES",
+        help="heap-cache byte budget: writes beyond it shed busy-style "
+        "and the watchdog shrinks the cache (0 = unbounded)",
+    )
+    serve_p.add_argument(
+        "--mem-txn-budget", type=int, default=0, metavar="OBJECTS",
+        help="per-transaction dirty-object budget (0 = unbounded)",
+    )
+    serve_p.add_argument(
+        "--queue-wait-limit", type=float, default=5.0,
+        help="shed a pooled request that waited longer than this in the "
+        "admission queue (overloaded error; 0 disables)",
+    )
+    serve_p.add_argument(
+        "--send-timeout", type=float, default=20.0,
+        help="close a session whose socket send has been blocked longer "
+        "than this (0 disables the slow-client reaper)",
     )
     serve_p.set_defaults(handler=_cmd_serve)
 

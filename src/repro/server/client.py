@@ -73,6 +73,8 @@ __all__ = [
     "ReplicationTimeoutError",
     "WrongShardError",
     "TwopcAbortedError",
+    "ReadOnlyError",
+    "OverloadedError",
     "NoPrimaryError",
     "RetryPolicy",
     "connect",
@@ -163,6 +165,24 @@ class TwopcAbortedError(ServerError):
     operation may be retried as a whole."""
 
 
+class ReadOnlyError(ServerError):
+    """The daemon is in degraded read-only mode after a disk-level failure
+    (or a manual ``--read-only`` override).  Not retryable against the
+    same endpoint — the mode persists until the recovery probe clears it;
+    ``details`` carry ``reason``, ``since`` and a ``retry_after`` hint.
+    A :class:`ClusterClient` fails writes over instead of retrying."""
+
+
+class OverloadedError(ServerError):
+    """Rejected: the request aged out in the admission queue before a
+    worker picked it up.  Distinct from :class:`BackpressureError` (queue
+    full on arrival); both mean "the server is behind".  Retryable —
+    ``details["retry_after"]`` is the server's backoff hint, which the
+    retry layer honors as a minimum pause."""
+
+    retryable = True
+
+
 class NoPrimaryError(ClientError):
     """No endpoint of the cluster currently reports the primary role."""
 
@@ -177,6 +197,8 @@ _ERROR_TYPES: dict[str, type[ServerError]] = {
     protocol.E_REPL_TIMEOUT: ReplicationTimeoutError,
     protocol.E_WRONG_SHARD: WrongShardError,
     protocol.E_TWOPC: TwopcAbortedError,
+    protocol.E_READ_ONLY: ReadOnlyError,
+    protocol.E_OVERLOADED: OverloadedError,
 }
 
 
@@ -404,6 +426,16 @@ class Client:
                         _GAVE_UP.inc()
                         raise
                     pause = policy.delay(retries)
+                    if isinstance(exc, ServerError):
+                        # an overloaded/degraded server sends retry_after:
+                        # re-arriving sooner only feeds the overload, so
+                        # the hint is a floor under the jittered backoff
+                        hint = exc.details.get("retry_after")
+                        if hint is not None:
+                            try:
+                                pause = max(pause, float(hint))
+                            except (TypeError, ValueError):
+                                pass
                     if deadline_at is not None:
                         budget = deadline_at - time.monotonic()
                         if budget <= 0:
@@ -878,8 +910,15 @@ class ClusterClient:
         return self._on_replica(lambda c: c._invoke(op, idempotent=True, **operands))
 
     def discover(self) -> dict:
-        """Ping every endpoint; elect the highest-term primary, list replicas."""
+        """Ping every endpoint; elect the highest-term primary, list replicas.
+
+        A primary that reports itself degraded (read-only after a disk
+        failure) is only elected when no healthy primary exists — writes
+        should land on a promoted replacement, while a cluster that is
+        *entirely* degraded still routes so reads keep working.
+        """
         best: tuple[int, tuple[str, int]] | None = None
+        best_degraded: tuple[int, tuple[str, int]] | None = None
         replicas: list[tuple[str, int]] = []
         seen: dict[str, dict] = {}
         for endpoint in list(self.endpoints):
@@ -894,8 +933,13 @@ class ClusterClient:
             term = int(info.get("term", 0))
             if role == "replica":
                 replicas.append(endpoint)
+            elif info.get("degraded"):
+                if best_degraded is None or term > best_degraded[0]:
+                    best_degraded = (term, endpoint)
             elif best is None or term > best[0]:
                 best = (term, endpoint)
+        if best is None:
+            best = best_degraded
         with self._lock:
             self._primary = best[1] if best else None
             self._replicas = replicas
@@ -953,6 +997,14 @@ class ClusterClient:
                             self.endpoints.append(target)
                         self._primary = target
                         continue  # no backoff: we were redirected
+                except ReadOnlyError as exc:
+                    # degraded read-only primary: never retry the write
+                    # against the same endpoint — the mode outlives any
+                    # backoff.  Keep the TCP client (reads still work
+                    # there) but forget the primary role and rediscover:
+                    # a promoted replica takes the write.
+                    last_exc = exc
+                    self._primary = None
                 except (ConnectionLost, ShuttingDownError) as exc:
                     last_exc = exc
                     self._drop(endpoint)

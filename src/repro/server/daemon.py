@@ -31,6 +31,7 @@ aggregated profile feeds the background PGO worker
 
 from __future__ import annotations
 
+import errno
 import json
 import socket
 import sys
@@ -83,6 +84,7 @@ from repro.server.sharding.twopc import (
     staging_root,
 )
 from repro.store.concurrency import LockTimeout, TransactionManager
+from repro.store.fsck import fsck_image
 from repro.store.heap import HeapError, ObjectHeap
 
 __all__ = ["ServerConfig", "Session", "ReproServer", "RequestError"]
@@ -100,6 +102,77 @@ _DRAIN_ABORTS = METRICS.counter(
 _REAPED_SESSIONS = METRICS.counter(
     "server.reaped_sessions", "sessions closed by the idle timeout/reaper"
 )
+_IO_ERRORS = METRICS.counter(
+    "server.io_errors", "OS-level I/O errors observed (classified, not swallowed)"
+)
+_DEGRADED = METRICS.gauge(
+    "server.degraded", "1 while the daemon is in degraded read-only mode"
+)
+_DEGRADED_ENTRIES = METRICS.counter(
+    "server.degraded_entries", "times the daemon entered degraded read-only mode"
+)
+_SHED_DEADLINE = METRICS.counter(
+    "server.shed.deadline", "requests dropped because their deadline had expired"
+)
+_SHED_OVERLOADED = METRICS.counter(
+    "server.shed.overloaded", "requests shed after waiting too long in the queue"
+)
+_SHED_MEMORY = METRICS.counter(
+    "server.shed.memory", "mutating requests rejected by the memory budget"
+)
+_SLOW_CLIENT_CLOSES = METRICS.counter(
+    "server.slow_client_closes", "sessions closed for blocking in send too long"
+)
+_MEM_CACHED_BYTES = METRICS.gauge(
+    "server.mem.heap_bytes", "serialized bytes held by the heap object cache"
+)
+_MEM_PRESSURE = METRICS.gauge(
+    "server.mem.pressure", "1 while the memory watchdog is shedding load"
+)
+
+#: errnos that mean "the peer went away", not "the disk is failing" —
+#: counted but never treated as a store-level incident
+_DISCONNECT_ERRNOS = frozenset(
+    getattr(errno, name, -1)
+    for name in (
+        "EPIPE", "ECONNRESET", "ENOTCONN", "ESHUTDOWN", "ECONNABORTED",
+        "EBADF", "ETIMEDOUT",
+    )
+)
+_DISK_FULL_ERRNOS = frozenset(
+    getattr(errno, name, -1) for name in ("ENOSPC", "EDQUOT")
+)
+
+
+def classify_os_error(exc: OSError) -> str:
+    """Bucket an OSError: ``disk_full`` / ``io_error`` / ``disconnect`` /
+    ``os_error``.  Commit-path failures of the first two classes flip the
+    daemon into degraded read-only mode; disconnects are routine."""
+    if exc.errno in _DISK_FULL_ERRNOS:
+        return "disk_full"
+    if exc.errno in _DISCONNECT_ERRNOS:
+        return "disconnect"
+    if exc.errno == errno.EIO or "fsync" in str(exc):
+        return "io_error"
+    return "os_error"
+
+
+def _note_io_error(where: str, exc: OSError) -> None:
+    """Classify, count and debug-log an OSError instead of swallowing it.
+
+    Replaces the former silent ``except OSError: pass`` sites: every
+    OS-level failure is at least visible in ``server.io_errors`` (with a
+    per-class child counter) and the trace stream; non-disconnect classes
+    also reach stderr because they may be the first sign of a dying disk.
+    """
+    kind = classify_os_error(exc)
+    _IO_ERRORS.inc()
+    METRICS.counter(
+        f"server.io_errors.{kind}", f"{kind}-class I/O errors observed"
+    ).inc()
+    TRACER.event("server.io_error", where=where, kind=kind, error=str(exc))
+    if kind != "disconnect":
+        print(f"repro-server: {kind} during {where}: {exc}", file=sys.stderr)
 
 
 @dataclass
@@ -184,6 +257,33 @@ class ServerConfig:
     #: crash the coordinator at a named 2PC point — ``after-prepare``,
     #: ``after-decision`` or ``mid-decide`` (test/chaos use only)
     twopc_failpoint: str | None = None
+    #: start (and stay) in degraded read-only mode — the manual operator
+    #: override; unlike fault-triggered degradation it never auto-recovers
+    read_only: bool = False
+    #: seconds between writability re-probes while degraded (fsck-verify
+    #: then a no-op commit); None disables auto-recovery
+    degraded_probe_interval: float | None = 2.0
+    #: global heap-cache byte budget; mutating requests beyond it get the
+    #: busy-style memory rejection and the watchdog sheds load (None = off)
+    mem_budget_bytes: int | None = None
+    #: per-transaction dirty-object budget (one session holds the single
+    #: write txn, so this bounds per-session uncommitted memory; None = off)
+    mem_txn_budget_objects: int | None = None
+    #: period of the memory watchdog sweep
+    mem_watchdog_interval: float = 1.0
+    #: shed a pooled request that waited longer than this in the admission
+    #: queue (the ``overloaded`` error, distinct from full-queue
+    #: ``backpressure``); None disables queue-time shedding
+    queue_wait_limit: float | None = 5.0
+    #: close a session whose socket send has been blocked longer than this
+    #: (a slow client must not pin a worker thread); None disables
+    send_timeout: float | None = 20.0
+    #: file factory slid under the pager (fault injection; None = open())
+    io_factory: object = None
+    #: NEGATIVE CONTROL ONLY — disables the degraded-mode flip and the
+    #: durable rollback on commit I/O failure, reproducing the unprotected
+    #: behavior the exhaustion harness proves is broken
+    unsafe_no_degraded: bool = False
 
 
 class RequestError(Exception):
@@ -211,6 +311,11 @@ class Session:
         self.closed = False
         #: monotonic timestamp of the last received frame (reaper input)
         self.last_active = time.monotonic()
+        #: monotonic timestamp since when a send has been blocked in
+        #: sendall (None when not sending) — the reaper closes sessions
+        #: stuck here past ``send_timeout`` so a slow client that stopped
+        #: reading cannot pin a worker thread indefinitely
+        self.sending_since: float | None = None
         #: replication subscriber connections are long-lived and mostly
         #: quiet — exempt from idle timeout and the reaper
         self.subscriber = False
@@ -229,7 +334,11 @@ class Session:
     def send(self, message: dict) -> None:
         with self._send_lock:
             if not self.closed:
-                send_frame(self.sock, message)
+                self.sending_since = time.monotonic()
+                try:
+                    send_frame(self.sock, message)
+                finally:
+                    self.sending_since = None
 
     def close(self) -> None:
         if self.closed:
@@ -237,8 +346,10 @@ class Session:
         self.closed = True
         try:
             self.sock.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
+        except OSError as exc:
+            # routine when the peer hung up first, but never silent: a
+            # non-disconnect errno here can be the first sign of trouble
+            _note_io_error("session.close", exc)
         self.sock.close()
 
 
@@ -251,11 +362,19 @@ class ReproServer:
         is_replica = self.config.replica_of is not None
         if (is_replica or self.config.replicate) and image is None:
             raise ValueError("replication needs a file-backed image")
-        self.heap = ObjectHeap(image, cache_limit=self.config.heap_cache_limit)
+        self.heap = ObjectHeap(
+            image,
+            cache_limit=self.config.heap_cache_limit,
+            io_factory=self.config.io_factory,
+        )
         # a replica's heap state is the primary's, object for object — it
         # must not write locally, so the stdlib links purely in memory
         self.system = TycoonSystem(heap=self.heap, persist_stdlib=not is_replica)
-        self.txns = TransactionManager(self.heap, default_timeout=self.config.lock_timeout)
+        self.txns = TransactionManager(
+            self.heap,
+            default_timeout=self.config.lock_timeout,
+            io_rollback=not self.config.unsafe_no_degraded,
+        )
         self.code_cache = CodeCache()
         self.fact_store = FactStore()
         self.slowlog = SlowLog(self.config.slowlog_capacity)
@@ -307,6 +426,23 @@ class ReproServer:
         self._stopped = threading.Event()
         self._stop_once = threading.Lock()  # won exactly once, never released
         self._started_at = time.monotonic()
+        #: degraded read-only mode: set by commit-path I/O failures (or the
+        #: manual ``read_only`` config), cleared by the recovery probe
+        self._degraded = threading.Event()
+        self._degraded_reason: str | None = None
+        self._degraded_since: float | None = None  # unix seconds
+        self._degraded_manual = False
+        self._degraded_lock = threading.Lock()
+        self._probe_thread: threading.Thread | None = None
+        self._probe_failures = 0
+        self._recoveries = 0
+        #: memory watchdog state: shrunk cache limit is restored when
+        #: pressure clears (hysteresis at 80% of the budget)
+        self._base_cache_limit = self.config.heap_cache_limit
+        self._mem_pressure = False
+        self._mem_shed_rounds = 0
+        self._watchdog_thread: threading.Thread | None = None
+        self._history_paused = False
         if self.config.replicate and not is_replica:
             self.replication = PrimaryReplication(
                 self.heap,
@@ -342,6 +478,11 @@ class ReproServer:
             from repro.server.sharding.coordinator import Coordinator
 
             self.coordinator = Coordinator(self)
+        if self.config.read_only:
+            # manual override: after the boot commit (a fresh image still
+            # needs its baseline), the daemon serves reads only and the
+            # recovery probe never clears it
+            self.enter_degraded("manual read-only override", manual=True)
 
     def _log_path(self) -> str:
         return f"{self.image_path}.commitlog"
@@ -415,11 +556,21 @@ class ReproServer:
         self._accept_thread.start()
         if self.follower is not None:
             self.follower.start()
-        if self.config.idle_timeout is not None:
+        if self.config.idle_timeout is not None or self.config.send_timeout is not None:
             self._reaper_thread = threading.Thread(
                 target=self._reaper_loop, name="repro-server-reaper", daemon=True
             )
             self._reaper_thread.start()
+        if self.config.degraded_probe_interval is not None:
+            self._probe_thread = threading.Thread(
+                target=self._degraded_probe_loop, name="repro-server-probe", daemon=True
+            )
+            self._probe_thread.start()
+        if self.config.mem_budget_bytes is not None:
+            self._watchdog_thread = threading.Thread(
+                target=self._mem_watchdog_loop, name="repro-server-memwatch", daemon=True
+            )
+            self._watchdog_thread.start()
         if self.config.history_interval is not None:
             self._history_thread = threading.Thread(
                 target=self._history_loop, name="repro-server-history", daemon=True
@@ -439,12 +590,16 @@ class ReproServer:
         interval = self.config.history_interval
         while not self._stopping.wait(interval):
             self.record_history_snapshot()
+            if self._degraded.is_set() or self._history_paused:
+                continue  # no image writes while degraded or shedding
             if self.follower is None:
                 try:
                     with self.txns.write(timeout=1.0):
                         self.history.flush(self.heap)
                 except LockTimeout:
                     pass  # contended image: the next tick retries
+                except OSError as exc:
+                    self._commit_io_failure("history.flush", exc)
 
     def record_history_snapshot(self, **meta) -> dict:
         """Append one metrics snapshot to the in-memory history ring."""
@@ -501,12 +656,12 @@ class ReproServer:
             # port bound after "stop")
             try:
                 self._listener.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
+            except OSError as exc:
+                _note_io_error("listener.shutdown", exc)
             try:
                 self._listener.close()
-            except OSError:
-                pass
+            except OSError as exc:
+                _note_io_error("listener.close", exc)
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=10)
         self.pool.stop(drain=True)
@@ -527,15 +682,22 @@ class ReproServer:
             # after the drain: an in-flight cross-shard request may still
             # need the shard routers to finish its phase two
             self.coordinator.stop()
-        if self.follower is None:
+        if self.follower is None and not self._degraded.is_set():
             # a replica never writes locally — flushing the caches would
-            # fork its heap state away from the primary's
+            # fork its heap state away from the primary's; a degraded
+            # daemon skips the flush too (the disk already refused writes,
+            # and the caches are reconstructible)
             if self.config.history_interval is not None:
                 self.record_history_snapshot(reason="shutdown")
-            with self.txns.write():
-                self.code_cache.flush(self.heap)
-                self.fact_store.flush(self.heap)
-                self.history.flush(self.heap)
+            try:
+                with self.txns.write():
+                    self.code_cache.flush(self.heap)
+                    self.fact_store.flush(self.heap)
+                    self.history.flush(self.heap)
+            except OSError as exc:
+                # shutdown must complete even on a full disk: the rollback
+                # in the txn layer already restored the durable state
+                _note_io_error("shutdown.flush", exc)
         if self.replication is not None:
             self.replication.stop()
         self.heap.close()
@@ -560,12 +722,12 @@ class ReproServer:
             # leave the port bound (EADDRINUSE on the restart that follows)
             try:
                 self._listener.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
+            except OSError as exc:
+                _note_io_error("listener.shutdown", exc)
             try:
                 self._listener.close()
-            except OSError:
-                pass
+            except OSError as exc:
+                _note_io_error("listener.close", exc)
         with self._sessions_lock:
             sessions = list(self._sessions.values())
         for session in sessions:
@@ -611,8 +773,13 @@ class ReproServer:
             self._threads.append(thread)
 
     def _serve_connection(self, session: Session) -> None:
+        # runs until the peer closes or stop()/the reaper closes the
+        # session socket (which wakes recv with an error) — during a drain
+        # _admit answers every new request with ``shutting_down``, so the
+        # loop itself does not need to watch the stop flag, and a request
+        # already in the kernel buffer still gets its typed refusal
         try:
-            while not self._stopping.is_set():
+            while True:
                 try:
                     request = recv_frame(session.sock, self.config.max_frame)
                 except socket.timeout:
@@ -642,12 +809,35 @@ class ReproServer:
         """
         interval = self.config.reaper_interval
         limit = self.config.idle_timeout
+        send_limit = self.config.send_timeout
         while not self._stopping.wait(interval):
             now = time.monotonic()
             with self._sessions_lock:
                 sessions = list(self._sessions.values())
             for session in sessions:
-                if session.subscriber or now - session.last_active <= limit:
+                # slow-sender sweep first: a client that stopped reading
+                # blocks a worker (or subscriber pump) inside sendall —
+                # closing the socket from here unblocks it with an error.
+                # Applies to subscribers too: a wedged replica link must
+                # not pin its pump thread forever.
+                sending = session.sending_since
+                if (
+                    send_limit is not None
+                    and sending is not None
+                    and now - sending > send_limit
+                ):
+                    _SLOW_CLIENT_CLOSES.inc()
+                    TRACER.event(
+                        "server.session.send_timeout", session=session.id,
+                        blocked_s=round(now - sending, 3),
+                    )
+                    self._release_session(session)
+                    continue
+                if (
+                    limit is None
+                    or session.subscriber
+                    or now - session.last_active <= limit
+                ):
                     continue
                 if not session.lock.acquire(blocking=False):
                     continue  # a request is in flight: it is not idle
@@ -677,6 +867,27 @@ class ReproServer:
                 RequestError(protocol.E_SHUTTING_DOWN, "server is shutting down"),
             )
             return
+        deadline = request.get("deadline")
+        if deadline is not None and "_deadline_at" not in request:
+            # pin the absolute deadline at *arrival*: queue time counts
+            # against the client's budget, and a request that would expire
+            # while queued is dropped here instead of wasting a worker
+            try:
+                request["_deadline_at"] = time.monotonic() + float(deadline)
+            except (TypeError, ValueError):
+                pass  # malformed deadline: the handler rejects it
+            else:
+                if float(deadline) <= 0:
+                    _SHED_DEADLINE.inc()
+                    self._send_error(
+                        session, request_id,
+                        RequestError(
+                            protocol.E_DEADLINE,
+                            "request deadline already expired on arrival",
+                            deadline=deadline,
+                        ),
+                    )
+                    return
         if (
             request.get("op") in ("begin", "repl.subscribe")
             or session.txn is not None
@@ -686,8 +897,39 @@ class ReproServer:
             # pool worker
             self._handle(session, request)
             return
+        if request.get("op") in ("ping", "stats", "slowlog"):
+            # introspection fast lane: cheap, lock-free reads answered on
+            # the connection thread, so liveness and diagnosis keep working
+            # while the pool is saturated by an overload
+            self._handle(session, request)
+            return
+        enqueued = time.monotonic()
+        wait_limit = self.config.queue_wait_limit
+
+        def job() -> None:
+            if wait_limit is not None:
+                waited = time.monotonic() - enqueued
+                if waited > wait_limit:
+                    # adaptive shedding: the request was admitted but aged
+                    # out in the queue — answering it now only adds more
+                    # latency to a server already behind; shed with a
+                    # backoff hint instead
+                    _SHED_OVERLOADED.inc()
+                    self._send_error(
+                        session, request_id,
+                        RequestError(
+                            protocol.E_OVERLOADED,
+                            f"request waited {waited:.2f}s in the admission "
+                            f"queue (limit {wait_limit}s)",
+                            queued_s=round(waited, 3),
+                            retry_after=self._overload_retry_after(),
+                        ),
+                    )
+                    return
+            self._handle(session, request)
+
         try:
-            self.pool.submit(lambda: self._handle(session, request))
+            self.pool.submit(job)
         except Backpressure as exc:
             self._send_error(
                 session, request_id,
@@ -695,6 +937,10 @@ class ReproServer:
                     protocol.E_BACKPRESSURE, str(exc), queue_size=exc.queue_size
                 ),
             )
+
+    def _overload_retry_after(self) -> float:
+        """Backoff hint scaled to the current backlog (seconds)."""
+        return round(min(5.0, 0.1 + 0.05 * self.pool.depth), 3)
 
     def _release_session(self, session: Session) -> None:
         txn = session.take_txn()
@@ -771,10 +1017,9 @@ class ReproServer:
             reply = None
             try:
                 deadline = request.get("deadline")
-                if deadline is not None:
-                    # the client sends remaining time; the absolute deadline
-                    # is pinned at arrival and every budget below derives
-                    # from it
+                if deadline is not None and "_deadline_at" not in request:
+                    # normally pinned at arrival by _admit; this fallback
+                    # covers direct _handle calls (tests, embedding)
                     request["_deadline_at"] = time.monotonic() + float(deadline)
                 with session.lock:
                     handler = self._dispatch(op)
@@ -846,8 +1091,11 @@ class ReproServer:
         if reply is not None:
             try:
                 session.send(reply)
-            except OSError:
-                pass  # client vanished before the answer; work is done
+            except OSError as exc:
+                # client vanished before the answer; the work is done —
+                # but count and classify it (a non-disconnect errno here
+                # is not routine)
+                _note_io_error("reply.send", exc)
 
     def _error_reply(
         self, request_id, error: RequestError, trace_id: str | None = None
@@ -870,8 +1118,8 @@ class ReproServer:
     ) -> None:
         try:
             session.send(self._error_reply(request_id, error, trace_id=trace_id))
-        except OSError:
-            pass  # peer is gone; nothing to report to
+        except OSError as exc:
+            _note_io_error("error.send", exc)  # peer is gone; still counted
 
     # ----------------------------------------------------- deadline budgets
 
@@ -922,6 +1170,7 @@ class ReproServer:
     def _run_write(self, session: Session, request: dict, body):
         """Run ``body()`` under the session's write txn or auto-commit."""
         self._check_writable()
+        self._check_memory(session)
         if session.txn is not None:
             if session.txn.mode != "write":
                 raise RequestError(
@@ -940,6 +1189,11 @@ class ReproServer:
                     protocol.E_DEADLINE, "deadline exceeded waiting for the lock"
                 ) from exc
             raise RequestError(protocol.E_BUSY, str(exc)) from exc
+        except OSError as exc:
+            # the auto-commit died in its I/O (disk full, EIO, fsync
+            # failure): the txn layer already rolled the heap back to the
+            # durable state; classify, flip degraded, answer read_only
+            raise self._commit_io_failure("auto-commit", exc) from exc
         if isinstance(result, dict):
             # the auto-commit has published: report the version it produced
             result.setdefault("repl_version", self.repl_version())
@@ -947,6 +1201,16 @@ class ReproServer:
         return result
 
     def _check_writable(self) -> None:
+        if self._degraded.is_set():
+            raise RequestError(
+                protocol.E_READ_ONLY,
+                "daemon is in degraded read-only mode: "
+                + (self._degraded_reason or "unknown reason"),
+                reason=self._degraded_reason,
+                since=self._degraded_since,
+                retry_after=self.config.degraded_probe_interval,
+                manual=self._degraded_manual,
+            )
         follower = self.follower
         if follower is not None:
             host, port = follower.upstream
@@ -955,6 +1219,222 @@ class ReproServer:
                 "this node is a read replica; write to the primary",
                 primary={"host": host, "port": port},
             )
+
+    def _check_memory(self, session: Session) -> None:
+        """Busy-style memory admission for mutating requests.
+
+        Reads always pass — they only touch the (bounded) clean cache.
+        Writes are rejected while the cache's accounted bytes exceed the
+        global budget, or when the open transaction's dirty set has
+        outgrown the per-transaction object budget (dirty objects cannot
+        be evicted, so they are the unboundable half of heap memory).
+        """
+        budget = self.config.mem_budget_bytes
+        if budget is not None and self.heap.cached_bytes > budget:
+            _SHED_MEMORY.inc()
+            raise RequestError(
+                protocol.E_BUSY,
+                f"heap memory budget exceeded "
+                f"({self.heap.cached_bytes} > {budget} bytes); retry shortly",
+                reason="memory",
+                retry_after=max(0.05, self.config.mem_watchdog_interval),
+            )
+        cap = self.config.mem_txn_budget_objects
+        if (
+            cap is not None
+            and session.txn is not None
+            and self.heap.dirty_count >= cap
+        ):
+            _SHED_MEMORY.inc()
+            raise RequestError(
+                protocol.E_BUSY,
+                f"transaction holds {self.heap.dirty_count} uncommitted "
+                f"object(s), over the per-transaction budget of {cap}; "
+                "commit or abort first",
+                reason="memory",
+                retry_after=max(0.05, self.config.mem_watchdog_interval),
+            )
+
+    # ------------------------------------------------- resource exhaustion
+
+    def _commit_io_failure(self, where: str, exc: OSError) -> RequestError:
+        """Classify a commit-path I/O failure and flip degraded mode.
+
+        Returns the structured error to answer the request with.  The
+        transaction layer has already rolled the heap back to the durable
+        image, so no half-written state is reachable; all this method adds
+        is the *mode* flip that stops further writes from hammering a disk
+        that just failed, plus the wire-level story.
+        """
+        kind = classify_os_error(exc)
+        _note_io_error(where, exc)
+        if self.config.unsafe_no_degraded:
+            # negative control: the unprotected daemon answers internal
+            # and keeps accepting writes, which the harness proves unsafe
+            return RequestError(
+                protocol.E_INTERNAL, f"commit I/O failed ({kind}): {exc}"
+            )
+        self.enter_degraded(f"{kind} during {where}: {exc}")
+        return RequestError(
+            protocol.E_READ_ONLY,
+            f"commit failed ({kind}): {exc}; daemon is now read-only",
+            reason=self._degraded_reason,
+            since=self._degraded_since,
+            retry_after=self.config.degraded_probe_interval,
+        )
+
+    def enter_degraded(self, reason: str, manual: bool = False) -> None:
+        """Flip into degraded read-only mode (idempotent).
+
+        Reads, ``ping``/``stats``, replication subscriptions and open read
+        transactions keep working; every mutating request is answered with
+        the structured ``read_only`` error until the recovery probe (or an
+        operator restart without ``--read-only``) clears the mode.
+        """
+        with self._degraded_lock:
+            if self._degraded.is_set():
+                if manual:
+                    self._degraded_manual = True
+                return
+            self._degraded_reason = reason
+            self._degraded_since = time.time()
+            self._degraded_manual = manual
+            self._degraded.set()
+        _DEGRADED.set(1)
+        _DEGRADED_ENTRIES.inc()
+        # shed background writers immediately: they would only re-fail
+        if self.pgo_worker is not None:
+            self.pgo_worker.paused = True
+        TRACER.event("server.degraded.enter", reason=reason, manual=manual)
+        print(f"repro-server: entering degraded read-only mode: {reason}",
+              file=sys.stderr)
+        replication = self.replication
+        if replication is not None:
+            # a deposed-by-disk primary tells its replicas: their status
+            # turns red and a cluster client can fail writes over
+            replication.notify_degraded(reason)
+
+    def exit_degraded(self) -> None:
+        """Leave degraded mode (probe-verified writability)."""
+        with self._degraded_lock:
+            if not self._degraded.is_set():
+                return
+            self._degraded.clear()
+            self._degraded_reason = None
+            self._degraded_since = None
+            self._degraded_manual = False
+        _DEGRADED.set(0)
+        self._recoveries += 1
+        if self.pgo_worker is not None and not self._mem_pressure:
+            self.pgo_worker.paused = False
+        TRACER.event("server.degraded.exit")
+        print("repro-server: degraded mode cleared; writes re-enabled",
+              file=sys.stderr)
+
+    def degraded_info(self) -> dict:
+        return {
+            "active": self._degraded.is_set(),
+            "reason": self._degraded_reason,
+            "since": self._degraded_since,
+            "manual": self._degraded_manual,
+            "probe_interval": self.config.degraded_probe_interval,
+            "probe_failures": self._probe_failures,
+            "recoveries": self._recoveries,
+        }
+
+    def _degraded_probe_loop(self) -> None:
+        """Background writability probe: auto-recover from degraded mode.
+
+        Each tick (while degraded, unless the mode is the manual
+        override): verify the image with a read-only fsck first — writes
+        must never resume over a corrupt image — then attempt an empty
+        commit under the write lock, which exercises the full publish path
+        (table write, header sync, fsync).  Success clears the mode.
+        """
+        interval = self.config.degraded_probe_interval
+        while not self._stopping.wait(interval):
+            if not self._degraded.is_set() or self._degraded_manual:
+                continue
+            self._probe_recovery()
+
+    def _probe_recovery(self) -> bool:
+        if self.image_path is not None:
+            try:
+                report = fsck_image(self.image_path)
+            except Exception as exc:
+                self._probe_failures += 1
+                TRACER.event("server.degraded.probe", ok=False,
+                             stage="fsck", error=str(exc))
+                return False
+            if not report.ok:
+                self._probe_failures += 1
+                TRACER.event("server.degraded.probe", ok=False, stage="fsck",
+                             errors=report.counts.get("error", 0)
+                             if hasattr(report, "counts") else None)
+                return False
+        try:
+            with self.txns.write(timeout=1.0):
+                pass  # empty commit: full write+fsync path, no data change
+        except LockTimeout:
+            return False  # a reader holds the image; try again next tick
+        except OSError as exc:
+            self._probe_failures += 1
+            TRACER.event("server.degraded.probe", ok=False, stage="commit",
+                         error=str(exc))
+            return False
+        except Exception as exc:  # never let a probe kill the thread
+            self._probe_failures += 1
+            TRACER.event("server.degraded.probe", ok=False, stage="commit",
+                         error=f"{type(exc).__name__}: {exc}")
+            return False
+        self.exit_degraded()
+        return True
+
+    def _mem_watchdog_loop(self) -> None:
+        """Shed load when the heap outgrows its byte budget.
+
+        Over budget: pause the PGO worker and history flushes (both are
+        deferrable image writers) and halve the clean-object cache bound,
+        evicting immediately.  Under 80% of budget: restore everything.
+        The busy-style admission check (:meth:`_check_memory`) handles the
+        per-request half; this thread handles the standing pressure.
+        """
+        interval = self.config.mem_watchdog_interval
+        budget = self.config.mem_budget_bytes
+        while not self._stopping.wait(interval):
+            stats = self.heap.mem_stats()
+            _MEM_CACHED_BYTES.set(stats["cached_bytes"])
+            if budget is None:
+                continue
+            if stats["cached_bytes"] > budget and not self._mem_pressure:
+                self._mem_pressure = True
+                self._mem_shed_rounds += 1
+                _MEM_PRESSURE.set(1)
+                if self.pgo_worker is not None:
+                    self.pgo_worker.paused = True
+                self._history_paused = True
+                shrunk = max(16, (stats["cached_objects"] or 32) // 2)
+                self.heap.set_cache_limit(shrunk)
+                TRACER.event(
+                    "server.mem.shed", cached_bytes=stats["cached_bytes"],
+                    budget=budget, cache_limit=shrunk,
+                )
+            elif self._mem_pressure and stats["cached_bytes"] < 0.8 * budget:
+                self._mem_pressure = False
+                _MEM_PRESSURE.set(0)
+                self.heap.set_cache_limit(self._base_cache_limit)
+                self._history_paused = False
+                if self.pgo_worker is not None and not self._degraded.is_set():
+                    self.pgo_worker.paused = False
+                TRACER.event(
+                    "server.mem.restore", cached_bytes=stats["cached_bytes"],
+                    cache_limit=self._base_cache_limit,
+                )
+            elif self._mem_pressure:
+                # still over the hysteresis band: keep squeezing the cache
+                self.heap.set_cache_limit(
+                    max(16, (self.heap.mem_stats()["cached_objects"] or 32) // 2)
+                )
 
     def _after_write_commit(self, result) -> None:
         """Sync replication: hold the response until the ack quorum is in.
@@ -1154,7 +1634,10 @@ class ReproServer:
             "image": self.heap.image_info(),
             "role": self.role,
             "repl_version": self.repl_version(),
+            "degraded": self._degraded.is_set(),
         }
+        if self._degraded.is_set():
+            reply["degraded_reason"] = self._degraded_reason
         if self.replication is not None:
             reply["term"] = self.replication.term
         elif self.follower is not None:
@@ -1550,6 +2033,8 @@ class ReproServer:
             txn.commit()
         except HeapError as exc:
             raise RequestError(protocol.E_EXEC, f"commit failed: {exc}") from exc
+        except OSError as exc:
+            raise self._commit_io_failure("commit", exc) from exc
         result = {"version": self.txns.version, "repl_version": self.repl_version()}
         if txn.mode == "write":
             self._after_write_commit(result)
@@ -1602,6 +2087,21 @@ class ReproServer:
             "slowlog": self.slowlog.stats(),
             "trace": self._trace_status(),
             "history": self.history.stats(),
+            "degraded": self.degraded_info(),
+            "memory": {
+                **self.heap.mem_stats(),
+                "budget_bytes": self.config.mem_budget_bytes,
+                "txn_budget_objects": self.config.mem_txn_budget_objects,
+                "pressure": self._mem_pressure,
+                "shed_rounds": self._mem_shed_rounds,
+            },
+            "shed": {
+                "deadline": _SHED_DEADLINE.value,
+                "overloaded": _SHED_OVERLOADED.value,
+                "memory": _SHED_MEMORY.value,
+                "slow_client_closes": _SLOW_CLIENT_CLOSES.value,
+                "io_errors": _IO_ERRORS.value,
+            },
         }
         topology = self._current_topology()
         if topology is not None and self.config.shard_id is not None:
@@ -1865,8 +2365,11 @@ class ReproServer:
             self.replication.attach()
             # the promotion commit: forces a record under the new term even
             # with no data change, so the term takes effect durably now
-            with self.txns.write(timeout=self.config.lock_timeout):
-                pass
+            try:
+                with self.txns.write(timeout=self.config.lock_timeout):
+                    pass
+            except OSError as exc:
+                raise self._commit_io_failure("promotion", exc) from exc
             TRACER.event("server.repl.promote", term=new_term)
             return new_term
 

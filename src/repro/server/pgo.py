@@ -61,6 +61,10 @@ class PgoWorker:
         self._stopping = False
         self._thread: threading.Thread | None = None
         self._lock = threading.Lock()  # one round at a time (timer vs. op)
+        #: load shedding: while True, timer wakeups skip their round (the
+        #: daemon's memory watchdog and degraded mode pause PGO — optimizing
+        #: code is the first work to drop when disk or memory is scarce)
+        self.paused = False
         self.rounds = 0
         self.relinked = 0
         self.errors = 0
@@ -89,6 +93,9 @@ class PgoWorker:
             self._wake.clear()
             if self._stopping:
                 return
+            if self.paused:
+                _SKIPPED.inc()
+                continue
             try:
                 self.run_round()
             except Exception:  # a bad round must not kill the worker
@@ -153,4 +160,5 @@ class PgoWorker:
             "errors": self.errors,
             "last_selected": list(self.last_selected),
             "interval": self.interval,
+            "paused": self.paused,
         }

@@ -61,6 +61,11 @@ class WorkerPool:
             thread.start()
             self._threads.append(thread)
 
+    @property
+    def depth(self) -> int:
+        """Jobs currently waiting for a worker (admission-control signal)."""
+        return self._queue.qsize()
+
     def submit(self, job: Callable[[], Any]) -> None:
         """Enqueue ``job`` or raise :class:`Backpressure` without waiting."""
         if not self._started:

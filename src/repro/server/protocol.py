@@ -54,6 +54,19 @@ function — the executable half of scatter-gather), ``scatter``
 ``shard.prepare`` / ``shard.decide`` / ``shard.indoubt`` / ``shard.adopt``
 (see docs/sharding.md).  All additive; v3 clients are served unchanged.
 
+Version 5 adds the resource-exhaustion vocabulary: ``read_only`` rejects a
+mutating request because the daemon is in degraded read-only mode after a
+disk-level failure (ENOSPC/EDQUOT/EIO/fsync failure mid-commit) or a
+manual ``--read-only`` override — details carry the ``reason``, ``since``
+(unix seconds) and a ``retry_after`` hint matching the recovery probe's
+cadence; reads, ``stats``, ``ping`` and replication subscribe keep
+working, and a cluster-aware client should *fail writes over* instead of
+retrying the same endpoint.  ``overloaded`` rejects a request that waited
+longer than the admission queue-time limit — distinct from
+``backpressure`` (queue *full* on arrival); details carry ``queued_s``
+and a ``retry_after`` backoff hint the client's retry policy honors.
+Both additive; v4 clients are served unchanged.
+
 TML runtime values cross the wire as JSON with tagged escapes for the
 types JSON cannot express directly (see :func:`to_jsonable` /
 :func:`from_jsonable`).
@@ -93,9 +106,11 @@ __all__ = [
     "E_REPL_TIMEOUT",
     "E_WRONG_SHARD",
     "E_TWOPC",
+    "E_READ_ONLY",
+    "E_OVERLOADED",
 ]
 
-PROTOCOL_VERSION = 4
+PROTOCOL_VERSION = 5
 #: refuse frames above this size — a corrupt length prefix must not make
 #: the peer allocate gigabytes
 MAX_FRAME = 16 * 1024 * 1024
@@ -117,6 +132,8 @@ E_DEADLINE = "deadline_exceeded"
 E_REPL_TIMEOUT = "replication_timeout"
 E_WRONG_SHARD = "wrong_shard"
 E_TWOPC = "twopc_aborted"
+E_READ_ONLY = "read_only"
+E_OVERLOADED = "overloaded"
 
 
 class ProtocolError(Exception):

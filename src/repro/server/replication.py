@@ -350,6 +350,23 @@ class PrimaryReplication:
                 self.drop_subscriber(sub.key)
                 return
 
+    def notify_degraded(self, reason: str) -> None:
+        """Tell every subscriber the primary lost its disk (best effort).
+
+        Pushes a ``{"push": "degraded"}`` frame on each subscriber
+        connection so replicas can surface ``primary_degraded`` in their
+        status — the signal a cluster client uses to fail writes over
+        instead of hammering a read-only primary.  Pre-v5 followers skip
+        unknown push kinds, so the frame is backward-safe.
+        """
+        with self._fanout:
+            subs = list(self._subs.values())
+        for sub in subs:
+            try:
+                sub.send({"push": "degraded", "reason": reason})
+            except (OSError, protocol.ProtocolError):
+                self.drop_subscriber(sub.key)
+
     def ack(self, key: int, version: int) -> None:
         with self._fanout:
             sub = self._subs.get(key)
@@ -452,6 +469,11 @@ class ReplicaFollower:
         self.primary_version = self.version
         self.connected = False
         self.last_error: str | None = None
+        #: the upstream primary announced it flipped into degraded
+        #: read-only mode (disk failure) — surfaced in status() so a
+        #: cluster client can fail writes over to a promoted node
+        self.primary_degraded = False
+        self.primary_degraded_reason: str | None = None
         self.log = _open_log(log_path, self.version, self.term)
         self._apply_lock = threading.Lock()
         self._stop = threading.Event()
@@ -556,8 +578,15 @@ class ReplicaFollower:
                 if frame is None:
                     self.connected = False
                     return
+                if frame.get("push") == "degraded":
+                    self.primary_degraded = True
+                    self.primary_degraded_reason = frame.get("reason")
+                    continue
                 if frame.get("push") != "record":
                     continue  # ack responses and future pushes
+                # a record push means the primary is writing again
+                self.primary_degraded = False
+                self.primary_degraded_reason = None
                 record = ChangeRecord.from_wire(frame["record"])
                 if not self._apply_record(record):
                     self.connected = False
@@ -665,4 +694,6 @@ class ReplicaFollower:
             "connected": self.connected,
             "lag": self.lag,
             "last_error": self.last_error,
+            "primary_degraded": self.primary_degraded,
+            "primary_degraded_reason": self.primary_degraded_reason,
         }

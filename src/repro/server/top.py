@@ -98,6 +98,46 @@ def render(stats: dict, prev: dict | None = None, elapsed: float | None = None) 
         )
     lines.append(f"caches   {'  '.join(caches)}")
 
+    degraded = stats.get("degraded")
+    if degraded:
+        if degraded.get("active"):
+            reason = "manual read-only" if degraded.get("manual") else (
+                degraded.get("reason") or "?"
+            )
+            lines.append(
+                f"health   DEGRADED read-only: {reason}  "
+                f"probe_failures={degraded.get('probe_failures', 0)}  "
+                f"recoveries={degraded.get('recoveries', 0)}"
+            )
+        else:
+            lines.append(
+                f"health   ok  recoveries={degraded.get('recoveries', 0)}"
+            )
+    memory = stats.get("memory")
+    if memory:
+        budget = memory.get("budget_bytes")
+        budget_cell = (
+            f"/{_fmt_count(budget)}B budget" if budget else " (no budget)"
+        )
+        pressure = "PRESSURE" if memory.get("pressure") else "ok"
+        lines.append(
+            f"memory   {pressure}  cached {_fmt_count(memory.get('cached_bytes'))}B"
+            f"{budget_cell}  "
+            f"{_fmt_count(memory.get('cached_objects'))} objects "
+            f"(limit {memory.get('cache_limit') or '-'})  "
+            f"dirty={memory.get('dirty_objects', 0)}  "
+            f"shed_rounds={memory.get('shed_rounds', 0)}"
+        )
+    shed = stats.get("shed")
+    if shed:
+        lines.append(
+            f"shed     deadline={_fmt_count(shed.get('deadline'))}  "
+            f"overloaded={_fmt_count(shed.get('overloaded'))}  "
+            f"memory={_fmt_count(shed.get('memory'))}  "
+            f"io_errors={_fmt_count(shed.get('io_errors'))}  "
+            f"slow_closes={_fmt_count(shed.get('slow_client_closes'))}"
+        )
+
     replication = stats.get("replication")
     if replication:
         role = replication.get("role", "?")

@@ -273,9 +273,21 @@ class CommitLog:
             payload = record.encode()
             self._file.seek(0, os.SEEK_END)
             offset = self._file.tell()
-            self._file.write(_FRAME.pack(len(payload), crc32(payload)) + payload)
-            self._file.flush()
-            os.fsync(self._file.fileno())
+            try:
+                self._file.write(_FRAME.pack(len(payload), crc32(payload)) + payload)
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            except OSError:
+                # disk full / EIO mid-append: drop the torn frame now so
+                # appends after the disk recovers start from a clean tail
+                # (the CRC scan at reopen would also drop it, but a live
+                # log must not carry a torn frame between two good ones)
+                try:
+                    self._file.truncate(offset)
+                    self._file.flush()
+                except OSError:
+                    pass  # the reopen-time scan remains the backstop
+                raise
             self._note(record, offset)
             _APPENDS.inc()
             _APPEND_BYTES.inc(len(payload))

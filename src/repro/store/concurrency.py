@@ -192,10 +192,20 @@ class Txn:
 class TransactionManager:
     """Per-session transactions over one shared :class:`ObjectHeap`."""
 
-    def __init__(self, heap: ObjectHeap, default_timeout: float | None = None):
+    def __init__(
+        self,
+        heap: ObjectHeap,
+        default_timeout: float | None = None,
+        io_rollback: bool = True,
+    ):
         self.heap = heap
         self.lock = RWLock()
         self.default_timeout = default_timeout
+        #: on commit I/O failure, roll the heap back to the durable state
+        #: (heap.rollback_to_durable) instead of a logical abort — required
+        #: for correctness after mid-commit ENOSPC/EIO/fsync failures; the
+        #: exhaustion harness's negative control turns it off to prove that
+        self._io_rollback = io_rollback
         self._version = 0
         self._version_lock = threading.Lock()
 
@@ -246,10 +256,26 @@ class TransactionManager:
                 else:
                     self.heap.abort()
                     _TXN_ABORTS.inc()
-            except BaseException:
+            except BaseException as exc:
                 # a failed commit keeps the old durable state; drop the
-                # in-memory changes so the next writer starts clean
-                self.heap.abort()
+                # in-memory changes so the next writer starts clean.  When
+                # the commit died in its *I/O* (disk full, EIO, fsync
+                # failure) a logical abort is not enough — the object table
+                # and free list may already reference half-written chains —
+                # so re-read everything from the durable image instead.
+                if commit and isinstance(exc, OSError) and self._io_rollback:
+                    try:
+                        self.heap.rollback_to_durable()
+                        # the failure may have struck *after* the commit
+                        # point, in which case the rollback adopted the new
+                        # durable state: bump so version-keyed caches
+                        # (code cache, snapshots) never serve stale reads
+                        with self._version_lock:
+                            self._version += 1
+                    except Exception:
+                        self.heap.abort()
+                else:
+                    self.heap.abort()
                 _TXN_ABORTS.inc()
                 raise
             finally:

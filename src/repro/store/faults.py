@@ -12,7 +12,19 @@ per I/O operation, whether to:
   dying, the classic torn-sector failure;
 * **short-read** — return fewer bytes than asked once (the caller must
   loop, as real ``read(2)`` demands);
-* **fail an fsync** — raise ``OSError`` once, without dying.
+* **fail an fsync** — raise ``OSError`` once, without dying;
+* **fail a write** — raise ``OSError`` (carrying a configurable errno such
+  as ``ENOSPC``/``EIO``) once, without dying — the disk-full model;
+* **exhaust** — enter a persistent disk-full state in which *every* write
+  and fsync fails until :meth:`FaultPlan.heal` is called, modelling a
+  volume that stays full until an operator frees space.
+
+Injected write/fsync failures carry :attr:`FaultPlan.fault_errno`
+(``ENOSPC`` by default) so production code can exercise its errno
+classification.  Besides absolute op indices (``fail_write_at``), faults
+can be *armed by countdown* (:meth:`FaultPlan.arm_write_failure` /
+:meth:`FaultPlan.arm_fsync_failure`: "fail the Nth write/fsync from
+now") — robust against workloads whose absolute op counts drift.
 
 Two durability models:
 
@@ -38,6 +50,7 @@ workload.
 
 from __future__ import annotations
 
+import errno as _errno
 import os
 from dataclasses import dataclass, field
 
@@ -68,6 +81,16 @@ class FaultPlan:
     short_read_at: int | None = None
     #: op index at which one fsync raises OSError (transient sync failure)
     fail_fsync_at: int | None = None
+    #: op index at which one write raises OSError (transient disk-full/EIO)
+    fail_write_at: int | None = None
+    #: errno injected write/fsync failures carry (disk-full by default)
+    fault_errno: int = _errno.ENOSPC
+    #: persistent disk-full mode: every write and fsync fails until heal()
+    exhausted: bool = False
+    #: record the kind of every op ("read"/"write"/"fsync") in op_log, so
+    #: a counting run can report how many ops of each kind a workload does
+    record_ops: bool = False
+    op_log: list = field(default_factory=list, repr=False)
 
     #: operations observed so far (read by harnesses after a counting run)
     ops: int = 0
@@ -75,6 +98,10 @@ class FaultPlan:
     #: every file opened through this plan (so harnesses can close the
     #: underlying OS files after a simulated crash strands them)
     files: list = field(default_factory=list, repr=False)
+    #: one-shot countdowns ("fail the Nth write/fsync from now"), armed by
+    #: arm_write_failure()/arm_fsync_failure()
+    _write_failure_in: int | None = field(default=None, init=False, repr=False)
+    _fsync_failure_in: int | None = field(default=None, init=False, repr=False)
 
     def file_factory(self, path: str, mode: str) -> "FaultFile":
         """Use as ``Pager(..., file_factory=plan.file_factory)``."""
@@ -87,10 +114,48 @@ class FaultPlan:
         for file in self.files:
             file.close()
 
-    def _tick(self) -> int:
+    def arm_write_failure(self, nth: int = 1, fault_errno: int | None = None) -> None:
+        """Make the ``nth`` write from now (1 = the very next) fail once."""
+        if fault_errno is not None:
+            self.fault_errno = fault_errno
+        self._write_failure_in = max(1, int(nth))
+
+    def arm_fsync_failure(self, nth: int = 1, fault_errno: int | None = None) -> None:
+        """Make the ``nth`` fsync from now (1 = the very next) fail once."""
+        if fault_errno is not None:
+            self.fault_errno = fault_errno
+        self._fsync_failure_in = max(1, int(nth))
+
+    def exhaust(self, fault_errno: int | None = None) -> None:
+        """Enter persistent disk-full mode: all writes and fsyncs fail."""
+        if fault_errno is not None:
+            self.fault_errno = fault_errno
+        self.exhausted = True
+
+    def heal(self) -> None:
+        """Leave disk-full mode and disarm any pending one-shot failures."""
+        self.exhausted = False
+        self._write_failure_in = None
+        self._fsync_failure_in = None
+
+    def _tick(self, kind: str = "io") -> int:
         index = self.ops
         self.ops += 1
+        if self.record_ops:
+            self.op_log.append(kind)
         return index
+
+    def _countdown_fires(self, kind: str) -> bool:
+        attr = "_write_failure_in" if kind == "write" else "_fsync_failure_in"
+        left = getattr(self, attr)
+        if left is None:
+            return False
+        left -= 1
+        setattr(self, attr, left if left > 0 else None)
+        return left <= 0
+
+    def _io_error(self, op: str) -> OSError:
+        return OSError(self.fault_errno, f"simulated {op} failure")
 
 
 class FaultFile:
@@ -151,7 +216,7 @@ class FaultFile:
 
     def read(self, count: int = -1) -> bytes:
         self._check_alive()
-        index = self._plan._tick()
+        index = self._plan._tick("read")
         if index == self._plan.crash_at:
             self._crash()
         if count is None or count < 0:  # pragma: no cover - pager reads sized
@@ -189,14 +254,17 @@ class FaultFile:
 
     def write(self, data: bytes) -> int:
         self._check_alive()
-        index = self._plan._tick()
-        if index == self._plan.crash_at:
-            if self._plan.torn and data:
+        plan = self._plan
+        index = plan._tick("write")
+        if index == plan.crash_at:
+            if plan.torn and data:
                 # half the sectors made it to the platter before the lights
                 # went out — even in write-back mode the kernel may have
                 # flushed part of an unsynced write at any time
                 self._apply(self._pos, bytes(data[: max(len(data) // 2, 1)]))
             self._crash()
+        if plan.exhausted or index == plan.fail_write_at or plan._countdown_fires("write"):
+            raise plan._io_error("write")
         if self._plan.writeback:
             self._pending[self._pos] = bytes(data)
         else:
@@ -222,11 +290,12 @@ class FaultFile:
 
     def fsync(self) -> None:
         self._check_alive()
-        index = self._plan._tick()
-        if index == self._plan.crash_at:
+        plan = self._plan
+        index = plan._tick("fsync")
+        if index == plan.crash_at:
             self._crash()
-        if index == self._plan.fail_fsync_at:
-            raise OSError("simulated fsync failure")
+        if plan.exhausted or index == plan.fail_fsync_at or plan._countdown_fires("fsync"):
+            raise plan._io_error("fsync")
         for offset, buf in self._pending.items():
             self._apply(offset, buf)
         self._pending.clear()

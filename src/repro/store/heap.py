@@ -49,6 +49,13 @@ _HEAP_EVICTIONS = METRICS.counter(
     "store.heap.evictions", "clean cached objects evicted by the bounded cache"
 )
 _HEAP_CACHED = METRICS.gauge("store.heap.cached_objects", "objects in the heap cache")
+_HEAP_CACHED_BYTES = METRICS.gauge(
+    "store.heap.cached_bytes",
+    "serialized size of cached objects whose on-disk size is known",
+)
+_HEAP_ROLLBACKS = METRICS.counter(
+    "store.heap.io_rollbacks", "rollbacks to durable state after failed commit I/O"
+)
 
 #: distinguishes "absent from cache" from a cached ``None``-ish value
 _MISSING = object()
@@ -123,6 +130,10 @@ class ObjectHeap:
         #: LRU order: oldest first (only consulted when cache_limit is set)
         self._cache: OrderedDict[int, Any] = OrderedDict()
         self._cache_limit = cache_limit
+        #: oid -> serialized size of the *cached* object, where known (set
+        #: on load and commit); the sum is the memory-governance signal
+        self._sizes: dict[int, int] = {}
+        self._cached_bytes = 0
         self._oid_by_identity: dict[int, int] = {}
         self._dirty: set[int] = set()
         self._next_oid = 1
@@ -199,6 +210,7 @@ class ObjectHeap:
         raw = self._pager.read_chain(head, length)
         obj = decode_value(raw, resolver=self.load)
         self._cache[key] = obj
+        self._note_size(key, len(raw))
         if _tracks_identity(obj):
             self._oid_by_identity[id(obj)] = key
         self._evict()
@@ -315,15 +327,19 @@ class ObjectHeap:
                 released.append(old)
             head = self._pager.write_chain(payload)
             self._table[key] = (head, len(payload))
+            self._note_size(key, len(payload))
             if sink is not None:
                 captured.append((key, payload))
             written += 1
             bytes_out += len(payload)
-        self._dirty.clear()
         _HEAP_OBJECTS_WRITTEN.inc(written)
         _HEAP_BYTES_COMMITTED.inc(bytes_out)
 
         self._publish(released)
+        # the dirty set survives until the commit point so that an I/O
+        # failure anywhere above leaves rollback_to_durable() enough state
+        # to discard the half-written commit cleanly
+        self._dirty.clear()
         span.set(objects_written=written, bytes_written=bytes_out).finish()
         self._evict()  # freshly committed objects are clean, thus evictable
         if sink is not None:
@@ -408,6 +424,7 @@ class ObjectHeap:
             stale = self._cache.pop(key, _MISSING)
             if stale is not _MISSING and _tracks_identity(stale):
                 self._oid_by_identity.pop(id(stale), None)
+            self._forget_size(key)
             head = self._pager.write_chain(payload)
             self._table[key] = (head, len(payload))
             bytes_in += len(payload)
@@ -440,6 +457,8 @@ class ObjectHeap:
         released = list(self._table.values())
         self._table.clear()
         self._cache.clear()
+        self._sizes.clear()
+        self._cached_bytes = 0
         self._oid_by_identity.clear()
         self._roots = {}
         self._next_oid = max(1, oid_counter)
@@ -495,16 +514,57 @@ class ObjectHeap:
     def abort(self) -> None:
         """Discard uncommitted objects, modifications and root edits."""
         self._check_open()
-        for key in self._dirty:
-            obj = self._cache.pop(key, None)
-            if obj is not None and _tracks_identity(obj):
-                self._oid_by_identity.pop(id(obj), None)
-        self._dirty.clear()
+        self._drop_dirty_cache()
         self._roots = dict(self._committed_roots)
         # recompute next oid from durable state
         self._next_oid = (
             self._pager.header.oid_counter if self._pager is not None else self._next_oid
         )
+
+    def _drop_dirty_cache(self) -> None:
+        for key in self._dirty:
+            obj = self._cache.pop(key, None)
+            if obj is not None and _tracks_identity(obj):
+                self._oid_by_identity.pop(id(obj), None)
+            self._forget_size(key)
+        self._dirty.clear()
+
+    def rollback_to_durable(self) -> None:
+        """Roll every in-memory structure back to the last durable commit.
+
+        :meth:`abort` undoes *logical* state (dirty set, roots, next OID),
+        which is enough when a commit fails before touching the file.  But
+        a commit that dies partway through its I/O — ``ENOSPC`` on a chain
+        write, a failed fsync inside the header sync — leaves the object
+        table pointing at unpublished chains and the pager's free list and
+        page count diverged from disk.  A later commit would then publish
+        the aborted transaction's values.  This method re-reads the durable
+        header, table, roots and free list from the file, drops every
+        cached object the durable table does not vouch for, and leaves the
+        heap exactly at the last successful commit (or, when the failure
+        struck *after* the commit point, at the newly committed state —
+        either way, at a real commit).  Orphaned pages written by the
+        failed commit leak until ``fsck --repair`` reclaims them.
+        """
+        self._check_open()
+        if self._pager is None:
+            self.abort()
+            return
+        _HEAP_ROLLBACKS.inc()
+        self._drop_dirty_cache()
+        self._pager.reload()
+        self._table.clear()
+        self._roots = {}
+        self._committed_roots = {}
+        self._recover()
+        # drop cached objects the durable table no longer knows: they may
+        # carry values from the failed commit
+        for key in [k for k in self._cache if k not in self._table]:
+            obj = self._cache.pop(key, _MISSING)
+            if obj is not _MISSING and _tracks_identity(obj):
+                self._oid_by_identity.pop(id(obj), None)
+            self._forget_size(key)
+        self._evict()
 
     def close(self) -> None:
         if self._closed:
@@ -547,8 +607,47 @@ class ObjectHeap:
                     continue
                 if _tracks_identity(obj):
                     self._oid_by_identity.pop(id(obj), None)
+                self._forget_size(key)
                 _HEAP_EVICTIONS.inc()
         _HEAP_CACHED.set(len(self._cache))
+        _HEAP_CACHED_BYTES.set(self._cached_bytes)
+
+    def _note_size(self, key: int, nbytes: int) -> None:
+        old = self._sizes.get(key, 0)
+        self._sizes[key] = nbytes
+        self._cached_bytes += nbytes - old
+
+    def _forget_size(self, key: int) -> None:
+        self._cached_bytes -= self._sizes.pop(key, 0)
+
+    # ---------------------------------------------------- memory governance
+
+    @property
+    def cached_bytes(self) -> int:
+        """Serialized size of cached objects, where known (a lower bound on
+        the cache's real memory footprint — the daemon's budget signal)."""
+        return self._cached_bytes
+
+    @property
+    def dirty_count(self) -> int:
+        """Uncommitted objects held in memory (never evictable)."""
+        return len(self._dirty)
+
+    def mem_stats(self) -> dict:
+        return {
+            "cached_objects": len(self._cache),
+            "cached_bytes": self._cached_bytes,
+            "dirty_objects": len(self._dirty),
+            "cache_limit": self._cache_limit,
+        }
+
+    def set_cache_limit(self, limit: int | None) -> None:
+        """Re-bound the object cache at runtime (memory-watchdog shedding);
+        shrinking evicts immediately."""
+        if limit is not None and limit < 1:
+            raise HeapError(f"cache_limit must be positive, got {limit}")
+        self._cache_limit = limit
+        self._evict()
 
     # ------------------------------------------------------------- metrics
 

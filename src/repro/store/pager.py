@@ -314,6 +314,19 @@ class Pager:
             )
         self._load_free_list()
 
+    def reload(self) -> None:
+        """Re-read the durable header, free list and page count from disk.
+
+        After a commit fails mid-publish on an I/O error (disk full, EIO,
+        fsync failure), the in-memory header, free list and ``npages`` may
+        have diverged from the durable state — pages were allocated and
+        chains written for a commit that never reached its commit point.
+        Re-running recovery discards that divergence: the pager returns to
+        exactly the state the last *successful* ``sync_header`` persisted,
+        and the orphaned pages are reclaimable by ``fsck --repair``.
+        """
+        self._recover(self.header.page_size, None)
+
     def _load_free_list(self) -> None:
         """Load the shadow-paged free-list record into memory.
 
