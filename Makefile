@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast properties lint ruff bench obs-bench server-smoke crash-sim replication-sim sharding-sim exhaustion-sim fsck-smoke audit all
+.PHONY: test test-fast properties lint ruff bench obs-bench server-smoke crash-sim replication-sim sharding-sim exhaustion-sim recovery-sim fsck-smoke audit all
 
 all: test lint
 
@@ -64,6 +64,15 @@ sharding-sim:
 exhaustion-sim:
 	$(PYTHON) scripts/exhaustion_sim.py --json exhaustion-sim-report.json
 
+# disaster-recovery sweep: full + incremental backups under write traffic,
+# point-in-time restore past a poison commit, bit rot caught by the scrub
+# and healed by anti-entropy repair, crashes injected mid-backup and
+# mid-restore; then the negative control — archiving without fsync MUST
+# lose a restore point (see docs/recovery.md)
+recovery-sim:
+	$(PYTHON) scripts/recovery_sim.py --json recovery-sim-report.json
+	! $(PYTHON) scripts/recovery_sim.py --negative-control
+
 # integrity-check the image the server smoke test leaves behind
 fsck-smoke: server-smoke
 	$(PYTHON) -m repro fsck artifacts/server-smoke.tyc --json fsck-report.json -v
@@ -78,8 +87,9 @@ audit: server-smoke
 
 # experiment benchmarks, then the machine-readable artifacts
 # (BENCH_vm.json / BENCH_opt.json / BENCH_server.json / BENCH_shard.json /
-# BENCH_analysis.json / BENCH_obs.json, schema docs in docs/observability.md,
-# docs/analysis.md and docs/sharding.md)
+# BENCH_analysis.json / BENCH_obs.json / BENCH_recovery.json, schema docs
+# in docs/observability.md, docs/analysis.md, docs/sharding.md and
+# docs/recovery.md)
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 	$(PYTHON) -m repro bench --scale 0.3 --artifacts .
@@ -87,6 +97,7 @@ bench:
 	$(PYTHON) scripts/shard_bench.py --json BENCH_shard.json
 	$(PYTHON) scripts/analysis_bench.py --json BENCH_analysis.json
 	$(PYTHON) scripts/obs_bench.py --json BENCH_obs.json
+	$(PYTHON) scripts/recovery_bench.py --json BENCH_recovery.json
 
 # the observability gate on its own: fails when always-on metrics cost
 # more than 5% over metrics-disabled (see docs/observability.md)

@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Disaster-recovery benchmark → ``BENCH_recovery.json`` (``make bench``).
+
+Quantifies what the recovery machinery costs and how fast it moves:
+
+* **full backup**: MB/s for the fsck-verified base copy of a live image,
+  taken under a read transaction on a running daemon;
+* **incremental backup**: latency of seal-live-tail + segment sync — the
+  steady-state cadence cost of continuous archiving;
+* **restore**: archived ChangeRecords replayed per second onto the base
+  copy (the recovery-time-objective driver);
+* **scrub**: committed objects and pages verified per second by the
+  background integrity scrub at an unthrottled budget.
+
+The artifact shares the ``BENCH_server.json`` envelope style (schema +
+meta + results) so CI uploads it alongside the other benchmarks.
+
+Usage: python scripts/recovery_bench.py [--keys N] [--rounds N] [--json OUT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.server import ReproServer, ServerConfig, connect  # noqa: E402
+from repro.server.repair import scrub_heap  # noqa: E402
+from repro.store.heap import ObjectHeap  # noqa: E402
+from repro.store.recovery import (  # noqa: E402
+    full_backup,
+    incremental_backup,
+    restore_image,
+)
+
+BLOB = "x" * 240
+
+
+def _write_keys(port: int, prefix: str, count: int) -> None:
+    with connect(port) as db:
+        for i in range(count):
+            db.set(f"{prefix}{i}", {"i": i, "blob": BLOB})
+
+
+def bench_recovery(root: str, keys: int, rounds: int) -> dict:
+    image = os.path.join(root, "bench.tyc")
+    dest = os.path.join(root, "backup")
+    server = ReproServer(
+        image,
+        ServerConfig(
+            workers=2, queue_size=64, pgo_interval=None, history_interval=None,
+            replicate=True, node_id="bench",
+        ),
+    )
+    server.start()
+    try:
+        _write_keys(server.port, "seed", keys)
+        kwargs = {
+            "txns": server.txns,
+            "log": server.replication.log,
+            "archiver": server.archiver,
+        }
+
+        start = time.perf_counter()
+        full = full_backup(image, dest, **kwargs)
+        full_s = time.perf_counter() - start
+        base_bytes = os.path.getsize(os.path.join(dest, "base.tyc"))
+
+        incr_s = []
+        for r in range(rounds):
+            _write_keys(server.port, f"r{r}-", keys // 4)
+            start = time.perf_counter()
+            incremental_backup(image, dest, **kwargs)
+            incr_s.append(time.perf_counter() - start)
+
+        out = os.path.join(root, "restored.tyc")
+        start = time.perf_counter()
+        restored = restore_image(dest, out)
+        restore_s = time.perf_counter() - start
+
+        heap = ObjectHeap(out)
+        try:
+            start = time.perf_counter()
+            report = scrub_heap(heap)
+            scrub_s = time.perf_counter() - start
+        finally:
+            heap.close()
+        if not report.clean:
+            raise RuntimeError(f"scrub of the restored image found rot: {report}")
+
+        records = restored["records_applied"]
+        return {
+            "keys": keys,
+            "rounds": rounds,
+            "full_backup": {
+                "seconds": round(full_s, 4),
+                "base_bytes": base_bytes,
+                "mb_per_s": round(base_bytes / full_s / 1e6, 2) if full_s else 0.0,
+                "base_version": full["base_version"],
+            },
+            "incremental_backup": {
+                "rounds": rounds,
+                "mean_seconds": round(sum(incr_s) / len(incr_s), 4),
+                "max_seconds": round(max(incr_s), 4),
+            },
+            "restore": {
+                "seconds": round(restore_s, 4),
+                "records_applied": records,
+                "records_per_s": round(records / restore_s, 1) if restore_s else 0.0,
+                "restored_version": restored["restored_version"],
+            },
+            "scrub": {
+                "seconds": round(scrub_s, 4),
+                "oids": report.oids_checked,
+                "pages": report.pages_read,
+                "oids_per_s": (
+                    round(report.oids_checked / scrub_s, 1) if scrub_s else 0.0
+                ),
+                "pages_per_s": (
+                    round(report.pages_read / scrub_s, 1) if scrub_s else 0.0
+                ),
+            },
+        }
+    finally:
+        server.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--keys", type=int, default=200, help="seed keys")
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="incremental backup rounds"
+    )
+    parser.add_argument(
+        "--json", metavar="OUT", default="BENCH_recovery.json",
+        help="artifact path (default: BENCH_recovery.json)",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="recovery-bench-") as root:
+        results = bench_recovery(root, args.keys, args.rounds)
+
+    payload = {
+        "schema": "repro.bench.recovery/v1",
+        "meta": {
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "python": platform.python_version(),
+            "platform": sys.platform,
+        },
+        "results": results,
+    }
+    with open(args.json, "w", encoding="utf-8") as fp:
+        json.dump(payload, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    print(
+        f"recovery-bench: full backup {results['full_backup']['mb_per_s']} MB/s; "
+        f"incremental {results['incremental_backup']['mean_seconds']}s mean; "
+        f"restore {results['restore']['records_per_s']} records/s; "
+        f"scrub {results['scrub']['oids_per_s']} oids/s "
+        f"-> wrote {args.json}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

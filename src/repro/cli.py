@@ -510,6 +510,66 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backup(args: argparse.Namespace) -> int:
+    """Full or incremental backup of an image into a directory.
+
+    The first backup into an empty destination is always full; later runs
+    default to incremental (ship the archive segments the destination
+    lacks) unless ``--full`` forces a fresh base.
+    """
+    import json
+
+    from repro.store.recovery import (
+        ArchiveError,
+        backup_info,
+        full_backup,
+        incremental_backup,
+    )
+
+    mode = "full"
+    if not args.full:
+        try:
+            backup_info(args.dest)
+            mode = "incremental"
+        except ArchiveError:
+            mode = "full"
+    try:
+        if mode == "full":
+            result = full_backup(args.image, args.dest)
+        else:
+            result = incremental_backup(args.image, args.dest)
+    except (ArchiveError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps({"mode": mode, **result}, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    """Rebuild an image from a backup, optionally to a point in time."""
+    import json
+
+    from repro.store.recovery import ArchiveError, restore_image
+
+    if args.to_version is not None and args.to_ts is not None:
+        print("error: --to-version and --to-ts are mutually exclusive",
+              file=sys.stderr)
+        return 1
+    try:
+        result = restore_image(
+            args.backup,
+            args.image,
+            to_version=args.to_version,
+            to_ts_us=int(args.to_ts * 1e6) if args.to_ts is not None else None,
+            force=args.force,
+        )
+    except (ArchiveError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
@@ -571,6 +631,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.queue_wait_limit if args.queue_wait_limit > 0 else None
         ),
         send_timeout=args.send_timeout if args.send_timeout > 0 else None,
+        archive=not args.no_archive,
+        scrub_interval=args.scrub_interval if args.scrub_interval > 0 else None,
+        scrub_pages_per_sec=args.scrub_pages_per_sec,
     )
     server = ReproServer(args.image, config)
     server.start()
@@ -979,7 +1042,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="close a session whose socket send has been blocked longer "
         "than this (0 disables the slow-client reaper)",
     )
+    serve_p.add_argument(
+        "--no-archive", action="store_true",
+        help="skip continuous commit-log archiving (UNSAFE for disaster "
+        "recovery: log resets discard restore points; see docs/recovery.md)",
+    )
+    serve_p.add_argument(
+        "--scrub-interval", type=float, default=0.0,
+        help="seconds between background integrity-scrub cycles "
+        "(0 disables; corruption degrades the daemon and, on a replica, "
+        "triggers anti-entropy repair)",
+    )
+    serve_p.add_argument(
+        "--scrub-pages-per-sec", type=int, default=0,
+        help="scrub disk-read budget in pages per second (0 = unbounded)",
+    )
     serve_p.set_defaults(handler=_cmd_serve)
+
+    backup_p = sub.add_parser(
+        "backup",
+        help="back an image up into a directory (full base + archived "
+        "commit-log segments for point-in-time restore)",
+    )
+    backup_p.add_argument("image", help="source image")
+    backup_p.add_argument("dest", help="backup directory (created if absent)")
+    backup_p.add_argument(
+        "--full", action="store_true",
+        help="force a fresh full base copy (default: full when the "
+        "destination is empty, incremental otherwise)",
+    )
+    backup_p.set_defaults(handler=_cmd_backup)
+
+    restore_p = sub.add_parser(
+        "restore",
+        help="rebuild an image from a backup directory, optionally to an "
+        "earlier point in time",
+    )
+    restore_p.add_argument("backup", help="backup directory (from `backup`)")
+    restore_p.add_argument("image", help="image file to create")
+    restore_p.add_argument(
+        "--to-version", type=int, default=None,
+        help="stop replay at this replication version (point-in-time)",
+    )
+    restore_p.add_argument(
+        "--to-ts", type=float, default=None, metavar="UNIX_SECONDS",
+        help="stop replay at the last commit at or before this wall-clock "
+        "time",
+    )
+    restore_p.add_argument(
+        "--force", action="store_true",
+        help="overwrite an existing image file at the destination",
+    )
+    restore_p.set_defaults(handler=_cmd_restore)
 
     top_p = sub.add_parser(
         "top", help="live terminal dashboard over a running daemon's stats"

@@ -63,6 +63,14 @@ from repro.server.codecache import CodeCache
 from repro.server.pgo import PgoWorker
 from repro.server.pool import Backpressure, WorkerPool
 from repro.server.protocol import from_jsonable, recv_frame, send_frame, to_jsonable
+from repro.server.repair import (
+    OID_BUCKET_BITS,
+    bucket_digests,
+    bucket_of,
+    digest_root,
+    repair_from_upstream,
+    scrub_heap,
+)
 from repro.server.replication import (
     PrimaryReplication,
     ReplicaFollower,
@@ -86,6 +94,7 @@ from repro.server.sharding.twopc import (
 from repro.store.concurrency import LockTimeout, TransactionManager
 from repro.store.fsck import fsck_image
 from repro.store.heap import HeapError, ObjectHeap
+from repro.store.recovery import LogArchiver
 
 __all__ = ["ServerConfig", "Session", "ReproServer", "RequestError"]
 
@@ -278,6 +287,19 @@ class ServerConfig:
     #: close a session whose socket send has been blocked longer than this
     #: (a slow client must not pin a worker thread); None disables
     send_timeout: float | None = 20.0
+    #: seal commit-log frames into checksummed archive segments before any
+    #: reset/truncation discards them — the continuous-archiving half of
+    #: incremental backup + point-in-time restore (repro.store.recovery)
+    archive: bool = True
+    #: seconds between background integrity-scrub cycles (None disables);
+    #: a cycle re-reads every committed object's page chain through the
+    #: checksum layer, catching bit rot on pages no request touches
+    scrub_interval: float | None = None
+    #: scrub disk-read budget, in pages per second (0 = unbounded)
+    scrub_pages_per_sec: int = 0
+    #: when scrub finds corruption on a replica, run anti-entropy repair
+    #: against the upstream automatically (degraded read-only while it runs)
+    scrub_repair: bool = True
     #: file factory slid under the pager (fault injection; None = open())
     io_factory: object = None
     #: NEGATIVE CONTROL ONLY — disables the degraded-mode flip and the
@@ -443,6 +465,19 @@ class ReproServer:
         self._mem_shed_rounds = 0
         self._watchdog_thread: threading.Thread | None = None
         self._history_paused = False
+        #: continuous commit-log archiving (None: disabled or no image)
+        self.archiver: LogArchiver | None = None
+        #: background integrity scrub / anti-entropy repair state
+        self._scrub_thread: threading.Thread | None = None
+        self._scrub_lock = threading.Lock()
+        self._scrub_state: dict = {
+            "cycles": 0,
+            "corrupt_total": 0,
+            "repairs": 0,
+            "repair_failures": 0,
+            "last": None,
+            "last_repair": None,
+        }
         if self.config.replicate and not is_replica:
             self.replication = PrimaryReplication(
                 self.heap,
@@ -464,6 +499,7 @@ class ReproServer:
                 node=self.config.node_id or "replica",
                 fence=self.config.fence,
             )
+        self._attach_archiver()
         #: the sharding topology this node operates under: explicit config
         #: wins, else whatever ``__topology__`` the image carries
         self.topology: ShardTopology | None = None
@@ -486,6 +522,31 @@ class ReproServer:
 
     def _log_path(self) -> str:
         return f"{self.image_path}.commitlog"
+
+    def _attach_archiver(self) -> None:
+        """Hook continuous archiving into the commit log's retention point.
+
+        ``CommitLog.reset()`` is the only place history is discarded (a
+        snapshot resync, a deposed primary following a new leader) — the
+        hook seals every not-yet-archived frame into a checksummed archive
+        segment first, so a point-in-time restore can always reach the
+        versions the log no longer holds.  Re-run after every role change:
+        promote/follow build fresh log objects.
+        """
+        if not self.config.archive or self.image_path is None:
+            return
+        log = None
+        if self.replication is not None:
+            log = self.replication.log
+        elif self.follower is not None:
+            log = self.follower.log
+        if log is None:
+            return
+        if self.archiver is None:
+            self.archiver = LogArchiver(
+                self.image_path, file_factory=self.config.io_factory
+            )
+        log.retention = self.archiver.seal
 
     @property
     def role(self) -> str:
@@ -576,6 +637,11 @@ class ReproServer:
                 target=self._history_loop, name="repro-server-history", daemon=True
             )
             self._history_thread.start()
+        if self.config.scrub_interval is not None:
+            self._scrub_thread = threading.Thread(
+                target=self._scrub_loop, name="repro-server-scrub", daemon=True
+            )
+            self._scrub_thread.start()
         if self.coordinator is not None:
             # topology push + in-doubt recovery + the periodic resolver
             self.coordinator.start()
@@ -1355,6 +1421,10 @@ class ReproServer:
         while not self._stopping.wait(interval):
             if not self._degraded.is_set() or self._degraded_manual:
                 continue
+            if self.follower is not None:
+                # a replica never commits locally (the probe's empty commit
+                # would fork its image); scrub+repair own its recovery
+                continue
             self._probe_recovery()
 
     def _probe_recovery(self) -> bool:
@@ -1387,6 +1457,97 @@ class ReproServer:
             TRACER.event("server.degraded.probe", ok=False, stage="commit",
                          error=f"{type(exc).__name__}: {exc}")
             return False
+        self.exit_degraded()
+        return True
+
+    # ------------------------------------------------- scrub + anti-entropy
+
+    def _scrub_loop(self) -> None:
+        interval = self.config.scrub_interval
+        while not self._stopping.wait(interval):
+            try:
+                self.run_scrub_cycle()
+            except Exception as exc:  # a failing cycle must not kill the thread
+                TRACER.event(
+                    "server.scrub.error", error=f"{type(exc).__name__}: {exc}"
+                )
+
+    def scrub_info(self) -> dict:
+        with self._scrub_lock:
+            return dict(self._scrub_state)
+
+    def run_scrub_cycle(self) -> dict:
+        """One integrity pass over every committed object's page chain.
+
+        Corruption flips the daemon into degraded read-only mode; on a
+        replica an anti-entropy repair against the upstream runs next, and
+        a clean re-scrub exits degraded mode again.  Returns the (final)
+        scrub report.
+        """
+        report = scrub_heap(
+            self.heap,
+            self.txns,
+            pages_per_sec=self.config.scrub_pages_per_sec,
+            stop=self._stopping,
+        )
+        with self._scrub_lock:
+            self._scrub_state["cycles"] += 1
+            self._scrub_state["corrupt_total"] += len(report.corrupt_oids)
+            self._scrub_state["last"] = report.as_dict()
+        if report.clean:
+            return report.as_dict()
+        oids = report.corrupt_oids
+        self.enter_degraded(
+            f"scrub found {len(oids)} unreadable object(s) (oids {oids[:8]})"
+        )
+        if self.follower is not None and self.config.scrub_repair:
+            self._repair_and_verify()
+        return self.scrub_info()["last"]
+
+    def _repair_and_verify(self) -> bool:
+        """Anti-entropy repair from the upstream, then prove it by re-scrub.
+
+        Degraded mode is only exited on a clean re-scrub — a repair that
+        claims convergence but leaves unreadable pages keeps the replica
+        read-only-and-red rather than quietly serving bad data.
+        """
+        follower = self.follower
+        if follower is None:
+            return False
+        try:
+            result = repair_from_upstream(
+                self.heap,
+                self.txns,
+                follower.upstream,
+                lock_timeout=self.config.lock_timeout,
+            )
+        except Exception as exc:
+            with self._scrub_lock:
+                self._scrub_state["repair_failures"] += 1
+            TRACER.event(
+                "server.repair.error", error=f"{type(exc).__name__}: {exc}"
+            )
+            return False
+        with self._scrub_lock:
+            self._scrub_state["last_repair"] = result
+        if not result.get("converged"):
+            with self._scrub_lock:
+                self._scrub_state["repair_failures"] += 1
+            return False
+        verify = scrub_heap(
+            self.heap,
+            self.txns,
+            pages_per_sec=self.config.scrub_pages_per_sec,
+            stop=self._stopping,
+        )
+        with self._scrub_lock:
+            self._scrub_state["last"] = verify.as_dict()
+        if not verify.clean:
+            with self._scrub_lock:
+                self._scrub_state["repair_failures"] += 1
+            return False
+        with self._scrub_lock:
+            self._scrub_state["repairs"] += 1
         self.exit_degraded()
         return True
 
@@ -2103,6 +2264,17 @@ class ReproServer:
                 "io_errors": _IO_ERRORS.value,
             },
         }
+        if self.config.scrub_interval is not None or self.scrub_info()["cycles"]:
+            report["scrub"] = self.scrub_info()
+        if self.archiver is not None:
+            try:
+                sealed = self.archiver.sealed_version
+            except OSError:
+                sealed = None
+            report["archive"] = {
+                "directory": self.archiver.directory,
+                "sealed_version": sealed,
+            }
         topology = self._current_topology()
         if topology is not None and self.config.shard_id is not None:
             report["shard"] = topology.describe_shard(self.config.shard_id)
@@ -2280,6 +2452,58 @@ class ReproServer:
                 raise RequestError(protocol.E_BUSY, str(exc)) from exc
         return status
 
+    def _op_repl_digest(self, session, request):
+        """Digest tree over OID buckets — the anti-entropy compare step.
+
+        Buckets whose digest differs from the peer's are the only ranges a
+        repairing replica re-fetches; ``version`` lets the caller reject a
+        comparison taken at a different replication version (skew would
+        flag every fresh write as divergence).
+        """
+
+        def body():
+            digests = bucket_digests(self.heap)
+            return {
+                "version": self.repl_version(),
+                "term": replication_state(self.heap)["term"],
+                "role": self.role,
+                "bucket_bits": OID_BUCKET_BITS,
+                "buckets": {str(b): d for b, d in digests.items()},
+                "root": digest_root(digests),
+                "oids": len(self.heap.committed_oids()),
+            }
+
+        return self._run_read(session, request, body)
+
+    def _op_repl_fetch(self, session, request):
+        """Committed payloads of the requested OID buckets (repair fetch)."""
+        buckets = request.get("buckets")
+        if not isinstance(buckets, list) or not all(
+            isinstance(b, int) and b >= 0 for b in buckets
+        ):
+            raise RequestError(
+                protocol.E_BAD_REQUEST, "fetch needs a list of bucket ids"
+            )
+        want = set(buckets)
+
+        def body():
+            objects = []
+            total = 0
+            for oid in self.heap.committed_oids():
+                if bucket_of(oid) not in want:
+                    continue
+                payload = self.heap.committed_payload(oid)
+                objects.append((oid, payload.hex()))
+                total += len(payload)
+            return {
+                "version": self.repl_version(),
+                "count": len(objects),
+                "bytes": total,
+                "objects": objects,
+            }
+
+        return self._run_read(session, request, body)
+
     def _op_repl_subscribe(self, session, request):
         """Turn this connection into a change-record stream (replica side
         connects and calls this; records are pushed, acks flow back)."""
@@ -2370,6 +2594,7 @@ class ReproServer:
                     pass
             except OSError as exc:
                 raise self._commit_io_failure("promotion", exc) from exc
+            self._attach_archiver()
             TRACER.event("server.repl.promote", term=new_term)
             return new_term
 
@@ -2389,6 +2614,7 @@ class ReproServer:
                 fence=self.config.fence,
             )
             self.follower.start()
+            self._attach_archiver()
             TRACER.event(
                 "server.repl.follow", host=upstream[0], port=int(upstream[1])
             )
@@ -2413,6 +2639,8 @@ class ReproServer:
         "sleep": _op_sleep,
         "shutdown": _op_shutdown,
         "repl.status": _op_repl_status,
+        "repl.digest": _op_repl_digest,
+        "repl.fetch": _op_repl_fetch,
         "repl.subscribe": _op_repl_subscribe,
         "repl.ack": _op_repl_ack,
         "promote": _op_promote,

@@ -67,6 +67,17 @@ longer than the admission queue-time limit — distinct from
 and a ``retry_after`` backoff hint the client's retry policy honors.
 Both additive; v4 clients are served unchanged.
 
+Version 6 adds the anti-entropy repair vocabulary (:mod:`repro.server.repair`):
+``repl.digest`` returns a digest tree over OID buckets — ``buckets`` maps
+``str(oid >> bucket_bits)`` to a SHA-256 over the bucket's committed
+``(oid, payload)`` pairs, with ``version``/``term``/``root`` for skew and
+equality prechecks — and ``repl.fetch`` (operand ``buckets``: a list of
+bucket ids) returns the committed payloads of those buckets as
+``[oid, hex]`` pairs.  Together they let a replica whose scrub found bit
+rot re-fetch only the diverged OID ranges from its primary instead of a
+full snapshot resync.  Both run under a read transaction on the serving
+node and are additive; v5 clients are served unchanged.
+
 TML runtime values cross the wire as JSON with tagged escapes for the
 types JSON cannot express directly (see :func:`to_jsonable` /
 :func:`from_jsonable`).
@@ -110,7 +121,7 @@ __all__ = [
     "E_OVERLOADED",
 ]
 
-PROTOCOL_VERSION = 5
+PROTOCOL_VERSION = 6
 #: refuse frames above this size — a corrupt length prefix must not make
 #: the peer allocate gigabytes
 MAX_FRAME = 16 * 1024 * 1024

@@ -292,7 +292,7 @@ class PrimaryReplication:
         with self.txns.read():
             with self._fanout:
                 resync = False
-                catchup: list[ChangeRecord] = []
+                catchup = iter(())  # bounded-batch record iterator
                 if from_version > self.version:
                     resync = True  # follower is ahead: divergent lineage
                 elif from_version < self.version:
@@ -326,15 +326,20 @@ class PrimaryReplication:
                         node=self.node,
                     ).as_wire()
                 sub = _Subscriber(key, node, send, acked=from_version)
+                # drain the (batched) catch-up iterator while still inside
+                # the read txn + fan-out lock, so catch-up and live stream
+                # tile exactly; only one batch is in memory at a time
+                caught_up = 0
                 for record in catchup:
                     sub.queue.put(record)
+                    caught_up += 1
                 self._subs[key] = sub
         threading.Thread(
             target=self._pump, args=(sub,), name=f"repro-repl-sub-{key}", daemon=True
         ).start()
         TRACER.event(
             "server.repl.subscribe", node=node, from_version=from_version,
-            resync=resync, catchup=len(catchup),
+            resync=resync, catchup=caught_up,
         )
         return result
 

@@ -30,20 +30,45 @@ from __future__ import annotations
 import json
 import os
 import struct
+import sys
 import threading
 from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
 from repro.obs.metrics import METRICS
 from repro.store.checksum import crc32
 from repro.store.serialize import Decoder, Encoder, SerializeError
 
-__all__ = ["CommitLogError", "ChangeRecord", "CommitLog"]
+__all__ = ["CommitLogError", "ChangeRecord", "CommitLog", "READ_BATCH"]
 
 _APPENDS = METRICS.counter("store.commitlog.appends", "records appended")
 _APPEND_BYTES = METRICS.counter("store.commitlog.bytes", "record payload bytes appended")
 _TRUNCATIONS = METRICS.counter(
     "store.commitlog.truncations", "opens that dropped a torn record tail"
 )
+_NOTE_ERRORS = METRICS.counter(
+    "store.commitlog.note_errors",
+    "I/O errors swallowed by the append truncate backstop",
+)
+#: records a read_from() iterator materializes per lock acquisition — a
+#: large catch-up or restore replay never holds the whole tail in memory
+READ_BATCH = 256
+
+#: log the swallowed truncate-backstop error once per process (the counter
+#: keeps counting); mirrors the server.io_errors log-once discipline
+_note_error_logged = False
+
+
+def _log_note_error_once(exc: OSError) -> None:
+    global _note_error_logged
+    _NOTE_ERRORS.inc()
+    if not _note_error_logged:
+        _note_error_logged = True
+        print(
+            "repro.store.commitlog: truncate backstop failed after an append "
+            f"error ({exc}); the reopen-time CRC scan remains the backstop",
+            file=sys.stderr,
+        )
 
 MAGIC = b"TYLG"
 #: format 2 appends the originating trace context (``trace_id``) and the
@@ -191,6 +216,12 @@ class CommitLog:
     def __init__(self, path: str | os.PathLike):
         self.path = os.fspath(path)
         self._lock = threading.Lock()
+        #: retention hook: called with this log *before* :meth:`reset`
+        #: discards records, so an archiver can seal them first
+        #: (:class:`repro.store.recovery.LogArchiver`); exceptions are
+        #: counted, not raised — reset must win even when the archive
+        #: volume is sick, or a snapshot resync could never complete
+        self.retention: Callable[["CommitLog"], None] | None = None
         #: version -> byte offset of the frame (catch-up reads seek here)
         self._index: dict[int, int] = {}
         #: version -> term (fencing lineage checks without re-reading frames)
@@ -285,8 +316,8 @@ class CommitLog:
                 try:
                     self._file.truncate(offset)
                     self._file.flush()
-                except OSError:
-                    pass  # the reopen-time scan remains the backstop
+                except OSError as backstop_exc:
+                    _log_note_error_once(backstop_exc)
                 raise
             self._note(record, offset)
             _APPENDS.inc()
@@ -299,7 +330,18 @@ class CommitLog:
         between the image commit and the log append) and after a snapshot
         resync replaced the image's history: followers that would have
         needed the dropped records are served a snapshot instead.
+
+        When a :attr:`retention` hook is attached (continuous archiving),
+        it runs first so every record is sealed into the archive before
+        being discarded — reset is the only operation that destroys
+        history, so hooking it makes the archive lossless.
         """
+        retention = self.retention
+        if retention is not None and self.last_version is not None:
+            try:
+                retention(self)
+            except OSError as exc:
+                _log_note_error_once(exc)
         with self._lock:
             self._file.truncate(_HEADER.size)
             self._file.flush()
@@ -339,29 +381,52 @@ class CommitLog:
             self._file.seek(0, os.SEEK_END)
             return max(0, self._file.tell() - start)
 
-    def read_from(self, version: int) -> list[ChangeRecord]:
-        """All records with ``record.version >= version``, in order."""
+    def read_from(
+        self, version: int, batch: int = READ_BATCH
+    ) -> Iterator[ChangeRecord]:
+        """Iterate records with ``record.version >= version``, in order.
+
+        Bounded-batch: at most ``batch`` records are materialized per lock
+        acquisition, so a large follower catch-up or a restore replay
+        streams the tail instead of holding it all in memory.  Validation
+        is eager — a ``version`` that predates the log raises
+        :class:`CommitLogError` *here*, before any iteration (callers
+        branch to a snapshot resync on it).  Records appended after a
+        batch was read are picked up by the next batch; a concurrent
+        :meth:`reset` simply ends the iteration.
+        """
         with self._lock:
-            start = self._index.get(version)
-            if start is None:
-                if self.last_version is None or version > self.last_version:
-                    return []
+            if version not in self._index and (
+                self.last_version is not None and version <= self.last_version
+            ):
                 raise CommitLogError(
                     f"version {version} predates this log "
                     f"(first is {self.first_version})"
                 )
-            self._file.seek(start)
-            records: list[ChangeRecord] = []
-            while True:
-                frame = self._file.read(_FRAME.size)
-                if len(frame) < _FRAME.size:
-                    break
-                length, stored_crc = _FRAME.unpack(frame)
-                payload = self._file.read(length)
-                if len(payload) < length or crc32(payload) != stored_crc:
-                    raise CommitLogError("corrupt record mid-log")
-                records.append(ChangeRecord.decode(payload))
-            return records
+        return self._iter_from(version, max(1, batch))
+
+    def _iter_from(self, version: int, batch: int) -> Iterator[ChangeRecord]:
+        next_version = version
+        while True:
+            with self._lock:
+                start = self._index.get(next_version)
+                if start is None:
+                    return  # past the end (or the log was reset): done
+                self._file.seek(start)
+                records: list[ChangeRecord] = []
+                while len(records) < batch:
+                    frame = self._file.read(_FRAME.size)
+                    if len(frame) < _FRAME.size:
+                        break
+                    length, stored_crc = _FRAME.unpack(frame)
+                    payload = self._file.read(length)
+                    if len(payload) < length or crc32(payload) != stored_crc:
+                        raise CommitLogError("corrupt record mid-log")
+                    records.append(ChangeRecord.decode(payload))
+            if not records:
+                return
+            yield from records
+            next_version = records[-1].version + 1
 
     def close(self) -> None:
         if not self._file.closed:

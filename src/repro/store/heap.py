@@ -29,7 +29,7 @@ from typing import Any, Callable, Iterator, Sequence
 from repro.core.syntax import Oid, Unit
 from repro.obs.metrics import METRICS
 from repro.obs.trace import TRACER
-from repro.store.pager import Pager
+from repro.store.pager import PageError, Pager
 from repro.store.serialize import Decoder, Encoder, decode_value, encode_value
 
 __all__ = ["HeapError", "ChangeSet", "ObjectHeap", "Transaction"]
@@ -39,6 +39,10 @@ _HEAP_FAULTS = METRICS.counter(
     "store.heap.faults", "loads that missed the cache and deserialized pages"
 )
 _HEAP_COMMITS = METRICS.counter("store.heap.commits", "atomic commits")
+_HEAP_LEAKED_CHAINS = METRICS.counter(
+    "store.heap.leaked_chains",
+    "superseded chains leaked because they could not be walked for release",
+)
 _HEAP_OBJECTS_WRITTEN = METRICS.counter(
     "store.heap.objects_written", "dirty objects serialized by commits"
 )
@@ -376,10 +380,25 @@ class ObjectHeap:
         # space released by superseded versions is reclaimed only after the
         # new state is durable
         if old_table[0]:
-            self._pager.release_chain(*old_table)
+            self._release_superseded(*old_table)
         for head, length in released:
-            self._pager.release_chain(head, length)
+            self._release_superseded(head, length)
         self._pager.sync_header()
+
+    def _release_superseded(self, head: int, length: int) -> None:
+        """Best-effort reclamation of one superseded chain.
+
+        The commit is already durable when this runs, so a chain that
+        cannot be walked — bit rot on an old page is exactly what
+        anti-entropy repair overwrites — is leaked rather than turned into
+        a commit failure.  fsck reports leaked pages (info) and
+        ``repair=True`` reclaims them.
+        """
+        try:
+            self._pager.release_chain(head, length)
+        except PageError:
+            _HEAP_LEAKED_CHAINS.inc()
+            TRACER.event("store.heap.leaked_chain", head=head, length=length)
 
     # ---------------------------------------------------------- replication
 
@@ -483,6 +502,28 @@ class ObjectHeap:
             for oid, (head, length) in sorted(self._table.items())
         ]
         return objects, dict(self._committed_roots), self._next_oid
+
+    def committed_oids(self) -> list[int]:
+        """Sorted OIDs present in the durable object table (scrub walk)."""
+        self._check_open()
+        return sorted(self._table)
+
+    def committed_payload(self, oid: Oid | int) -> bytes:
+        """One object's committed payload, read back through the
+        checksummed pager.
+
+        Deliberately bypasses the object cache: the integrity scrub and
+        the anti-entropy digest tree must observe the *disk* bytes, so a
+        cold page flipped by bit rot raises :class:`PageError` here even
+        while cached readers still serve the object happily.
+        """
+        self._check_open()
+        if self._pager is None:
+            raise HeapError("committed_payload needs a file-backed heap")
+        entry = self._table.get(int(oid))
+        if entry is None:
+            raise HeapError(f"unknown oid {int(oid)}")
+        return self._pager.read_chain(*entry)
 
     def logical_digest(self) -> str:
         """SHA-256 over the committed logical state (oids, payloads, roots).

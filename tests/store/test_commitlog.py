@@ -40,8 +40,20 @@ class TestAppendRead:
                 log.append(record(v))
             assert log.first_version == 1
             assert log.last_version == 5
-            got = log.read_from(3)
+            got = list(log.read_from(3))
         assert [r.version for r in got] == [3, 4, 5]
+
+    def test_read_from_streams_in_bounded_batches(self, tmp_path):
+        with CommitLog(tmp_path / "log") as log:
+            for v in range(1, 8):
+                log.append(record(v))
+            it = log.read_from(1, batch=2)
+            # lazily iterable: records appended after batches were read
+            # are still picked up by later batches
+            first = [next(it), next(it), next(it)]
+            log.append(record(8))
+            rest = list(it)
+        assert [r.version for r in first + rest] == list(range(1, 9))
 
     def test_non_contiguous_append_is_refused(self, tmp_path):
         with CommitLog(tmp_path / "log") as log:
@@ -59,7 +71,7 @@ class TestAppendRead:
     def test_read_past_end_is_empty(self, tmp_path):
         with CommitLog(tmp_path / "log") as log:
             log.append(record(1))
-            assert log.read_from(2) == []
+            assert list(log.read_from(2)) == []
 
     def test_term_at_tracks_fencing_lineage(self, tmp_path):
         with CommitLog(tmp_path / "log") as log:
@@ -79,6 +91,18 @@ class TestRecovery:
         with CommitLog(path) as log:
             assert log.last_version == 3
             assert [r.version for r in log.read_from(1)] == [1, 2, 3]
+
+    def test_read_before_first_raises_eagerly(self, tmp_path):
+        # the predates-the-log error must raise at the call, not at the
+        # first next() — subscribe() branches to a snapshot resync on it
+        with CommitLog(tmp_path / "log") as log:
+            log.append(record(4))
+            try:
+                log.read_from(1)
+            except CommitLogError:
+                pass
+            else:
+                pytest.fail("read_from(1) did not raise eagerly")
 
     def test_torn_tail_is_truncated(self, tmp_path):
         path = tmp_path / "log"
@@ -122,7 +146,51 @@ class TestReset:
             log.append(record(2))
             log.reset()
             assert log.last_version is None
-            assert log.read_from(1) == []
+            assert list(log.read_from(1)) == []
             # a fresh history may start anywhere (post-snapshot versions)
             log.append(record(40))
             assert log.first_version == 40
+
+    def test_reset_runs_retention_hook_before_discarding(self, tmp_path):
+        sealed = []
+        with CommitLog(tmp_path / "log") as log:
+            log.retention = lambda lg: sealed.extend(lg.read_from(lg.first_version))
+            log.append(record(1))
+            log.append(record(2))
+            log.reset()
+            assert [r.version for r in sealed] == [1, 2]
+            log.reset()  # empty log: the hook must not fire again
+            assert len(sealed) == 2
+
+    def test_reset_survives_a_failing_retention_hook(self, tmp_path):
+        def bad_hook(_log):
+            raise OSError(28, "archive volume full")
+
+        with CommitLog(tmp_path / "log") as log:
+            log.retention = bad_hook
+            log.append(record(1))
+            log.reset()  # must not raise: reset wins over archiving
+            assert log.last_version is None
+
+    def test_deposed_primary_term_at_after_reset(self, tmp_path):
+        """A deposed primary whose log was reset (snapshot resync from the
+        new leader) must not serve stale term_at answers: the archiver and
+        lineage checks key on term_at, so a reset log answers None for the
+        discarded versions and only the new lineage after re-append."""
+        with CommitLog(tmp_path / "log") as log:
+            # old lineage: this node led at term 1
+            log.append(record(1, term=1))
+            log.append(record(2, term=1))
+            assert log.term_at(2) == 1
+            # deposed: another node promoted to term 2, our history was
+            # replaced by a snapshot resync which resets the log
+            log.reset()
+            assert log.term_at(1) is None
+            assert log.term_at(2) is None
+            assert log.last_term == 0
+            # following the new primary: records arrive under term 2 at
+            # the resync's version horizon
+            log.append(record(7, term=2))
+            assert log.term_at(7) == 2
+            assert log.term_at(2) is None  # old version stays gone
+            assert log.last_term == 2
